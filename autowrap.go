@@ -1,0 +1,250 @@
+// Package autowrap is a noise-tolerant wrapper induction library for
+// structured web extraction, implementing Dalvi, Kumar and Soliman,
+// "Automatic Wrappers for Large Scale Web Extraction", PVLDB 4(4), 2011.
+//
+// Script-generated websites render database records into structurally
+// identical pages, so a small extraction rule (a wrapper) — an xpath or a
+// pair of string delimiters — extracts every record from every page of a
+// site. Classic wrapper induction needs clean per-site labeled examples;
+// autowrap instead accepts cheap noisy annotations (a dictionary of known
+// entity names, a regular expression) and still learns the right wrapper:
+//
+//  1. it enumerates the wrapper space — every distinct wrapper any subset
+//     of the noisy labels can produce — with the BottomUp (blackbox) or
+//     TopDown (feature-based) algorithms, and
+//  2. ranks each candidate by P(labels | wrapper output) · P(output),
+//     combining an annotator noise model with a web publication model that
+//     scores how list-like the output is (record-segment schema size and
+//     alignment under KDE-learned distributions).
+//
+// Basic use:
+//
+//	c := autowrap.ParsePages(htmlPages)
+//	labels := autowrap.DictionaryAnnotator("brands", knownNames).Annotate(c)
+//	res, err := autowrap.Learn(autowrap.NewXPathInductor(c), labels,
+//	    autowrap.GenericModels(c), autowrap.Options{})
+//	// res.Best.Wrapper.Rule() is an xpath; res.Extraction(c) the node set.
+package autowrap
+
+import (
+	"fmt"
+	"os"
+
+	"autowrap/internal/annotate"
+	"autowrap/internal/bitset"
+	"autowrap/internal/core"
+	"autowrap/internal/corpus"
+	"autowrap/internal/enum"
+	"autowrap/internal/lr"
+	"autowrap/internal/rank"
+	"autowrap/internal/segment"
+	"autowrap/internal/stats"
+	"autowrap/internal/wrapper"
+	"autowrap/internal/xpinduct"
+)
+
+// Core types, re-exported from the implementation packages.
+type (
+	// Corpus is a set of parsed pages from one website; text nodes carry
+	// global ordinals used by NodeSet.
+	Corpus = corpus.Corpus
+	// NodeSet is a set of text-node ordinals (labels, extractions).
+	NodeSet = bitset.Set
+	// Wrapper is a learned extraction rule.
+	Wrapper = wrapper.Wrapper
+	// Inductor is a wrapper induction system φ (XPATH, LR, ...).
+	Inductor = wrapper.Inductor
+	// Annotator produces noisy labels over a corpus.
+	Annotator = annotate.Annotator
+	// Result is a ranked wrapper space; Result.Best is the learned
+	// wrapper.
+	Result = core.Result
+	// Candidate is one ranked wrapper.
+	Candidate = core.Candidate
+	// Models bundles the annotation and publication models used for
+	// ranking.
+	Models = rank.Scorer
+)
+
+// Ranking variants (the paper's Sec. 7.3 ablations).
+const (
+	// VariantNTW uses the full score P(L|X)·P(X).
+	VariantNTW = rank.NTW
+	// VariantNTWL uses only the annotation term.
+	VariantNTWL = rank.NTWL
+	// VariantNTWX uses only the publication term.
+	VariantNTWX = rank.NTWX
+)
+
+// Enumeration algorithm names for Options.Enumerator.
+const (
+	EnumTopDown  = enum.AlgoTopDown
+	EnumBottomUp = enum.AlgoBottomUp
+	EnumNaive    = enum.AlgoNaive
+)
+
+// ZipcodePattern matches five-digit US zipcodes (the Appendix A regexp
+// annotator).
+const ZipcodePattern = annotate.ZipcodePattern
+
+// ParsePages parses raw HTML pages from one website into a corpus. The
+// parser is tolerant: any input produces a tree.
+func ParsePages(htmls []string) *Corpus { return corpus.ParseHTML(htmls) }
+
+// ParseFiles reads and parses HTML files from disk.
+func ParseFiles(paths []string) (*Corpus, error) {
+	htmls := make([]string, len(paths))
+	for i, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("autowrap: %w", err)
+		}
+		htmls[i] = string(b)
+	}
+	return ParsePages(htmls), nil
+}
+
+// DictionaryAnnotator labels every text node containing an exact
+// word-boundary mention of a dictionary entry (case-insensitive).
+func DictionaryAnnotator(name string, entries []string) Annotator {
+	return annotate.NewDictionary(name, entries)
+}
+
+// RegexpAnnotator labels every text node matching the pattern.
+func RegexpAnnotator(name, pattern string) (Annotator, error) {
+	return annotate.NewRegexp(name, pattern)
+}
+
+// NewXPathInductor builds the xpath wrapper inductor of Dalvi et al. [6]
+// over the corpus: rules are xpaths with child/descendant edges, attribute
+// filters and child-number filters.
+func NewXPathInductor(c *Corpus) Inductor {
+	return xpinduct.New(c, xpinduct.Options{})
+}
+
+// NewLRInductor builds the WIEN LR inductor (Kushmerick et al.): rules are
+// (left, right) string delimiter pairs over the serialized page, with
+// delimiter length capped at maxContext bytes (0 selects the default, 64).
+func NewLRInductor(c *Corpus, maxContext int) Inductor {
+	return lr.New(c, maxContext)
+}
+
+// NewHLRTInductor builds the HLRT extension of LR: head/tail strings
+// restrict extraction to a page region, defeating navigation chrome whose
+// local markup mimics the record list. The simplified induction guarantees
+// fidelity only (not full well-behavedness), so prefer it as a direct
+// learner rather than under enumeration; see the package documentation.
+func NewHLRTInductor(c *Corpus, maxContext, maxRegion int) Inductor {
+	return lr.NewHLRT(c, maxContext, maxRegion)
+}
+
+// TrainingSite pairs a corpus with known-good extractions; LearnModels fits
+// the ranking models from such samples.
+type TrainingSite struct {
+	Corpus *Corpus
+	Gold   *NodeSet
+}
+
+// ModelOptions tunes model learning; zero values select defaults.
+type ModelOptions struct {
+	// AnnotatorPrecision / AnnotatorRecall override the estimated
+	// annotation-model parameters; 0 keeps the estimate from the samples.
+	AnnotatorPrecision float64
+	AnnotatorRecall    float64
+	// BandwidthScale scales the KDE bandwidth (ablation knob).
+	BandwidthScale float64
+	// MaxSegmentTokens / MaxPairs / EditCap bound the publication-model
+	// feature computation.
+	MaxSegmentTokens int
+	MaxPairs         int
+	EditCap          int
+}
+
+func (o ModelOptions) segOptions() segment.Options {
+	return segment.Options{
+		MaxSegmentTokens: o.MaxSegmentTokens,
+		MaxPairs:         o.MaxPairs,
+		EditCap:          o.EditCap,
+	}
+}
+
+// LearnModels estimates the annotation model (p, r) of the given annotator
+// and fits the publication model's feature distributions from sample sites
+// with gold labels (paper Sec. 7: "learned from a sample of half the
+// websites").
+func LearnModels(samples []TrainingSite, annot Annotator, opt ModelOptions) (*Models, error) {
+	var pooled annotate.Stats
+	rsamples := make([]rank.SiteSample, 0, len(samples))
+	for _, s := range samples {
+		labels := annot.Annotate(s.Corpus)
+		pooled = pooled.Add(annotate.Measure(s.Corpus, labels, s.Gold))
+		rsamples = append(rsamples, rank.SiteSample{Corpus: s.Corpus, Gold: s.Gold})
+	}
+	p, r := pooled.ModelParams()
+	if opt.AnnotatorPrecision > 0 {
+		p = opt.AnnotatorPrecision
+	}
+	if opt.AnnotatorRecall > 0 {
+		r = opt.AnnotatorRecall
+	}
+	pub, err := rank.LearnPublicationModel(rsamples, opt.segOptions(),
+		stats.KDEOptions{BandwidthScale: opt.BandwidthScale})
+	if err != nil {
+		return nil, err
+	}
+	return &Models{Ann: rank.NewAnnotationModel(p, r), Pub: pub}, nil
+}
+
+// GenericModels returns ranking models with broad, domain-independent
+// priors: annotator p=0.95/r=0.30 and publication-model distributions
+// covering typical record lists (2–6 text fields per record, near-regular
+// alignment). Use LearnModels with gold samples when available; the generic
+// models are enough for well-structured sites and power the quickstart.
+func GenericModels(c *Corpus) *Models {
+	schema := stats.MustKDE([]int{2, 3, 3, 4, 4, 5, 5, 6}, stats.KDEOptions{Support: 64})
+	align := stats.MustKDE([]int{0, 0, 0, 1, 1, 2, 3, 5}, stats.KDEOptions{Support: 256})
+	return &Models{
+		Ann: rank.NewAnnotationModel(0.95, 0.30),
+		Pub: &rank.PublicationModel{Schema: schema, Align: align},
+	}
+}
+
+// Options configures Learn.
+type Options struct {
+	// Variant selects the ranking components (default VariantNTW).
+	Variant rank.Variant
+	// Enumerator selects the wrapper-space enumeration algorithm
+	// (default EnumTopDown; EnumBottomUp works for any well-behaved
+	// blackbox inductor).
+	Enumerator string
+	// MaxEnumCalls bounds enumeration effort.
+	MaxEnumCalls int64
+}
+
+// Learn runs noise-tolerant wrapper induction: enumerate the wrapper space
+// of the labels, rank by P(L|X)·P(X), return the ranked candidates.
+func Learn(ind Inductor, labels *NodeSet, m *Models, opt Options) (*Result, error) {
+	return core.Learn(ind, labels, core.Config{
+		Enumerator:  opt.Enumerator,
+		EnumOptions: enum.Options{MaxCalls: opt.MaxEnumCalls},
+		Scorer:      m,
+		Variant:     opt.Variant,
+	})
+}
+
+// NaiveLearn is the baseline that trains the inductor directly on all the
+// (noisy) labels — the paper's NAIVE. A single bad label typically makes it
+// over-generalize grossly; it exists for comparison.
+func NaiveLearn(ind Inductor, labels *NodeSet) (Wrapper, error) {
+	return core.Naive(ind, labels)
+}
+
+// Extracted materializes a wrapper's extraction as page-grouped strings.
+func Extracted(c *Corpus, w Wrapper) [][]string {
+	out := make([][]string, len(c.Pages))
+	w.Extract().ForEach(func(ord int) {
+		p := c.PageOf(ord)
+		out[p] = append(out[p], c.TextContent(ord))
+	})
+	return out
+}

@@ -1,0 +1,220 @@
+package autowrap_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"autowrap"
+)
+
+func dealerPages(n int) []string {
+	var pages []string
+	k := 0
+	for p := 0; p < n; p++ {
+		var sb strings.Builder
+		sb.WriteString(`<html><body><h1>Locator</h1><div class="results"><table>`)
+		for i := 0; i < 3; i++ {
+			k++
+			fmt.Fprintf(&sb, `<tr><td><u>STORE %03d</u><br>%d Main St<br>CITY, MS</td></tr>`, k, k*7)
+		}
+		sb.WriteString(`</table></div></body></html>`)
+		pages = append(pages, sb.String())
+	}
+	return pages
+}
+
+func TestParsePagesAndAnnotate(t *testing.T) {
+	c := autowrap.ParsePages(dealerPages(3))
+	if len(c.Pages) != 3 {
+		t.Fatalf("pages = %d", len(c.Pages))
+	}
+	dict := autowrap.DictionaryAnnotator("d", []string{"STORE 001", "STORE 005"})
+	labels := dict.Annotate(c)
+	if labels.Count() != 2 {
+		t.Fatalf("labels = %d", labels.Count())
+	}
+}
+
+func TestLearnEndToEndViaFacade(t *testing.T) {
+	c := autowrap.ParsePages(dealerPages(4))
+	dict := autowrap.DictionaryAnnotator("d", []string{"STORE 002", "STORE 007", "14 Main"})
+	labels := dict.Annotate(c)
+	res, err := autowrap.Learn(autowrap.NewXPathInductor(c), labels,
+		autowrap.GenericModels(c), autowrap.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := autowrap.Extracted(c, res.Best.Wrapper)
+	total := 0
+	for _, vals := range got {
+		for _, v := range vals {
+			if !strings.HasPrefix(v, "STORE") {
+				t.Fatalf("extracted junk %q", v)
+			}
+			total++
+		}
+	}
+	if total != 12 {
+		t.Fatalf("extracted %d values, want 12 store names", total)
+	}
+	if !strings.HasSuffix(res.Best.Wrapper.Rule(), "/text()") {
+		t.Fatalf("rule = %q", res.Best.Wrapper.Rule())
+	}
+}
+
+func TestNaiveVsNTWViaFacade(t *testing.T) {
+	c := autowrap.ParsePages(dealerPages(4))
+	// One sparse noise label ("14 Main" matches a single street line), as
+	// in the paper's low-noise regime.
+	dict := autowrap.DictionaryAnnotator("d", []string{"STORE 002", "STORE 007", "14 Main"})
+	labels := dict.Annotate(c)
+	naive, err := autowrap.NaiveLearn(autowrap.NewXPathInductor(c), labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := autowrap.Learn(autowrap.NewXPathInductor(c), labels,
+		autowrap.GenericModels(c), autowrap.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive.Extract().Count() <= res.Best.Wrapper.Extract().Count() {
+		t.Fatalf("naive (%d) should over-generalize past NTW (%d)",
+			naive.Extract().Count(), res.Best.Wrapper.Extract().Count())
+	}
+}
+
+func TestLRInductorViaFacade(t *testing.T) {
+	c := autowrap.ParsePages(dealerPages(4))
+	dict := autowrap.DictionaryAnnotator("d", []string{"STORE 002", "STORE 007"})
+	labels := dict.Annotate(c)
+	res, err := autowrap.Learn(autowrap.NewLRInductor(c, 0), labels,
+		autowrap.GenericModels(c), autowrap.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(res.Best.Wrapper.Rule(), "LR(") {
+		t.Fatalf("rule = %q", res.Best.Wrapper.Rule())
+	}
+	if res.Best.Wrapper.Extract().Count() != 12 {
+		t.Fatalf("extracted %d", res.Best.Wrapper.Extract().Count())
+	}
+}
+
+func TestLearnModelsViaFacade(t *testing.T) {
+	c := autowrap.ParsePages(dealerPages(4))
+	gold := c.MatchingText(func(s string) bool { return strings.HasPrefix(s, "STORE") })
+	dict := autowrap.DictionaryAnnotator("d", []string{"STORE 001", "STORE 004", "STORE 009"})
+	m, err := autowrap.LearnModels(
+		[]autowrap.TrainingSite{{Corpus: c, Gold: gold}}, dict, autowrap.ModelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Pub == nil {
+		t.Fatal("publication model missing")
+	}
+	// r estimate: 3 of 12 gold labeled.
+	if m.Ann.R < 0.2 || m.Ann.R > 0.3 {
+		t.Fatalf("estimated r = %v", m.Ann.R)
+	}
+}
+
+func TestEnumeratorOptionsViaFacade(t *testing.T) {
+	c := autowrap.ParsePages(dealerPages(3))
+	dict := autowrap.DictionaryAnnotator("d", []string{"STORE 002", "STORE 006"})
+	labels := dict.Annotate(c)
+	for _, algo := range []string{autowrap.EnumTopDown, autowrap.EnumBottomUp, autowrap.EnumNaive} {
+		res, err := autowrap.Learn(autowrap.NewXPathInductor(c), labels,
+			autowrap.GenericModels(c), autowrap.Options{Enumerator: algo})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if res.Best == nil {
+			t.Fatalf("%s: no wrapper", algo)
+		}
+	}
+}
+
+func TestLearnSingleEntityViaFacade(t *testing.T) {
+	var pages []string
+	for _, title := range []string{"Abbey Road", "Quiet Dreams", "Paper Maps"} {
+		pages = append(pages, fmt.Sprintf(
+			`<html><head><title>%s | Site</title></head><body><h1>%s</h1><ol><li><a>t1</a></li><li><a>t2</a></li></ol></body></html>`,
+			title, title))
+	}
+	c := autowrap.ParsePages(pages)
+	labels := autowrap.DictionaryAnnotator("titles", []string{"Abbey Road", "Paper Maps"}).Annotate(c)
+	res, err := autowrap.LearnSingleEntity(autowrap.NewXPathInductor(c), labels,
+		autowrap.SingleEntityOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Winners) == 0 {
+		t.Fatal("no winners")
+	}
+}
+
+func TestLearnRecordsViaFacade(t *testing.T) {
+	var pages []string
+	k := 0
+	for p := 0; p < 3; p++ {
+		var sb strings.Builder
+		sb.WriteString(`<html><body><div class="l">`)
+		for i := 0; i < 2; i++ {
+			k++
+			fmt.Fprintf(&sb, `<div class="r"><u>STORE %03d</u><b>%05d</b></div>`, k, 10000+k)
+		}
+		sb.WriteString(`</div></body></html>`)
+		pages = append(pages, sb.String())
+	}
+	c := autowrap.ParsePages(pages)
+	zipAnnot, err := autowrap.RegexpAnnotator("zip", autowrap.ZipcodePattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := autowrap.LearnRecords(c, autowrap.GenericModels(c),
+		autowrap.RecordType{Name: "name",
+			Annotator: autowrap.DictionaryAnnotator("n", []string{"STORE 001", "STORE 004"})},
+		autowrap.RecordType{Name: "zip", Annotator: zipAnnot, R: 0.9},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 6 {
+		t.Fatalf("records = %d, want 6", len(res.Records))
+	}
+	for _, rec := range res.Records {
+		if !strings.HasPrefix(rec[0], "STORE") || len(rec[1]) != 5 {
+			t.Fatalf("bad record %v", rec)
+		}
+	}
+}
+
+func TestParseFiles(t *testing.T) {
+	dir := t.TempDir()
+	paths := make([]string, 2)
+	for i, src := range dealerPages(2) {
+		paths[i] = filepath.Join(dir, fmt.Sprintf("p%d.html", i))
+		if err := os.WriteFile(paths[i], []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := autowrap.ParseFiles(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Pages) != 2 {
+		t.Fatalf("pages = %d", len(c.Pages))
+	}
+	if _, err := autowrap.ParseFiles([]string{filepath.Join(dir, "missing.html")}); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestRegexpAnnotatorError(t *testing.T) {
+	if _, err := autowrap.RegexpAnnotator("bad", "("); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,205 @@
+// Command benchrun regenerates every table and figure of the paper's
+// evaluation (Sec. 7, Appendices A/B) at configurable scale and prints them
+// in the paper's format. See DESIGN.md for the experiment index.
+//
+// Usage:
+//
+//	benchrun -exp all                 # everything, reduced default scale
+//	benchrun -exp fig2d -sites 330    # one experiment at paper scale
+//	benchrun -exp table1 -sites 60
+//
+// Experiments: fig2a fig2b fig2c fig2d fig2e fig2f fig2g fig2h fig2i
+// table1 fig3a fig3b fig3c b2 all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"autowrap/internal/dataset"
+	"autowrap/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (fig2a..fig2i, table1, fig3a, fig3b, fig3c, b2, all)")
+		sites   = flag.Int("sites", 120, "number of DEALERS sites to generate (paper: 330)")
+		pages   = flag.Int("pages", 0, "pages per DEALERS site (default 12; table1 uses 25)")
+		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		rows    = flag.Int("rows", 20, "max per-site rows to print for enumeration figures")
+		seed    = flag.Int64("seed", 0, "dataset seed override (0 = default)")
+	)
+	flag.Parse()
+	if err := run(*exp, *sites, *pages, *workers, *rows, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrun:", err)
+		os.Exit(1)
+	}
+}
+
+var knownExperiments = map[string]bool{
+	"all": true, "fig2a": true, "fig2b": true, "fig2c": true, "fig2d": true,
+	"fig2e": true, "fig2f": true, "fig2g": true, "fig2h": true, "fig2i": true,
+	"table1": true, "fig3a": true, "fig3b": true, "fig3c": true, "b2": true,
+}
+
+func run(exp string, sites, pages, workers, rows int, seed int64) error {
+	if !knownExperiments[exp] {
+		return fmt.Errorf("unknown experiment %q (see -h)", exp)
+	}
+	out := os.Stdout
+	want := func(id string) bool { return exp == "all" || exp == id }
+	start := time.Now()
+
+	var dealers *dataset.Dataset
+	needDealers := false
+	for _, id := range []string{"fig2a", "fig2b", "fig2c", "fig2d", "fig2e", "fig2h", "fig2i", "fig3a", "fig3b"} {
+		if want(id) {
+			needDealers = true
+		}
+	}
+	if needDealers {
+		fmt.Fprintf(out, "building DEALERS (%d sites)...\n", sites)
+		ds, err := dataset.Dealers(dataset.DealersOptions{NumSites: sites, NumPages: pages, Seed: seed})
+		if err != nil {
+			return err
+		}
+		dealers = ds
+	}
+
+	if want("fig2a") {
+		experiments.Separator(out, "Figure 2(a): # of wrapper calls for LR")
+		res, err := experiments.EnumExperiment(dealers, experiments.KindLR,
+			experiments.EnumConfig{Workers: workers})
+		if err != nil {
+			return err
+		}
+		experiments.ReportEnum(out, res, rows)
+	}
+	if want("fig2b") || want("fig2c") {
+		experiments.Separator(out, "Figures 2(b)/2(c): # of wrapper calls and running time for XPATH")
+		res, err := experiments.EnumExperiment(dealers, experiments.KindXPath,
+			experiments.EnumConfig{Workers: workers})
+		if err != nil {
+			return err
+		}
+		experiments.ReportEnum(out, res, rows)
+	}
+	if want("fig2d") {
+		experiments.Separator(out, "Figure 2(d): accuracy of XPATH on DEALERS")
+		res, err := experiments.AccuracyExperiment(dealers, experiments.KindXPath,
+			experiments.AccuracyConfig{Workers: workers})
+		if err != nil {
+			return err
+		}
+		experiments.ReportAccuracy(out, res)
+	}
+	if want("fig2e") {
+		experiments.Separator(out, "Figure 2(e): accuracy of LR on DEALERS")
+		res, err := experiments.AccuracyExperiment(dealers, experiments.KindLR,
+			experiments.AccuracyConfig{Workers: workers})
+		if err != nil {
+			return err
+		}
+		experiments.ReportAccuracy(out, res)
+	}
+	if want("fig2f") || want("fig2g") {
+		disc, err := dataset.Disc(dataset.DiscOptions{})
+		if err != nil {
+			return err
+		}
+		if want("fig2f") {
+			experiments.Separator(out, "Figure 2(f): accuracy of XPATH on DISC")
+			res, err := experiments.AccuracyExperiment(disc, experiments.KindXPath,
+				experiments.AccuracyConfig{Workers: workers})
+			if err != nil {
+				return err
+			}
+			experiments.ReportAccuracy(out, res)
+		}
+		if want("fig2g") {
+			experiments.Separator(out, "Figure 2(g): accuracy of LR on DISC")
+			res, err := experiments.AccuracyExperiment(disc, experiments.KindLR,
+				experiments.AccuracyConfig{Workers: workers})
+			if err != nil {
+				return err
+			}
+			experiments.ReportAccuracy(out, res)
+		}
+	}
+	if want("fig2h") {
+		experiments.Separator(out, "Figure 2(h): XPATH ranking variants on DEALERS")
+		res, err := experiments.VariantsExperiment(dealers, experiments.KindXPath,
+			experiments.AccuracyConfig{Workers: workers})
+		if err != nil {
+			return err
+		}
+		experiments.ReportVariants(out, res)
+	}
+	if want("fig2i") {
+		experiments.Separator(out, "Figure 2(i): LR ranking variants on DEALERS")
+		res, err := experiments.VariantsExperiment(dealers, experiments.KindLR,
+			experiments.AccuracyConfig{Workers: workers})
+		if err != nil {
+			return err
+		}
+		experiments.ReportVariants(out, res)
+	}
+	if want("table1") {
+		experiments.Separator(out, "Table 1: NTW accuracy vs annotator precision/recall")
+		n := sites
+		if n > 60 {
+			n = 60 // 25-page sites × 30 grid cells; keep the sweep tractable
+		}
+		t1ds, err := dataset.Dealers(dataset.DealersOptions{
+			NumSites: n, NumPages: 25, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		res, err := experiments.Table1Experiment(t1ds, experiments.Table1Config{Workers: workers})
+		if err != nil {
+			return err
+		}
+		experiments.ReportTable1(out, res)
+	}
+	if want("fig3a") || want("fig3b") {
+		experiments.Separator(out, "Figures 3(a)/3(b): multi-type extraction on DEALERS")
+		res, err := experiments.MultiTypeExperiment(dealers, experiments.MultiTypeConfig{Workers: workers})
+		if err != nil {
+			return err
+		}
+		experiments.ReportMultiType(out, res)
+	}
+	if want("fig3c") {
+		experiments.Separator(out, "Figure 3(c): accuracy of XPath on PRODUCTS")
+		prods, err := dataset.Products(dataset.ProductsOptions{})
+		if err != nil {
+			return err
+		}
+		res, err := experiments.AccuracyExperiment(prods, experiments.KindXPath,
+			experiments.AccuracyConfig{Workers: workers})
+		if err != nil {
+			return err
+		}
+		experiments.ReportAccuracy(out, res)
+	}
+	if want("b2") {
+		experiments.Separator(out, "Appendix B.2: single-entity extraction on DISC")
+		disc, err := dataset.Disc(dataset.DiscOptions{})
+		if err != nil {
+			return err
+		}
+		res, err := experiments.SingleEntityExperiment(disc,
+			dataset.DiscSeedTitles(dataset.DiscOptions{}),
+			experiments.SingleEntityConfig{Workers: workers})
+		if err != nil {
+			return err
+		}
+		experiments.ReportSingleEntity(out, res)
+	}
+
+	fmt.Fprintf(out, "\ntotal time: %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,93 @@
+// Command sitegen materializes the synthetic evaluation datasets as HTML
+// files on disk, so the generated "websites" can be inspected in a browser
+// or fed to other tools. Gold labels are written alongside as .gold.txt
+// files (one value per line, per type).
+//
+// Usage:
+//
+//	sitegen -dataset dealers -sites 5 -out ./out
+//	sitegen -dataset disc -out ./out
+//	sitegen -dataset products -out ./out
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"autowrap/internal/dataset"
+	"autowrap/internal/gen"
+)
+
+func main() {
+	var (
+		kind  = flag.String("dataset", "dealers", "dealers | disc | products")
+		sites = flag.Int("sites", 5, "number of sites to write (dealers only; disc/products use paper scale)")
+		out   = flag.String("out", "sitegen-out", "output directory")
+		seed  = flag.Int64("seed", 0, "seed override (0 = dataset default)")
+	)
+	flag.Parse()
+	if err := run(*kind, *sites, *out, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "sitegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind string, sites int, out string, seed int64) error {
+	var ds *dataset.Dataset
+	var err error
+	switch kind {
+	case "dealers":
+		ds, err = dataset.Dealers(dataset.DealersOptions{NumSites: sites, Seed: seed})
+	case "disc":
+		ds, err = dataset.Disc(dataset.DiscOptions{Seed: seed})
+	case "products":
+		ds, err = dataset.Products(dataset.ProductsOptions{Seed: seed})
+	default:
+		return fmt.Errorf("unknown dataset %q", kind)
+	}
+	if err != nil {
+		return err
+	}
+	for _, site := range ds.Sites {
+		dir := filepath.Join(out, ds.Name, site.Name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		for pi, page := range site.Corpus.Pages {
+			path := filepath.Join(dir, fmt.Sprintf("page-%03d.html", pi))
+			if err := os.WriteFile(path, []byte(page.HTML), 0o644); err != nil {
+				return err
+			}
+		}
+		if err := writeGold(dir, site); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d sites of %s under %s\n", len(ds.Sites), ds.Name, out)
+	fmt.Printf("dictionary: %d entries (annotator %q)\n", ds.Dict.Size(), ds.Annotator.Name())
+	return nil
+}
+
+func writeGold(dir string, site *gen.Site) error {
+	var types []string
+	for typ := range site.Gold {
+		types = append(types, typ)
+	}
+	sort.Strings(types)
+	for _, typ := range types {
+		var sb strings.Builder
+		site.Gold[typ].ForEach(func(ord int) {
+			fmt.Fprintf(&sb, "page %03d\t%s\n",
+				site.Corpus.PageOf(ord), site.Corpus.TextContent(ord))
+		})
+		path := filepath.Join(dir, typ+".gold.txt")
+		if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+// Command wrapinduce learns an extraction wrapper from HTML files plus a
+// dictionary of known values — the end-user workflow of the paper: point it
+// at the pages of one script-generated website and a cheap noisy dictionary,
+// get back the extraction rule and the extracted values.
+//
+// Usage:
+//
+//	wrapinduce -dict names.txt page1.html page2.html ...
+//	wrapinduce -dict names.txt -inductor lr -all 'out/*.html'
+//
+// The dictionary file holds one entry per line. With -naive the baseline
+// (no noise tolerance) runs instead, for comparison.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"autowrap"
+)
+
+func main() {
+	var (
+		dictPath = flag.String("dict", "", "dictionary file (one entry per line); required")
+		inductor = flag.String("inductor", "xpath", "wrapper language: xpath | lr")
+		naive    = flag.Bool("naive", false, "run the NAIVE baseline instead of NTW")
+		topK     = flag.Int("top", 3, "show the top-K ranked wrappers")
+	)
+	flag.Parse()
+	if *dictPath == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: wrapinduce -dict entries.txt page1.html [page2.html ...]")
+		os.Exit(2)
+	}
+	if err := run(*dictPath, flag.Args(), *inductor, *naive, *topK); err != nil {
+		fmt.Fprintln(os.Stderr, "wrapinduce:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dictPath string, pageArgs []string, inductorKind string, naive bool, topK int) error {
+	entries, err := readLines(dictPath)
+	if err != nil {
+		return err
+	}
+	paths, err := expand(pageArgs)
+	if err != nil {
+		return err
+	}
+	c, err := autowrap.ParseFiles(paths)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("parsed %d pages, %d extractable text nodes\n", len(c.Pages), c.NumTexts())
+
+	annot := autowrap.DictionaryAnnotator(filepath.Base(dictPath), entries)
+	labels := annot.Annotate(c)
+	fmt.Printf("dictionary (%d entries) labeled %d nodes\n\n", len(entries), labels.Count())
+	if labels.Count() == 0 {
+		return fmt.Errorf("no dictionary entry matched any page text; cannot learn")
+	}
+
+	var ind autowrap.Inductor
+	switch inductorKind {
+	case "xpath":
+		ind = autowrap.NewXPathInductor(c)
+	case "lr":
+		ind = autowrap.NewLRInductor(c, 0)
+	default:
+		return fmt.Errorf("unknown inductor %q (want xpath or lr)", inductorKind)
+	}
+
+	if naive {
+		w, err := autowrap.NaiveLearn(ind, labels)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("NAIVE wrapper: %s\n", w.Rule())
+		printExtraction(c, w)
+		return nil
+	}
+
+	res, err := autowrap.Learn(ind, labels, autowrap.GenericModels(c), autowrap.Options{})
+	if err != nil {
+		return err
+	}
+	if res.Best == nil {
+		return fmt.Errorf("no wrapper learned")
+	}
+	fmt.Printf("learned wrapper: %s\n", res.Best.Wrapper.Rule())
+	fmt.Printf("score: logP(L|X)=%.2f logP(X)=%.2f (enumerated %d candidates with %d inductor calls)\n",
+		res.Best.Score.LogL, res.Best.Score.LogX, len(res.Candidates), res.EnumCalls)
+	printExtraction(c, res.Best.Wrapper)
+
+	if topK > 1 && len(res.Candidates) > 1 {
+		fmt.Println("\nranked wrapper space:")
+		for i, cand := range res.Candidates {
+			if i >= topK {
+				break
+			}
+			fmt.Printf("  %d. score=%9.2f extracts=%-4d %s\n",
+				i+1, cand.Score.Total, cand.Wrapper.Extract().Count(), cand.Wrapper.Rule())
+		}
+	}
+	return nil
+}
+
+func printExtraction(c *autowrap.Corpus, w autowrap.Wrapper) {
+	fmt.Println("\nextraction:")
+	for p, values := range autowrap.Extracted(c, w) {
+		fmt.Printf("  page %d: %s\n", p, strings.Join(values, " | "))
+	}
+}
+
+func readLines(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" && !strings.HasPrefix(line, "#") {
+			out = append(out, line)
+		}
+	}
+	return out, sc.Err()
+}
+
+func expand(args []string) ([]string, error) {
+	var out []string
+	for _, a := range args {
+		if strings.ContainsAny(a, "*?[") {
+			matches, err := filepath.Glob(a)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, matches...)
+			continue
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no input pages")
+	}
+	return out, nil
+}

@@ -1,0 +1,78 @@
+package autowrap_test
+
+import (
+	"fmt"
+
+	"autowrap"
+)
+
+// The pages of one script-generated website: a dealer locator queried with
+// two zipcodes. Structure repeats, data varies.
+var examplePages = []string{
+	`<html><body><div class="dealerlinks"><table>` +
+		`<tr><td><u>PORTER FURNITURE</u><br>201 Hwy 30 West</td></tr>` +
+		`<tr><td><u>WOODLAND FURNITURE</u><br>123 Main St</td></tr>` +
+		`</table></div></body></html>`,
+	`<html><body><div class="dealerlinks"><table>` +
+		`<tr><td><u>ACME CHAIRS</u><br>9 Elm Ave</td></tr>` +
+		`<tr><td><u>BEDS AND MORE</u><br>77 Oak Blvd</td></tr>` +
+		`</table></div></body></html>`,
+}
+
+// Learn a wrapper from a noisy dictionary: one entry is a real dealer name,
+// another ("Main") fires inside an address line. The framework still
+// recovers the exact rule.
+func ExampleLearn() {
+	c := autowrap.ParsePages(examplePages)
+	dict := autowrap.DictionaryAnnotator("known", []string{
+		"Porter Furniture", "Beds and More", "Main",
+	})
+	labels := dict.Annotate(c)
+
+	res, err := autowrap.Learn(autowrap.NewXPathInductor(c), labels,
+		autowrap.GenericModels(c), autowrap.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Best.Wrapper.Rule())
+	for p, vals := range autowrap.Extracted(c, res.Best.Wrapper) {
+		fmt.Println(p, vals)
+	}
+	// Output:
+	// //html[1]/body[1]/div[1][@class='dealerlinks']/table[1]/tr/td[1]/u[1]/text()
+	// 0 [PORTER FURNITURE WOODLAND FURNITURE]
+	// 1 [ACME CHAIRS BEDS AND MORE]
+}
+
+// The NAIVE baseline fits every label — including the wrong one — and
+// over-generalizes, which is exactly why noise tolerance is needed.
+func ExampleNaiveLearn() {
+	c := autowrap.ParsePages(examplePages)
+	dict := autowrap.DictionaryAnnotator("known", []string{
+		"Porter Furniture", "Beds and More", "Main",
+	})
+	w, err := autowrap.NaiveLearn(autowrap.NewXPathInductor(c), dict.Annotate(c))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(w.Extract().Count(), "nodes extracted (4 are correct)")
+	// Output:
+	// 8 nodes extracted (4 are correct)
+}
+
+// The LR (WIEN) wrapper language expresses the same rule as a pair of
+// string delimiters over the serialized page.
+func ExampleNewLRInductor() {
+	c := autowrap.ParsePages(examplePages)
+	dict := autowrap.DictionaryAnnotator("known", []string{
+		"Porter Furniture", "Beds and More",
+	})
+	res, err := autowrap.Learn(autowrap.NewLRInductor(c, 0), dict.Annotate(c),
+		autowrap.GenericModels(c), autowrap.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Best.Wrapper.Rule())
+	// Output:
+	// LR("><tr><td><u>", "</u><br>")
+}

@@ -1,0 +1,105 @@
+// Discography: extract track lists from album pages using a seed database
+// of known albums (the paper's DISC setup), then learn a single-entity
+// wrapper for the album title itself (Appendix B.2).
+//
+//	go run ./examples/discography
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"autowrap"
+)
+
+type album struct {
+	title  string
+	artist string
+	tracks []string
+}
+
+var catalogue = []album{
+	{"Abbey Road", "Beatles", []string{"Come Together", "Something", "Octopus Garden", "Here Comes the Sun"}},
+	{"Midnight Horizons", "Delta Haze", []string{"Chasing the Sun", "Falling Stars", "The Quiet Tide", "Paper Maps"}},
+	{"Silver Letters", "Clara Voss", []string{"Holding Tomorrow", "Burning the Wire", "My Shadow Knows"}},
+	{"Velvet Seasons", "The Lanterns", []string{"Waiting for June", "Gravity Calls", "Winter Stories", "The Echo Room"}},
+}
+
+// The seed database: we know two albums and their tracks. Noise: "Come
+// Together" also shows up in a user comment, and one album title equals a
+// track name pattern.
+var seedDB = []album{catalogue[0], catalogue[1]}
+
+func main() {
+	var pages []string
+	for _, a := range catalogue {
+		pages = append(pages, renderAlbumPage(a))
+	}
+	c := autowrap.ParsePages(pages)
+
+	// --- Track extraction (list extraction) ---
+	var trackDict []string
+	for _, a := range seedDB {
+		trackDict = append(trackDict, a.tracks...)
+	}
+	trackAnnot := autowrap.DictionaryAnnotator("seed-tracks", trackDict)
+	labels := trackAnnot.Annotate(c)
+	fmt.Printf("track annotator labeled %d nodes\n", labels.Count())
+
+	res, err := autowrap.Learn(autowrap.NewXPathInductor(c), labels,
+		autowrap.GenericModels(c), autowrap.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("track wrapper: %s\n", res.Best.Wrapper.Rule())
+	for p, values := range autowrap.Extracted(c, res.Best.Wrapper) {
+		fmt.Printf("  %-18s: %s\n", catalogue[p].title, strings.Join(values, " | "))
+	}
+
+	// --- Album-title extraction (single entity per page) ---
+	var titleDict []string
+	for _, a := range seedDB {
+		titleDict = append(titleDict, a.title)
+	}
+	titleAnnot := autowrap.DictionaryAnnotator("seed-titles", titleDict)
+	titleLabels := titleAnnot.Annotate(c)
+	single, err := autowrap.LearnSingleEntity(autowrap.NewXPathInductor(c),
+		titleLabels, autowrap.SingleEntityOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nalbum-title wrappers (%d tie%s, %d over-matching discarded):\n",
+		len(single.Winners), plural(len(single.Winners)), single.Discarded)
+	for _, w := range single.Winners {
+		fmt.Printf("  %s\n", w.Wrapper.Rule())
+		for p, vals := range autowrap.Extracted(c, w.Wrapper) {
+			fmt.Printf("    page %d -> %v\n", p, vals)
+		}
+	}
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return ""
+	}
+	return "s"
+}
+
+func renderAlbumPage(a album) string {
+	var sb strings.Builder
+	sb.WriteString(`<html><head><title>` + a.title + ` | MusicIsHere</title></head><body>`)
+	sb.WriteString(`<div class="header"><h2>MusicIsHere</h2></div><div class="main">`)
+	fmt.Fprintf(&sb, `<h1>%s</h1><div class="meta">%s</div>`, a.title, a.artist)
+	sb.WriteString(`<ol class="tracklist">`)
+	for i, tr := range a.tracks {
+		fmt.Fprintf(&sb, `<li><a href="#">%s</a><span>%d:%02d</span></li>`, tr, 3+i%2, (i*17)%60)
+	}
+	sb.WriteString(`</ol></div>`)
+	// A user comment quoting a track verbatim: annotation noise.
+	if len(a.tracks) > 0 {
+		fmt.Fprintf(&sb, `<div class="comments"><p>Love %s, best song ever!</p></div>`, a.tracks[0])
+	}
+	sb.WriteString(`<div class="footer">© 2010 MusicIsHere</div></body></html>`)
+	return sb.String()
+}

@@ -1,0 +1,72 @@
+// Multitype: jointly extract (business name, zipcode) records from dealer
+// pages — Appendix A of the paper. The name annotator is a dictionary, the
+// zipcode annotator a regular expression; noise in either would break a
+// naive per-type learner at record-assembly time.
+//
+//	go run ./examples/multitype
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"autowrap"
+)
+
+type listing struct{ name, street, cityState, zip string }
+
+var listings = []listing{
+	{"PORTER FURNITURE", "201 Hwy 30 West", "NEW ALBANY, MS", "38652"},
+	{"HARMON LIGHTING CO", "10250 Oak Blvd", "DAYTON, OH", "45402"}, // 5-digit street number!
+	{"KELLER BEDDING OUTLET", "7 Mill Rd", "SALEM, OR", "97301"},
+	{"MERCER ANTIQUES", "15 Ridge Ave", "BRISTOL, TN", "37620"},
+	{"NOLAN CARPETS INC", "940 Lake St", "TRENTON, NJ", "08601"},
+	{"SUTTON KITCHENS", "33 Oak Park Dr", "MADISON, WI", "53703"},
+}
+
+func main() {
+	pages := []string{
+		renderPage(listings[:2]),
+		renderPage(listings[2:4]),
+		renderPage(listings[4:]),
+	}
+	c := autowrap.ParsePages(pages)
+
+	nameAnnot := autowrap.DictionaryAnnotator("names", []string{
+		"Porter Furniture", "Mercer Antiques", "Sutton Kitchens",
+	})
+	zipAnnot, err := autowrap.RegexpAnnotator("zipcode", autowrap.ZipcodePattern)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("name labels: %d, zipcode labels: %d (note the 5-digit street number noise)\n\n",
+		nameAnnot.Annotate(c).Count(), zipAnnot.Annotate(c).Count())
+
+	res, err := autowrap.LearnRecords(c, autowrap.GenericModels(c),
+		autowrap.RecordType{Name: "name", Annotator: nameAnnot, P: 0.95, R: 0.5},
+		autowrap.RecordType{Name: "zipcode", Annotator: zipAnnot, P: 0.98, R: 0.9},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, w := range res.Wrappers {
+		fmt.Printf("wrapper %d: %s\n", i, w.Rule())
+	}
+	fmt.Printf("\nassembled records (%d pages failed assembly):\n", res.PagesFailed)
+	for _, rec := range res.Records {
+		fmt.Printf("  %-24s -> %s\n", rec[0], rec[1])
+	}
+}
+
+func renderPage(items []listing) string {
+	var sb strings.Builder
+	sb.WriteString(`<html><body><div class="header"><h1>Store Locator</h1></div><div class="results">`)
+	for _, l := range items {
+		fmt.Fprintf(&sb,
+			`<div class="item"><u>%s</u><div>%s</div><div>%s</div><b>%s</b><span>tel 555-0100</span></div>`,
+			l.name, l.street, l.cityState, l.zip)
+	}
+	sb.WriteString(`</div><div class="footer">Ref 83121 — © 2010</div></body></html>`)
+	return sb.String()
+}

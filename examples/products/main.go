@@ -1,0 +1,78 @@
+// Products: extract the cellphones sold on a shopping site from a brand
+// dictionary (the paper's PRODUCTS domain, Appendix B.1), and compare the
+// XPATH and LR wrapper languages on the same labels.
+//
+//	go run ./examples/products
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"autowrap"
+)
+
+var phones = []struct{ name, price string }{
+	{"Nokira X200", "$199.99"},
+	{"Nokira Neo410", "$299.99"},
+	{"Samsong Z150", "$149.99"},
+	{"Samsong Pro880", "$499.99"},
+	{"Motorix Lite330", "$99.99"},
+	{"Motorix Max540", "$399.99"},
+	{"Appelo Star700", "$649.99"},
+	{"Zentel Flip120", "$79.99"},
+	{"Huaron X930", "$329.99"},
+}
+
+// Dictionary: models of three brands only (recall < 1), plus an accessory
+// promo mentions a model outside the listing (precision < 1).
+var dictionary = []string{
+	"Nokira X200", "Nokira Neo410", "Samsong Z150", "Samsong Pro880",
+	"Motorix Lite330", "Motorix Max540",
+}
+
+func main() {
+	pages := []string{
+		renderPage(phones[:3], "Accessories for Appelo Star700 now 20% off!"),
+		renderPage(phones[3:6], ""),
+		renderPage(phones[6:], ""),
+	}
+	c := autowrap.ParsePages(pages)
+	labels := autowrap.DictionaryAnnotator("models", dictionary).Annotate(c)
+	fmt.Printf("dictionary labeled %d nodes\n\n", labels.Count())
+
+	models := autowrap.GenericModels(c)
+	for _, tc := range []struct {
+		kind string
+		ind  autowrap.Inductor
+	}{
+		{"XPATH", autowrap.NewXPathInductor(c)},
+		{"LR", autowrap.NewLRInductor(c, 0)},
+	} {
+		res, err := autowrap.Learn(tc.ind, labels, models, autowrap.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s wrapper: %s\n", tc.kind, res.Best.Wrapper.Rule())
+		var all []string
+		for _, vals := range autowrap.Extracted(c, res.Best.Wrapper) {
+			all = append(all, vals...)
+		}
+		fmt.Printf("  extracted %d items: %s\n\n", len(all), strings.Join(all, ", "))
+	}
+}
+
+func renderPage(items []struct{ name, price string }, promo string) string {
+	var sb strings.Builder
+	sb.WriteString(`<html><body><div class="header"><h1>TigerShop — Cell Phones</h1></div><div class="main">`)
+	if promo != "" {
+		fmt.Fprintf(&sb, `<p class="promo">%s</p>`, promo)
+	}
+	sb.WriteString(`<table class="catalog">`)
+	for _, it := range items {
+		fmt.Fprintf(&sb, `<tr><td><b>%s</b></td><td>%s</td><td>In stock</td></tr>`, it.name, it.price)
+	}
+	sb.WriteString(`</table></div><div class="footer">© 2010 TigerShop</div></body></html>`)
+	return sb.String()
+}

@@ -1,0 +1,125 @@
+// Package core is the paper's primary contribution: the noise-tolerant
+// wrapper (NTW) framework of Sec. 3. Given any well-behaved wrapper
+// inductor φ and a set of noisy labels L, it (1) enumerates the wrapper
+// space W(L) — every distinct wrapper some subset of L can produce — using
+// the algorithms of Sec. 4, and (2) ranks the candidates by
+// P(L | X)·P(X) (Sec. 6), returning the best one. The NAIVE baseline that
+// runs φ directly on all of L is also provided, as are the NTW-L/NTW-X
+// ranking ablations of Sec. 7.3.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"autowrap/internal/bitset"
+	"autowrap/internal/corpus"
+	"autowrap/internal/enum"
+	"autowrap/internal/rank"
+	"autowrap/internal/wrapper"
+)
+
+// Config controls one NTW learning run.
+type Config struct {
+	// Enumerator is enum.AlgoTopDown (default; requires a feature-based
+	// inductor), enum.AlgoBottomUp, or enum.AlgoNaive.
+	Enumerator string
+	// EnumOptions bounds the enumeration.
+	EnumOptions enum.Options
+	// Scorer holds the learned annotation and publication models.
+	Scorer *rank.Scorer
+	// Variant selects NTW, NTW-L, or NTW-X.
+	Variant rank.Variant
+}
+
+func (cfg Config) enumerator() string {
+	if cfg.Enumerator == "" {
+		return enum.AlgoTopDown
+	}
+	return cfg.Enumerator
+}
+
+// Candidate is one ranked wrapper.
+type Candidate struct {
+	Wrapper wrapper.Wrapper
+	// TrainedOn is the (closed) label subset that produced the wrapper.
+	TrainedOn *bitset.Set
+	Score     rank.Score
+}
+
+// Result of an NTW run.
+type Result struct {
+	// Best is the top-ranked candidate (nil only when L is empty).
+	Best *Candidate
+	// Candidates is the full ranked wrapper space, best first.
+	Candidates []Candidate
+	// EnumCalls is the number of inductor calls the enumeration made.
+	EnumCalls int64
+}
+
+// Learn runs the generate-and-test framework: enumerate, score, rank.
+func Learn(ind wrapper.Inductor, labels *bitset.Set, cfg Config) (*Result, error) {
+	if cfg.Scorer == nil {
+		return nil, fmt.Errorf("core: Config.Scorer is required")
+	}
+	if labels.Empty() {
+		return &Result{}, nil
+	}
+	c := ind.Corpus()
+	enumRes, err := enum.Run(cfg.enumerator(), ind, labels, cfg.EnumOptions)
+	if err != nil {
+		return nil, fmt.Errorf("core: enumeration failed: %w", err)
+	}
+	res := &Result{EnumCalls: enumRes.Calls}
+	for _, it := range enumRes.Items {
+		res.Candidates = append(res.Candidates, Candidate{
+			Wrapper:   it.Wrapper,
+			TrainedOn: it.Labels,
+			Score:     cfg.Scorer.Score(c, labels, it.Wrapper.Extract(), cfg.Variant),
+		})
+	}
+	sortCandidates(res.Candidates, labels)
+	if len(res.Candidates) > 0 {
+		res.Best = &res.Candidates[0]
+	}
+	return res, nil
+}
+
+// sortCandidates orders by total score, breaking ties deterministically:
+// more covered labels, then smaller output, then output signature.
+func sortCandidates(cands []Candidate, labels *bitset.Set) {
+	sort.SliceStable(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.Score.Total != b.Score.Total {
+			return a.Score.Total > b.Score.Total
+		}
+		ca := bitset.AndCount(labels, a.Wrapper.Extract())
+		cb := bitset.AndCount(labels, b.Wrapper.Extract())
+		if ca != cb {
+			return ca > cb
+		}
+		na, nb := a.Wrapper.Extract().Count(), b.Wrapper.Extract().Count()
+		if na != nb {
+			return na < nb
+		}
+		return a.Wrapper.Extract().Signature() < b.Wrapper.Extract().Signature()
+	})
+}
+
+// Naive is the baseline of Sec. 7.2: run the inductor directly on the full
+// (noisy) label set.
+func Naive(ind wrapper.Inductor, labels *bitset.Set) (wrapper.Wrapper, error) {
+	if labels.Empty() {
+		return nil, fmt.Errorf("core: no labels to train on")
+	}
+	return ind.Induce(labels)
+}
+
+// Extraction is a convenience: the node set the learned wrapper extracts,
+// or an empty set when learning produced nothing.
+func (r *Result) Extraction(c *corpus.Corpus) *bitset.Set {
+	if r.Best == nil {
+		return c.EmptySet()
+	}
+	return r.Best.Wrapper.Extract()
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"autowrap/internal/bitset"
+	"autowrap/internal/corpus"
+	"autowrap/internal/enum"
+	"autowrap/internal/rank"
+	"autowrap/internal/segment"
+	"autowrap/internal/stats"
+	"autowrap/internal/xpinduct"
+)
+
+// dealerCorpus renders a small scripted site: names in <u>, addresses bare.
+func dealerCorpus(pages, recs int) *corpus.Corpus {
+	var htmls []string
+	k := 0
+	for p := 0; p < pages; p++ {
+		var sb strings.Builder
+		sb.WriteString(`<html><body><h1>Locator</h1><div class="list"><table>`)
+		for i := 0; i < recs; i++ {
+			k++
+			fmt.Fprintf(&sb, `<tr><td><u>STORE %03d</u><br>%d Main St<br>CITY%d, MS</td></tr>`, k, k*7, k)
+		}
+		sb.WriteString(`</table></div><p class="note">Also try STORE 001 nearby.</p></body></html>`)
+		htmls = append(htmls, sb.String())
+	}
+	return corpus.ParseHTML(htmls)
+}
+
+func goldNames(c *corpus.Corpus) *bitset.Set {
+	return c.MatchingText(func(s string) bool {
+		return strings.HasPrefix(s, "STORE ") && len(s) == len("STORE 000")
+	})
+}
+
+func scorerFor(t *testing.T, c *corpus.Corpus, gold *bitset.Set) *rank.Scorer {
+	t.Helper()
+	pub, err := rank.LearnPublicationModel(
+		[]rank.SiteSample{{Corpus: c, Gold: gold}}, segment.Options{}, stats.KDEOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rank.Scorer{Ann: rank.NewAnnotationModel(0.95, 0.3), Pub: pub}
+}
+
+// noisyLabels picks every third gold name plus the noisy note nodes.
+func noisyLabels(c *corpus.Corpus, gold *bitset.Set) *bitset.Set {
+	labels := bitset.New(c.NumTexts())
+	i := 0
+	gold.ForEach(func(ord int) {
+		if i%3 == 0 {
+			labels.Add(ord)
+		}
+		i++
+	})
+	notes := c.MatchingText(func(s string) bool { return strings.HasPrefix(s, "Also try") })
+	labels.OrWith(notes)
+	return labels
+}
+
+func TestLearnRecoversGoldFromNoisyLabels(t *testing.T) {
+	c := dealerCorpus(5, 4)
+	gold := goldNames(c)
+	labels := noisyLabels(c, gold)
+	ind := xpinduct.New(c, xpinduct.Options{})
+	res, err := Learn(ind, labels, Config{Scorer: scorerFor(t, c, gold)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("no wrapper learned")
+	}
+	if !res.Best.Wrapper.Extract().Equal(gold) {
+		t.Fatalf("learned %v, want the %d gold names",
+			c.Contents(res.Best.Wrapper.Extract()), gold.Count())
+	}
+}
+
+func TestNaiveOverGeneralizes(t *testing.T) {
+	c := dealerCorpus(5, 4)
+	gold := goldNames(c)
+	labels := noisyLabels(c, gold)
+	ind := xpinduct.New(c, xpinduct.Options{})
+	w, err := Naive(ind, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Extract().Count() <= gold.Count() {
+		t.Fatalf("naive output %d nodes; expected gross over-generalization beyond %d gold",
+			w.Extract().Count(), gold.Count())
+	}
+}
+
+func TestCandidatesSortedByScore(t *testing.T) {
+	c := dealerCorpus(4, 3)
+	gold := goldNames(c)
+	labels := noisyLabels(c, gold)
+	ind := xpinduct.New(c, xpinduct.Options{})
+	res, err := Learn(ind, labels, Config{Scorer: scorerFor(t, c, gold)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Candidates); i++ {
+		if res.Candidates[i-1].Score.Total < res.Candidates[i].Score.Total {
+			t.Fatalf("candidates out of order at %d", i)
+		}
+	}
+	if res.Best != &res.Candidates[0] {
+		t.Fatal("Best must alias the first candidate")
+	}
+}
+
+func TestLearnEnumeratorChoice(t *testing.T) {
+	c := dealerCorpus(3, 3)
+	gold := goldNames(c)
+	labels := noisyLabels(c, gold)
+	scorer := scorerFor(t, c, gold)
+	var outs []*bitset.Set
+	for _, algo := range []string{enum.AlgoTopDown, enum.AlgoBottomUp} {
+		ind := xpinduct.New(c, xpinduct.Options{})
+		res, err := Learn(ind, labels, Config{Enumerator: algo, Scorer: scorer})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		outs = append(outs, res.Best.Wrapper.Extract())
+	}
+	if !outs[0].Equal(outs[1]) {
+		t.Fatal("TopDown and BottomUp must learn the same wrapper")
+	}
+}
+
+func TestLearnEmptyLabels(t *testing.T) {
+	c := dealerCorpus(2, 2)
+	ind := xpinduct.New(c, xpinduct.Options{})
+	res, err := Learn(ind, c.EmptySet(), Config{Scorer: scorerFor(t, c, goldNames(c))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best != nil || len(res.Candidates) != 0 {
+		t.Fatal("empty labels should produce an empty result")
+	}
+	if !res.Extraction(c).Empty() {
+		t.Fatal("Extraction of empty result should be empty")
+	}
+}
+
+func TestLearnRequiresScorer(t *testing.T) {
+	c := dealerCorpus(2, 2)
+	ind := xpinduct.New(c, xpinduct.Options{})
+	if _, err := Learn(ind, goldNames(c), Config{}); err == nil {
+		t.Fatal("expected error without scorer")
+	}
+}
+
+func TestNaiveEmptyLabels(t *testing.T) {
+	c := dealerCorpus(2, 2)
+	ind := xpinduct.New(c, xpinduct.Options{})
+	if _, err := Naive(ind, c.EmptySet()); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// TestVariantDiffersFromFull: on a corpus engineered so that the label term
+// alone prefers an overfit wrapper, NTW-L and NTW disagree — demonstrating
+// that the ranking variant wiring reaches the scorer.
+func TestVariantMatters(t *testing.T) {
+	c := dealerCorpus(5, 4)
+	gold := goldNames(c)
+	labels := noisyLabels(c, gold)
+	scorer := scorerFor(t, c, gold)
+	ind := xpinduct.New(c, xpinduct.Options{})
+	full, err := Learn(ind, labels, Config{Scorer: scorer, Variant: rank.NTW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xOnly, err := Learn(ind, labels, Config{Scorer: scorer, Variant: rank.NTWX})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both runs rank the same candidate set; totals must differ in how
+	// they weigh the components.
+	if full.Best.Score.Total == xOnly.Best.Score.Total &&
+		full.Best.Score.LogL != 0 {
+		t.Fatal("variants did not change the ranking objective")
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	c := dealerCorpus(3, 3)
+	gold := goldNames(c)
+	labels := noisyLabels(c, gold)
+	scorer := scorerFor(t, c, gold)
+	var rules []string
+	for i := 0; i < 3; i++ {
+		ind := xpinduct.New(c, xpinduct.Options{})
+		res, err := Learn(ind, labels, Config{Scorer: scorer})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rules = append(rules, res.Best.Wrapper.Rule())
+	}
+	if rules[0] != rules[1] || rules[1] != rules[2] {
+		t.Fatalf("non-deterministic learning: %v", rules)
+	}
+}

@@ -1,0 +1,197 @@
+// Package corpus represents a website as the set of structurally similar
+// pages a rendering script generated (paper Sec. 2.1). It assigns every
+// extractable text node a global ordinal so inductors, enumerators and the
+// ranking model can treat label sets and wrapper outputs as bitsets.
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"autowrap/internal/bitset"
+	"autowrap/internal/dom"
+	"autowrap/internal/htmlparse"
+)
+
+// Page is one parsed webpage of a site.
+type Page struct {
+	Index int       // position within the corpus
+	Root  *dom.Node // document root
+
+	// HTML is the canonical serialization of Root; Spans locates each text
+	// node's content inside it. The LR inductor works on this string.
+	HTML  string
+	Spans map[*dom.Node][2]int
+
+	// Texts are the extractable (non-whitespace) text nodes in preorder.
+	Texts []*dom.Node
+
+	// Tokens is the page's preorder tag-token sequence (text nodes appear
+	// as the interned "#text" token); TextPos[i] is the position of
+	// Texts[i] inside Tokens. The record segmentation of Fig. 7 slices
+	// this sequence.
+	Tokens  []int32
+	TextPos []int
+}
+
+// Corpus is a set of pages from one website plus the global text-node index.
+type Corpus struct {
+	Pages []*Page
+
+	texts   []*dom.Node // ordinal -> node
+	pageOf  []int       // ordinal -> page index
+	inPage  []int       // ordinal -> index within page.Texts
+	ordinal map[*dom.Node]int
+
+	tokenIDs map[string]int32
+	tokens   []string
+}
+
+// TextTokenID is the interned id of the "#text" pseudo tag; it is always 0.
+const TextTokenID int32 = 0
+
+// New builds a corpus from parsed documents. Documents are serialized once
+// to produce the canonical HTML and text spans used by string-based
+// inductors.
+func New(docs []*dom.Node) *Corpus {
+	c := &Corpus{
+		ordinal:  make(map[*dom.Node]int),
+		tokenIDs: map[string]int32{dom.TextTag: TextTokenID},
+		tokens:   []string{dom.TextTag},
+	}
+	for i, doc := range docs {
+		html, spans := dom.SerializeWithSpans(doc)
+		p := &Page{Index: i, Root: doc, HTML: html, Spans: spans}
+		doc.Walk(func(n *dom.Node) bool {
+			switch n.Type {
+			case dom.TextNode:
+				p.Tokens = append(p.Tokens, TextTokenID)
+				if strings.TrimSpace(n.Data) != "" && !isRawText(n) {
+					ord := len(c.texts)
+					c.texts = append(c.texts, n)
+					c.pageOf = append(c.pageOf, i)
+					c.inPage = append(c.inPage, len(p.Texts))
+					c.ordinal[n] = ord
+					p.TextPos = append(p.TextPos, len(p.Tokens)-1)
+					p.Texts = append(p.Texts, n)
+				}
+			case dom.ElementNode:
+				p.Tokens = append(p.Tokens, c.internToken(n.Tag))
+			}
+			return true
+		})
+		c.Pages = append(c.Pages, p)
+	}
+	return c
+}
+
+// ParseHTML builds a corpus by parsing raw HTML pages.
+func ParseHTML(pages []string) *Corpus {
+	docs := make([]*dom.Node, len(pages))
+	for i, src := range pages {
+		docs[i] = htmlparse.Parse(src)
+	}
+	return New(docs)
+}
+
+func isRawText(n *dom.Node) bool {
+	return n.Parent != nil && n.Parent.Raw
+}
+
+func (c *Corpus) internToken(tag string) int32 {
+	if id, ok := c.tokenIDs[tag]; ok {
+		return id
+	}
+	id := int32(len(c.tokens))
+	c.tokenIDs[tag] = id
+	c.tokens = append(c.tokens, tag)
+	return id
+}
+
+// TokenName resolves an interned token id back to the tag name.
+func (c *Corpus) TokenName(id int32) string {
+	if int(id) < len(c.tokens) {
+		return c.tokens[int(id)]
+	}
+	return "?"
+}
+
+// NumTexts returns the size of the text-node universe.
+func (c *Corpus) NumTexts() int { return len(c.texts) }
+
+// Text returns the text node with the given ordinal.
+func (c *Corpus) Text(ord int) *dom.Node { return c.texts[ord] }
+
+// PageOf returns the page index owning the given ordinal.
+func (c *Corpus) PageOf(ord int) int { return c.pageOf[ord] }
+
+// IndexInPage returns the position of ordinal within its page's Texts slice.
+func (c *Corpus) IndexInPage(ord int) int { return c.inPage[ord] }
+
+// OrdinalOf returns the global ordinal of a text node, or -1 when the node
+// is not part of the extractable universe.
+func (c *Corpus) OrdinalOf(n *dom.Node) int {
+	if ord, ok := c.ordinal[n]; ok {
+		return ord
+	}
+	return -1
+}
+
+// EmptySet returns an empty node set over this corpus's universe.
+func (c *Corpus) EmptySet() *bitset.Set { return bitset.New(len(c.texts)) }
+
+// FullSet returns the set of all extractable text nodes.
+func (c *Corpus) FullSet() *bitset.Set { return bitset.Full(len(c.texts)) }
+
+// SetOf builds a node set from ordinals.
+func (c *Corpus) SetOf(ords ...int) *bitset.Set {
+	return bitset.FromIndices(len(c.texts), ords)
+}
+
+// SetOfNodes builds a node set from dom nodes; unknown nodes are an error.
+func (c *Corpus) SetOfNodes(nodes []*dom.Node) (*bitset.Set, error) {
+	s := c.EmptySet()
+	for _, n := range nodes {
+		ord := c.OrdinalOf(n)
+		if ord < 0 {
+			return nil, fmt.Errorf("corpus: node %q is not an extractable text node", n.PathString())
+		}
+		s.Add(ord)
+	}
+	return s, nil
+}
+
+// MatchingText returns the set of text nodes whose trimmed content
+// satisfies pred. Annotators and gold-label construction use this.
+func (c *Corpus) MatchingText(pred func(string) bool) *bitset.Set {
+	s := c.EmptySet()
+	for ord, n := range c.texts {
+		if pred(strings.TrimSpace(n.Data)) {
+			s.Add(ord)
+		}
+	}
+	return s
+}
+
+// TextContent returns the trimmed content of the given ordinal.
+func (c *Corpus) TextContent(ord int) string {
+	return strings.TrimSpace(c.texts[ord].Data)
+}
+
+// Contents materializes the trimmed contents of a node set in ordinal order.
+func (c *Corpus) Contents(s *bitset.Set) []string {
+	var out []string
+	s.ForEach(func(ord int) {
+		out = append(out, c.TextContent(ord))
+	})
+	return out
+}
+
+// PerPageCounts returns, for each page, how many members of s it contains.
+func (c *Corpus) PerPageCounts(s *bitset.Set) []int {
+	counts := make([]int, len(c.Pages))
+	s.ForEach(func(ord int) {
+		counts[c.pageOf[ord]]++
+	})
+	return counts
+}

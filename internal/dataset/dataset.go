@@ -1,0 +1,277 @@
+// Package dataset assembles the three evaluation datasets of the paper's
+// Sec. 7 and Appendix B from the synthetic site generator, together with
+// their automatic annotators:
+//
+//   - DEALERS: 330 dealer-locator websites; dictionary annotator over a
+//     partial sample of business names (paper: p≈0.95, r≈0.24).
+//   - DISC: 15 discography websites; dictionary of the track names of 11
+//     seed albums (paper: p≈0.81, r≈0.90, recall measured on pages with at
+//     least one annotation).
+//   - PRODUCTS: 10 shopping websites; dictionary of 463 cellphone models
+//     from five brands (Appendix B.1).
+//
+// Model parameters (annotator p/r and the publication-model feature
+// distributions) are learned from the even-indexed half of each dataset's
+// sites; accuracy experiments run on the odd half.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"autowrap/internal/annotate"
+	"autowrap/internal/gen"
+	"autowrap/internal/rank"
+	"autowrap/internal/segment"
+	"autowrap/internal/stats"
+)
+
+// Dataset is one evaluation dataset.
+type Dataset struct {
+	Name string
+	// TypeName is the single-type extraction target ("name", "track",
+	// "product").
+	TypeName string
+	Sites    []*gen.Site
+	// Dict is the automatic annotator's dictionary.
+	Dict *annotate.Dictionary
+	// Annotator labels text nodes for TypeName.
+	Annotator annotate.Annotator
+}
+
+// Train returns the even-indexed sites (model learning sample).
+func (d *Dataset) Train() []*gen.Site { return split(d.Sites, 0) }
+
+// Eval returns the odd-indexed sites (held-out accuracy measurement).
+func (d *Dataset) Eval() []*gen.Site { return split(d.Sites, 1) }
+
+func split(sites []*gen.Site, parity int) []*gen.Site {
+	var out []*gen.Site
+	for i, s := range sites {
+		if i%2 == parity {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// DealersOptions sizes the DEALERS dataset; zero values select paper scale.
+type DealersOptions struct {
+	NumSites int
+	NumPages int
+	// PoolSize is the global business pool ("Yahoo! Local database").
+	PoolSize int
+	// DictFrac is the fraction of the pool in the dictionary; it directly
+	// sets the annotator's expected recall (paper: 0.24).
+	DictFrac float64
+	// LRHostileFrac is the fraction of sites with no perfect LR wrapper.
+	LRHostileFrac float64
+	Seed          int64
+}
+
+func (o DealersOptions) withDefaults() DealersOptions {
+	if o.NumSites == 0 {
+		o.NumSites = 330
+	}
+	if o.NumPages == 0 {
+		o.NumPages = 12
+	}
+	if o.PoolSize == 0 {
+		o.PoolSize = 4000
+	}
+	if o.DictFrac == 0 {
+		o.DictFrac = 0.24
+	}
+	if o.LRHostileFrac == 0 {
+		o.LRHostileFrac = 0.30
+	}
+	if o.Seed == 0 {
+		o.Seed = 1001
+	}
+	return o
+}
+
+// Dealers builds the DEALERS dataset.
+func Dealers(opt DealersOptions) (*Dataset, error) {
+	opt = opt.withDefaults()
+	pool := gen.BusinessPool(opt.Seed, opt.PoolSize, 0)
+	rng := rand.New(rand.NewSource(opt.Seed + 1))
+	var dictEntries []string
+	for _, b := range pool {
+		if rng.Float64() < opt.DictFrac {
+			dictEntries = append(dictEntries, b.Name)
+		}
+	}
+	dict := annotate.NewDictionary("yahoo-local", dictEntries)
+
+	ds := &Dataset{Name: "DEALERS", TypeName: "name", Dict: dict, Annotator: dict}
+	for i := 0; i < opt.NumSites; i++ {
+		site, err := gen.DealerSite(gen.DealerConfig{
+			Seed:      opt.Seed + int64(i)*97 + 13,
+			SiteName:  fmt.Sprintf("dealers-%03d", i),
+			Pool:      pool,
+			NumPages:  opt.NumPages,
+			LRHostile: rng.Float64() < opt.LRHostileFrac,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("dataset: dealers site %d: %w", i, err)
+		}
+		ds.Sites = append(ds.Sites, site)
+	}
+	return ds, nil
+}
+
+// DiscOptions sizes the DISC dataset.
+type DiscOptions struct {
+	NumSites   int
+	SeedAlbums int
+	Seed       int64
+}
+
+func (o DiscOptions) withDefaults() DiscOptions {
+	if o.NumSites == 0 {
+		o.NumSites = 15
+	}
+	if o.SeedAlbums == 0 {
+		o.SeedAlbums = 11
+	}
+	if o.Seed == 0 {
+		o.Seed = 2002
+	}
+	return o
+}
+
+// Disc builds the DISC dataset. The dictionary holds the track names of the
+// seed albums (the paper's "list of 11 popular albums along with their
+// track information").
+func Disc(opt DiscOptions) (*Dataset, error) {
+	opt = opt.withDefaults()
+	seeds := gen.AlbumPool(opt.Seed, opt.SeedAlbums, 0.35)
+	var dictEntries []string
+	for _, a := range seeds {
+		dictEntries = append(dictEntries, a.Tracks...)
+	}
+	dict := annotate.NewDictionary("seed-albums", dictEntries)
+
+	ds := &Dataset{Name: "DISC", TypeName: "track", Dict: dict, Annotator: dict}
+	for i := 0; i < opt.NumSites; i++ {
+		site, err := gen.DiscSite(gen.DiscConfig{
+			Seed:       opt.Seed + int64(i)*101 + 29,
+			SiteName:   fmt.Sprintf("disc-%02d", i),
+			SeedAlbums: seeds,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("dataset: disc site %d: %w", i, err)
+		}
+		ds.Sites = append(ds.Sites, site)
+	}
+	return ds, nil
+}
+
+// DiscSeedTitles returns the titles of the seed albums for the given
+// options: the annotation dictionary of the single-entity experiment
+// (Appendix B.2 uses "the same set of albums as our seed database").
+func DiscSeedTitles(opt DiscOptions) []string {
+	opt = opt.withDefaults()
+	seeds := gen.AlbumPool(opt.Seed, opt.SeedAlbums, 0.35)
+	titles := make([]string, len(seeds))
+	for i, a := range seeds {
+		titles[i] = a.Title
+	}
+	return titles
+}
+
+// ProductsOptions sizes the PRODUCTS dataset.
+type ProductsOptions struct {
+	NumSites int
+	PoolSize int
+	// DictSize caps the dictionary (paper: 463 models from five brands).
+	DictSize int
+	Seed     int64
+}
+
+func (o ProductsOptions) withDefaults() ProductsOptions {
+	if o.NumSites == 0 {
+		o.NumSites = 10
+	}
+	if o.PoolSize == 0 {
+		o.PoolSize = 700
+	}
+	if o.DictSize == 0 {
+		o.DictSize = 463
+	}
+	if o.Seed == 0 {
+		o.Seed = 3003
+	}
+	return o
+}
+
+// Products builds the PRODUCTS dataset.
+func Products(opt ProductsOptions) (*Dataset, error) {
+	opt = opt.withDefaults()
+	pool := gen.ProductPool(opt.Seed, opt.PoolSize)
+	dictBrand := make(map[string]bool)
+	for _, b := range gen.DictBrands {
+		dictBrand[b] = true
+	}
+	var dictEntries []string
+	for _, p := range pool {
+		if dictBrand[p.Brand] && len(dictEntries) < opt.DictSize {
+			dictEntries = append(dictEntries, p.Name)
+		}
+	}
+	dict := annotate.NewDictionary("wikipedia-models", dictEntries)
+
+	ds := &Dataset{Name: "PRODUCTS", TypeName: "product", Dict: dict, Annotator: dict}
+	for i := 0; i < opt.NumSites; i++ {
+		site, err := gen.ProductsSite(gen.ProductsConfig{
+			Seed:     opt.Seed + int64(i)*89 + 41,
+			SiteName: fmt.Sprintf("shop-%02d", i),
+			Pool:     pool,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("dataset: products site %d: %w", i, err)
+		}
+		ds.Sites = append(ds.Sites, site)
+	}
+	return ds, nil
+}
+
+// Models bundles everything learned from the training half.
+type Models struct {
+	Scorer *rank.Scorer
+	// P and R are the estimated annotation-model parameters.
+	P, R float64
+	// AnnotPrecision/AnnotRecall are the conventional measures, reported
+	// in experiment output for comparison with the paper's numbers.
+	AnnotPrecision, AnnotRecall float64
+}
+
+// LearnModels estimates the annotator parameters and fits the publication
+// model from the training sites' gold lists.
+func LearnModels(train []*gen.Site, typeName string, annot annotate.Annotator,
+	segOpt segment.Options, kdeOpt stats.KDEOptions) (*Models, error) {
+	var pooled annotate.Stats
+	var samples []rank.SiteSample
+	for _, s := range train {
+		gold, ok := s.Gold[typeName]
+		if !ok {
+			return nil, fmt.Errorf("dataset: site %s has no gold for type %q", s.Name, typeName)
+		}
+		labels := annot.Annotate(s.Corpus)
+		pooled = pooled.Add(annotate.Measure(s.Corpus, labels, gold))
+		samples = append(samples, rank.SiteSample{Corpus: s.Corpus, Gold: gold})
+	}
+	p, r := pooled.ModelParams()
+	pub, err := rank.LearnPublicationModel(samples, segOpt, kdeOpt)
+	if err != nil {
+		return nil, err
+	}
+	return &Models{
+		Scorer:         &rank.Scorer{Ann: rank.NewAnnotationModel(p, r), Pub: pub},
+		P:              p,
+		R:              r,
+		AnnotPrecision: pooled.Precision(),
+		AnnotRecall:    pooled.Recall(),
+	}, nil
+}

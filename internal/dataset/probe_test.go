@@ -1,0 +1,34 @@
+package dataset
+
+import (
+	"testing"
+	"time"
+
+	"autowrap/internal/gen"
+)
+
+// TestProbeGeneration guards against generation-time regressions: a site
+// must build in well under a second.
+func TestProbeGeneration(t *testing.T) {
+	start := time.Now()
+	pool := gen.BusinessPool(1001, 4000, 0)
+	t.Logf("pool built in %v (%d businesses)", time.Since(start), len(pool))
+	for i := 0; i < 3; i++ {
+		s := time.Now()
+		site, err := gen.DealerSite(gen.DealerConfig{Seed: int64(1001 + i*97 + 13), Pool: pool, NumPages: 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := time.Since(s)
+		t.Logf("dealer site %d built in %v (%d texts, layout %s)", i, d, site.Corpus.NumTexts(), site.Layout)
+		if d > 2*time.Second {
+			t.Fatalf("dealer site generation too slow: %v", d)
+		}
+	}
+	s := time.Now()
+	disc, err := gen.DiscSite(gen.DiscConfig{Seed: 2031, SeedAlbums: gen.AlbumPool(2002, 11, 0.35)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("disc site built in %v (%d texts)", time.Since(s), disc.Corpus.NumTexts())
+}

@@ -1,0 +1,91 @@
+package dom
+
+import "strings"
+
+// VoidElements are HTML elements that never have children and serialize
+// without a closing tag.
+var VoidElements = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"param": true, "source": true, "track": true, "wbr": true,
+}
+
+// SerializeOptions controls HTML rendering.
+type SerializeOptions struct {
+	// TextSpans, when non-nil, receives the byte span [start,end) of every
+	// text node's escaped content in the output. The LR inductor uses these
+	// spans to locate nodes inside the character stream.
+	TextSpans map[*Node][2]int
+}
+
+// Serialize renders the subtree rooted at n as HTML.
+func Serialize(n *Node) string {
+	var sb strings.Builder
+	serialize(&sb, n, nil)
+	return sb.String()
+}
+
+// SerializeWithSpans renders the subtree and records text-node spans.
+func SerializeWithSpans(n *Node) (string, map[*Node][2]int) {
+	spans := make(map[*Node][2]int)
+	var sb strings.Builder
+	serialize(&sb, n, spans)
+	return sb.String(), spans
+}
+
+func serialize(sb *strings.Builder, n *Node, spans map[*Node][2]int) {
+	switch n.Type {
+	case DocumentNode:
+		for _, c := range n.Children {
+			serialize(sb, c, spans)
+		}
+	case TextNode:
+		start := sb.Len()
+		if n.Parent != nil && n.Parent.Raw {
+			sb.WriteString(n.Data)
+		} else {
+			sb.WriteString(EscapeText(n.Data))
+		}
+		if spans != nil {
+			spans[n] = [2]int{start, sb.Len()}
+		}
+	case ElementNode:
+		sb.WriteByte('<')
+		sb.WriteString(n.Tag)
+		for _, a := range n.Attrs {
+			sb.WriteByte(' ')
+			sb.WriteString(a.Key)
+			sb.WriteString(`="`)
+			sb.WriteString(EscapeAttr(a.Val))
+			sb.WriteByte('"')
+		}
+		sb.WriteByte('>')
+		if VoidElements[n.Tag] {
+			return
+		}
+		for _, c := range n.Children {
+			serialize(sb, c, spans)
+		}
+		sb.WriteString("</")
+		sb.WriteString(n.Tag)
+		sb.WriteByte('>')
+	}
+}
+
+// EscapeText escapes character data for HTML text content.
+func EscapeText(s string) string {
+	if !strings.ContainsAny(s, "&<>") {
+		return s
+	}
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// EscapeAttr escapes character data for a double-quoted attribute value.
+func EscapeAttr(s string) string {
+	if !strings.ContainsAny(s, `&<>"`) {
+		return s
+	}
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

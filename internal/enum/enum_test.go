@@ -1,0 +1,265 @@
+package enum
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"autowrap/internal/bitset"
+	"autowrap/internal/corpus"
+	"autowrap/internal/tablew"
+	"autowrap/internal/wrapper"
+)
+
+func paperTable() (*corpus.Corpus, *wrapper.FeatureSpace) {
+	c := tablew.BuildGrid(5, 4, func(r, col int) string {
+		return fmt.Sprintf("%c%d", "nazp"[col-1], r)
+	})
+	return c, tablew.New(c)
+}
+
+func ordOf(t *testing.T, c *corpus.Corpus, content string) int {
+	t.Helper()
+	for ord := 0; ord < c.NumTexts(); ord++ {
+		if c.TextContent(ord) == content {
+			return ord
+		}
+	}
+	t.Fatalf("cell %q not found", content)
+	return -1
+}
+
+func paperLabels(t *testing.T, c *corpus.Corpus) *bitset.Set {
+	s := c.EmptySet()
+	for _, cell := range []string{"n1", "n2", "n4", "a4", "z5"} {
+		s.Add(ordOf(t, c, cell))
+	}
+	return s
+}
+
+func sigsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestExample1NaiveFindsEightWrappers reproduces the paper's Example 1: the
+// 32 subsets of the 5 labels produce exactly 8 unique wrappers — the five
+// singletons, the first column, the fourth row and the whole table.
+func TestExample1NaiveFindsEightWrappers(t *testing.T) {
+	c, ind := paperTable()
+	res, err := Naive(ind, paperLabels(t, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 8 {
+		t.Fatalf("wrapper space size = %d, want 8", len(res.Items))
+	}
+	if res.Calls != 31 {
+		t.Fatalf("naive calls = %d, want 31", res.Calls)
+	}
+	sizes := map[int]int{}
+	for _, it := range res.Items {
+		sizes[it.Wrapper.Extract().Count()]++
+	}
+	// 5 singletons, one column of 5, one row of 4, the table of 20.
+	if sizes[1] != 5 || sizes[5] != 1 || sizes[4] != 1 || sizes[20] != 1 {
+		t.Fatalf("wrapper output sizes = %v", sizes)
+	}
+}
+
+// TestExample2BottomUp reproduces Example 2: BottomUp yields the same 8
+// wrappers.
+func TestExample2BottomUp(t *testing.T) {
+	c, ind := paperTable()
+	labels := paperLabels(t, c)
+	naive, err := Naive(ind, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bu, err := BottomUp(ind, labels, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sigsEqual(naive.Signatures(), bu.Signatures()) {
+		t.Fatalf("BottomUp wrapper space differs from naive: %d vs %d wrappers",
+			len(bu.Items), len(naive.Items))
+	}
+}
+
+// TestExample2TopDown: the TopDown trace of Sec. 4.2 produces the same
+// 8 subsets/wrappers.
+func TestExample2TopDown(t *testing.T) {
+	c, ind := paperTable()
+	labels := paperLabels(t, c)
+	naive, _ := Naive(ind, labels)
+	td, err := TopDown(ind, labels, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sigsEqual(naive.Signatures(), td.Signatures()) {
+		t.Fatalf("TopDown wrapper space differs from naive: %d vs %d wrappers",
+			len(td.Items), len(naive.Items))
+	}
+	// Theorem 3: exactly k calls.
+	if td.Calls != int64(len(naive.Items)) {
+		t.Fatalf("TopDown made %d calls, want k = %d", td.Calls, len(naive.Items))
+	}
+}
+
+// TestTheorem2CallBound: BottomUp makes at most k·|L| inductor calls.
+func TestTheorem2CallBound(t *testing.T) {
+	c, ind := paperTable()
+	labels := paperLabels(t, c)
+	res, err := BottomUp(ind, labels, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := int64(len(res.Items))
+	bound := k * int64(labels.Count())
+	if res.Calls > bound {
+		t.Fatalf("BottomUp calls %d exceed k·|L| = %d", res.Calls, bound)
+	}
+}
+
+// TestFullGridWrapperSpace: the paper states that all n² labels on an n×n
+// table yield n² + 2n + 1 unique wrappers.
+func TestFullGridWrapperSpace(t *testing.T) {
+	for _, n := range []int{2, 3, 4} {
+		c := tablew.BuildGrid(n, n, func(r, col int) string {
+			return fmt.Sprintf("c%d_%d", r, col)
+		})
+		ind := tablew.New(c)
+		labels := c.FullSet()
+		td, err := TopDown(ind, labels, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := n*n + 2*n + 1
+		if len(td.Items) != want {
+			t.Fatalf("n=%d: wrapper space = %d, want n²+2n+1 = %d", n, len(td.Items), want)
+		}
+		bu, err := BottomUp(ind, labels, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(bu.Items) != want {
+			t.Fatalf("n=%d: BottomUp wrapper space = %d, want %d", n, len(bu.Items), want)
+		}
+	}
+}
+
+// TestRandomLabelEquivalence is the property test: on random label subsets
+// of random grids, Naive, BottomUp and TopDown agree exactly.
+func TestRandomLabelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 40; iter++ {
+		rows := 2 + rng.Intn(4)
+		cols := 2 + rng.Intn(4)
+		c := tablew.BuildGrid(rows, cols, func(r, col int) string {
+			return fmt.Sprintf("c%d_%d", r, col)
+		})
+		ind := tablew.New(c)
+		labels := c.EmptySet()
+		nLabels := 1 + rng.Intn(min(10, rows*cols))
+		for labels.Count() < nLabels {
+			labels.Add(rng.Intn(c.NumTexts()))
+		}
+		naive, err := Naive(ind, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bu, err := BottomUp(ind, labels, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		td, err := TopDown(ind, labels, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sigsEqual(naive.Signatures(), bu.Signatures()) {
+			t.Fatalf("iter %d: BottomUp != Naive (%d vs %d)", iter, len(bu.Items), len(naive.Items))
+		}
+		if !sigsEqual(naive.Signatures(), td.Signatures()) {
+			t.Fatalf("iter %d: TopDown != Naive (%d vs %d)", iter, len(td.Items), len(naive.Items))
+		}
+		if td.Calls != int64(len(naive.Items)) {
+			t.Fatalf("iter %d: TopDown calls %d != k %d", iter, td.Calls, len(naive.Items))
+		}
+		if bu.Calls > int64(len(naive.Items))*int64(labels.Count()) {
+			t.Fatalf("iter %d: BottomUp exceeded Theorem 2 bound", iter)
+		}
+	}
+}
+
+func TestNaiveRejectsTooManyLabels(t *testing.T) {
+	c := tablew.BuildGrid(6, 6, func(r, col int) string {
+		return fmt.Sprintf("c%d_%d", r, col)
+	})
+	ind := tablew.New(c)
+	labels := c.FullSet() // 36 labels
+	if _, err := Naive(ind, labels); err == nil {
+		t.Fatal("expected infeasibility error")
+	}
+}
+
+func TestNaiveCallsFormula(t *testing.T) {
+	if NaiveCalls(5) != 31 {
+		t.Fatalf("NaiveCalls(5) = %v", NaiveCalls(5))
+	}
+	if NaiveCalls(20) != (1<<20)-1 {
+		t.Fatalf("NaiveCalls(20) = %v", NaiveCalls(20))
+	}
+}
+
+func TestEmptyLabelSets(t *testing.T) {
+	c, ind := paperTable()
+	empty := c.EmptySet()
+	for _, algo := range []string{AlgoNaive, AlgoBottomUp, AlgoTopDown} {
+		res, err := Run(algo, ind, empty, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if len(res.Items) != 0 {
+			t.Fatalf("%s on empty labels produced wrappers", algo)
+		}
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	c, ind := paperTable()
+	labels := paperLabels(t, c)
+	for _, algo := range []string{AlgoNaive, AlgoBottomUp, AlgoTopDown} {
+		res, err := Run(algo, ind, labels, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if len(res.Items) != 8 {
+			t.Fatalf("%s found %d wrappers", algo, len(res.Items))
+		}
+	}
+	if _, err := Run("bogus", ind, labels, Options{}); err == nil {
+		t.Fatal("expected unknown-algorithm error")
+	}
+}
+
+func TestMaxCallsGuard(t *testing.T) {
+	c, ind := paperTable()
+	labels := paperLabels(t, c)
+	if _, err := BottomUp(ind, labels, Options{MaxCalls: 2}); err == nil {
+		t.Fatal("expected call-budget error")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

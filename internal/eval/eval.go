@@ -1,0 +1,81 @@
+// Package eval provides the precision/recall/F1 accounting used by every
+// accuracy experiment (paper Sec. 7.2: "the f1-measure, which is the
+// harmonic mean of the precision and recall").
+package eval
+
+import (
+	"fmt"
+
+	"autowrap/internal/bitset"
+)
+
+// PRF is one precision/recall/F1 triple.
+type PRF struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// String renders the triple for tables.
+func (m PRF) String() string {
+	return fmt.Sprintf("P=%.3f R=%.3f F1=%.3f", m.Precision, m.Recall, m.F1)
+}
+
+// Score compares a predicted node set against gold.
+func Score(pred, gold *bitset.Set) PRF {
+	tp := bitset.AndCount(pred, gold)
+	return FromCounts(tp, pred.Count()-tp, gold.Count()-tp)
+}
+
+// FromCounts builds a PRF from true/false positive and false negative
+// counts. Conventions: empty predictions have precision 1; empty gold has
+// recall 1.
+func FromCounts(tp, fp, fn int) PRF {
+	m := PRF{Precision: 1, Recall: 1}
+	if tp+fp > 0 {
+		m.Precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		m.Recall = float64(tp) / float64(tp+fn)
+	}
+	if m.Precision+m.Recall > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	return m
+}
+
+// Macro averages per-site measures (each site weighs equally, matching the
+// paper's per-website accuracy plots).
+func Macro(ms []PRF) PRF {
+	if len(ms) == 0 {
+		return PRF{}
+	}
+	var out PRF
+	for _, m := range ms {
+		out.Precision += m.Precision
+		out.Recall += m.Recall
+		out.F1 += m.F1
+	}
+	n := float64(len(ms))
+	out.Precision /= n
+	out.Recall /= n
+	out.F1 /= n
+	return out
+}
+
+// RecordPRF scores predicted record pairs against gold record pairs (the
+// multi-type evaluation of Appendix A). Records are compared as exact
+// ordinal pairs.
+func RecordPRF(pred, gold [][2]int) PRF {
+	goldSet := make(map[[2]int]bool, len(gold))
+	for _, g := range gold {
+		goldSet[g] = true
+	}
+	tp := 0
+	for _, p := range pred {
+		if goldSet[p] {
+			tp++
+		}
+	}
+	return FromCounts(tp, len(pred)-tp, len(gold)-tp)
+}

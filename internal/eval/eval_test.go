@@ -1,0 +1,107 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"autowrap/internal/bitset"
+)
+
+func TestScoreBasics(t *testing.T) {
+	pred := bitset.FromIndices(10, []int{0, 1, 2, 3})
+	gold := bitset.FromIndices(10, []int{2, 3, 4, 5})
+	m := Score(pred, gold)
+	if m.Precision != 0.5 || m.Recall != 0.5 {
+		t.Fatalf("got %v", m)
+	}
+	if math.Abs(m.F1-0.5) > 1e-12 {
+		t.Fatalf("F1 = %v", m.F1)
+	}
+}
+
+func TestScorePerfect(t *testing.T) {
+	s := bitset.FromIndices(8, []int{1, 3, 5})
+	m := Score(s, s.Clone())
+	if m.Precision != 1 || m.Recall != 1 || m.F1 != 1 {
+		t.Fatalf("got %v", m)
+	}
+}
+
+func TestScoreConventions(t *testing.T) {
+	empty := bitset.New(6)
+	gold := bitset.FromIndices(6, []int{0})
+	m := Score(empty, gold)
+	if m.Precision != 1 {
+		t.Fatal("empty prediction should have precision 1")
+	}
+	if m.Recall != 0 {
+		t.Fatal("empty prediction misses all gold")
+	}
+	m = Score(gold, empty)
+	if m.Recall != 1 {
+		t.Fatal("empty gold should have recall 1")
+	}
+	if m.Precision != 0 {
+		t.Fatal("all predictions wrong")
+	}
+	m = Score(empty, empty.Clone())
+	if m.Precision != 1 || m.Recall != 1 || m.F1 != 1 {
+		t.Fatalf("empty-vs-empty = %v", m)
+	}
+}
+
+func TestFromCounts(t *testing.T) {
+	m := FromCounts(6, 2, 4)
+	if math.Abs(m.Precision-0.75) > 1e-12 || math.Abs(m.Recall-0.6) > 1e-12 {
+		t.Fatalf("got %v", m)
+	}
+	want := 2 * 0.75 * 0.6 / (0.75 + 0.6)
+	if math.Abs(m.F1-want) > 1e-12 {
+		t.Fatalf("F1 = %v, want %v", m.F1, want)
+	}
+}
+
+func TestMacro(t *testing.T) {
+	if m := Macro(nil); m.Precision != 0 || m.F1 != 0 {
+		t.Fatal("empty macro")
+	}
+	ms := []PRF{
+		{Precision: 1, Recall: 1, F1: 1},
+		{Precision: 0, Recall: 1, F1: 0},
+	}
+	m := Macro(ms)
+	if m.Precision != 0.5 || m.Recall != 1 || m.F1 != 0.5 {
+		t.Fatalf("macro = %v", m)
+	}
+}
+
+func TestRecordPRF(t *testing.T) {
+	gold := [][2]int{{1, 2}, {3, 4}, {5, 6}}
+	pred := [][2]int{{1, 2}, {3, 9}}
+	m := RecordPRF(pred, gold)
+	if m.Precision != 0.5 {
+		t.Fatalf("precision = %v", m.Precision)
+	}
+	if math.Abs(m.Recall-1.0/3) > 1e-12 {
+		t.Fatalf("recall = %v", m.Recall)
+	}
+}
+
+func TestRecordPRFEmpty(t *testing.T) {
+	m := RecordPRF(nil, [][2]int{{1, 2}})
+	if m.Precision != 1 || m.Recall != 0 {
+		t.Fatalf("got %v", m)
+	}
+	m = RecordPRF(nil, nil)
+	if m.Precision != 1 || m.Recall != 1 {
+		t.Fatalf("got %v", m)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := PRF{Precision: 0.5, Recall: 0.25, F1: 1.0 / 3}.String()
+	if !strings.Contains(s, "P=0.500") || !strings.Contains(s, "R=0.250") {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+
+	"autowrap/internal/core"
+	"autowrap/internal/dataset"
+	"autowrap/internal/eval"
+	"autowrap/internal/gen"
+	"autowrap/internal/rank"
+)
+
+// AccuracyResult reproduces one of Figs. 2(d)–2(g) / 3(c): macro-averaged
+// precision/recall/F1 of NAIVE vs the noise-tolerant framework.
+type AccuracyResult struct {
+	Dataset  string
+	Inductor string
+	Naive    eval.PRF
+	NTW      eval.PRF
+	// Sites is the number of evaluated (held-out) sites; Skipped counts
+	// sites whose annotator produced no labels.
+	Sites   int
+	Skipped int
+	// Annotator quality as measured on the training half.
+	AnnotPrecision, AnnotRecall float64
+}
+
+// AccuracyConfig bounds the experiment.
+type AccuracyConfig struct {
+	Workers int
+	// Variant applies to the NTW side (used by the Fig. 2h/2i ablations).
+	Variant rank.Variant
+}
+
+// AccuracyExperiment runs NAIVE and NTW over the evaluation half of the
+// dataset with models learned on the training half.
+func AccuracyExperiment(ds *dataset.Dataset, kind string, cfg AccuracyConfig) (*AccuracyResult, error) {
+	models, err := defaultModels(ds)
+	if err != nil {
+		return nil, err
+	}
+	evalSites := ds.Eval()
+	type siteOut struct {
+		naive, ntw eval.PRF
+		skipped    bool
+		err        error
+	}
+	outs := make([]siteOut, len(evalSites))
+	parallelFor(len(evalSites), cfg.Workers, func(i int) {
+		outs[i] = runAccuracySite(ds, evalSites[i], kind, models, cfg.Variant)
+	})
+	res := &AccuracyResult{
+		Dataset: ds.Name, Inductor: kind,
+		AnnotPrecision: models.AnnotPrecision, AnnotRecall: models.AnnotRecall,
+	}
+	var naives, ntws []eval.PRF
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		if o.skipped {
+			res.Skipped++
+			continue
+		}
+		naives = append(naives, o.naive)
+		ntws = append(ntws, o.ntw)
+	}
+	res.Sites = len(naives)
+	res.Naive = eval.Macro(naives)
+	res.NTW = eval.Macro(ntws)
+	return res, nil
+}
+
+func runAccuracySite(ds *dataset.Dataset, site *gen.Site, kind string, models *dataset.Models, variant rank.Variant) (out struct {
+	naive, ntw eval.PRF
+	skipped    bool
+	err        error
+}) {
+	gold := site.Gold[ds.TypeName]
+	labels := ds.Annotator.Annotate(site.Corpus)
+	if labels.Count() < 2 {
+		out.skipped = true
+		return
+	}
+	ind, err := NewInductor(kind, site.Corpus)
+	if err != nil {
+		out.err = err
+		return
+	}
+	nw, err := core.Naive(ind, labels)
+	if err != nil {
+		out.err = fmt.Errorf("site %s naive: %w", site.Name, err)
+		return
+	}
+	out.naive = eval.Score(nw.Extract(), gold)
+
+	res, err := core.Learn(ind, labels, core.Config{
+		Scorer:  models.Scorer,
+		Variant: variant,
+	})
+	if err != nil {
+		out.err = fmt.Errorf("site %s ntw: %w", site.Name, err)
+		return
+	}
+	out.ntw = eval.Score(res.Extraction(site.Corpus), gold)
+	return
+}
+
+// VariantsResult reproduces Figs. 2(h)/2(i): the accuracy (F1) of the full
+// ranking model against its two single-component ablations.
+type VariantsResult struct {
+	Dataset  string
+	Inductor string
+	NTW      eval.PRF
+	NTWL     eval.PRF
+	NTWX     eval.PRF
+	Sites    int
+}
+
+// VariantsExperiment evaluates NTW, NTW-L and NTW-X on the same sites.
+func VariantsExperiment(ds *dataset.Dataset, kind string, cfg AccuracyConfig) (*VariantsResult, error) {
+	models, err := defaultModels(ds)
+	if err != nil {
+		return nil, err
+	}
+	evalSites := ds.Eval()
+	type siteOut struct {
+		prf     [3]eval.PRF
+		skipped bool
+		err     error
+	}
+	outs := make([]siteOut, len(evalSites))
+	variants := []rank.Variant{rank.NTW, rank.NTWL, rank.NTWX}
+	parallelFor(len(evalSites), cfg.Workers, func(i int) {
+		site := evalSites[i]
+		gold := site.Gold[ds.TypeName]
+		labels := ds.Annotator.Annotate(site.Corpus)
+		if labels.Count() < 2 {
+			outs[i].skipped = true
+			return
+		}
+		ind, err := NewInductor(kind, site.Corpus)
+		if err != nil {
+			outs[i].err = err
+			return
+		}
+		for vi, v := range variants {
+			res, err := core.Learn(ind, labels, core.Config{Scorer: models.Scorer, Variant: v})
+			if err != nil {
+				outs[i].err = fmt.Errorf("site %s variant %s: %w", site.Name, v, err)
+				return
+			}
+			outs[i].prf[vi] = eval.Score(res.Extraction(site.Corpus), gold)
+		}
+	})
+	var per [3][]eval.PRF
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		if o.skipped {
+			continue
+		}
+		for vi := range variants {
+			per[vi] = append(per[vi], o.prf[vi])
+		}
+	}
+	return &VariantsResult{
+		Dataset:  ds.Name,
+		Inductor: kind,
+		NTW:      eval.Macro(per[0]),
+		NTWL:     eval.Macro(per[1]),
+		NTWX:     eval.Macro(per[2]),
+		Sites:    len(per[0]),
+	}, nil
+}

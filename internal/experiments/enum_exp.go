@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"autowrap/internal/dataset"
+	"autowrap/internal/enum"
+	"autowrap/internal/wrapper"
+)
+
+// EnumRow is one website's enumeration measurements (Figs. 2a–2c).
+type EnumRow struct {
+	Site         string
+	Labels       int
+	WrapperSpace int
+	// Call counts per algorithm. NaiveCalls is 2^|L|−1, the number of
+	// inductor calls exhaustive search needs; NaiveRan reports whether the
+	// naive run was actually executed (skipped when |L| exceeds
+	// RunNaiveMax, as in the paper's "not plotted when it gets too
+	// large").
+	TopDownCalls  int64
+	BottomUpCalls int64
+	NaiveCalls    float64
+	NaiveRan      bool
+	// Wall-clock times (Fig. 2c).
+	TopDownTime  time.Duration
+	BottomUpTime time.Duration
+}
+
+// EnumResult aggregates the per-site rows, sorted by TopDown cost as in the
+// paper's figures ("websites are arranged along the x-axis in increasing
+// order of the TopDown time").
+type EnumResult struct {
+	Dataset  string
+	Inductor string
+	Rows     []EnumRow
+	// Skipped counts sites without annotations (nothing to enumerate).
+	Skipped int
+}
+
+// EnumConfig bounds the enumeration experiment.
+type EnumConfig struct {
+	// RunNaiveMax actually executes the naive enumeration when |L| is at
+	// most this (default 12); beyond that only the 2^|L|−1 count is
+	// reported.
+	RunNaiveMax int
+	// Workers bounds parallelism across sites.
+	Workers int
+}
+
+// EnumExperiment reproduces Figs. 2(a)/2(b) (call counts) and 2(c)
+// (running time) for the given inductor kind.
+func EnumExperiment(ds *dataset.Dataset, kind string, cfg EnumConfig) (*EnumResult, error) {
+	if cfg.RunNaiveMax == 0 {
+		cfg.RunNaiveMax = 12
+	}
+	res := &EnumResult{Dataset: ds.Name, Inductor: kind}
+	rows := make([]*EnumRow, len(ds.Sites))
+	errs := make([]error, len(ds.Sites))
+	parallelFor(len(ds.Sites), cfg.Workers, func(i int) {
+		site := ds.Sites[i]
+		labels := ds.Annotator.Annotate(site.Corpus)
+		if labels.Count() < 2 {
+			return // skipped
+		}
+		ind, err := NewInductor(kind, site.Corpus)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		row := &EnumRow{Site: site.Name, Labels: labels.Count()}
+		find, ok := ind.(wrapper.FeatureInductor)
+		if !ok {
+			errs[i] = fmt.Errorf("inductor %s is not feature-based", kind)
+			return
+		}
+
+		start := time.Now()
+		td, err := enum.TopDown(find, labels, enum.Options{})
+		if err != nil {
+			errs[i] = fmt.Errorf("site %s TopDown: %w", site.Name, err)
+			return
+		}
+		row.TopDownTime = time.Since(start)
+		row.TopDownCalls = td.Calls
+		row.WrapperSpace = len(td.Items)
+
+		start = time.Now()
+		bu, err := enum.BottomUp(ind, labels, enum.Options{})
+		if err != nil {
+			errs[i] = fmt.Errorf("site %s BottomUp: %w", site.Name, err)
+			return
+		}
+		row.BottomUpTime = time.Since(start)
+		row.BottomUpCalls = bu.Calls
+
+		row.NaiveCalls = enum.NaiveCalls(labels.Count())
+		if labels.Count() <= cfg.RunNaiveMax {
+			nv, err := enum.Naive(ind, labels)
+			if err != nil {
+				errs[i] = fmt.Errorf("site %s Naive: %w", site.Name, err)
+				return
+			}
+			row.NaiveRan = true
+			// Consistency check while we are here: all three algorithms
+			// must agree on the wrapper space.
+			if len(nv.Items) != len(td.Items) || len(nv.Items) != len(bu.Items) {
+				errs[i] = fmt.Errorf("site %s: wrapper spaces disagree (naive %d, topdown %d, bottomup %d)",
+					site.Name, len(nv.Items), len(td.Items), len(bu.Items))
+				return
+			}
+		}
+		rows[i] = row
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, r := range rows {
+		if r == nil {
+			res.Skipped++
+			continue
+		}
+		res.Rows = append(res.Rows, *r)
+	}
+	sort.Slice(res.Rows, func(i, j int) bool {
+		return res.Rows[i].TopDownTime < res.Rows[j].TopDownTime
+	})
+	return res, nil
+}
+
+// Summary aggregates an EnumResult for compact reporting.
+type EnumSummary struct {
+	Sites                  int
+	MedianTopDownCalls     int64
+	MedianBottomUpCalls    int64
+	MaxTopDownCalls        int64
+	MaxBottomUpCalls       int64
+	MedianNaiveCalls       float64
+	MedianTopDownMs        float64
+	MedianBottomUpMs       float64
+	BottomUpToTopDownRatio float64
+}
+
+// Summarize computes the headline numbers of Figs. 2(a)–2(c): TopDown and
+// BottomUp are orders of magnitude below naive, with BottomUp roughly an
+// order of magnitude above TopDown.
+func (r *EnumResult) Summarize() EnumSummary {
+	s := EnumSummary{Sites: len(r.Rows)}
+	if len(r.Rows) == 0 {
+		return s
+	}
+	var td, bu []int64
+	var nv []float64
+	var tdMs, buMs []float64
+	var ratioSum float64
+	for _, row := range r.Rows {
+		td = append(td, row.TopDownCalls)
+		bu = append(bu, row.BottomUpCalls)
+		nv = append(nv, row.NaiveCalls)
+		tdMs = append(tdMs, float64(row.TopDownTime.Microseconds())/1000)
+		buMs = append(buMs, float64(row.BottomUpTime.Microseconds())/1000)
+		if row.TopDownCalls > 0 {
+			ratioSum += float64(row.BottomUpCalls) / float64(row.TopDownCalls)
+		}
+		if row.TopDownCalls > s.MaxTopDownCalls {
+			s.MaxTopDownCalls = row.TopDownCalls
+		}
+		if row.BottomUpCalls > s.MaxBottomUpCalls {
+			s.MaxBottomUpCalls = row.BottomUpCalls
+		}
+	}
+	sort.Slice(td, func(i, j int) bool { return td[i] < td[j] })
+	sort.Slice(bu, func(i, j int) bool { return bu[i] < bu[j] })
+	sort.Float64s(nv)
+	sort.Float64s(tdMs)
+	sort.Float64s(buMs)
+	mid := len(td) / 2
+	s.MedianTopDownCalls = td[mid]
+	s.MedianBottomUpCalls = bu[mid]
+	s.MedianNaiveCalls = nv[mid]
+	s.MedianTopDownMs = tdMs[mid]
+	s.MedianBottomUpMs = buMs[mid]
+	s.BottomUpToTopDownRatio = ratioSum / float64(len(r.Rows))
+	return s
+}

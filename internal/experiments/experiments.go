@@ -1,0 +1,78 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation (Sec. 7 and Appendices A/B). Each runner returns a
+// structured result that cmd/benchrun renders in the paper's format and
+// that bench_test.go reports as benchmark metrics. DESIGN.md carries the
+// experiment index mapping each figure to its runner.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"autowrap/internal/corpus"
+	"autowrap/internal/dataset"
+	"autowrap/internal/lr"
+	"autowrap/internal/segment"
+	"autowrap/internal/stats"
+	"autowrap/internal/wrapper"
+	"autowrap/internal/xpinduct"
+)
+
+// Inductor kinds used across experiments.
+const (
+	KindXPath = "xpath"
+	KindLR    = "lr"
+)
+
+// NewInductor builds the named inductor over a site corpus.
+func NewInductor(kind string, c *corpus.Corpus) (wrapper.Inductor, error) {
+	switch kind {
+	case KindXPath:
+		return xpinduct.New(c, xpinduct.Options{}), nil
+	case KindLR:
+		return lr.New(c, 0), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown inductor kind %q", kind)
+	}
+}
+
+// parallelFor runs fn(i) for i in [0, n) on up to workers goroutines.
+// workers <= 0 selects GOMAXPROCS.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// defaultModels learns the scorer from a dataset's training half with
+// default segmentation and KDE settings.
+func defaultModels(ds *dataset.Dataset) (*dataset.Models, error) {
+	return dataset.LearnModels(ds.Train(), ds.TypeName, ds.Annotator,
+		segment.Options{}, stats.KDEOptions{})
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"testing"
+
+	"autowrap/internal/dataset"
+)
+
+// TestFig2hiVariants: the full ranking model dominates both single-component
+// ablations; for XPATH the label term alone is nearly sufficient while for
+// LR it is not (Sec. 7.3).
+func TestFig2hiVariants(t *testing.T) {
+	ds := smallDealers(t, 40)
+	xp, err := VariantsExperiment(ds, KindXPath, AccuracyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Fig2h (XPATH): NTW=%.3f NTW-L=%.3f NTW-X=%.3f", xp.NTW.F1, xp.NTWL.F1, xp.NTWX.F1)
+	lrv, err := VariantsExperiment(ds, KindLR, AccuracyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Fig2i (LR):    NTW=%.3f NTW-L=%.3f NTW-X=%.3f", lrv.NTW.F1, lrv.NTWL.F1, lrv.NTWX.F1)
+	if xp.NTW.F1 < xp.NTWL.F1-0.02 || xp.NTW.F1 < xp.NTWX.F1-0.02 {
+		t.Errorf("XPATH: full NTW must not trail its components")
+	}
+	if lrv.NTW.F1 < lrv.NTWL.F1-0.02 || lrv.NTW.F1 < lrv.NTWX.F1-0.02 {
+		t.Errorf("LR: full NTW must not trail its components")
+	}
+	// Neither single component should reach the full model everywhere.
+	if xp.NTWX.F1 >= xp.NTW.F1 && lrv.NTWX.F1 >= lrv.NTW.F1 {
+		t.Errorf("NTW-X alone should not match NTW on both inductors")
+	}
+}
+
+// TestFig2abcEnumeration: TopDown ≪ BottomUp ≪ Naive call counts, and the
+// algorithms agree where naive is feasible.
+func TestFig2abcEnumeration(t *testing.T) {
+	ds := smallDealers(t, 16)
+	for _, kind := range []string{KindLR, KindXPath} {
+		res, err := EnumExperiment(ds, kind, EnumConfig{RunNaiveMax: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := res.Summarize()
+		t.Logf("Fig2a/2b (%s): sites=%d medians TopDown=%d BottomUp=%d Naive=%.0f ratio=%.1f; times TD=%.2fms BU=%.2fms",
+			kind, s.Sites, s.MedianTopDownCalls, s.MedianBottomUpCalls, s.MedianNaiveCalls,
+			s.BottomUpToTopDownRatio, s.MedianTopDownMs, s.MedianBottomUpMs)
+		if s.Sites == 0 {
+			t.Fatalf("%s: no sites measured", kind)
+		}
+		if s.MedianTopDownCalls >= s.MedianBottomUpCalls {
+			t.Errorf("%s: TopDown (%d) should make fewer calls than BottomUp (%d)",
+				kind, s.MedianTopDownCalls, s.MedianBottomUpCalls)
+		}
+		if float64(s.MedianBottomUpCalls) >= s.MedianNaiveCalls {
+			t.Errorf("%s: BottomUp (%d) should be far below naive (%.0f)",
+				kind, s.MedianBottomUpCalls, s.MedianNaiveCalls)
+		}
+	}
+}
+
+// TestTable1Smoke: a 2×2 corner of Table 1 on a few sites — accuracy must
+// rise from the worst corner (p=0.1, r=0.05) to the best (p=0.9, r=0.3).
+func TestTable1Smoke(t *testing.T) {
+	ds, err := dataset.Dealers(dataset.DealersOptions{NumSites: 12, NumPages: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Table1Experiment(ds, Table1Config{
+		PGrid:    []float64{0.1, 0.9},
+		RGrid:    []float64{0.05, 0.3},
+		MaxSites: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Table1 corners: low(p=.1,r=.05)=%.3f high(p=.9,r=.3)=%.3f  off-diag %.3f / %.3f",
+		res.F1[0][0], res.F1[1][1], res.F1[0][1], res.F1[1][0])
+	if res.F1[1][1] <= res.F1[0][0] {
+		t.Errorf("best corner (%.3f) must beat worst corner (%.3f)", res.F1[1][1], res.F1[0][0])
+	}
+	if res.F1[1][1] < 0.85 {
+		t.Errorf("best corner %.3f should be high", res.F1[1][1])
+	}
+}
+
+// TestFig3aMultiType: NAIVE fails to assemble records (recall ≈ 0) while
+// NTW recovers them.
+func TestFig3aMultiType(t *testing.T) {
+	ds := smallDealers(t, 24)
+	res, err := MultiTypeExperiment(ds, MultiTypeConfig{MaxSites: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Fig3a: NAIVE records %v | NTW records %v (sites=%d skipped=%d)",
+		res.NaiveRecords, res.NTWRecords, res.Sites, res.Skipped)
+	t.Logf("Fig3b: name multi %.3f vs single %.3f | zip multi %.3f vs single %.3f",
+		res.NameMulti.F1, res.NameSingle.F1, res.ZipMulti.F1, res.ZipSingle.F1)
+	if res.Sites == 0 {
+		t.Skip("no multi-type sites evaluated")
+	}
+	if res.NTWRecords.F1 < 0.85 {
+		t.Errorf("NTW record F1 %.3f should be near-perfect", res.NTWRecords.F1)
+	}
+	if res.NaiveRecords.Recall > res.NTWRecords.Recall-0.3 {
+		t.Errorf("NAIVE record recall (%.3f) should collapse vs NTW (%.3f)",
+			res.NaiveRecords.Recall, res.NTWRecords.Recall)
+	}
+}
+
+// TestB2SingleEntity: album-title extraction succeeds on all DISC sites.
+func TestB2SingleEntity(t *testing.T) {
+	ds, err := dataset.Disc(dataset.DiscOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := dataset.DiscSeedTitles(dataset.DiscOptions{})
+	res, err := SingleEntityExperiment(ds, seeds, SingleEntityConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("B.2: %d/%d sites correct, %d with ties, %d winners total, %d skipped",
+		res.Correct, res.Sites, res.WithTies, res.TotalWinners, res.SkippedNoAnno)
+	if res.Sites == 0 {
+		t.Fatal("no sites evaluated")
+	}
+	if res.Correct < res.Sites {
+		t.Errorf("only %d/%d sites correct; paper reports all correct", res.Correct, res.Sites)
+	}
+	if res.WithTies == 0 {
+		t.Errorf("expected some sites with multiple correct top wrappers")
+	}
+}

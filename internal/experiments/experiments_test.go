@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"testing"
+
+	"autowrap/internal/dataset"
+)
+
+// smallDealers builds a reduced DEALERS dataset; experiments behave the
+// same as at paper scale, just with wider confidence intervals.
+func smallDealers(t *testing.T, n int) *dataset.Dataset {
+	t.Helper()
+	ds, err := dataset.Dealers(dataset.DealersOptions{NumSites: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestFig2dShapeXPathDealers: NAIVE has recall ≈ 1 but low precision
+// (over-generalization); NTW reaches near-perfect accuracy.
+func TestFig2dShapeXPathDealers(t *testing.T) {
+	ds := smallDealers(t, 40)
+	res, err := AccuracyExperiment(ds, KindXPath, AccuracyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Fig2d (XPATH/DEALERS): NAIVE %v | NTW %v (sites=%d skipped=%d annot p=%.2f r=%.2f)",
+		res.Naive, res.NTW, res.Sites, res.Skipped, res.AnnotPrecision, res.AnnotRecall)
+	if res.Naive.Recall < 0.95 {
+		t.Errorf("NAIVE recall %.3f should be ≈1", res.Naive.Recall)
+	}
+	if res.Naive.Precision > 0.85 {
+		t.Errorf("NAIVE precision %.3f should be visibly low", res.Naive.Precision)
+	}
+	if res.NTW.F1 < 0.93 {
+		t.Errorf("NTW F1 %.3f should be near-perfect", res.NTW.F1)
+	}
+	if res.NTW.F1 <= res.Naive.F1 {
+		t.Errorf("NTW (%.3f) must beat NAIVE (%.3f)", res.NTW.F1, res.Naive.F1)
+	}
+}
+
+// TestFig2eShapeLRDealers: same trend for LR, but NTW is capped below
+// XPATH's accuracy because some sites admit no perfect LR wrapper.
+func TestFig2eShapeLRDealers(t *testing.T) {
+	ds := smallDealers(t, 40)
+	lrRes, err := AccuracyExperiment(ds, KindLR, AccuracyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xpRes, err := AccuracyExperiment(ds, KindXPath, AccuracyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Fig2e (LR/DEALERS): NAIVE %v | NTW %v", lrRes.Naive, lrRes.NTW)
+	if lrRes.Naive.Precision > lrRes.NTW.Precision {
+		t.Errorf("NTW precision (%.3f) must beat NAIVE (%.3f)",
+			lrRes.NTW.Precision, lrRes.Naive.Precision)
+	}
+	if lrRes.NTW.F1 < 0.75 {
+		t.Errorf("LR NTW F1 %.3f too low", lrRes.NTW.F1)
+	}
+	if lrRes.NTW.F1 >= xpRes.NTW.F1 {
+		t.Errorf("LR NTW F1 (%.3f) should trail XPATH (%.3f) on DEALERS",
+			lrRes.NTW.F1, xpRes.NTW.F1)
+	}
+}
+
+// TestFig2fgShapeDisc: near-perfect accuracy for both inductors on DISC.
+func TestFig2fgShapeDisc(t *testing.T) {
+	ds, err := dataset.Disc(dataset.DiscOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{KindXPath, KindLR} {
+		res, err := AccuracyExperiment(ds, kind, AccuracyConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("Fig2f/2g (%s/DISC): NAIVE %v | NTW %v", kind, res.Naive, res.NTW)
+		if res.NTW.F1 < 0.9 {
+			t.Errorf("%s NTW F1 %.3f should be near-perfect on DISC", kind, res.NTW.F1)
+		}
+	}
+}

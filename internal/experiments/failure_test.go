@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"testing"
+
+	"autowrap/internal/annotate"
+	"autowrap/internal/dataset"
+	"autowrap/internal/gen"
+)
+
+// TestAccuracySkipsUnannotatedSites: a dictionary with zero overlap must
+// not crash the experiment — every site is counted as skipped.
+func TestAccuracySkipsUnannotatedSites(t *testing.T) {
+	ds, err := dataset.Dealers(dataset.DealersOptions{NumSites: 4, NumPages: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap in an annotator that never matches, but keep the real one for
+	// model learning (LearnModels needs some labels only for (p, r); zero
+	// labels there still fits the publication model).
+	useless := annotate.NewDictionary("empty", []string{"zz qq xx"})
+	broken := &dataset.Dataset{
+		Name: ds.Name, TypeName: ds.TypeName, Sites: ds.Sites,
+		Dict: ds.Dict, Annotator: useless,
+	}
+	res, err := AccuracyExperiment(broken, KindXPath, AccuracyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sites != 0 || res.Skipped == 0 {
+		t.Fatalf("sites=%d skipped=%d; want all skipped", res.Sites, res.Skipped)
+	}
+}
+
+// TestEnumSkipsUnannotatedSites mirrors the same guarantee for the
+// enumeration experiments.
+func TestEnumSkipsUnannotatedSites(t *testing.T) {
+	ds, err := dataset.Dealers(dataset.DealersOptions{NumSites: 3, NumPages: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.Annotator = annotate.NewDictionary("empty", []string{"zz qq xx"})
+	res, err := EnumExperiment(ds, KindXPath, EnumConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 || res.Skipped != 3 {
+		t.Fatalf("rows=%d skipped=%d", len(res.Rows), res.Skipped)
+	}
+}
+
+// TestMultiTypeRequiresDealers guards the experiment precondition.
+func TestMultiTypeRequiresDealers(t *testing.T) {
+	ds, err := dataset.Disc(dataset.DiscOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MultiTypeExperiment(ds, MultiTypeConfig{}); err == nil {
+		t.Fatal("expected error for a dataset without name/zip gold")
+	}
+}
+
+// TestSingleEntitySkipsSitesWithoutLabels: an empty seed-title dictionary
+// yields all-skipped, not a crash.
+func TestSingleEntitySkipsSitesWithoutLabels(t *testing.T) {
+	ds, err := dataset.Disc(dataset.DiscOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SingleEntityExperiment(ds, []string{"No Such Album Anywhere"}, SingleEntityConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SkippedNoAnno != len(ds.Sites) {
+		t.Fatalf("skipped=%d, want %d", res.SkippedNoAnno, len(ds.Sites))
+	}
+}
+
+// TestTable1RejectsDegenerateGrid: a site whose gold is empty cannot build
+// the controlled annotator; the sweep must surface the error rather than
+// hang or panic.
+func TestControlledAnnotatorOnEmptyGold(t *testing.T) {
+	pool := gen.BusinessPool(1, 100, 0)
+	site, err := gen.DealerSite(gen.DealerConfig{Seed: 2, Pool: pool, NumPages: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := annotate.ControlledFor(site.Corpus, site.Corpus.EmptySet(), 0.3, 0.9, 1); err == nil {
+		t.Fatal("expected degenerate-gold error")
+	}
+}

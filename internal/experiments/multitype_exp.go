@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+
+	"autowrap/internal/annotate"
+	"autowrap/internal/core"
+	"autowrap/internal/dataset"
+	"autowrap/internal/eval"
+	"autowrap/internal/gen"
+	"autowrap/internal/multitype"
+	"autowrap/internal/rank"
+	"autowrap/internal/wrapper"
+	"autowrap/internal/xpinduct"
+)
+
+// MultiTypeResult reproduces Figs. 3(a)/3(b): record-level accuracy of the
+// joint name+zipcode extractor (NAIVE vs NTW), and the per-type accuracy of
+// joint extraction compared against single-type extraction.
+type MultiTypeResult struct {
+	// Record-level accuracy (Fig. 3a).
+	NaiveRecords eval.PRF
+	NTWRecords   eval.PRF
+	// Per-type node accuracy, joint vs single (Fig. 3b).
+	NameMulti  eval.PRF
+	NameSingle eval.PRF
+	ZipMulti   eval.PRF
+	ZipSingle  eval.PRF
+	Sites      int
+	Skipped    int
+}
+
+// MultiTypeConfig bounds the experiment.
+type MultiTypeConfig struct {
+	Workers int
+	// MaxSites caps the evaluation subset (joint ranking is the costliest
+	// experiment). 0 means all evaluation sites.
+	MaxSites int
+}
+
+// MultiTypeExperiment runs Appendix A's evaluation on the DEALERS dataset:
+// types name (dictionary annotator) and zipcode (regexp annotator).
+func MultiTypeExperiment(ds *dataset.Dataset, cfg MultiTypeConfig) (*MultiTypeResult, error) {
+	if ds.TypeName != "name" {
+		return nil, fmt.Errorf("experiments: multi-type needs the DEALERS dataset, got %s", ds.Name)
+	}
+	zipAnnot := annotate.MustRegexp("zipcode", annotate.ZipcodePattern)
+
+	// Learn models on the training half: the shared publication prior from
+	// name gold, and per-type annotation parameters.
+	models, err := defaultModels(ds)
+	if err != nil {
+		return nil, err
+	}
+	var zipStats annotate.Stats
+	for _, s := range ds.Train() {
+		zipStats = zipStats.Add(annotate.Measure(s.Corpus, zipAnnot.Annotate(s.Corpus), s.Gold["zip"]))
+	}
+	zipP, zipR := zipStats.ModelParams()
+	zipModel := rank.NewAnnotationModel(zipP, zipR)
+	nameModel := models.Scorer.Ann
+
+	sites := ds.Eval()
+	if cfg.MaxSites > 0 && len(sites) > cfg.MaxSites {
+		sites = sites[:cfg.MaxSites]
+	}
+
+	type siteOut struct {
+		naiveRec, ntwRec                           eval.PRF
+		nameMulti, nameSingle, zipMulti, zipSingle eval.PRF
+		skipped                                    bool
+		err                                        error
+	}
+	outs := make([]siteOut, len(sites))
+	parallelFor(len(sites), cfg.Workers, func(i int) {
+		outs[i] = runMultiTypeSite(ds, sites[i], zipAnnot, nameModel, zipModel, models)
+	})
+
+	res := &MultiTypeResult{}
+	var nr, tr, nm, ns, zm, zs []eval.PRF
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		if o.skipped {
+			res.Skipped++
+			continue
+		}
+		nr = append(nr, o.naiveRec)
+		tr = append(tr, o.ntwRec)
+		nm = append(nm, o.nameMulti)
+		ns = append(ns, o.nameSingle)
+		zm = append(zm, o.zipMulti)
+		zs = append(zs, o.zipSingle)
+	}
+	res.Sites = len(nr)
+	res.NaiveRecords = eval.Macro(nr)
+	res.NTWRecords = eval.Macro(tr)
+	res.NameMulti = eval.Macro(nm)
+	res.NameSingle = eval.Macro(ns)
+	res.ZipMulti = eval.Macro(zm)
+	res.ZipSingle = eval.Macro(zs)
+	return res, nil
+}
+
+// recordPairs converts two-type records into ordinal pairs for scoring.
+func recordPairs(recs []multitype.Record) [][2]int {
+	out := make([][2]int, 0, len(recs))
+	for _, r := range recs {
+		if len(r) >= 2 {
+			out = append(out, [2]int{r[0], r[1]})
+		}
+	}
+	return out
+}
+
+func runMultiTypeSite(ds *dataset.Dataset, site *gen.Site, zipAnnot annotate.Annotator,
+	nameModel, zipModel rank.AnnotationModel, models *dataset.Models) (out struct {
+	naiveRec, ntwRec                           eval.PRF
+	nameMulti, nameSingle, zipMulti, zipSingle eval.PRF
+	skipped                                    bool
+	err                                        error
+}) {
+	c := site.Corpus
+	nameLabels := ds.Annotator.Annotate(c)
+	zipLabels := zipAnnot.Annotate(c)
+	if nameLabels.Count() < 2 || zipLabels.Count() < 2 {
+		out.skipped = true
+		return
+	}
+	mkInd := func() *wrapper.FeatureSpace { return xpinduct.New(c, xpinduct.Options{}) }
+
+	types := []multitype.Type{
+		{Name: "name", Inductor: mkInd(), Labels: nameLabels, Ann: nameModel},
+		{Name: "zip", Inductor: mkInd(), Labels: zipLabels, Ann: zipModel},
+	}
+
+	// NAIVE joint baseline: run the inductor directly per type, assemble.
+	nameNaive, err := types[0].Inductor.Induce(nameLabels)
+	if err != nil {
+		out.err = err
+		return
+	}
+	zipNaive, err := types[1].Inductor.Induce(zipLabels)
+	if err != nil {
+		out.err = err
+		return
+	}
+	naivePick := []wrapper.Wrapper{nameNaive, zipNaive}
+	naiveRecords, _ := multitype.Assemble(c, types, naivePick)
+	out.naiveRec = eval.RecordPRF(recordPairs(naiveRecords), site.GoldRecords)
+
+	// NTW joint.
+	res, err := multitype.Learn(c, types, multitype.Config{Pub: models.Scorer.Pub})
+	if err != nil {
+		out.err = fmt.Errorf("site %s multi-type: %w", site.Name, err)
+		return
+	}
+	if res.Best == nil {
+		out.skipped = true
+		return
+	}
+	out.ntwRec = eval.RecordPRF(recordPairs(res.Best.Records), site.GoldRecords)
+	out.nameMulti = eval.Score(res.Best.Wrappers[0].Extract(), site.Gold["name"])
+	out.zipMulti = eval.Score(res.Best.Wrappers[1].Extract(), site.Gold["zip"])
+
+	// Single-type runs for Fig. 3(b).
+	nameRes, err := core.Learn(mkInd(), nameLabels, core.Config{
+		Scorer: &rank.Scorer{Ann: nameModel, Pub: models.Scorer.Pub},
+	})
+	if err != nil {
+		out.err = err
+		return
+	}
+	out.nameSingle = eval.Score(nameRes.Extraction(c), site.Gold["name"])
+	zipRes, err := core.Learn(mkInd(), zipLabels, core.Config{
+		Scorer: &rank.Scorer{Ann: zipModel, Pub: models.Scorer.Pub},
+	})
+	if err != nil {
+		out.err = err
+		return
+	}
+	out.zipSingle = eval.Score(zipRes.Extraction(c), site.Gold["zip"])
+	return
+}

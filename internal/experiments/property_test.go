@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"autowrap/internal/bitset"
+	"autowrap/internal/dataset"
+	"autowrap/internal/enum"
+	"autowrap/internal/wrapper"
+)
+
+// TestEnumerationEquivalenceOnGeneratedSites is the heavyweight property
+// test tying Sec. 4's theory to realistic inputs: on generated dealer
+// sites with random small label subsets, Naive, BottomUp and TopDown agree
+// exactly for both shipped inductors, TopDown makes exactly k calls and
+// BottomUp at most k·|L|.
+func TestEnumerationEquivalenceOnGeneratedSites(t *testing.T) {
+	ds, err := dataset.Dealers(dataset.DealersOptions{NumSites: 6, NumPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for _, site := range ds.Sites {
+		c := site.Corpus
+		for _, kind := range []string{KindXPath, KindLR} {
+			ind, err := NewInductor(kind, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 3; trial++ {
+				labels := bitset.New(c.NumTexts())
+				n := 2 + rng.Intn(7)
+				for labels.Count() < n {
+					labels.Add(rng.Intn(c.NumTexts()))
+				}
+				naive, err := enum.Naive(ind, labels)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bu, err := enum.BottomUp(ind, labels, enum.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				td, err := enum.TopDown(ind.(wrapper.FeatureInductor), labels, enum.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fmt.Sprint(naive.Signatures()) != fmt.Sprint(bu.Signatures()) {
+					t.Fatalf("%s/%s: BottomUp space (%d) != Naive (%d) for labels %v",
+						site.Name, kind, len(bu.Items), len(naive.Items), labels.Indices())
+				}
+				if fmt.Sprint(naive.Signatures()) != fmt.Sprint(td.Signatures()) {
+					t.Fatalf("%s/%s: TopDown space (%d) != Naive (%d) for labels %v",
+						site.Name, kind, len(td.Items), len(naive.Items), labels.Indices())
+				}
+				if td.Calls != int64(len(naive.Items)) {
+					t.Fatalf("%s/%s: Theorem 3 violated: %d calls for k=%d",
+						site.Name, kind, td.Calls, len(naive.Items))
+				}
+				if bu.Calls > int64(len(naive.Items)*labels.Count()) {
+					t.Fatalf("%s/%s: Theorem 2 violated: %d calls > k·|L| = %d",
+						site.Name, kind, bu.Calls, len(naive.Items)*labels.Count())
+				}
+			}
+		}
+	}
+}
+
+// TestWellBehavedOnGeneratedSites verifies Definition 1 for both inductors
+// on realistic generated markup (Theorems 4 and 5).
+func TestWellBehavedOnGeneratedSites(t *testing.T) {
+	ds, err := dataset.Dealers(dataset.DealersOptions{NumSites: 4, NumPages: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(55))
+	for _, site := range ds.Sites[:2] {
+		c := site.Corpus
+		labels := bitset.New(c.NumTexts())
+		for labels.Count() < 6 {
+			labels.Add(rng.Intn(c.NumTexts()))
+		}
+		for _, kind := range []string{KindXPath, KindLR} {
+			ind, err := NewInductor(kind, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := wrapper.CheckWellBehaved(ind, labels); err != nil {
+				t.Fatalf("%s on %s: %v", kind, site.Name, err)
+			}
+		}
+	}
+}
+
+// TestNoLabelOverlapAcrossInductors: the two inductors learn from the same
+// labels and must both recover the gold list on an easy site — a guard
+// against representation-specific drift.
+func TestInductorsAgreeOnCleanLabels(t *testing.T) {
+	ds, err := dataset.Dealers(dataset.DealersOptions{NumSites: 8, NumPages: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, site := range ds.Sites {
+		if site.LRHostile {
+			continue // by design LR cannot match XPATH there
+		}
+		c := site.Corpus
+		gold := site.Gold["name"]
+		// Clean labels: every third gold name.
+		labels := bitset.New(c.NumTexts())
+		i := 0
+		gold.ForEach(func(ord int) {
+			if i%3 == 0 {
+				labels.Add(ord)
+			}
+			i++
+		})
+		if labels.Count() < 2 {
+			continue
+		}
+		for _, kind := range []string{KindXPath, KindLR} {
+			ind, err := NewInductor(kind, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err := ind.Induce(labels)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !w.Extract().Equal(gold) {
+				t.Fatalf("%s on %s (%s layout): clean labels did not recover gold: got %d nodes, want %d",
+					kind, site.Name, site.Layout, w.Extract().Count(), gold.Count())
+			}
+		}
+	}
+}

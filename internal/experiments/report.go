@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ReportEnum renders an EnumResult in the style of Figs. 2(a)–2(c): one row
+// per website in increasing TopDown order plus a summary block.
+func ReportEnum(w io.Writer, r *EnumResult, maxRows int) {
+	fmt.Fprintf(w, "== Enumeration (%s, %s): %d sites (%d skipped) ==\n",
+		r.Dataset, r.Inductor, len(r.Rows), r.Skipped)
+	fmt.Fprintf(w, "%-16s %6s %6s %9s %9s %12s %10s %10s\n",
+		"site", "|L|", "k", "topdown", "bottomup", "naive", "td-time", "bu-time")
+	rows := r.Rows
+	if maxRows > 0 && len(rows) > maxRows {
+		rows = rows[:maxRows]
+	}
+	for _, row := range rows {
+		naive := fmt.Sprintf("%.3g", row.NaiveCalls)
+		if !row.NaiveRan {
+			naive += "*"
+		}
+		fmt.Fprintf(w, "%-16s %6d %6d %9d %9d %12s %10s %10s\n",
+			row.Site, row.Labels, row.WrapperSpace,
+			row.TopDownCalls, row.BottomUpCalls, naive,
+			row.TopDownTime.Round(10_000), row.BottomUpTime.Round(10_000))
+	}
+	if maxRows > 0 && len(r.Rows) > maxRows {
+		fmt.Fprintf(w, "... (%d more sites)\n", len(r.Rows)-maxRows)
+	}
+	s := r.Summarize()
+	fmt.Fprintf(w, "summary: median calls topdown=%d bottomup=%d naive=%.3g; "+
+		"bottomup/topdown ratio=%.1fx; median time topdown=%.2fms bottomup=%.2fms\n",
+		s.MedianTopDownCalls, s.MedianBottomUpCalls, s.MedianNaiveCalls,
+		s.BottomUpToTopDownRatio, s.MedianTopDownMs, s.MedianBottomUpMs)
+	fmt.Fprintln(w, "(* = naive run skipped, count shown is 2^|L|-1)")
+}
+
+// ReportAccuracy renders an AccuracyResult in the style of Figs. 2(d)–2(g)
+// and 3(c).
+func ReportAccuracy(w io.Writer, r *AccuracyResult) {
+	fmt.Fprintf(w, "== Accuracy (%s, %s): %d sites (%d skipped), annotator p=%.2f r=%.2f ==\n",
+		r.Dataset, r.Inductor, r.Sites, r.Skipped, r.AnnotPrecision, r.AnnotRecall)
+	fmt.Fprintf(w, "%-6s %10s %10s %10s\n", "", "Precision", "Recall", "F1")
+	fmt.Fprintf(w, "%-6s %10.3f %10.3f %10.3f\n", "NAIVE", r.Naive.Precision, r.Naive.Recall, r.Naive.F1)
+	fmt.Fprintf(w, "%-6s %10.3f %10.3f %10.3f\n", "NTW", r.NTW.Precision, r.NTW.Recall, r.NTW.F1)
+}
+
+// ReportVariants renders a VariantsResult in the style of Figs. 2(h)/2(i).
+func ReportVariants(w io.Writer, r *VariantsResult) {
+	fmt.Fprintf(w, "== Ranking components (%s, %s): %d sites ==\n", r.Dataset, r.Inductor, r.Sites)
+	fmt.Fprintf(w, "%-7s %10s\n", "", "Accuracy")
+	fmt.Fprintf(w, "%-7s %10.3f\n", "NTW", r.NTW.F1)
+	fmt.Fprintf(w, "%-7s %10.3f\n", "NTW-L", r.NTWL.F1)
+	fmt.Fprintf(w, "%-7s %10.3f\n", "NTW-X", r.NTWX.F1)
+}
+
+// ReportTable1 renders a Table1Result next to the paper's published grid.
+func ReportTable1(w io.Writer, r *Table1Result) {
+	fmt.Fprintf(w, "== Table 1: NTW accuracy vs annotator precision (rows) / recall (cols), %d sites ==\n", r.Sites)
+	fmt.Fprintf(w, "%6s", "p\\r")
+	for _, rr := range r.RGrid {
+		fmt.Fprintf(w, " %11.2f", rr)
+	}
+	fmt.Fprintln(w)
+	for pi, p := range r.PGrid {
+		fmt.Fprintf(w, "%6.1f", p)
+		for ri := range r.RGrid {
+			cell := fmt.Sprintf("%.2f", r.F1[pi][ri])
+			if paper, ok := PaperTable1[[2]float64{p, r.RGrid[ri]}]; ok {
+				cell += fmt.Sprintf("/%.2f", paper)
+			}
+			fmt.Fprintf(w, " %11s", cell)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "(cells are measured/paper where the paper reports the point)")
+}
+
+// ReportMultiType renders a MultiTypeResult in the style of Figs. 3(a)/3(b).
+func ReportMultiType(w io.Writer, r *MultiTypeResult) {
+	fmt.Fprintf(w, "== Multi-type extraction (name+zipcode), %d sites (%d skipped) ==\n", r.Sites, r.Skipped)
+	fmt.Fprintf(w, "Fig 3(a) records: %-6s %s\n", "NAIVE", r.NaiveRecords)
+	fmt.Fprintf(w, "                  %-6s %s\n", "NTW", r.NTWRecords)
+	fmt.Fprintf(w, "Fig 3(b) name:    multi F1=%.3f  single F1=%.3f\n", r.NameMulti.F1, r.NameSingle.F1)
+	fmt.Fprintf(w, "         zipcode: multi F1=%.3f  single F1=%.3f\n", r.ZipMulti.F1, r.ZipSingle.F1)
+}
+
+// ReportSingleEntity renders the Appendix B.2 outcome.
+func ReportSingleEntity(w io.Writer, r *SingleEntityResult) {
+	fmt.Fprintf(w, "== Single-entity extraction (album titles, DISC) ==\n")
+	fmt.Fprintf(w, "sites correct: %d/%d; sites with multiple top wrappers: %d; winners total: %d; skipped: %d\n",
+		r.Correct, r.Sites, r.WithTies, r.TotalWinners, r.SkippedNoAnno)
+}
+
+// Separator prints a section break.
+func Separator(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n%s\n%s\n", title, strings.Repeat("-", len(title)))
+}

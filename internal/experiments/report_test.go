@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"autowrap/internal/dataset"
+	"autowrap/internal/eval"
+)
+
+func TestReportEnum(t *testing.T) {
+	res := &EnumResult{
+		Dataset:  "DEALERS",
+		Inductor: "xpath",
+		Rows: []EnumRow{
+			{Site: "s1", Labels: 8, WrapperSpace: 5, TopDownCalls: 5,
+				BottomUpCalls: 30, NaiveCalls: 255, NaiveRan: true,
+				TopDownTime: 100 * time.Microsecond, BottomUpTime: time.Millisecond},
+			{Site: "s2", Labels: 20, WrapperSpace: 9, TopDownCalls: 9,
+				BottomUpCalls: 120, NaiveCalls: 1 << 20,
+				TopDownTime: 200 * time.Microsecond, BottomUpTime: 2 * time.Millisecond},
+		},
+		Skipped: 1,
+	}
+	var sb strings.Builder
+	ReportEnum(&sb, res, 10)
+	out := sb.String()
+	for _, want := range []string{"DEALERS", "xpath", "s1", "s2", "255", "1.05e+06*", "median"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Truncation note appears when maxRows < len(rows).
+	sb.Reset()
+	ReportEnum(&sb, res, 1)
+	if !strings.Contains(sb.String(), "more sites") {
+		t.Fatal("missing truncation note")
+	}
+}
+
+func TestReportAccuracyAndVariants(t *testing.T) {
+	var sb strings.Builder
+	ReportAccuracy(&sb, &AccuracyResult{
+		Dataset: "DISC", Inductor: "lr", Sites: 7,
+		Naive: eval.PRF{Precision: 0.3, Recall: 1, F1: 0.46},
+		NTW:   eval.PRF{Precision: 1, Recall: 0.99, F1: 0.995},
+	})
+	out := sb.String()
+	for _, want := range []string{"NAIVE", "NTW", "0.300", "0.995"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("accuracy report missing %q:\n%s", want, out)
+		}
+	}
+	sb.Reset()
+	ReportVariants(&sb, &VariantsResult{
+		Dataset: "DEALERS", Inductor: "lr", Sites: 10,
+		NTW: eval.PRF{F1: 0.9}, NTWL: eval.PRF{F1: 0.8}, NTWX: eval.PRF{F1: 0.7},
+	})
+	out = sb.String()
+	for _, want := range []string{"NTW-L", "NTW-X", "0.900", "0.700"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("variants report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportTable1IncludesPaperValues(t *testing.T) {
+	res := &Table1Result{
+		PGrid: []float64{0.1, 0.9},
+		RGrid: []float64{0.05, 0.3},
+		F1:    [][]float64{{0.5, 0.9}, {0.7, 1.0}},
+		Sites: 4,
+	}
+	var sb strings.Builder
+	ReportTable1(&sb, res)
+	out := sb.String()
+	// The paper's corner values 0.41 and 0.97 must appear alongside ours.
+	if !strings.Contains(out, "0.50/0.41") || !strings.Contains(out, "1.00/0.97") {
+		t.Fatalf("table1 report lacks measured/paper cells:\n%s", out)
+	}
+}
+
+func TestReportMultiTypeAndSingleEntity(t *testing.T) {
+	var sb strings.Builder
+	ReportMultiType(&sb, &MultiTypeResult{
+		NaiveRecords: eval.PRF{Precision: 1, Recall: 0, F1: 0},
+		NTWRecords:   eval.PRF{Precision: 1, Recall: 1, F1: 1},
+		NameMulti:    eval.PRF{F1: 1}, NameSingle: eval.PRF{F1: 0.99},
+		ZipMulti: eval.PRF{F1: 1}, ZipSingle: eval.PRF{F1: 1},
+		Sites: 20,
+	})
+	if !strings.Contains(sb.String(), "Fig 3(a)") || !strings.Contains(sb.String(), "zipcode") {
+		t.Fatalf("multitype report:\n%s", sb.String())
+	}
+	sb.Reset()
+	ReportSingleEntity(&sb, &SingleEntityResult{Sites: 15, Correct: 15, WithTies: 15, TotalWinners: 41})
+	if !strings.Contains(sb.String(), "15/15") {
+		t.Fatalf("single-entity report:\n%s", sb.String())
+	}
+}
+
+func TestNewInductorKinds(t *testing.T) {
+	ds, err := dataset.Dealers(dataset.DealersOptions{NumSites: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ds.Sites[0].Corpus
+	for _, kind := range []string{KindXPath, KindLR} {
+		ind, err := NewInductor(kind, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ind.Corpus() != c {
+			t.Fatal("inductor corpus mismatch")
+		}
+	}
+	if _, err := NewInductor("bogus", c); err == nil {
+		t.Fatal("expected error for unknown kind")
+	}
+}
+
+func TestParallelForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		n := 100
+		hits := make([]int32, n)
+		parallelFor(n, workers, func(i int) { hits[i]++ })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+	parallelFor(0, 4, func(i int) { t.Fatal("fn called for n=0") })
+}

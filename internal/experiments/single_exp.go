@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"autowrap/internal/annotate"
+	"autowrap/internal/dataset"
+	"autowrap/internal/gen"
+	"autowrap/internal/single"
+)
+
+// SingleEntityResult reproduces Appendix B.2: album-title extraction from
+// DISC pages. The paper reports that the noise-tolerant wrapper learned the
+// correct wrapper on all websites, with some sites returning multiple
+// top-ranked wrappers, all correct (title tag, heading, breadcrumb, ...).
+type SingleEntityResult struct {
+	Sites         int
+	Correct       int
+	WithTies      int
+	TotalWinners  int
+	SkippedNoAnno int
+}
+
+// SingleEntityConfig bounds the experiment.
+type SingleEntityConfig struct {
+	Workers int
+	// CorrectPageFrac is the fraction of pages on which a winner must
+	// extract a node containing the page's album title to count as a
+	// correct wrapper. Default 0.9.
+	CorrectPageFrac float64
+}
+
+// SingleEntityExperiment runs B.2 over all DISC sites: the annotator is a
+// dictionary of the seed album titles, noisy because album names appear in
+// several page locations (title tracks, sidebars, the title tag).
+func SingleEntityExperiment(ds *dataset.Dataset, seedTitles []string, cfg SingleEntityConfig) (*SingleEntityResult, error) {
+	if cfg.CorrectPageFrac == 0 {
+		cfg.CorrectPageFrac = 0.9
+	}
+	annot := annotate.NewDictionary("seed-album-titles", seedTitles)
+	res := &SingleEntityResult{}
+	type out struct {
+		correct bool
+		ties    int
+		skipped bool
+		err     error
+	}
+	outs := make([]out, len(ds.Sites))
+	parallelFor(len(ds.Sites), cfg.Workers, func(i int) {
+		outs[i] = runSingleEntitySite(ds.Sites[i], annot, cfg)
+	})
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		if o.skipped {
+			res.SkippedNoAnno++
+			continue
+		}
+		res.Sites++
+		if o.correct {
+			res.Correct++
+		}
+		if o.ties > 1 {
+			res.WithTies++
+		}
+		res.TotalWinners += o.ties
+	}
+	return res, nil
+}
+
+func runSingleEntitySite(site *gen.Site, annot annotate.Annotator, cfg SingleEntityConfig) (o struct {
+	correct bool
+	ties    int
+	skipped bool
+	err     error
+}) {
+	c := site.Corpus
+	labels := annot.Annotate(c)
+	if labels.Count() < 2 {
+		o.skipped = true
+		return
+	}
+	ind, err := NewInductor(KindXPath, c)
+	if err != nil {
+		o.err = err
+		return
+	}
+	res, err := single.Learn(ind, labels, single.Config{})
+	if err != nil {
+		o.err = fmt.Errorf("site %s: %w", site.Name, err)
+		return
+	}
+	if len(res.Winners) == 0 {
+		return // counted as incorrect
+	}
+	o.ties = len(res.Winners)
+	// Every winner must be a correct wrapper: on at least CorrectPageFrac
+	// of the pages it extracts exactly one node whose text contains the
+	// page's album title.
+	titles := site.PageValues["album"]
+	allCorrect := true
+	for _, w := range res.Winners {
+		good := 0
+		perPage := make(map[int][]int)
+		w.Wrapper.Extract().ForEach(func(ord int) {
+			p := c.PageOf(ord)
+			perPage[p] = append(perPage[p], ord)
+		})
+		for pi, title := range titles {
+			ords := perPage[pi]
+			if len(ords) != 1 {
+				continue
+			}
+			if strings.Contains(c.TextContent(ords[0]), title) {
+				good++
+			}
+		}
+		if float64(good) < cfg.CorrectPageFrac*float64(len(titles)) {
+			allCorrect = false
+			break
+		}
+	}
+	o.correct = allCorrect
+	return
+}

@@ -1,0 +1,289 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"autowrap/internal/dom"
+)
+
+// DealerConfig parameterizes one dealer-locator website.
+type DealerConfig struct {
+	Seed     int64
+	SiteName string
+	// Pool is the global business pool records are drawn from.
+	Pool []Business
+	// NumPages is the number of script-generated result pages (one per
+	// queried zipcode, as in the paper's form-filling setup).
+	NumPages int
+	// MinRecords/MaxRecords bound the listings per page.
+	MinRecords, MaxRecords int
+	// LRHostile forces the link-list layout whose decoy list shares the
+	// exact serialized context of the dealer names, so no perfect LR
+	// wrapper exists (only ancestor attributes separate them).
+	LRHostile bool
+	// NoteProb is the per-page probability of a "nearby brand" note that
+	// mentions a pool business outside the listings (a dictionary
+	// false-positive source).
+	NoteProb float64
+	// PlazaProb is the per-record probability that the street line embeds
+	// a pool business name ("X Plaza"), the paper's "business names
+	// matching street addresses" noise.
+	PlazaProb float64
+}
+
+func (c DealerConfig) withDefaults() DealerConfig {
+	if c.SiteName == "" {
+		c.SiteName = fmt.Sprintf("dealer-site-%d", c.Seed)
+	}
+	if c.NumPages == 0 {
+		c.NumPages = 12
+	}
+	if c.MinRecords == 0 {
+		c.MinRecords = 3
+	}
+	if c.MaxRecords == 0 {
+		c.MaxRecords = 9
+	}
+	if c.NoteProb == 0 {
+		c.NoteProb = 0.22
+	}
+	if c.PlazaProb == 0 {
+		c.PlazaProb = 0.015
+	}
+	return c
+}
+
+// dealerStyle is the per-site rendering script: fixed once per site so all
+// pages share structure (the essence of script-generated HTML).
+type dealerStyle struct {
+	layout    int // 0 table, 1 divs, 2 link list, 3 definition list, 4 headings
+	nameTag   string
+	listClass string
+	withSide  bool
+	footerRef bool // footer carries a 5-digit reference (zipcode noise)
+	navItems  []string
+}
+
+var dealerLayoutNames = []string{"table", "divs", "linklist", "dl", "headings"}
+
+// DealerSite generates one dealer-locator website with gold name and zip
+// labels.
+func DealerSite(cfg DealerConfig) (*Site, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	style := dealerStyle{
+		layout:    rng.Intn(5),
+		nameTag:   pick(rng, []string{"u", "b", "a", "strong", "span"}),
+		listClass: pick(rng, []string{"dealerlinks", "results", "storelist", "locator", "listing"}),
+		withSide:  rng.Float64() < 0.5,
+		footerRef: rng.Float64() < 0.3,
+		navItems:  []string{"Home", "Our Products", "Dealer Locator", "Contact Us", "Events"},
+	}
+	if cfg.LRHostile {
+		style.layout = 2
+		style.nameTag = "a"
+	}
+
+	var pages []*pageBuild
+	for pi := 0; pi < cfg.NumPages; pi++ {
+		nRec := cfg.MinRecords + rng.Intn(cfg.MaxRecords-cfg.MinRecords+1)
+		records, usedNames := sampleBusinesses(rng, cfg.Pool, nRec)
+		// Per-page unique zips; street numbers must not collide with them.
+		zips := make(map[string]bool)
+		for i := range records {
+			for zips[records[i].Zip] {
+				records[i].Zip = fmt.Sprintf("%05d", 10000+rng.Intn(89999))
+			}
+			zips[records[i].Zip] = true
+		}
+		for i := range records {
+			if rng.Float64() < cfg.PlazaProb {
+				plaza := cfg.Pool[rng.Intn(len(cfg.Pool))].Name
+				if !usedNames[plaza] {
+					records[i].Street = plaza + " Plaza, " + records[i].Street
+				}
+			}
+		}
+		note := ""
+		if rng.Float64() < cfg.NoteProb {
+			brand := cfg.Pool[rng.Intn(len(cfg.Pool))].Name
+			if !usedNames[brand] {
+				note = fmt.Sprintf("Also try %s in %s for more stock.",
+					brand, strings.ToUpper(pick(rng, cityWords)))
+			}
+		}
+		pages = append(pages, dealerPage(rng, cfg, style, records, note, pi))
+	}
+	// The link-list layout always carries the decoy list, so any site that
+	// drew it is LR-hostile, whether or not the flag forced it.
+	hostile := cfg.LRHostile || style.layout == 2
+	return finishSite(cfg.SiteName, dealerLayoutNames[style.layout], hostile, pages, nil)
+}
+
+func sampleBusinesses(rng *rand.Rand, pool []Business, n int) ([]Business, map[string]bool) {
+	used := make(map[string]bool)
+	out := make([]Business, 0, n)
+	for len(out) < n {
+		b := pool[rng.Intn(len(pool))]
+		if used[b.Name] {
+			continue
+		}
+		used[b.Name] = true
+		out = append(out, b)
+	}
+	return out, used
+}
+
+func dealerPage(rng *rand.Rand, cfg DealerConfig, style dealerStyle, records []Business, note string, pageIdx int) *pageBuild {
+	p := newPage()
+	html := p.doc.Append(el("html"))
+	head := html.Append(el("head"))
+	head.Append(elText("title", cfg.SiteName+" Dealer Locator"))
+	body := html.Append(el("body"))
+
+	// Header chrome, identical on every page of the site.
+	header := body.Append(el("div", "class", "header"))
+	header.Append(elText("h1", cfg.SiteName+" Dealer Locator"))
+	nav := header.Append(el("ul", "class", "topnav"))
+	for _, item := range style.navItems {
+		li := nav.Append(el("li"))
+		li.Append(elText("a", item, "href", "#"))
+	}
+
+	if style.withSide {
+		side := body.Append(el("div", "class", "side"))
+		side.Append(elText("h4", "Popular Searches"))
+		ul := side.Append(el("ul"))
+		for i := 0; i < 4; i++ {
+			ul.Append(elText("li", pick(rng, cityWords)+" stores"))
+		}
+	}
+
+	main := body.Append(el("div", "class", "main"))
+	city := strings.ToUpper(pick(rng, cityWords))
+	main.Append(elText("p", fmt.Sprintf("There are %d shops within 50 miles of %s, %s",
+		len(records), city, pick(rng, stateCodes)), "class", "summary"))
+	if note != "" {
+		main.Append(elText("p", note, "class", "note"))
+	}
+
+	renderDealerList(p, main, style, records)
+
+	footer := body.Append(el("div", "class", "footer"))
+	ftext := fmt.Sprintf("© 2010 %s. All rights reserved.", cfg.SiteName)
+	if style.footerRef {
+		ftext += fmt.Sprintf(" Ref %05d.", 20000+((pageIdx*7919)%60000))
+	}
+	footer.Append(text(ftext))
+	return p
+}
+
+// renderDealerList renders the record list in the site's layout; every
+// layout keeps the business name and the zipcode as standalone text nodes
+// (the name inside style.nameTag, the zip inside <b>), which is what the
+// gold relocation and the multi-type experiments rely on.
+func renderDealerList(p *pageBuild, main *dom.Node, style dealerStyle, records []Business) {
+	switch style.layout {
+	case 0: // table rows
+		div := main.Append(el("div", "class", style.listClass))
+		table := div.Append(el("table"))
+		for _, r := range records {
+			tr := table.Append(el("tr"))
+			td := tr.Append(el("td"))
+			td.Append(elText(style.nameTag, r.Name))
+			td.Append(el("br"))
+			td.Append(text(r.Street))
+			td.Append(el("br"))
+			td.Append(text(r.City + ", " + r.State))
+			td.Append(elText("b", r.Zip))
+			td2 := tr.Append(el("td"))
+			td2.Append(text("Phone: " + r.Phone))
+			p.markGold("name", r.Name, style.nameTag)
+			p.markGold("zip", r.Zip, "b")
+			p.markGold("phone", "Phone: "+r.Phone, "td")
+		}
+	case 1: // div blocks
+		wrap := main.Append(el("div", "class", style.listClass))
+		for _, r := range records {
+			item := wrap.Append(el("div", "class", "item"))
+			item.Append(elText(style.nameTag, r.Name))
+			item.Append(elText("div", r.Street, "class", "addr"))
+			item.Append(elText("div", r.City+", "+r.State, "class", "city"))
+			item.Append(elText("b", r.Zip))
+			item.Append(elText("span", "Tel: "+r.Phone))
+			p.markGold("name", r.Name, style.nameTag)
+			p.markGold("zip", r.Zip, "b")
+			p.markGold("phone", "Tel: "+r.Phone, "span")
+		}
+	case 2: // link list (the LR-hostile layout; see decoy below)
+		ul := main.Append(el("ul", "class", style.listClass))
+		for _, r := range records {
+			li := ul.Append(el("li"))
+			li.Append(elText("a", r.Name, "href", "#"))
+			li.Append(text(" — " + r.Street + ", " + r.City + " " + r.State + " "))
+			li.Append(elText("b", r.Zip))
+			li.Append(text(" tel " + r.Phone))
+			p.markGold("name", r.Name, "a")
+			p.markGold("zip", r.Zip, "b")
+			p.markGold("phone", "tel "+r.Phone, "li")
+		}
+		// Decoy list: identical item markup (<li><a>text</a> — text<b>w</b>
+		// tail), different ul class. Only ancestor attributes separate the
+		// two lists, so LR (bounded character context) cannot be perfect
+		// while XPATH can.
+		decoy := main.Append(el("ul", "class", "quicklinks"))
+		for i := 0; i < 3; i++ {
+			li := decoy.Append(el("li"))
+			li.Append(elText("a", pick(rngFor(records, i), cityWords)+" store openings", "href", "#"))
+			li.Append(text(" — see weekly flyer for "))
+			li.Append(elText("b", pick(rngFor(records, i+3), streetWords)))
+			li.Append(text(" deals"))
+		}
+	case 3: // definition list
+		dl := main.Append(el("dl", "class", style.listClass))
+		for _, r := range records {
+			dt := dl.Append(el("dt"))
+			dt.Append(elText(style.nameTag, r.Name))
+			dl.Append(elText("dd", r.Street))
+			dl.Append(elText("dd", r.City+", "+r.State))
+			dd := dl.Append(el("dd"))
+			dd.Append(text("ZIP "))
+			dd.Append(elText("b", r.Zip))
+			dl.Append(elText("dd", "Call "+r.Phone))
+			p.markGold("name", r.Name, style.nameTag)
+			p.markGold("zip", r.Zip, "b")
+			p.markGold("phone", "Call "+r.Phone, "dd")
+		}
+	case 4: // headings + paragraphs
+		sec := main.Append(el("div", "class", style.listClass))
+		for _, r := range records {
+			h := sec.Append(el("h3"))
+			h.Append(elText(style.nameTag, r.Name))
+			para := sec.Append(el("p"))
+			para.Append(text(r.Street))
+			para.Append(el("br"))
+			para.Append(text(r.City + ", " + r.State))
+			para.Append(elText("b", r.Zip))
+			para.Append(el("br"))
+			para.Append(text("Phone: " + r.Phone))
+			p.markGold("name", r.Name, style.nameTag)
+			p.markGold("zip", r.Zip, "b")
+			p.markGold("phone", "Phone: "+r.Phone, "p")
+		}
+	}
+}
+
+// rngFor derives a deterministic rand from page content so decoy text varies
+// per page without threading another generator through.
+func rngFor(records []Business, salt int) *rand.Rand {
+	seed := int64(salt + 1)
+	for _, r := range records {
+		for _, ch := range r.Zip {
+			seed = seed*131 + int64(ch)
+		}
+	}
+	return rand.New(rand.NewSource(seed))
+}

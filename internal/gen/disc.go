@@ -1,0 +1,201 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"autowrap/internal/dom"
+)
+
+// DiscConfig parameterizes one discography website: one page per album,
+// each listing the album's tracks.
+type DiscConfig struct {
+	Seed     int64
+	SiteName string
+	// SeedAlbums are the albums every site carries (the paper's 11 popular
+	// albums that form the annotation dictionary).
+	SeedAlbums []Album
+	// ExtraAlbums is how many site-specific albums to add.
+	ExtraAlbums int
+	// BonusTrackProb is the per-album probability that the site lists 1–2
+	// bonus tracks absent from the dictionary (the annotator's recall
+	// loss).
+	BonusTrackProb float64
+	// CommentProb is the per-seed-album-page probability of a user comment
+	// quoting a track title (an annotator false positive inside free
+	// text).
+	CommentProb float64
+}
+
+func (c DiscConfig) withDefaults() DiscConfig {
+	if c.SiteName == "" {
+		c.SiteName = fmt.Sprintf("disc-site-%d", c.Seed)
+	}
+	if c.ExtraAlbums == 0 {
+		c.ExtraAlbums = 9
+	}
+	if c.BonusTrackProb == 0 {
+		c.BonusTrackProb = 0.5
+	}
+	if c.CommentProb == 0 {
+		c.CommentProb = 0.8
+	}
+	return c
+}
+
+type discStyle struct {
+	layout    int // 0 ordered list, 1 table, 2 unordered list with numbers
+	trackTag  string
+	listClass string
+	crumb     bool
+}
+
+var discLayoutNames = []string{"ol", "table", "ul"}
+
+// DiscSite generates one discography website with gold "track" and "album"
+// labels plus per-page album titles in PageValues["album"].
+func DiscSite(cfg DiscConfig) (*Site, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	style := discStyle{
+		layout:    rng.Intn(3),
+		trackTag:  pick(rng, []string{"a", "b", "span"}),
+		listClass: pick(rng, []string{"tracklist", "tracks", "songlist"}),
+		crumb:     rng.Float64() < 0.7,
+	}
+
+	// Site catalogue: all seed albums plus site-specific ones. Extra albums
+	// must not collide with seed titles (pool construction dedupes titles
+	// only within one call, so re-draw as needed).
+	albums := append([]Album(nil), cfg.SeedAlbums...)
+	seen := make(map[string]bool)
+	for _, a := range albums {
+		seen[a.Title] = true
+	}
+	extra := AlbumPoolAlt(cfg.Seed*31+7, cfg.ExtraAlbums*3, 0.3)
+	for _, a := range extra {
+		if len(albums) >= len(cfg.SeedAlbums)+cfg.ExtraAlbums {
+			break
+		}
+		if seen[a.Title] {
+			continue
+		}
+		seen[a.Title] = true
+		albums = append(albums, a)
+	}
+
+	// Sidebar recommendations come from the site-specific catalogue only:
+	// a real site's "more albums" box shows its own inventory, so it must
+	// not re-expose the (seed) dictionary titles on every page — that
+	// would hand the single-entity learner a better-covered wrong rule.
+	extras2 := albums[len(cfg.SeedAlbums):]
+
+	var pages []*pageBuild
+	values := map[string][]string{"album": {}}
+	for _, album := range albums {
+		tracks := append([]string(nil), album.Tracks...)
+		if rng.Float64() < cfg.BonusTrackProb {
+			n := 1 + rng.Intn(2)
+			for i := 0; i < n; i++ {
+				tracks = append(tracks, AltTrackName(rng)+" (Bonus)")
+			}
+		}
+		comment := ""
+		if rng.Float64() < cfg.CommentProb && len(album.Tracks) > 0 {
+			quoted := album.Tracks[rng.Intn(len(album.Tracks))]
+			comment = fmt.Sprintf("Absolutely love %s, best song of %d!", quoted, album.Year)
+		}
+		pages = append(pages, discPage(cfg, style, album, tracks, comment, extras2, rng))
+		values["album"] = append(values["album"], album.Title)
+	}
+	return finishSite(cfg.SiteName, discLayoutNames[style.layout], false, pages, values)
+}
+
+func discPage(cfg DiscConfig, style discStyle, album Album, tracks []string, comment string, catalogue []Album, rng *rand.Rand) *pageBuild {
+	p := newPage()
+	html := p.doc.Append(el("html"))
+	head := html.Append(el("head"))
+	head.Append(elText("title", album.Title+" - "+album.Artist+" | "+cfg.SiteName))
+	body := html.Append(el("body"))
+
+	header := body.Append(el("div", "class", "header"))
+	header.Append(elText("h2", cfg.SiteName))
+	nav := header.Append(el("ul", "class", "topnav"))
+	for _, item := range []string{"Albums", "Artists", "Charts", "Forum"} {
+		li := nav.Append(el("li"))
+		li.Append(elText("a", item, "href", "#"))
+	}
+
+	main := body.Append(el("div", "class", "main"))
+	if style.crumb {
+		crumb := main.Append(el("div", "class", "crumb"))
+		crumb.Append(elText("a", "Home", "href", "#"))
+		crumb.Append(text(" > "))
+		crumb.Append(elText("a", "Albums", "href", "#"))
+		crumb.Append(text(" > "))
+		crumb.Append(elText("span", album.Title))
+		p.markGold("album", album.Title, "span")
+	}
+	main.Append(elText("h1", album.Title))
+	p.markGold("album", album.Title, "h1")
+	main.Append(elText("div", fmt.Sprintf("%s — %d", album.Artist, album.Year), "class", "meta"))
+
+	renderTrackList(p, main, style, tracks)
+
+	// Related albums sidebar, drawn per page from the site's own
+	// catalogue.
+	related := body.Append(el("div", "class", "related"))
+	related.Append(elText("h4", "More Albums"))
+	ul := related.Append(el("ul"))
+	count := 0
+	for _, oi := range rng.Perm(len(catalogue)) {
+		other := catalogue[oi]
+		if count >= 3 || other.Title == album.Title {
+			continue
+		}
+		li := ul.Append(el("li"))
+		li.Append(elText("a", other.Title, "href", "#"))
+		count++
+	}
+
+	if comment != "" {
+		cdiv := body.Append(el("div", "class", "comments"))
+		cdiv.Append(elText("h4", "Comments"))
+		cdiv.Append(elText("p", comment))
+	}
+
+	footer := body.Append(el("div", "class", "footer"))
+	footer.Append(text(fmt.Sprintf("© 2010 %s", cfg.SiteName)))
+	return p
+}
+
+func renderTrackList(p *pageBuild, main *dom.Node, style discStyle, tracks []string) {
+	switch style.layout {
+	case 0: // ordered list
+		ol := main.Append(el("ol", "class", style.listClass))
+		for i, tr := range tracks {
+			li := ol.Append(el("li"))
+			li.Append(elText(style.trackTag, tr))
+			li.Append(elText("span", fmt.Sprintf("%d:%02d", 2+i%4, (i*17)%60)))
+			p.markGold("track", tr, style.trackTag)
+		}
+	case 1: // table
+		tbl := main.Append(el("table", "class", style.listClass))
+		for i, tr := range tracks {
+			row := tbl.Append(el("tr"))
+			row.Append(elText("td", fmt.Sprintf("%d.", i+1)))
+			cell := row.Append(el("td"))
+			cell.Append(elText(style.trackTag, tr))
+			row.Append(elText("td", fmt.Sprintf("%d:%02d", 2+i%4, (i*13)%60)))
+			p.markGold("track", tr, style.trackTag)
+		}
+	case 2: // unordered list with explicit numbers
+		ul := main.Append(el("ul", "class", style.listClass))
+		for i, tr := range tracks {
+			li := ul.Append(el("li"))
+			li.Append(elText("span", fmt.Sprintf("%02d", i+1), "class", "num"))
+			li.Append(elText(style.trackTag, tr))
+			p.markGold("track", tr, style.trackTag)
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBusinessPoolDistinctAndSized(t *testing.T) {
+	pool := BusinessPool(7, 4000, 0)
+	if len(pool) != 4000 {
+		t.Fatalf("pool size = %d", len(pool))
+	}
+	seen := make(map[string]bool)
+	for _, b := range pool {
+		if seen[b.Name] {
+			t.Fatalf("duplicate name %q", b.Name)
+		}
+		seen[b.Name] = true
+		if len(b.Zip) != 5 {
+			t.Fatalf("bad zip %q", b.Zip)
+		}
+	}
+}
+
+func TestBusinessPoolNoNestedNames(t *testing.T) {
+	pool := BusinessPool(7, 2000, 0)
+	// No generated name may be a word-prefix of another: the dictionary
+	// annotator's recall would otherwise exceed the sampling fraction.
+	byLen := make(map[string]bool, len(pool))
+	for _, b := range pool {
+		byLen[strings.ToLower(b.Name)] = true
+	}
+	for name := range byLen {
+		words := strings.Fields(name)
+		for cut := 1; cut < len(words); cut++ {
+			if byLen[strings.Join(words[:cut], " ")] {
+				t.Fatalf("name %q has a nested shorter name", name)
+			}
+		}
+	}
+}
+
+func TestBusinessPoolAmbiguousNames(t *testing.T) {
+	pool := BusinessPool(7, 1000, 0.01)
+	oneWord := 0
+	for _, b := range pool {
+		if !strings.Contains(b.Name, " ") {
+			oneWord++
+		}
+	}
+	if oneWord == 0 {
+		t.Fatal("ambiguousFrac > 0 should produce one-word city names")
+	}
+}
+
+func TestBusinessPoolOverflowsGracefully(t *testing.T) {
+	pool := BusinessPool(7, 7000, 0) // beyond the combination space
+	seen := make(map[string]bool)
+	for _, b := range pool {
+		if seen[b.Name] {
+			t.Fatalf("duplicate %q in overflow regime", b.Name)
+		}
+		seen[b.Name] = true
+	}
+}
+
+func TestAlbumPoolsDisjointVocab(t *testing.T) {
+	seeds := AlbumPool(1, 11, 0.35)
+	extras := AlbumPoolAlt(2, 30, 0.3)
+	seedTracks := make(map[string]bool)
+	for _, a := range seeds {
+		for _, tr := range a.Tracks {
+			seedTracks[tr] = true
+		}
+	}
+	for _, a := range extras {
+		for _, tr := range a.Tracks {
+			if seedTracks[tr] {
+				t.Fatalf("track %q appears in both vocabularies", tr)
+			}
+		}
+	}
+}
+
+func TestAlbumPoolTitleTracks(t *testing.T) {
+	albums := AlbumPool(3, 40, 0.5)
+	tt := 0
+	for _, a := range albums {
+		if a.TitleTrack {
+			tt++
+			if a.Title != a.Tracks[0] {
+				t.Fatalf("title-track album %q does not match its first track %q",
+					a.Title, a.Tracks[0])
+			}
+		}
+	}
+	if tt == 0 || tt == len(albums) {
+		t.Fatalf("title-track count %d implausible for frac 0.5", tt)
+	}
+}
+
+func TestProductPoolBrands(t *testing.T) {
+	pool := ProductPool(5, 700)
+	if len(pool) != 700 {
+		t.Fatalf("pool size %d", len(pool))
+	}
+	brands := make(map[string]int)
+	for _, p := range pool {
+		brands[p.Brand]++
+		if !strings.HasPrefix(p.Name, p.Brand+" ") {
+			t.Fatalf("name %q does not start with brand %q", p.Name, p.Brand)
+		}
+	}
+	for _, b := range DictBrands {
+		if brands[b] == 0 {
+			t.Fatalf("dictionary brand %q missing from pool", b)
+		}
+	}
+}
+
+func TestDealerSiteGoldRelocation(t *testing.T) {
+	pool := BusinessPool(11, 500, 0)
+	site, err := DealerSite(DealerConfig{Seed: 42, Pool: pool, NumPages: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := site.Gold["name"]
+	zips := site.Gold["zip"]
+	if names.Empty() || zips.Empty() {
+		t.Fatal("gold sets empty")
+	}
+	if names.Count() != zips.Count() {
+		t.Fatalf("names (%d) and zips (%d) must pair up", names.Count(), zips.Count())
+	}
+	if len(site.GoldRecords) != names.Count() {
+		t.Fatalf("gold records %d != names %d", len(site.GoldRecords), names.Count())
+	}
+	// Every gold name content must look like a pool business name.
+	names.ForEach(func(ord int) {
+		v := site.Corpus.TextContent(ord)
+		if v != strings.ToUpper(v) || len(v) < 4 {
+			t.Fatalf("suspicious gold name %q", v)
+		}
+	})
+	// Per-page zips are unique (multi-type relocation invariant).
+	perPage := make(map[int]map[string]bool)
+	zips.ForEach(func(ord int) {
+		p := site.Corpus.PageOf(ord)
+		if perPage[p] == nil {
+			perPage[p] = make(map[string]bool)
+		}
+		v := site.Corpus.TextContent(ord)
+		if perPage[p][v] {
+			t.Fatalf("duplicate zip %q on page %d", v, p)
+		}
+		perPage[p][v] = true
+	})
+}
+
+func TestDealerSiteLayoutsAllRelocate(t *testing.T) {
+	pool := BusinessPool(11, 500, 0)
+	layouts := make(map[string]bool)
+	for seed := int64(0); seed < 24; seed++ {
+		site, err := DealerSite(DealerConfig{Seed: seed, Pool: pool, NumPages: 3})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		layouts[site.Layout] = true
+	}
+	for _, want := range dealerLayoutNames {
+		if !layouts[want] {
+			t.Errorf("layout %q never generated across 24 seeds", want)
+		}
+	}
+}
+
+func TestDealerSiteHostileUsesLinkList(t *testing.T) {
+	pool := BusinessPool(11, 500, 0)
+	site, err := DealerSite(DealerConfig{Seed: 9, Pool: pool, NumPages: 2, LRHostile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !site.LRHostile || site.Layout != "linklist" {
+		t.Fatalf("hostile site: layout=%s hostile=%v", site.Layout, site.LRHostile)
+	}
+	// The decoy list must exist with the same item markup.
+	html := site.Corpus.Pages[0].HTML
+	if !strings.Contains(html, `class="quicklinks"`) {
+		t.Fatal("decoy list missing")
+	}
+}
+
+func TestDiscSiteGold(t *testing.T) {
+	seeds := AlbumPool(1, 11, 0.35)
+	site, err := DiscSite(DiscConfig{Seed: 77, SeedAlbums: seeds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(site.Corpus.Pages) != 20 {
+		t.Fatalf("pages = %d, want 11 seeds + 9 extras", len(site.Corpus.Pages))
+	}
+	if len(site.PageValues["album"]) != len(site.Corpus.Pages) {
+		t.Fatal("PageValues must cover every page")
+	}
+	tracks := site.Gold["track"]
+	albums := site.Gold["album"]
+	if tracks.Count() < 8*len(site.Corpus.Pages) {
+		t.Fatalf("too few gold tracks: %d", tracks.Count())
+	}
+	// Album gold nodes match the page's album value.
+	albums.ForEach(func(ord int) {
+		p := site.Corpus.PageOf(ord)
+		if site.Corpus.TextContent(ord) != site.PageValues["album"][p] {
+			t.Fatalf("album gold mismatch on page %d", p)
+		}
+	})
+}
+
+func TestProductsSiteGold(t *testing.T) {
+	pool := ProductPool(5, 300)
+	site, err := ProductsSite(ProductsConfig{Seed: 3, Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gold := site.Gold["product"]
+	if gold.Empty() {
+		t.Fatal("no gold products")
+	}
+	gold.ForEach(func(ord int) {
+		v := site.Corpus.TextContent(ord)
+		ok := false
+		for _, b := range phoneBrands {
+			if strings.HasPrefix(v, b+" ") {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("gold product %q has unknown brand", v)
+		}
+	})
+}
+
+func TestSiteDeterminism(t *testing.T) {
+	pool := BusinessPool(11, 500, 0)
+	a, err := DealerSite(DealerConfig{Seed: 5, Pool: pool, NumPages: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DealerSite(DealerConfig{Seed: 5, Pool: pool, NumPages: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Corpus.Pages {
+		if a.Corpus.Pages[i].HTML != b.Corpus.Pages[i].HTML {
+			t.Fatalf("page %d differs across identical seeds", i)
+		}
+	}
+	if !a.Gold["name"].Equal(b.Gold["name"]) {
+		t.Fatal("gold differs across identical seeds")
+	}
+}

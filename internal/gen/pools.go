@@ -1,0 +1,287 @@
+// Package gen simulates the web publication process of the paper's
+// Sec. 2.1: pick a schema, pick a rendering script, render a set of records
+// into structurally identical HTML pages. It stands in for the proprietary
+// datasets of the paper's evaluation (330 dealer-locator sites, 15
+// discography sites, 10 shopping sites) — see DESIGN.md, "Substitutions".
+//
+// All generation is deterministic in the provided seeds.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Word pools. The pools deliberately overlap: some city words double as
+// one-word business names, which is what makes a dictionary annotator
+// produce organic false positives ("errors stem from business names
+// matching street addresses", Sec. 7).
+var (
+	cityWords = []string{
+		"Albany", "Brookfield", "Camden", "Dayton", "Easton", "Fairview",
+		"Georgetown", "Hartford", "Irvine", "Jackson", "Kingston", "Lakeside",
+		"Madison", "Norwood", "Oakdale", "Portland", "Quincy", "Riverside",
+		"Salem", "Trenton", "Union", "Vernon", "Westfield", "Yorkville",
+		"Woodland", "Ashland", "Bristol", "Clinton", "Dover", "Elmwood",
+	}
+	stateCodes = []string{
+		"AL", "CA", "CO", "FL", "GA", "IL", "KY", "MA", "MI", "MS",
+		"NC", "NJ", "NY", "OH", "PA", "TN", "TX", "VA", "WA", "WI",
+	}
+	streetWords = []string{
+		"Main", "Oak", "Maple", "Cedar", "Pine", "Elm", "Walnut", "Lake",
+		"Hill", "Park", "Washington", "Church", "Spring", "Ridge", "Mill",
+		"River", "Sunset", "Highland", "Forest", "Meadow",
+	}
+	streetSuffixes = []string{"St", "Ave", "Blvd", "Rd", "Dr", "Ln", "Hwy 30", "Pkwy"}
+
+	nameLeads = []string{
+		"Porter", "Ashton", "Bellamy", "Carver", "Dalton", "Everett",
+		"Foster", "Granger", "Harmon", "Ingram", "Jasper", "Keller",
+		"Lawson", "Mercer", "Nolan", "Osborne", "Prescott", "Quimby",
+		"Rowan", "Sutton", "Thatcher", "Underhill", "Vance", "Whitman",
+		"Yates", "Zimmer", "Colton", "Draper", "Ellison", "Fletcher",
+		"Barrett", "Crawford", "Donovan", "Emerson", "Gardner", "Holloway",
+		"Kendall", "Lambert", "Monroe", "Sheffield",
+	}
+	nameTrades = []string{
+		"Furniture", "Interiors", "Appliances", "Electronics", "Lighting",
+		"Carpets", "Kitchens", "Bedding", "Antiques", "Cabinets",
+		"Hardware", "Furnishings",
+	}
+	// Suffixes are mandatory and pairwise non-nested so no generated name
+	// is a word-boundary substring of another: the dictionary annotator's
+	// recall then equals the dictionary's sampling fraction.
+	nameSuffixes = []string{
+		" Co", " Inc", " Outlet", " Gallery", " Warehouse",
+		" Depot", " Center", " Shop", " & Sons", " Direct", " Studio", " Mart",
+	}
+
+	albumWords = []string{
+		"Midnight", "Silver", "Echo", "Crimson", "Velvet", "Electric",
+		"Golden", "Paper", "Winter", "Neon", "Hollow", "Scarlet", "Atlas",
+		"Ember", "Harbor", "Mirror", "Static", "Wild", "Quiet", "Solar",
+	}
+	albumNouns = []string{
+		"Roads", "Dreams", "Letters", "Gardens", "Signals", "Horizons",
+		"Shadows", "Rivers", "Stories", "Windows", "Machines", "Seasons",
+		"Fires", "Voices", "Tides", "Maps",
+	}
+	trackVerbs = []string{
+		"Chasing", "Finding", "Leaving", "Burning", "Holding", "Breaking",
+		"Calling", "Dreaming", "Falling", "Waiting", "Running", "Singing",
+	}
+	trackNouns = []string{
+		"the Sun", "Your Ghost", "the Tide", "Tomorrow", "the Wire",
+		"My Shadow", "the Storm", "Home", "the Lights", "Yesterday",
+		"the River", "Gravity", "the Echo", "Stars", "the Silence",
+	}
+	// Alternate track vocabulary, disjoint from the one above: tracks of
+	// site-specific albums (and bonus tracks) draw from it so they never
+	// collide with the seed-album dictionary — mirroring how rarely real
+	// track titles collide across unrelated albums.
+	trackVerbsAlt = []string{
+		"Drifting", "Counting", "Painting", "Tracing", "Spinning",
+		"Weaving", "Melting", "Rising", "Bending", "Sailing", "Wandering",
+		"Gathering",
+	}
+	trackNounsAlt = []string{
+		"the Rain", "Old Roads", "the Canyon", "December", "the Smoke",
+		"Her Letters", "the Valley", "Daylight", "the Harbor", "Midnight Air",
+		"the Garden", "Thunder", "the Window", "Embers", "the Morning",
+	}
+	artistNames = []string{
+		"The Night Owls", "Clara Voss", "Redwood Parade", "Miles Hartley",
+		"The Paper Kites", "Iris & June", "Delta Haze", "Sam Mercer",
+		"The Lanterns", "Ada Quinn", "Granite Choir", "Leo Marsh",
+	}
+
+	phoneBrands = []string{"Nokira", "Samsong", "Motorix", "Appelo", "Sonetic",
+		"Huaron", "Zentel", "Blackbird"}
+	// DictBrands are the five "popular brands" whose models form the
+	// PRODUCTS dictionary (paper: "five popular brands ... total size 463").
+	DictBrands = phoneBrands[:5]
+)
+
+// Business is one store-locator record.
+type Business struct {
+	Name   string
+	Street string
+	City   string
+	State  string
+	Zip    string
+	Phone  string
+}
+
+// BusinessPool deterministically generates n distinct businesses.
+// ambiguousFrac of them get one-word names drawn from the city pool — these
+// are the names whose dictionary entries fire inside address lines.
+//
+// Names are enumerated from the word pools and shuffled rather than
+// rejection-sampled, so any n is safe: when n exceeds the distinct
+// combinations, numbered variants ("X FURNITURE 2") extend the space.
+func BusinessPool(seed int64, n int, ambiguousFrac float64) []Business {
+	rng := rand.New(rand.NewSource(seed))
+	var combos []string
+	seenCombo := make(map[string]bool)
+	for _, lead := range nameLeads {
+		for _, trade := range nameTrades {
+			for _, suf := range nameSuffixes {
+				name := strings.ToUpper(lead + " " + trade + suf)
+				if !seenCombo[name] {
+					seenCombo[name] = true
+					combos = append(combos, name)
+				}
+			}
+		}
+	}
+	rng.Shuffle(len(combos), func(i, j int) { combos[i], combos[j] = combos[j], combos[i] })
+	nAmb := int(ambiguousFrac * float64(n))
+	if nAmb > len(cityWords) {
+		nAmb = len(cityWords)
+	}
+	names := make([]string, 0, n)
+	for i := 0; i < nAmb; i++ {
+		names = append(names, strings.ToUpper(cityWords[i]))
+	}
+	for i := 0; len(names) < n; i++ {
+		name := combos[i%len(combos)]
+		if i >= len(combos) {
+			name = fmt.Sprintf("%s %d", name, i/len(combos)+2)
+		}
+		names = append(names, name)
+	}
+	out := make([]Business, 0, n)
+	for _, name := range names {
+		// Most street numbers are short, but some are five digits — those
+		// are the zipcode annotator's false-positive source (Appendix A:
+		// noise from "five-digit street address").
+		streetNum := 1 + rng.Intn(9899)
+		if rng.Float64() < 0.15 {
+			streetNum = 10000 + rng.Intn(9000)
+		}
+		out = append(out, Business{
+			Name:   name,
+			Street: fmt.Sprintf("%d %s %s", streetNum, pick(rng, streetWords), pick(rng, streetSuffixes)),
+			City:   strings.ToUpper(pick(rng, cityWords)),
+			State:  pick(rng, stateCodes),
+			Zip:    fmt.Sprintf("%05d", 10000+rng.Intn(89999)),
+			Phone:  fmt.Sprintf("%d-%d-%04d", 200+rng.Intn(799), 200+rng.Intn(799), rng.Intn(10000)),
+		})
+	}
+	return out
+}
+
+// Album is one discography record.
+type Album struct {
+	Title  string
+	Artist string
+	Year   int
+	Tracks []string
+	// TitleTrack marks albums named after one of their tracks — the DISC
+	// annotator's main false-positive source ("track titles matching album
+	// titles").
+	TitleTrack bool
+}
+
+// AlbumPool deterministically generates n distinct albums with 8–14 tracks
+// each; titleTrackFrac of them are named after their first track. The seed
+// dictionary albums use this pool.
+func AlbumPool(seed int64, n int, titleTrackFrac float64) []Album {
+	return albumPool(seed, n, titleTrackFrac, trackVerbs, trackNouns)
+}
+
+// AlbumPoolAlt generates albums from the alternate (disjoint) track
+// vocabulary: site-specific albums whose tracks must not appear in the
+// annotation dictionary.
+func AlbumPoolAlt(seed int64, n int, titleTrackFrac float64) []Album {
+	return albumPool(seed, n, titleTrackFrac, trackVerbsAlt, trackNounsAlt)
+}
+
+// AltTrackName draws one track name from the alternate vocabulary (bonus
+// tracks).
+func AltTrackName(rng *rand.Rand) string {
+	return pick(rng, trackVerbsAlt) + " " + pick(rng, trackNounsAlt)
+}
+
+func albumPool(seed int64, n int, titleTrackFrac float64, verbs, nouns []string) []Album {
+	rng := rand.New(rand.NewSource(seed))
+	seenTitle := make(map[string]bool)
+	out := make([]Album, 0, n)
+	attempts := 0
+	for len(out) < n {
+		attempts++
+		nTracks := 8 + rng.Intn(7)
+		tracks := make([]string, 0, nTracks)
+		seenTrack := make(map[string]bool)
+		for len(tracks) < nTracks {
+			tr := pick(rng, verbs) + " " + pick(rng, nouns)
+			if seenTrack[tr] {
+				continue
+			}
+			seenTrack[tr] = true
+			tracks = append(tracks, tr)
+		}
+		a := Album{
+			Artist: pick(rng, artistNames),
+			Year:   1965 + rng.Intn(45),
+			Tracks: tracks,
+		}
+		if rng.Float64() < titleTrackFrac {
+			a.Title = tracks[0]
+			a.TitleTrack = true
+		} else {
+			a.Title = pick(rng, albumWords) + " " + pick(rng, albumNouns)
+		}
+		if attempts > 20*n+1000 {
+			// The combinational title space is bounded; extend it with a
+			// volume number rather than spinning on rejections.
+			a.Title = fmt.Sprintf("%s Vol. %d", a.Title, attempts%97+2)
+			a.TitleTrack = false
+		}
+		if seenTitle[a.Title] {
+			continue
+		}
+		seenTitle[a.Title] = true
+		out = append(out, a)
+	}
+	return out
+}
+
+// Product is one shopping record (a cellphone).
+type Product struct {
+	Name  string // "Brand Model-123"
+	Brand string
+	Price string
+}
+
+// ProductPool deterministically generates n distinct cellphones across all
+// brands (dictionary brands and others).
+func ProductPool(seed int64, n int) []Product {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[string]bool)
+	out := make([]Product, 0, n)
+	series := []string{"X", "Z", "Neo", "Pro", "Lite", "Max", "Star", "Flip"}
+	attempts := 0
+	for len(out) < n {
+		attempts++
+		brand := pick(rng, phoneBrands)
+		name := fmt.Sprintf("%s %s%d", brand, pick(rng, series), 100+rng.Intn(900))
+		if attempts > 20*n+1000 {
+			name = fmt.Sprintf("%s mk%d", name, attempts)
+		}
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		out = append(out, Product{
+			Name:  name,
+			Brand: brand,
+			Price: fmt.Sprintf("$%d.99", 49+rng.Intn(900)),
+		})
+	}
+	return out
+}
+
+func pick(rng *rand.Rand, pool []string) string { return pool[rng.Intn(len(pool))] }

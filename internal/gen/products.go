@@ -1,0 +1,149 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"autowrap/internal/dom"
+)
+
+// ProductsConfig parameterizes one shopping website selling cellphones.
+type ProductsConfig struct {
+	Seed     int64
+	SiteName string
+	// Pool is the global product pool.
+	Pool []Product
+	// NumPages and records per page.
+	NumPages               int
+	MinRecords, MaxRecords int
+	// AccessoryProb is the per-page probability of an accessory promo line
+	// mentioning a product name outside the listing (annotator FP).
+	AccessoryProb float64
+}
+
+func (c ProductsConfig) withDefaults() ProductsConfig {
+	if c.SiteName == "" {
+		c.SiteName = fmt.Sprintf("shop-site-%d", c.Seed)
+	}
+	if c.NumPages == 0 {
+		c.NumPages = 10
+	}
+	if c.MinRecords == 0 {
+		c.MinRecords = 5
+	}
+	if c.MaxRecords == 0 {
+		c.MaxRecords = 12
+	}
+	if c.AccessoryProb == 0 {
+		c.AccessoryProb = 0.3
+	}
+	return c
+}
+
+type productStyle struct {
+	layout    int // 0 grid of divs, 1 table, 2 list
+	nameTag   string
+	listClass string
+}
+
+var productLayoutNames = []string{"grid", "table", "list"}
+
+// ProductsSite generates one shopping website with gold "product" labels.
+func ProductsSite(cfg ProductsConfig) (*Site, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	style := productStyle{
+		layout:    rng.Intn(3),
+		nameTag:   pick(rng, []string{"a", "b", "h3", "span"}),
+		listClass: pick(rng, []string{"products", "phonegrid", "itemlist", "catalog"}),
+	}
+	var pages []*pageBuild
+	for pi := 0; pi < cfg.NumPages; pi++ {
+		n := cfg.MinRecords + rng.Intn(cfg.MaxRecords-cfg.MinRecords+1)
+		items, used := sampleProducts(rng, cfg.Pool, n)
+		promo := ""
+		if rng.Float64() < cfg.AccessoryProb {
+			other := cfg.Pool[rng.Intn(len(cfg.Pool))]
+			if !used[other.Name] {
+				promo = fmt.Sprintf("Accessories for %s now 20%% off!", other.Name)
+			}
+		}
+		pages = append(pages, productPage(cfg, style, items, promo, rng))
+	}
+	return finishSite(cfg.SiteName, productLayoutNames[style.layout], false, pages, nil)
+}
+
+func sampleProducts(rng *rand.Rand, pool []Product, n int) ([]Product, map[string]bool) {
+	used := make(map[string]bool)
+	out := make([]Product, 0, n)
+	for len(out) < n {
+		p := pool[rng.Intn(len(pool))]
+		if used[p.Name] {
+			continue
+		}
+		used[p.Name] = true
+		out = append(out, p)
+	}
+	return out, used
+}
+
+func productPage(cfg ProductsConfig, style productStyle, items []Product, promo string, rng *rand.Rand) *pageBuild {
+	p := newPage()
+	html := p.doc.Append(el("html"))
+	head := html.Append(el("head"))
+	head.Append(elText("title", cfg.SiteName+" — Cell Phones"))
+	body := html.Append(el("body"))
+
+	header := body.Append(el("div", "class", "header"))
+	header.Append(elText("h1", cfg.SiteName))
+	nav := header.Append(el("ul", "class", "topnav"))
+	for _, item := range []string{"Phones", "Plans", "Accessories", "Support"} {
+		li := nav.Append(el("li"))
+		li.Append(elText("a", item, "href", "#"))
+	}
+
+	main := body.Append(el("div", "class", "main"))
+	main.Append(elText("p", fmt.Sprintf("Showing %d phones", len(items)), "class", "summary"))
+	if promo != "" {
+		main.Append(elText("p", promo, "class", "promo"))
+	}
+
+	renderProductList(p, main, style, items)
+
+	footer := body.Append(el("div", "class", "footer"))
+	footer.Append(text(fmt.Sprintf("© 2010 %s — prices subject to change", cfg.SiteName)))
+	return p
+}
+
+func renderProductList(p *pageBuild, main *dom.Node, style productStyle, items []Product) {
+	switch style.layout {
+	case 0: // grid of divs
+		grid := main.Append(el("div", "class", style.listClass))
+		for _, it := range items {
+			card := grid.Append(el("div", "class", "card"))
+			card.Append(elText(style.nameTag, it.Name))
+			card.Append(elText("div", it.Price, "class", "price"))
+			card.Append(elText("div", "Free shipping", "class", "ship"))
+			p.markGold("product", it.Name, style.nameTag)
+		}
+	case 1: // table
+		tbl := main.Append(el("table", "class", style.listClass))
+		for _, it := range items {
+			tr := tbl.Append(el("tr"))
+			td := tr.Append(el("td"))
+			td.Append(elText(style.nameTag, it.Name))
+			tr.Append(elText("td", it.Price))
+			tr.Append(elText("td", "In stock"))
+			p.markGold("product", it.Name, style.nameTag)
+		}
+	case 2: // list
+		ul := main.Append(el("ul", "class", style.listClass))
+		for _, it := range items {
+			li := ul.Append(el("li"))
+			li.Append(elText(style.nameTag, it.Name))
+			li.Append(text(" — "))
+			li.Append(elText("b", it.Price))
+			p.markGold("product", it.Name, style.nameTag)
+		}
+	}
+}

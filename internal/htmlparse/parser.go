@@ -1,0 +1,104 @@
+package htmlparse
+
+import (
+	"strings"
+
+	"autowrap/internal/dom"
+)
+
+// autoClose maps a tag to the set of open tags it implicitly closes when it
+// starts. This captures the common sloppy patterns of script-generated HTML
+// (e.g. a new <tr> closes an open <td> and <tr>).
+var autoClose = map[string][]string{
+	"li":     {"li"},
+	"tr":     {"td", "th", "tr"},
+	"td":     {"td", "th"},
+	"th":     {"td", "th"},
+	"p":      {"p"},
+	"option": {"option"},
+	"dt":     {"dd", "dt"},
+	"dd":     {"dd", "dt"},
+	"thead":  {"td", "th", "tr", "tbody"},
+	"tbody":  {"td", "th", "tr", "thead"},
+}
+
+// Parse builds a document tree from HTML source. It never returns an error:
+// any input yields a tree (tolerant, tidy-like behaviour). Whitespace-only
+// text between elements is dropped; other text keeps its original spacing.
+func Parse(src string) *dom.Node {
+	doc := dom.NewDocument()
+	stack := []*dom.Node{doc}
+	top := func() *dom.Node { return stack[len(stack)-1] }
+
+	tz := newTokenizer(src)
+	for {
+		tok, ok := tz.next()
+		if !ok {
+			break
+		}
+		switch tok.typ {
+		case tokComment, tokDoctype:
+			// dropped: the extraction model does not use them
+		case tokText:
+			if top().Raw {
+				if strings.TrimSpace(tok.data) != "" {
+					top().Append(dom.NewText(tok.data))
+				}
+				continue
+			}
+			if strings.TrimSpace(tok.data) == "" {
+				continue
+			}
+			top().Append(dom.NewText(collapseSpace(tok.data)))
+		case tokStartTag, tokSelfClosing:
+			for _, victim := range autoClose[tok.data] {
+				if top().IsElement(victim) {
+					stack = stack[:len(stack)-1]
+				}
+			}
+			el := &dom.Node{Type: dom.ElementNode, Tag: tok.data}
+			for _, a := range tok.attrs {
+				el.Attrs = append(el.Attrs, dom.Attr{Key: a.key, Val: a.val})
+			}
+			if tok.data == "script" || tok.data == "style" {
+				el.Raw = true
+			}
+			top().Append(el)
+			if tok.typ == tokStartTag && !dom.VoidElements[tok.data] {
+				stack = append(stack, el)
+			}
+		case tokEndTag:
+			// Find the nearest matching open element; if none, drop the
+			// stray close tag. Everything above the match is force-closed.
+			for i := len(stack) - 1; i >= 1; i-- {
+				if stack[i].IsElement(tok.data) {
+					stack = stack[:i]
+					break
+				}
+			}
+		}
+	}
+	return doc
+}
+
+// collapseSpace normalizes runs of whitespace to single spaces, trimming the
+// ends. Script-generated pages are full of indentation noise; collapsing
+// makes text-node identity stable across serialize/reparse cycles.
+func collapseSpace(s string) string {
+	var sb strings.Builder
+	sb.Grow(len(s))
+	space := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' {
+			space = true
+			continue
+		}
+		if space && sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		space = false
+		sb.WriteByte(c)
+	}
+	return sb.String()
+}

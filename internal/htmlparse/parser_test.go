@@ -1,0 +1,326 @@
+package htmlparse
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"autowrap/internal/dom"
+)
+
+func parseBody(t *testing.T, src string) *dom.Node {
+	t.Helper()
+	return Parse(src)
+}
+
+func findTexts(doc *dom.Node) []string {
+	var out []string
+	doc.Walk(func(n *dom.Node) bool {
+		if n.Type == dom.TextNode {
+			out = append(out, n.Data)
+		}
+		return true
+	})
+	return out
+}
+
+func findFirst(doc *dom.Node, tag string) *dom.Node {
+	var found *dom.Node
+	doc.Walk(func(n *dom.Node) bool {
+		if found == nil && n.IsElement(tag) {
+			found = n
+		}
+		return found == nil
+	})
+	return found
+}
+
+func TestParseSimple(t *testing.T) {
+	doc := parseBody(t, `<div class="a"><b>hello</b> world</div>`)
+	div := findFirst(doc, "div")
+	if div == nil {
+		t.Fatal("no div")
+	}
+	if v, _ := div.Attr("class"); v != "a" {
+		t.Fatalf("class = %q", v)
+	}
+	texts := findTexts(doc)
+	if len(texts) != 2 || texts[0] != "hello" || texts[1] != "world" {
+		t.Fatalf("texts = %q", texts)
+	}
+}
+
+func TestParseUnquotedAndSingleQuotedAttrs(t *testing.T) {
+	doc := parseBody(t, `<div class=dealer id='x7'>v</div>`)
+	div := findFirst(doc, "div")
+	if v, _ := div.Attr("class"); v != "dealer" {
+		t.Fatalf("class = %q", v)
+	}
+	if v, _ := div.Attr("id"); v != "x7" {
+		t.Fatalf("id = %q", v)
+	}
+}
+
+func TestParseAttrCaseNormalized(t *testing.T) {
+	doc := parseBody(t, `<DIV CLASS="A">v</DIV>`)
+	div := findFirst(doc, "div")
+	if div == nil {
+		t.Fatal("tag name not lowercased")
+	}
+	if v, ok := div.Attr("class"); !ok || v != "A" {
+		t.Fatalf("attr key not lowercased or value changed: %q %v", v, ok)
+	}
+}
+
+func TestParseVoidElements(t *testing.T) {
+	doc := parseBody(t, `<div>a<br>b<img src=x.png>c</div>`)
+	texts := findTexts(doc)
+	if len(texts) != 3 {
+		t.Fatalf("texts = %q", texts)
+	}
+	// br and img must not swallow following content as children.
+	br := findFirst(doc, "br")
+	if len(br.Children) != 0 {
+		t.Fatal("br has children")
+	}
+}
+
+func TestParseSelfClosing(t *testing.T) {
+	doc := parseBody(t, `<div><span/>tail</div>`)
+	span := findFirst(doc, "span")
+	if span == nil || len(span.Children) != 0 {
+		t.Fatal("self-closing span mishandled")
+	}
+	if got := strings.Join(findTexts(doc), "|"); got != "tail" {
+		t.Fatalf("texts = %q", got)
+	}
+}
+
+func TestParseAutoCloseListItems(t *testing.T) {
+	doc := parseBody(t, `<ul><li>one<li>two<li>three</ul>`)
+	ul := findFirst(doc, "ul")
+	lis := 0
+	for _, c := range ul.Children {
+		if c.IsElement("li") {
+			lis++
+			if len(c.Children) != 1 {
+				t.Fatalf("li has %d children", len(c.Children))
+			}
+		}
+	}
+	if lis != 3 {
+		t.Fatalf("expected 3 sibling li, got %d", lis)
+	}
+}
+
+func TestParseAutoCloseTableCells(t *testing.T) {
+	doc := parseBody(t, `<table><tr><td>a<td>b<tr><td>c</table>`)
+	table := findFirst(doc, "table")
+	var trs []*dom.Node
+	for _, c := range table.Children {
+		if c.IsElement("tr") {
+			trs = append(trs, c)
+		}
+	}
+	if len(trs) != 2 {
+		t.Fatalf("expected 2 tr, got %d", len(trs))
+	}
+	if n := countTag(trs[0], "td"); n != 2 {
+		t.Fatalf("row 1 has %d td", n)
+	}
+	if n := countTag(trs[1], "td"); n != 1 {
+		t.Fatalf("row 2 has %d td", n)
+	}
+}
+
+func countTag(n *dom.Node, tag string) int {
+	c := 0
+	n.Walk(func(d *dom.Node) bool {
+		if d.IsElement(tag) {
+			c++
+		}
+		return true
+	})
+	return c
+}
+
+func TestParseStrayCloseTagDropped(t *testing.T) {
+	doc := parseBody(t, `<div>a</span>b</div>`)
+	texts := findTexts(doc)
+	if strings.Join(texts, "|") != "a|b" {
+		t.Fatalf("texts = %q", texts)
+	}
+	div := findFirst(doc, "div")
+	if len(div.Children) != 2 {
+		t.Fatalf("div children = %d", len(div.Children))
+	}
+}
+
+func TestParseMismatchedCloseForcesClosure(t *testing.T) {
+	doc := parseBody(t, `<div><b>x</div>tail`)
+	// </div> must close the open <b> too; "tail" is a sibling of div.
+	div := findFirst(doc, "div")
+	if div.Parent.Type != dom.DocumentNode {
+		t.Fatal("div not at top level")
+	}
+	last := div.Parent.Children[len(div.Parent.Children)-1]
+	if last.Type != dom.TextNode || last.Data != "tail" {
+		t.Fatalf("tail not recovered at top level: %+v", last)
+	}
+}
+
+func TestParseUnclosedAtEOF(t *testing.T) {
+	doc := parseBody(t, `<div><ul><li>one`)
+	if got := strings.Join(findTexts(doc), "|"); got != "one" {
+		t.Fatalf("texts = %q", got)
+	}
+}
+
+func TestParseCommentsAndDoctypeDropped(t *testing.T) {
+	doc := parseBody(t, `<!DOCTYPE html><!-- hidden <b>markup</b> --><p>shown</p>`)
+	if got := strings.Join(findTexts(doc), "|"); got != "shown" {
+		t.Fatalf("texts = %q", got)
+	}
+	if findFirst(doc, "b") != nil {
+		t.Fatal("comment content was parsed as markup")
+	}
+}
+
+func TestParseScriptRawText(t *testing.T) {
+	doc := parseBody(t, `<script>if (a<b) { x = "<td>"; }</script><p>after</p>`)
+	script := findFirst(doc, "script")
+	if script == nil || !script.Raw {
+		t.Fatal("script not parsed as raw")
+	}
+	if len(script.Children) != 1 || !strings.Contains(script.Children[0].Data, `x = "<td>"`) {
+		t.Fatalf("script content mangled: %+v", script.Children)
+	}
+	if findFirst(doc, "td") != nil {
+		t.Fatal("markup inside script leaked into the tree")
+	}
+	if got := strings.Join(findTexts(findFirst(doc, "p")), "|"); got != "after" {
+		t.Fatalf("content after script = %q", got)
+	}
+}
+
+func TestParseEntities(t *testing.T) {
+	doc := parseBody(t, `<p>Tom &amp; Jerry &lt;3 &#65;&#x42; &unknown; &nbsp;x</p>`)
+	texts := findTexts(doc)
+	if len(texts) != 1 {
+		t.Fatalf("texts = %q", texts)
+	}
+	want := "Tom & Jerry <3 AB &unknown; x"
+	if texts[0] != want {
+		t.Fatalf("entity decoding = %q, want %q", texts[0], want)
+	}
+}
+
+func TestParseWhitespaceCollapsed(t *testing.T) {
+	doc := parseBody(t, "<p>  a \n\t b  </p>\n\n<p>   </p>")
+	texts := findTexts(doc)
+	if len(texts) != 1 || texts[0] != "a b" {
+		t.Fatalf("texts = %q", texts)
+	}
+}
+
+func TestParseLoneAngleBracket(t *testing.T) {
+	doc := parseBody(t, `<p>5 < 6 and 7 > 2</p>`)
+	texts := findTexts(doc)
+	joined := strings.Join(texts, " ")
+	if !strings.Contains(joined, "5") || !strings.Contains(joined, "2") {
+		t.Fatalf("lost content around lone '<': %q", texts)
+	}
+}
+
+func TestParseDeeplyBrokenInputNeverPanics(t *testing.T) {
+	inputs := []string{
+		"", "<", ">", "<>", "</>", "<<<<", "<a", "<a b", `<a b="`, "<a/",
+		"&", "&;", "&#;", "&#x;", "<!----", "<!", "<div", "</div>",
+		"<script>", "<script>unclosed", strings.Repeat("<div>", 500),
+	}
+	for _, in := range inputs {
+		_ = Parse(in) // must not panic
+	}
+}
+
+// TestReparseStability: serialize(parse(html)) must be a fixed point —
+// parsing the serialization again yields an identical serialization. The
+// corpus layer depends on this to give the LR inductor a canonical string.
+func TestReparseStability(t *testing.T) {
+	samples := []string{
+		`<html><body><div class='dealer links'><tr><td><u>PORTER FURNITURE</u><br>201 HWY.30 West<br>NEW ALBANY, MS 38652</td></tr></div></body></html>`,
+		`<ul><li>one<li>two<li>three</ul>`,
+		`<table><tr><td>a<td>b</table>`,
+		`<div>a<br>b &amp; c</div>`,
+	}
+	for _, src := range samples {
+		first := dom.Serialize(Parse(src))
+		second := dom.Serialize(Parse(first))
+		if first != second {
+			t.Fatalf("not a fixed point:\n src: %s\n 1st: %s\n 2nd: %s", src, first, second)
+		}
+	}
+}
+
+// TestReparseStabilityProperty extends the fixed-point check to generated
+// markup soup.
+func TestReparseStabilityProperty(t *testing.T) {
+	f := func(parts []uint8) bool {
+		var sb strings.Builder
+		tags := []string{"div", "td", "tr", "li", "b", "u", "span", "br"}
+		for _, p := range parts {
+			switch p % 5 {
+			case 0:
+				sb.WriteString("<" + tags[int(p/5)%len(tags)] + ">")
+			case 1:
+				sb.WriteString("</" + tags[int(p/5)%len(tags)] + ">")
+			case 2:
+				sb.WriteString("text")
+			case 3:
+				sb.WriteString(" & < ")
+			case 4:
+				sb.WriteString(`<a href="x">link</a>`)
+			}
+		}
+		first := dom.Serialize(Parse(sb.String()))
+		second := dom.Serialize(Parse(first))
+		return first == second
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseFigure1Snippet(t *testing.T) {
+	// The paper's Figure 1 HTML snippet.
+	src := `<div class='dealer links'>
+	<tr><td>
+		<u>PORTER FURNITURE</u><br>
+		201 HWY.30 West<br>
+		NEW ALBANY, MS 38652
+	</td></tr>
+	<tr><td>
+		<u>WOODLAND FURNITURE</u><br>
+		123 Main St.<br>
+		WOODLAND, MS 3977
+	</td></tr>
+</div>`
+	doc := Parse(src)
+	texts := findTexts(doc)
+	want := []string{
+		"PORTER FURNITURE", "201 HWY.30 West", "NEW ALBANY, MS 38652",
+		"WOODLAND FURNITURE", "123 Main St.", "WOODLAND, MS 3977",
+	}
+	if len(texts) != len(want) {
+		t.Fatalf("texts = %q", texts)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Fatalf("texts[%d] = %q, want %q", i, texts[i], want[i])
+		}
+	}
+	div := findFirst(doc, "div")
+	if v, _ := div.Attr("class"); v != "dealer links" {
+		t.Fatalf("div class = %q", v)
+	}
+}

@@ -1,0 +1,315 @@
+// Package htmlparse is a tolerant HTML parser: the reproduction's substitute
+// for the jtidy utility the paper uses to "clean up and parse HTML pages"
+// (Sec. 7). It accepts the messy markup that script-generated sites emit —
+// unclosed tags, stray close tags, unquoted attributes, raw script/style —
+// and always produces a well-formed dom.Node tree.
+package htmlparse
+
+import "strings"
+
+type tokenType uint8
+
+const (
+	tokText tokenType = iota
+	tokStartTag
+	tokEndTag
+	tokSelfClosing
+	tokComment
+	tokDoctype
+)
+
+type token struct {
+	typ   tokenType
+	data  string // tag name (lowercased) or text content
+	attrs []attr
+}
+
+type attr struct{ key, val string }
+
+// tokenizer scans HTML source into a token stream. It never fails: malformed
+// constructs degrade to text.
+type tokenizer struct {
+	src string
+	pos int
+	// rawUntil, when set, makes the tokenizer consume everything up to the
+	// matching close tag as a single text token (script/style contents).
+	rawTag string
+}
+
+func newTokenizer(src string) *tokenizer { return &tokenizer{src: src} }
+
+// next returns the next token, or false at end of input.
+func (t *tokenizer) next() (token, bool) {
+	if t.pos >= len(t.src) {
+		return token{}, false
+	}
+	if t.rawTag != "" {
+		return t.rawText(), true
+	}
+	if t.src[t.pos] == '<' {
+		if tok, ok := t.tag(); ok {
+			return tok, true
+		}
+		// A lone '<' that does not open a valid construct is literal text.
+		start := t.pos
+		t.pos++
+		for t.pos < len(t.src) && t.src[t.pos] != '<' {
+			t.pos++
+		}
+		return token{typ: tokText, data: decodeEntities(t.src[start:t.pos])}, true
+	}
+	start := t.pos
+	for t.pos < len(t.src) && t.src[t.pos] != '<' {
+		t.pos++
+	}
+	return token{typ: tokText, data: decodeEntities(t.src[start:t.pos])}, true
+}
+
+// rawText consumes the raw content of a script/style element up to its
+// closing tag (case-insensitive), leaving the close tag for the next call.
+func (t *tokenizer) rawText() token {
+	close := "</" + t.rawTag
+	low := strings.ToLower(t.src[t.pos:])
+	idx := strings.Index(low, close)
+	var content string
+	if idx < 0 {
+		content = t.src[t.pos:]
+		t.pos = len(t.src)
+	} else {
+		content = t.src[t.pos : t.pos+idx]
+		t.pos += idx
+	}
+	t.rawTag = ""
+	return token{typ: tokText, data: content}
+}
+
+// tag parses a construct starting at '<'. Returns ok=false when the bytes do
+// not form a tag, comment or doctype.
+func (t *tokenizer) tag() (token, bool) {
+	src, p := t.src, t.pos
+	if p+1 >= len(src) {
+		return token{}, false
+	}
+	switch {
+	case strings.HasPrefix(src[p:], "<!--"):
+		end := strings.Index(src[p+4:], "-->")
+		if end < 0 {
+			t.pos = len(src)
+			return token{typ: tokComment, data: src[p+4:]}, true
+		}
+		t.pos = p + 4 + end + 3
+		return token{typ: tokComment, data: src[p+4 : p+4+end]}, true
+	case src[p+1] == '!' || src[p+1] == '?':
+		end := strings.IndexByte(src[p:], '>')
+		if end < 0 {
+			t.pos = len(src)
+			return token{typ: tokDoctype, data: src[p:]}, true
+		}
+		t.pos = p + end + 1
+		return token{typ: tokDoctype, data: src[p : p+end+1]}, true
+	case src[p+1] == '/':
+		q := p + 2
+		name := scanName(src, &q)
+		if name == "" {
+			return token{}, false
+		}
+		// Skip to '>'.
+		for q < len(src) && src[q] != '>' {
+			q++
+		}
+		if q < len(src) {
+			q++
+		}
+		t.pos = q
+		return token{typ: tokEndTag, data: strings.ToLower(name)}, true
+	default:
+		q := p + 1
+		name := scanName(src, &q)
+		if name == "" {
+			return token{}, false
+		}
+		tok := token{typ: tokStartTag, data: strings.ToLower(name)}
+		for {
+			skipSpace(src, &q)
+			if q >= len(src) {
+				break
+			}
+			if src[q] == '>' {
+				q++
+				break
+			}
+			if src[q] == '/' && q+1 < len(src) && src[q+1] == '>' {
+				tok.typ = tokSelfClosing
+				q += 2
+				break
+			}
+			key := scanName(src, &q)
+			if key == "" {
+				q++ // skip junk byte
+				continue
+			}
+			a := attr{key: strings.ToLower(key)}
+			skipSpace(src, &q)
+			if q < len(src) && src[q] == '=' {
+				q++
+				skipSpace(src, &q)
+				a.val = scanAttrValue(src, &q)
+			}
+			tok.attrs = append(tok.attrs, a)
+		}
+		t.pos = q
+		if tok.data == "script" || tok.data == "style" {
+			if tok.typ == tokStartTag {
+				t.rawTag = tok.data
+			}
+		}
+		return tok, true
+	}
+}
+
+func scanName(src string, q *int) string {
+	start := *q
+	for *q < len(src) {
+		c := src[*q]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '-' || c == '_' || c == ':' || c == '.' {
+			*q++
+			continue
+		}
+		break
+	}
+	return src[start:*q]
+}
+
+func skipSpace(src string, q *int) {
+	for *q < len(src) {
+		switch src[*q] {
+		case ' ', '\t', '\n', '\r', '\f':
+			*q++
+		default:
+			return
+		}
+	}
+}
+
+func scanAttrValue(src string, q *int) string {
+	if *q >= len(src) {
+		return ""
+	}
+	switch src[*q] {
+	case '"', '\'':
+		quote := src[*q]
+		*q++
+		start := *q
+		for *q < len(src) && src[*q] != quote {
+			*q++
+		}
+		v := src[start:*q]
+		if *q < len(src) {
+			*q++
+		}
+		return decodeEntities(v)
+	default:
+		start := *q
+		for *q < len(src) {
+			c := src[*q]
+			if c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '>' {
+				break
+			}
+			if c == '/' && *q+1 < len(src) && src[*q+1] == '>' {
+				break
+			}
+			*q++
+		}
+		return decodeEntities(src[start:*q])
+	}
+}
+
+// namedEntities is the small set of named character references that actually
+// occur in script-generated listing pages.
+var namedEntities = map[string]rune{
+	"amp": '&', "lt": '<', "gt": '>', "quot": '"', "apos": '\'',
+	"nbsp": '\u0020', "copy": '©', "reg": '®', "trade": '™',
+	"mdash": '—', "ndash": '–', "hellip": '…', "bull": '•',
+	"laquo": '«', "raquo": '»', "deg": '°', "middot": '·',
+}
+
+// decodeEntities resolves named and numeric character references. Unknown
+// references are left verbatim (tolerant behaviour).
+func decodeEntities(s string) string {
+	amp := strings.IndexByte(s, '&')
+	if amp < 0 {
+		return s
+	}
+	var sb strings.Builder
+	sb.Grow(len(s))
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c != '&' {
+			sb.WriteByte(c)
+			i++
+			continue
+		}
+		semi := strings.IndexByte(s[i+1:], ';')
+		if semi < 0 || semi > 10 {
+			sb.WriteByte(c)
+			i++
+			continue
+		}
+		ref := s[i+1 : i+1+semi]
+		if r, ok := decodeRef(ref); ok {
+			sb.WriteRune(r)
+			i += semi + 2
+			continue
+		}
+		sb.WriteByte(c)
+		i++
+	}
+	return sb.String()
+}
+
+func decodeRef(ref string) (rune, bool) {
+	if ref == "" {
+		return 0, false
+	}
+	if ref[0] == '#' {
+		num := ref[1:]
+		base := 10
+		if len(num) > 0 && (num[0] == 'x' || num[0] == 'X') {
+			base = 16
+			num = num[1:]
+		}
+		v := 0
+		if num == "" {
+			return 0, false
+		}
+		for i := 0; i < len(num); i++ {
+			d := digitVal(num[i])
+			if d < 0 || d >= base {
+				return 0, false
+			}
+			v = v*base + d
+			if v > 0x10FFFF {
+				return 0, false
+			}
+		}
+		if v == 0 {
+			return 0, false
+		}
+		return rune(v), true
+	}
+	r, ok := namedEntities[ref]
+	return r, ok
+}
+
+func digitVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	}
+	return -1
+}

@@ -1,0 +1,183 @@
+package lr
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"autowrap/internal/bitset"
+	"autowrap/internal/corpus"
+)
+
+// hostilePages puts nav links BEFORE the record list with markup identical
+// to the records, so plain LR cannot separate them; only the head/tail
+// region can.
+func hostilePages() *corpus.Corpus {
+	mk := func(names ...string) string {
+		var sb strings.Builder
+		sb.WriteString(`<html><body><ul class="nav">`)
+		for _, junk := range []string{"Home pages", "About pages"} {
+			fmt.Fprintf(&sb, `<li><a href="#">%s</a> — menu</li>`, junk)
+		}
+		sb.WriteString(`</ul><div class="results"><ul class="list">`)
+		for _, n := range names {
+			fmt.Fprintf(&sb, `<li><a href="#">%s</a> — menu</li>`, n)
+		}
+		sb.WriteString(`</ul></div><div class="footer">© 2010 Corp</div></body></html>`)
+		return sb.String()
+	}
+	return corpus.ParseHTML([]string{
+		mk("PORTER FURNITURE", "ACME CHAIRS"),
+		mk("SOFA CITY", "BEDS AND MORE", "LAMP WORLD"),
+	})
+}
+
+func ordsFor(t *testing.T, c *corpus.Corpus, contents ...string) *bitset.Set {
+	t.Helper()
+	s := c.EmptySet()
+	for _, want := range contents {
+		found := false
+		for ord := 0; ord < c.NumTexts(); ord++ {
+			if c.TextContent(ord) == want {
+				s.Add(ord)
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("content %q not found", want)
+		}
+	}
+	return s
+}
+
+func TestHLRTBeatsLROnHeadJunk(t *testing.T) {
+	c := hostilePages()
+	// First items of both pages anchor the head; the list-final label
+	// anchors the tail and keeps the right delimiter free of successor
+	// markup (which would otherwise match every <li><a> item — nav
+	// included).
+	labels := ordsFor(t, c, "PORTER FURNITURE", "SOFA CITY", "LAMP WORLD")
+
+	lrInd := New(c, 0)
+	lw, err := lrInd.Induce(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plain LR picks up the nav items too.
+	lrGot := c.Contents(lw.Extract())
+	if len(lrGot) <= 5 {
+		t.Fatalf("expected LR to over-extract nav junk, got %v", lrGot)
+	}
+
+	hInd := NewHLRT(c, 0, 0)
+	hw, err := hInd.Induce(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hGot := c.Contents(hw.Extract())
+	if len(hGot) != 5 {
+		t.Fatalf("HLRT extraction = %v, want the 5 names (LR got %v)", hGot, lrGot)
+	}
+	for _, v := range hGot {
+		if strings.Contains(v, "pages") {
+			t.Fatalf("HLRT leaked nav junk: %v", hGot)
+		}
+	}
+	hlrt := hw.(*HLRTWrapper)
+	if hlrt.Head == "" || hlrt.Tail == "" {
+		t.Fatalf("expected non-trivial head/tail: %s", hw.Rule())
+	}
+}
+
+func TestHLRTRuleString(t *testing.T) {
+	c := hostilePages()
+	labels := ordsFor(t, c, "PORTER FURNITURE", "BEDS AND MORE")
+	hInd := NewHLRT(c, 0, 0)
+	w, err := hInd.Induce(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(w.Rule(), "HLRT(") {
+		t.Fatalf("rule = %q", w.Rule())
+	}
+}
+
+func TestHLRTSingleLabel(t *testing.T) {
+	c := hostilePages()
+	labels := ordsFor(t, c, "ACME CHAIRS")
+	hInd := NewHLRT(c, 0, 0)
+	w, err := hInd.Induce(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Extract().Has(labels.Indices()[0]) {
+		t.Fatal("fidelity violated on singleton")
+	}
+}
+
+func TestHLRTEmptyLabelsRejected(t *testing.T) {
+	c := hostilePages()
+	if _, err := NewHLRT(c, 0, 0).Induce(c.EmptySet()); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// TestHLRTFidelity property-checks the one guarantee the simplified HLRT
+// induction makes: the training labels are always extracted. (WIEN's exact
+// candidate-search induction is well-behaved per the paper; this simplified
+// variant gives up monotonicity and closure — adding labels can relocate
+// the region anchors — which is why it is offered as a direct learner, not
+// as an enumeration-backed one.)
+func TestHLRTFidelity(t *testing.T) {
+	c := hostilePages()
+	hInd := NewHLRT(c, 0, 0)
+	rng := rand.New(rand.NewSource(3))
+	universe := c.NumTexts()
+	for iter := 0; iter < 300; iter++ {
+		s := bitset.New(universe)
+		n := 1 + rng.Intn(5)
+		for s.Count() < n {
+			s.Add(rng.Intn(universe))
+		}
+		w, err := hInd.Induce(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s.SubsetOf(w.Extract()) {
+			t.Fatalf("fidelity violated for %v: extracted %v",
+				s.Indices(), w.Extract().Indices())
+		}
+	}
+}
+
+func TestHLRTPageWithoutMarkers(t *testing.T) {
+	// A page that lacks the head marker contributes nothing.
+	c := corpus.ParseHTML([]string{
+		`<html><body><div class="top">x</div><div class="list"><b>ALPHA</b><b>BETA</b></div><div class="end">z</div></body></html>`,
+		`<html><body><p>totally different page</p></body></html>`,
+	})
+	labels := ordsFor(t, c, "ALPHA", "BETA")
+	w, err := NewHLRT(c, 0, 0).Induce(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Extract().ForEach(func(ord int) {
+		if c.PageOf(ord) == 1 {
+			t.Fatalf("extracted %q from a page without region markers", c.TextContent(ord))
+		}
+	})
+}
+
+func TestHLRTCallCounter(t *testing.T) {
+	c := hostilePages()
+	h := NewHLRT(c, 0, 0)
+	labels := ordsFor(t, c, "ACME CHAIRS")
+	if _, err := h.Induce(labels); err != nil {
+		t.Fatal(err)
+	}
+	if h.InduceCalls() != 1 {
+		t.Fatalf("calls = %d", h.InduceCalls())
+	}
+}

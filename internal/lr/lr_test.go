@@ -1,0 +1,272 @@
+package lr
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"autowrap/internal/bitset"
+	"autowrap/internal/corpus"
+	"autowrap/internal/enum"
+	"autowrap/internal/wrapper"
+)
+
+// listingPages builds a small store-locator-style site: names inside
+// <td><u>...</u>, addresses as bare text.
+func listingPages() *corpus.Corpus {
+	mk := func(rows ...[2]string) string {
+		var sb strings.Builder
+		sb.WriteString(`<html><body><div class="dealers">`)
+		for _, r := range rows {
+			fmt.Fprintf(&sb, `<tr><td><u>%s</u><br>%s</td></tr>`, r[0], r[1])
+		}
+		sb.WriteString(`</div></body></html>`)
+		return sb.String()
+	}
+	return corpus.ParseHTML([]string{
+		mk([2]string{"PORTER FURNITURE", "201 HWY 30 West"},
+			[2]string{"WOODLAND FURNITURE", "123 Main St"}),
+		mk([2]string{"ACME CHAIRS", "9 Elm Ave"},
+			[2]string{"BEDS AND MORE", "77 Oak Blvd"},
+			[2]string{"SOFA CITY", "4 Pine Rd"}),
+	})
+}
+
+func ordsByContent(t *testing.T, c *corpus.Corpus, contents ...string) *bitset.Set {
+	t.Helper()
+	s := c.EmptySet()
+	for _, want := range contents {
+		found := false
+		for ord := 0; ord < c.NumTexts(); ord++ {
+			if c.TextContent(ord) == want {
+				s.Add(ord)
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("content %q not found", want)
+		}
+	}
+	return s
+}
+
+func TestInduceLearnsDelimiters(t *testing.T) {
+	c := listingPages()
+	ind := New(c, 0)
+	// Labels must span row positions, otherwise the common context keeps
+	// the list-opening markup and the rule pins to first rows.
+	labels := ordsByContent(t, c, "PORTER FURNITURE", "BEDS AND MORE")
+	w, err := ind.Induce(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw := w.(*Wrapper)
+	if !strings.HasSuffix(lw.Left, "<td><u>") {
+		t.Fatalf("left delimiter = %q, want suffix <td><u>", lw.Left)
+	}
+	if !strings.HasPrefix(lw.Right, "</u><br>") {
+		t.Fatalf("right delimiter = %q, want prefix </u><br>", lw.Right)
+	}
+	// The induced wrapper extracts exactly the five names.
+	got := c.Contents(w.Extract())
+	if len(got) != 5 {
+		t.Fatalf("extracted %v", got)
+	}
+	for _, v := range got {
+		if !strings.Contains("PORTER FURNITURE WOODLAND FURNITURE ACME CHAIRS BEDS AND MORE SOFA CITY", v) {
+			t.Fatalf("unexpected extraction %q", v)
+		}
+	}
+}
+
+func TestSingleLabelIsMostSpecific(t *testing.T) {
+	c := listingPages()
+	ind := New(c, 0)
+	labels := ordsByContent(t, c, "PORTER FURNITURE")
+	w, err := ind.Induce(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With MaxContext bytes of exact context the only plausible match is
+	// the label itself.
+	if got := c.Contents(w.Extract()); len(got) != 1 || got[0] != "PORTER FURNITURE" {
+		t.Fatalf("singleton extraction = %v", got)
+	}
+}
+
+func TestNoiseOverGeneralizes(t *testing.T) {
+	c := listingPages()
+	ind := New(c, 0)
+	// One address mixed into the name labels: delimiters collapse to the
+	// common markup and the wrapper matches every cell text.
+	labels := ordsByContent(t, c, "PORTER FURNITURE", "ACME CHAIRS", "9 Elm Ave")
+	w, err := ind.Induce(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, _ := ind.Induce(ordsByContent(t, c, "PORTER FURNITURE", "ACME CHAIRS"))
+	if w.Extract().Count() <= clean.Extract().Count() {
+		t.Fatalf("noisy wrapper should over-generalize: %d vs %d",
+			w.Extract().Count(), clean.Extract().Count())
+	}
+}
+
+func TestWellBehaved(t *testing.T) {
+	c := listingPages()
+	ind := New(c, 0)
+	labels := ordsByContent(t, c,
+		"PORTER FURNITURE", "ACME CHAIRS", "SOFA CITY", "9 Elm Ave", "123 Main St")
+	if err := wrapper.CheckWellBehaved(ind, labels); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnumerationAgreement(t *testing.T) {
+	c := listingPages()
+	ind := New(c, 0)
+	labels := ordsByContent(t, c,
+		"PORTER FURNITURE", "ACME CHAIRS", "SOFA CITY", "9 Elm Ave", "201 HWY 30 West")
+	naive, err := enum.Naive(ind, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bu, err := enum.BottomUp(ind, labels, enum.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := enum.TopDown(ind, labels, enum.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, bs, ts := naive.Signatures(), bu.Signatures(), td.Signatures()
+	if len(ns) == 0 {
+		t.Fatal("empty wrapper space")
+	}
+	if fmt.Sprint(ns) != fmt.Sprint(bs) {
+		t.Fatalf("BottomUp != Naive: %d vs %d wrappers", len(bs), len(ns))
+	}
+	if fmt.Sprint(ns) != fmt.Sprint(ts) {
+		t.Fatalf("TopDown != Naive: %d vs %d wrappers", len(ts), len(ns))
+	}
+	if td.Calls != int64(len(ns)) {
+		t.Fatalf("TopDown calls = %d, want k = %d", td.Calls, len(ns))
+	}
+}
+
+func TestMaxContextCapsDelimiters(t *testing.T) {
+	c := listingPages()
+	ind := New(c, 4)
+	labels := ordsByContent(t, c, "PORTER FURNITURE")
+	w, _ := ind.Induce(labels)
+	lw := w.(*Wrapper)
+	if len(lw.Left) > 4 || len(lw.Right) > 4 {
+		t.Fatalf("delimiters exceed cap: %q / %q", lw.Left, lw.Right)
+	}
+}
+
+func TestPageBoundaryContexts(t *testing.T) {
+	// A text node at the very start of a page has a short left context.
+	c := corpus.ParseHTML([]string{`leading text<div>x</div>`})
+	ind := New(c, 64)
+	labels := ordsByContent(t, c, "leading text")
+	w, err := ind.Induce(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw := w.(*Wrapper)
+	if lw.Left != "" {
+		t.Fatalf("page-start label should have empty left delimiter, got %q", lw.Left)
+	}
+	if !w.Extract().Equal(labels) {
+		// '' left delimiter matches any node whose right context agrees;
+		// here only the label itself starts a page.
+		t.Fatalf("extraction = %v", c.Contents(w.Extract()))
+	}
+}
+
+func TestExtractSpansClassicSemantics(t *testing.T) {
+	c := corpus.ParseHTML([]string{
+		`<table><tr><td>alpha</td><td>beta</td></tr><tr><td>gamma</td></tr></table>`,
+	})
+	spans, err := ExtractSpans(c, "<td>", "</td>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, s := range spans {
+		got = append(got, SpanText(c, s))
+	}
+	want := "alpha,beta,gamma"
+	if strings.Join(got, ",") != want {
+		t.Fatalf("spans = %v, want %v", got, want)
+	}
+}
+
+func TestExtractSpansMinimality(t *testing.T) {
+	c := corpus.ParseHTML([]string{`<div><b>one</b> mid <b>two</b></div>`})
+	spans, err := ExtractSpans(c, "<b>", "</b>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("span count = %d", len(spans))
+	}
+	if SpanText(c, spans[0]) != "one" || SpanText(c, spans[1]) != "two" {
+		t.Fatalf("spans = %q, %q", SpanText(c, spans[0]), SpanText(c, spans[1]))
+	}
+}
+
+func TestExtractSpansEmptyDelimitersRejected(t *testing.T) {
+	c := listingPages()
+	if _, err := ExtractSpans(c, "", ""); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestNodeModeAgreesWithSpanMode(t *testing.T) {
+	// When the delimiters exactly bracket whole text nodes, the classic
+	// span scanner and the node matcher find the same content.
+	c := listingPages()
+	ind := New(c, 0)
+	labels := ordsByContent(t, c, "PORTER FURNITURE", "ACME CHAIRS")
+	w, _ := ind.Induce(labels)
+	lw := w.(*Wrapper)
+	spans, err := ExtractSpans(c, lw.Left, lw.Right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spanTexts := map[string]bool{}
+	for _, s := range spans {
+		spanTexts[SpanText(c, s)] = true
+	}
+	for _, v := range c.Contents(w.Extract()) {
+		if !spanTexts[v] {
+			t.Fatalf("node-mode extraction %q missing from span mode %v", v, spanTexts)
+		}
+	}
+}
+
+func TestInduceCallCounter(t *testing.T) {
+	c := listingPages()
+	ind := New(c, 0)
+	labels := ordsByContent(t, c, "PORTER FURNITURE", "ACME CHAIRS")
+	if _, err := ind.Induce(labels); err != nil {
+		t.Fatal(err)
+	}
+	if ind.InduceCalls() != 1 {
+		t.Fatalf("calls = %d", ind.InduceCalls())
+	}
+	ind.ResetInduceCalls()
+	if ind.InduceCalls() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestEmptyLabelsRejected(t *testing.T) {
+	c := listingPages()
+	ind := New(c, 0)
+	if _, err := ind.Induce(c.EmptySet()); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,191 @@
+package multitype
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"autowrap/internal/bitset"
+	"autowrap/internal/corpus"
+	"autowrap/internal/rank"
+	"autowrap/internal/segment"
+	"autowrap/internal/stats"
+	"autowrap/internal/wrapper"
+	"autowrap/internal/xpinduct"
+)
+
+// dealerSite: records carry a name (<u>) and zipcode (<b>); the footer has
+// a 5-digit reference, the classic zip-annotator noise.
+func dealerSite(pages, recs int) *corpus.Corpus {
+	var htmls []string
+	k := 0
+	for p := 0; p < pages; p++ {
+		var sb strings.Builder
+		sb.WriteString(`<html><body><div class="list">`)
+		for i := 0; i < recs; i++ {
+			k++
+			fmt.Fprintf(&sb,
+				`<div class="r"><u>STORE %03d</u><span>%d Main St</span><b>%05d</b></div>`,
+				k, k*3+1, 10000+k)
+		}
+		fmt.Fprintf(&sb, `</div><div class="footer">Ref %05d</div></body></html>`, 90000+p)
+		htmls = append(htmls, sb.String())
+	}
+	return corpus.ParseHTML(htmls)
+}
+
+func match(c *corpus.Corpus, pred func(string) bool) *bitset.Set {
+	return c.MatchingText(pred)
+}
+
+func pubModel(t *testing.T, c *corpus.Corpus, gold *bitset.Set) *rank.PublicationModel {
+	t.Helper()
+	pub, err := rank.LearnPublicationModel(
+		[]rank.SiteSample{{Corpus: c, Gold: gold}}, segment.Options{}, stats.KDEOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pub
+}
+
+func mkTypes(c *corpus.Corpus, nameLabels, zipLabels *bitset.Set) []Type {
+	return []Type{
+		{Name: "name", Inductor: xpinduct.New(c, xpinduct.Options{}),
+			Labels: nameLabels, Ann: rank.NewAnnotationModel(0.95, 0.4)},
+		{Name: "zip", Inductor: xpinduct.New(c, xpinduct.Options{}),
+			Labels: zipLabels, Ann: rank.NewAnnotationModel(0.95, 0.9)},
+	}
+}
+
+func TestLearnAssemblesRecords(t *testing.T) {
+	c := dealerSite(4, 3)
+	goldNames := match(c, func(s string) bool { return strings.HasPrefix(s, "STORE") })
+	goldZips := match(c, func(s string) bool { return len(s) == 5 && s[0] == '1' })
+
+	// Noisy labels: some names, all 5-digit texts (zips + footer refs).
+	nameLabels := c.SetOf(goldNames.Indices()[0], goldNames.Indices()[5])
+	zipLabels := match(c, func(s string) bool {
+		return len(s) >= 5 && strings.ContainsAny(s, "0123456789") &&
+			(strings.HasPrefix(s, "1") || strings.HasPrefix(s, "Ref"))
+	})
+
+	res, err := Learn(c, mkTypes(c, nameLabels, zipLabels), Config{Pub: pubModel(t, c, goldNames)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("no joint candidate")
+	}
+	if res.Best.PagesFailed != 0 {
+		t.Fatalf("%d pages failed assembly", res.Best.PagesFailed)
+	}
+	if len(res.Best.Records) != 12 {
+		t.Fatalf("assembled %d records, want 12", len(res.Best.Records))
+	}
+	// Records must pair each store with its own zip.
+	for _, rec := range res.Best.Records {
+		name := c.TextContent(rec[0])
+		zip := c.TextContent(rec[1])
+		var id int
+		if _, err := fmt.Sscanf(name, "STORE %d", &id); err != nil {
+			t.Fatalf("bad name %q", name)
+		}
+		if want := fmt.Sprintf("%05d", 10000+id); zip != want {
+			t.Fatalf("record %q paired with zip %q, want %q", name, zip, want)
+		}
+	}
+	if !res.Best.Wrappers[1].Extract().Equal(goldZips) {
+		t.Fatalf("zip wrapper extracted %v", c.Contents(res.Best.Wrappers[1].Extract()))
+	}
+}
+
+func TestAssembleRejectsImbalancedPages(t *testing.T) {
+	c := dealerSite(2, 3)
+	names := match(c, func(s string) bool { return strings.HasPrefix(s, "STORE") })
+	// Zip wrapper that also grabs the footer refs: between the last name
+	// and the page end there are now two "zips", which is fine (both after
+	// the last name? no - one belongs to the record, the footer adds a
+	// second), so assembly must fail.
+	zipsAndRefs := match(c, func(s string) bool {
+		return len(s) == 5 || strings.HasPrefix(s, "Ref")
+	})
+	types := mkTypes(c, names, zipsAndRefs)
+	nameW, err := types[0].Inductor.Induce(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zipW, err := types[1].Inductor.Induce(zipsAndRefs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, failed := Assemble(c, types, []wrapper.Wrapper{nameW, zipW})
+	if failed != len(c.Pages) {
+		t.Fatalf("failed pages = %d, want all %d", failed, len(c.Pages))
+	}
+	if len(records) != 0 {
+		t.Fatalf("records = %d, want 0", len(records))
+	}
+}
+
+func TestAssembleEmptyPagesAreFine(t *testing.T) {
+	c := dealerSite(2, 2)
+	names := match(c, func(s string) bool { return strings.HasPrefix(s, "STORE") })
+	zips := match(c, func(s string) bool { return len(s) == 5 && s[0] == '1' })
+	types := mkTypes(c, names, zips)
+	nameW, _ := types[0].Inductor.Induce(names)
+	zipW, _ := types[1].Inductor.Induce(zips)
+	records, failed := Assemble(c, types, []wrapper.Wrapper{nameW, zipW})
+	if failed != 0 || len(records) != 4 {
+		t.Fatalf("records=%d failed=%d", len(records), failed)
+	}
+}
+
+func TestLearnValidation(t *testing.T) {
+	c := dealerSite(1, 2)
+	names := match(c, func(s string) bool { return strings.HasPrefix(s, "STORE") })
+	if _, err := Learn(c, []Type{{Name: "one"}}, Config{}); err == nil {
+		t.Fatal("one type must be rejected")
+	}
+	types := mkTypes(c, names, names)
+	if _, err := Learn(c, types, Config{}); err == nil {
+		t.Fatal("missing publication model must be rejected")
+	}
+}
+
+func TestLearnEmptyTypeLabels(t *testing.T) {
+	c := dealerSite(2, 2)
+	names := match(c, func(s string) bool { return strings.HasPrefix(s, "STORE") })
+	types := mkTypes(c, names, c.EmptySet())
+	res, err := Learn(c, types, Config{Pub: pubModel(t, c, names)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best != nil {
+		t.Fatal("unlearnable type should yield an empty result")
+	}
+}
+
+func TestJointBeatsAssemblyFailure(t *testing.T) {
+	// The joint ranking must prefer a (name, zip) pair that assembles over
+	// a higher-label-coverage pair that fails assembly.
+	c := dealerSite(4, 3)
+	goldNames := match(c, func(s string) bool { return strings.HasPrefix(s, "STORE") })
+	// Zip labels include footer refs: the zip wrapper space contains both
+	// the clean zip rule and the one covering refs.
+	zipLabels := match(c, func(s string) bool {
+		return (len(s) == 5 && s[0] == '1') || strings.HasPrefix(s, "Ref")
+	})
+	// Labels must span row positions or the inductor correctly pins the
+	// rule to one row.
+	nameLabels := c.SetOf(goldNames.Indices()[0], goldNames.Indices()[4])
+	res, err := Learn(c, mkTypes(c, nameLabels, zipLabels), Config{Pub: pubModel(t, c, goldNames)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil || res.Best.PagesFailed != 0 {
+		t.Fatalf("joint ranking should find an assembling pair (failed=%v)", res.Best)
+	}
+	if len(res.Best.Records) != 12 {
+		t.Fatalf("records = %d", len(res.Best.Records))
+	}
+}

@@ -1,0 +1,177 @@
+package segment
+
+import (
+	"strings"
+	"testing"
+
+	"autowrap/internal/bitset"
+	"autowrap/internal/corpus"
+)
+
+// recordPage builds a page of repeated records: <div><b>NAME</b><span>ADDR
+// </span><span>CITY</span></div>.
+func recordPage(n int) string {
+	var sb strings.Builder
+	sb.WriteString("<html><body><div class='list'>")
+	for i := 0; i < n; i++ {
+		sb.WriteString("<div class='r'><b>name</b><span>addr</span><span>city</span></div>")
+	}
+	sb.WriteString("</div></body></html>")
+	return sb.String()
+}
+
+func names(c *corpus.Corpus) *bitset.Set {
+	return c.MatchingText(func(s string) bool { return s == "name" })
+}
+
+func TestSegmentsCountAndShape(t *testing.T) {
+	c := corpus.ParseHTML([]string{recordPage(4)})
+	segs := Segments(c, names(c), Options{})
+	if len(segs) != 3 {
+		t.Fatalf("segments = %d, want 3 (k-1 for k=4 boundaries)", len(segs))
+	}
+	// All three segments are structurally identical.
+	for i := 1; i < len(segs); i++ {
+		if len(segs[i]) != len(segs[0]) {
+			t.Fatalf("segment %d length %d != %d", i, len(segs[i]), len(segs[0]))
+		}
+		for j := range segs[i] {
+			if segs[i][j] != segs[0][j] {
+				t.Fatalf("segment %d differs at token %d", i, j)
+			}
+		}
+	}
+}
+
+func TestSegmentsDoNotCrossPages(t *testing.T) {
+	c := corpus.ParseHTML([]string{recordPage(2), recordPage(2)})
+	segs := Segments(c, names(c), Options{})
+	// 2 boundaries per page -> 1 segment per page.
+	if len(segs) != 2 {
+		t.Fatalf("segments = %d, want 2", len(segs))
+	}
+}
+
+func TestSegmentsFewBoundaries(t *testing.T) {
+	c := corpus.ParseHTML([]string{recordPage(1)})
+	if segs := Segments(c, names(c), Options{}); len(segs) != 0 {
+		t.Fatalf("one boundary per page should yield no segments, got %d", len(segs))
+	}
+	if _, ok := Compute(c, names(c), Options{}); ok {
+		t.Fatal("Compute should report not-ok for <2 segments")
+	}
+}
+
+func TestCyclicShiftPreservesSimilarity(t *testing.T) {
+	// Boundaries in the middle of records (the paper's shifted-record
+	// observation): use the addr nodes instead of names.
+	c := corpus.ParseHTML([]string{recordPage(5)})
+	addrs := c.MatchingText(func(s string) bool { return s == "addr" })
+	f1, ok1 := Compute(c, names(c), Options{})
+	f2, ok2 := Compute(c, addrs, Options{})
+	if !ok1 || !ok2 {
+		t.Fatal("both boundary choices must segment")
+	}
+	if f1.Alignment != f2.Alignment {
+		t.Fatalf("shifted records should align equally: %d vs %d", f1.Alignment, f2.Alignment)
+	}
+	if f1.SchemaSize != f2.SchemaSize {
+		t.Fatalf("shifted records should share schema size: %d vs %d", f1.SchemaSize, f2.SchemaSize)
+	}
+}
+
+func TestFeaturesOnRegularList(t *testing.T) {
+	c := corpus.ParseHTML([]string{recordPage(6)})
+	f, ok := Compute(c, names(c), Options{})
+	if !ok {
+		t.Fatal("expected features")
+	}
+	if f.Alignment != 0 {
+		t.Fatalf("perfect list should have alignment 0, got %d", f.Alignment)
+	}
+	// Each record has 3 text nodes (name, addr, city).
+	if f.SchemaSize != 3 {
+		t.Fatalf("schema size = %d, want 3", f.SchemaSize)
+	}
+	if f.NumSegments != 5 {
+		t.Fatalf("segments = %d", f.NumSegments)
+	}
+}
+
+func TestFeaturesDegradeOnBadList(t *testing.T) {
+	// A "list" mixing the real records with junk boundaries: header nav
+	// items plus record names.
+	var sb strings.Builder
+	sb.WriteString("<html><body><ul><li>nav1</li><li>nav2</li></ul><div>")
+	for i := 0; i < 4; i++ {
+		sb.WriteString("<div class='r'><b>name</b><span>addr</span><span>city</span></div>")
+	}
+	sb.WriteString("</div></body></html>")
+	c := corpus.ParseHTML([]string{sb.String()})
+
+	good, _ := Compute(c, names(c), Options{})
+	mixed := c.MatchingText(func(s string) bool {
+		return s == "name" || strings.HasPrefix(s, "nav")
+	})
+	bad, _ := Compute(c, mixed, Options{})
+	if bad.Alignment <= good.Alignment {
+		t.Fatalf("mixed list should align worse: %d vs %d", bad.Alignment, good.Alignment)
+	}
+}
+
+func TestSchemaSizeCountsTextTokens(t *testing.T) {
+	// Records with 5 text fields.
+	var sb strings.Builder
+	sb.WriteString("<html><body>")
+	for i := 0; i < 3; i++ {
+		sb.WriteString("<div><b>name</b><i>a</i><i>b</i><i>c</i><i>d</i></div>")
+	}
+	sb.WriteString("</body></html>")
+	c := corpus.ParseHTML([]string{sb.String()})
+	f, ok := Compute(c, names(c), Options{})
+	if !ok {
+		t.Fatal("no features")
+	}
+	if f.SchemaSize != 5 {
+		t.Fatalf("schema size = %d, want 5", f.SchemaSize)
+	}
+}
+
+func TestMaxSegmentTokensTruncates(t *testing.T) {
+	c := corpus.ParseHTML([]string{recordPage(3)})
+	segs := Segments(c, names(c), Options{MaxSegmentTokens: 2})
+	for _, s := range segs {
+		if len(s) > 2 {
+			t.Fatalf("segment longer than cap: %d", len(s))
+		}
+	}
+}
+
+func TestSamplePairsBounded(t *testing.T) {
+	for _, n := range []int{2, 5, 30, 200} {
+		pairs := samplePairs(n, 25)
+		if len(pairs) > 25 {
+			t.Fatalf("n=%d: %d pairs exceed cap", n, len(pairs))
+		}
+		for _, p := range pairs {
+			if p[0] < 0 || p[1] >= n || p[0] >= p[1] {
+				t.Fatalf("bad pair %v for n=%d", p, n)
+			}
+		}
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if median(nil) != 0 {
+		t.Fatal("empty median")
+	}
+	if median([]int{5}) != 5 {
+		t.Fatal("singleton median")
+	}
+	if median([]int{3, 1, 2}) != 2 {
+		t.Fatal("odd median")
+	}
+	if m := median([]int{4, 1, 3, 2}); m != 3 {
+		t.Fatalf("even median = %d (upper-mid convention)", m)
+	}
+}

@@ -1,0 +1,110 @@
+// Package single implements the single-entity extraction of the paper's
+// Appendix B.2: each page contains exactly one entity of interest (e.g. the
+// album title of a discography page). The list-goodness prior P(X) does not
+// apply; instead the framework enumerates the wrapper space, discards every
+// wrapper that extracts more than one item from some page, and picks the
+// wrapper covering the most annotations (equivalently, maximizing P(L|X)).
+// Multiple wrappers can tie at the top — pages often carry the entity in
+// several consistent places (title tag, heading, breadcrumbs) — so all
+// co-winners are returned.
+package single
+
+import (
+	"fmt"
+
+	"autowrap/internal/bitset"
+	"autowrap/internal/enum"
+	"autowrap/internal/wrapper"
+)
+
+// Config controls single-entity learning.
+type Config struct {
+	// Enumerator defaults to enum.AlgoTopDown.
+	Enumerator  string
+	EnumOptions enum.Options
+	// MinPageCoverage is the minimum fraction of pages on which an
+	// accepted wrapper must extract its (single) item; guards against
+	// wrappers latched onto one page's quirk. Default 0.5.
+	MinPageCoverage float64
+}
+
+// Candidate is a surviving wrapper and its label coverage.
+type Candidate struct {
+	Wrapper      wrapper.Wrapper
+	Coverage     int // |X ∩ L|
+	PagesCovered int // pages with exactly one extracted item
+}
+
+// Result of a single-entity run.
+type Result struct {
+	// Winners are the top candidates (all tied on coverage), best first.
+	Winners []Candidate
+	// Discarded counts wrappers rejected for extracting multiple items
+	// from one page.
+	Discarded int
+	EnumCalls int64
+}
+
+// Learn enumerates and filters per Appendix B.2.
+func Learn(ind wrapper.Inductor, labels *bitset.Set, cfg Config) (*Result, error) {
+	if labels.Empty() {
+		return &Result{}, nil
+	}
+	if cfg.MinPageCoverage == 0 {
+		cfg.MinPageCoverage = 0.5
+	}
+	algo := cfg.Enumerator
+	if algo == "" {
+		algo = enum.AlgoTopDown
+	}
+	c := ind.Corpus()
+	enumRes, err := enum.Run(algo, ind, labels, cfg.EnumOptions)
+	if err != nil {
+		return nil, fmt.Errorf("single: enumeration failed: %w", err)
+	}
+	res := &Result{EnumCalls: enumRes.Calls}
+	var cands []Candidate
+	for _, it := range enumRes.Items {
+		x := it.Wrapper.Extract()
+		counts := c.PerPageCounts(x)
+		multi := false
+		covered := 0
+		for _, n := range counts {
+			if n > 1 {
+				multi = true
+				break
+			}
+			if n == 1 {
+				covered++
+			}
+		}
+		if multi {
+			// The intuition of B.2: a wrapper trained on noisy labels
+			// over-generalizes, matches multiple nodes per page, and is
+			// discarded.
+			res.Discarded++
+			continue
+		}
+		if float64(covered) < cfg.MinPageCoverage*float64(len(c.Pages)) {
+			res.Discarded++
+			continue
+		}
+		cands = append(cands, Candidate{
+			Wrapper:      it.Wrapper,
+			Coverage:     bitset.AndCount(labels, x),
+			PagesCovered: covered,
+		})
+	}
+	best := 0
+	for _, cd := range cands {
+		if cd.Coverage > best {
+			best = cd.Coverage
+		}
+	}
+	for _, cd := range cands {
+		if cd.Coverage == best && best > 0 {
+			res.Winners = append(res.Winners, cd)
+		}
+	}
+	return res, nil
+}

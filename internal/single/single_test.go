@@ -1,0 +1,155 @@
+package single
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"autowrap/internal/bitset"
+	"autowrap/internal/corpus"
+	"autowrap/internal/xpinduct"
+)
+
+// albumSite renders pages that each carry one album title in an <h1>, in
+// the page <title>, plus a track list (multiple items per page).
+func albumSite(titles []string) *corpus.Corpus {
+	var htmls []string
+	for i, title := range titles {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, `<html><head><title>%s | Site</title></head><body>`, title)
+		fmt.Fprintf(&sb, `<h1>%s</h1><ol>`, title)
+		for j := 0; j < 4; j++ {
+			fmt.Fprintf(&sb, `<li><a href="#">Track %d-%d</a></li>`, i, j)
+		}
+		sb.WriteString(`</ol></body></html>`)
+		htmls = append(htmls, sb.String())
+	}
+	return corpus.ParseHTML(htmls)
+}
+
+func labelByContent(c *corpus.Corpus, pred func(string) bool) *bitset.Set {
+	return c.MatchingText(pred)
+}
+
+func TestLearnFindsSingleEntityWrappers(t *testing.T) {
+	titles := []string{"Abbey Road", "Velvet Seasons", "Paper Maps", "Quiet Dreams"}
+	c := albumSite(titles)
+	// Noisy labels: the h1 titles of two albums, plus one track node
+	// (noise).
+	labels := labelByContent(c, func(s string) bool {
+		return s == "Abbey Road" || s == "Velvet Seasons" || s == "Track 0-1"
+	})
+	ind := xpinduct.New(c, xpinduct.Options{})
+	res, err := Learn(ind, labels, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Winners) == 0 {
+		t.Fatal("no winners")
+	}
+	// Every winner must extract exactly one node per page.
+	for _, w := range res.Winners {
+		counts := c.PerPageCounts(w.Wrapper.Extract())
+		for pi, n := range counts {
+			if n > 1 {
+				t.Fatalf("winner extracts %d nodes on page %d: %s", n, pi, w.Wrapper.Rule())
+			}
+		}
+	}
+	// The h1 wrapper must be among the winners.
+	found := false
+	for _, w := range res.Winners {
+		if strings.Contains(w.Wrapper.Rule(), "h1") {
+			found = true
+			vals := c.Contents(w.Wrapper.Extract())
+			if len(vals) != len(titles) {
+				t.Fatalf("h1 winner extracts %v", vals)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("h1 wrapper missing from winners: %d winners", len(res.Winners))
+	}
+}
+
+func TestOverMatchingWrappersDiscarded(t *testing.T) {
+	c := albumSite([]string{"A One", "B Two", "C Three"})
+	// Label two track nodes: their generalization matches 4 tracks per
+	// page and must be discarded, leaving no winners (the noise label on
+	// its own page cannot carry a full wrapper).
+	labels := labelByContent(c, func(s string) bool {
+		return s == "Track 0-0" || s == "Track 1-2"
+	})
+	ind := xpinduct.New(c, xpinduct.Options{})
+	res, err := Learn(ind, labels, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Discarded == 0 {
+		t.Fatal("expected the track-list wrapper to be discarded")
+	}
+	for _, w := range res.Winners {
+		for _, n := range c.PerPageCounts(w.Wrapper.Extract()) {
+			if n > 1 {
+				t.Fatal("a winner extracts multiple items per page")
+			}
+		}
+	}
+}
+
+func TestCoverageWins(t *testing.T) {
+	titles := []string{"Alpha", "Beta", "Gamma", "Delta"}
+	c := albumSite(titles)
+	// All four h1s labeled plus a single page-0 track: the h1/title
+	// wrappers cover 4 labels, any track-singleton covers 1.
+	labels := labelByContent(c, func(s string) bool {
+		for _, ti := range titles {
+			if s == ti {
+				return true
+			}
+		}
+		return s == "Track 0-3"
+	})
+	ind := xpinduct.New(c, xpinduct.Options{})
+	res, err := Learn(ind, labels, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range res.Winners {
+		if w.Coverage != 4 {
+			t.Fatalf("winner coverage %d, want 4", w.Coverage)
+		}
+	}
+}
+
+func TestMinPageCoverage(t *testing.T) {
+	titles := []string{"Alpha", "Beta", "Gamma", "Delta"}
+	c := albumSite(titles)
+	labels := labelByContent(c, func(s string) bool { return s == "Alpha" })
+	ind := xpinduct.New(c, xpinduct.Options{})
+	// A single label generalizes to the singleton {Alpha} (1 of 4 pages);
+	// with MinPageCoverage=1.0 the only full-coverage candidates are the
+	// h1/title wrappers trained on that same label... which extract on all
+	// pages. The singleton itself is filtered.
+	res, err := Learn(ind, labels, Config{MinPageCoverage: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range res.Winners {
+		if w.PagesCovered != len(titles) {
+			t.Fatalf("winner covers %d pages, want %d", w.PagesCovered, len(titles))
+		}
+	}
+}
+
+func TestEmptyLabels(t *testing.T) {
+	c := albumSite([]string{"A"})
+	ind := xpinduct.New(c, xpinduct.Options{})
+	res, err := Learn(ind, c.EmptySet(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Winners) != 0 {
+		t.Fatal("no labels should mean no winners")
+	}
+}

@@ -1,0 +1,184 @@
+// Package stats implements the kernel density estimation the paper uses to
+// learn feature-value distributions: "Since both schema size and alignment
+// are discrete valued features, we use the kernel density methods that learn
+// a smooth distribution from finite data samples" (Sec. 6.1).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KDE is a Gaussian kernel density estimate over non-negative integers,
+// normalized to a probability mass function on [0, Support].
+type KDE struct {
+	samples   []float64
+	bandwidth float64
+	support   int
+	pmf       []float64
+	floor     float64
+}
+
+// DefaultFloor is the minimum probability mass assigned to any value inside
+// the support, preventing -Inf log scores for rare-but-possible values.
+const DefaultFloor = 1e-6
+
+// KDEOptions tunes estimation. Zero values select defaults.
+type KDEOptions struct {
+	// BandwidthScale multiplies the Silverman rule-of-thumb bandwidth.
+	// Default 1.0. Exposed for the ablation bench.
+	BandwidthScale float64
+	// MinBandwidth lower-bounds the bandwidth; discrete features need at
+	// least ~0.75 to smooth between adjacent integers. Default 0.75.
+	MinBandwidth float64
+	// Support extends the pmf domain; default is 2*max(sample)+10.
+	Support int
+	// Floor is the minimum pmf value; default DefaultFloor.
+	Floor float64
+}
+
+// NewKDE fits a density to the given integer-valued samples.
+func NewKDE(samples []int, opt KDEOptions) (*KDE, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("stats: KDE requires at least one sample")
+	}
+	if opt.BandwidthScale == 0 {
+		opt.BandwidthScale = 1.0
+	}
+	if opt.MinBandwidth == 0 {
+		opt.MinBandwidth = 0.75
+	}
+	if opt.Floor == 0 {
+		opt.Floor = DefaultFloor
+	}
+	fs := make([]float64, len(samples))
+	maxV := 0
+	for i, v := range samples {
+		if v < 0 {
+			return nil, fmt.Errorf("stats: negative sample %d", v)
+		}
+		fs[i] = float64(v)
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if opt.Support == 0 {
+		opt.Support = 2*maxV + 10
+	}
+	h := silverman(fs) * opt.BandwidthScale
+	if h < opt.MinBandwidth {
+		h = opt.MinBandwidth
+	}
+	k := &KDE{samples: fs, bandwidth: h, support: opt.Support, floor: opt.Floor}
+	k.buildPMF()
+	return k, nil
+}
+
+// MustKDE is NewKDE that panics on error; for tests and internal fits on
+// generator-controlled data.
+func MustKDE(samples []int, opt KDEOptions) *KDE {
+	k, err := NewKDE(samples, opt)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+func silverman(xs []float64) float64 {
+	n := float64(len(xs))
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	varsum := 0.0
+	for _, x := range xs {
+		d := x - mean
+		varsum += d * d
+	}
+	sigma := math.Sqrt(varsum / math.Max(n-1, 1))
+	// Robust sigma: min(stddev, IQR/1.34), the usual Silverman refinement.
+	iqr := interquartile(xs)
+	if iqr > 0 && iqr/1.34 < sigma {
+		sigma = iqr / 1.34
+	}
+	if sigma == 0 {
+		sigma = 1
+	}
+	return 1.06 * sigma * math.Pow(n, -0.2)
+}
+
+func interquartile(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	q := func(p float64) float64 {
+		idx := p * float64(len(s)-1)
+		lo := int(math.Floor(idx))
+		hi := int(math.Ceil(idx))
+		frac := idx - float64(lo)
+		return s[lo]*(1-frac) + s[hi]*frac
+	}
+	return q(0.75) - q(0.25)
+}
+
+func (k *KDE) buildPMF() {
+	k.pmf = make([]float64, k.support+1)
+	inv := 1.0 / (k.bandwidth * math.Sqrt2)
+	for v := 0; v <= k.support; v++ {
+		x := float64(v)
+		d := 0.0
+		for _, s := range k.samples {
+			z := (x - s) * inv
+			d += math.Exp(-z * z)
+		}
+		k.pmf[v] = d
+	}
+	sum := 0.0
+	for _, p := range k.pmf {
+		sum += p
+	}
+	if sum == 0 {
+		sum = 1
+	}
+	for i := range k.pmf {
+		k.pmf[i] = k.pmf[i]/sum + k.floor
+	}
+	// Renormalize after flooring.
+	sum = 0
+	for _, p := range k.pmf {
+		sum += p
+	}
+	for i := range k.pmf {
+		k.pmf[i] /= sum
+	}
+}
+
+// Prob returns the probability mass of integer value v. Values outside the
+// support get the floor mass.
+func (k *KDE) Prob(v int) float64 {
+	if v < 0 || v > k.support {
+		return k.floor / (1 + k.floor*float64(k.support+1))
+	}
+	return k.pmf[v]
+}
+
+// LogProb returns ln Prob(v).
+func (k *KDE) LogProb(v int) float64 { return math.Log(k.Prob(v)) }
+
+// Bandwidth exposes the fitted bandwidth (for tests and diagnostics).
+func (k *KDE) Bandwidth() float64 { return k.bandwidth }
+
+// Support exposes the pmf domain upper bound.
+func (k *KDE) Support() int { return k.support }
+
+// Mode returns the value with maximal probability mass.
+func (k *KDE) Mode() int {
+	best, bi := -1.0, 0
+	for v, p := range k.pmf {
+		if p > best {
+			best, bi = p, v
+		}
+	}
+	return bi
+}

@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestKDEEmptyRejected(t *testing.T) {
+	if _, err := NewKDE(nil, KDEOptions{}); err == nil {
+		t.Fatal("expected error for empty samples")
+	}
+}
+
+func TestKDENegativeRejected(t *testing.T) {
+	if _, err := NewKDE([]int{3, -1}, KDEOptions{}); err == nil {
+		t.Fatal("expected error for negative sample")
+	}
+}
+
+func TestKDENormalized(t *testing.T) {
+	k := MustKDE([]int{2, 3, 3, 4, 8}, KDEOptions{})
+	sum := 0.0
+	for v := 0; v <= k.Support(); v++ {
+		sum += k.Prob(v)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("pmf sums to %v", sum)
+	}
+}
+
+func TestKDEPeakNearData(t *testing.T) {
+	k := MustKDE([]int{4, 4, 4, 5, 3}, KDEOptions{})
+	mode := k.Mode()
+	if mode < 3 || mode > 5 {
+		t.Fatalf("mode = %d, want within [3,5]", mode)
+	}
+	if k.Prob(4) <= k.Prob(20) {
+		t.Fatal("probability at data should exceed far tail")
+	}
+}
+
+func TestKDESmoothsAdjacentIntegers(t *testing.T) {
+	// Samples only at 4: neighbors 3 and 5 still get real mass thanks to
+	// the minimum bandwidth.
+	k := MustKDE([]int{4, 4, 4, 4}, KDEOptions{})
+	if k.Prob(3) < 10*DefaultFloor {
+		t.Fatalf("neighbor mass too small: %v", k.Prob(3))
+	}
+	if k.Prob(3) >= k.Prob(4) {
+		t.Fatal("neighbor should have less mass than the sample point")
+	}
+}
+
+func TestKDEFloorPreventsMinusInf(t *testing.T) {
+	k := MustKDE([]int{1}, KDEOptions{})
+	lp := k.LogProb(k.Support())
+	if math.IsInf(lp, -1) || math.IsNaN(lp) {
+		t.Fatalf("LogProb at far value = %v", lp)
+	}
+	if k.LogProb(-5) >= k.LogProb(1) {
+		t.Fatal("out-of-support mass should be below sample mass")
+	}
+}
+
+func TestKDEBandwidthScale(t *testing.T) {
+	samples := []int{2, 4, 6, 8, 10, 12}
+	narrow := MustKDE(samples, KDEOptions{BandwidthScale: 0.5})
+	wide := MustKDE(samples, KDEOptions{BandwidthScale: 3})
+	if narrow.Bandwidth() >= wide.Bandwidth() {
+		t.Fatalf("bandwidths not ordered: %v vs %v", narrow.Bandwidth(), wide.Bandwidth())
+	}
+	// A wide kernel spreads more mass to gaps between samples.
+	if wide.Prob(3) <= narrow.Prob(3) == (wide.Prob(2) > narrow.Prob(2)) {
+		// sanity only; the strong assertion is on bandwidth ordering above
+		t.Log("gap mass comparison inconclusive")
+	}
+}
+
+func TestKDEModeTracksDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var samples []int
+	for i := 0; i < 400; i++ {
+		// Mixture centered at 6.
+		samples = append(samples, 4+rng.Intn(5))
+	}
+	k := MustKDE(samples, KDEOptions{})
+	if m := k.Mode(); m < 4 || m > 8 {
+		t.Fatalf("mode = %d, want within [4,8]", m)
+	}
+}
+
+func TestKDEIdenticalSamplesDeterministic(t *testing.T) {
+	a := MustKDE([]int{3, 1, 4, 1, 5}, KDEOptions{})
+	b := MustKDE([]int{3, 1, 4, 1, 5}, KDEOptions{})
+	for v := 0; v <= a.Support(); v++ {
+		if a.Prob(v) != b.Prob(v) {
+			t.Fatal("KDE not deterministic")
+		}
+	}
+}
+
+func TestKDESupportOverride(t *testing.T) {
+	k := MustKDE([]int{2}, KDEOptions{Support: 50})
+	if k.Support() != 50 {
+		t.Fatalf("support = %d", k.Support())
+	}
+	if k.Prob(50) <= 0 {
+		t.Fatal("support edge has no mass")
+	}
+}

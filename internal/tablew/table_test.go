@@ -1,0 +1,168 @@
+package tablew
+
+import (
+	"fmt"
+	"testing"
+
+	"autowrap/internal/bitset"
+	"autowrap/internal/corpus"
+	"autowrap/internal/wrapper"
+)
+
+// paperTable builds the 5×4 table of the paper's Example 1: row i holds the
+// business listing (n_i, a_i, z_i, p_i) and column 1 holds the names.
+func paperTable() *corpus.Corpus {
+	return BuildGrid(5, 4, func(r, c int) string {
+		return fmt.Sprintf("%c%d", "nazp"[c-1], r)
+	})
+}
+
+// ordOf finds the ordinal of the cell with the given content.
+func ordOf(t *testing.T, c *corpus.Corpus, content string) int {
+	t.Helper()
+	for ord := 0; ord < c.NumTexts(); ord++ {
+		if c.TextContent(ord) == content {
+			return ord
+		}
+	}
+	t.Fatalf("cell %q not found", content)
+	return -1
+}
+
+func labelSet(t *testing.T, c *corpus.Corpus, cells ...string) *bitset.Set {
+	s := c.EmptySet()
+	for _, cell := range cells {
+		s.Add(ordOf(t, c, cell))
+	}
+	return s
+}
+
+func extractContents(c *corpus.Corpus, s *bitset.Set) map[string]bool {
+	out := map[string]bool{}
+	for _, v := range c.Contents(s) {
+		out[v] = true
+	}
+	return out
+}
+
+func TestSingleLabelLearnsItself(t *testing.T) {
+	c := paperTable()
+	ind := New(c)
+	w, err := ind.Induce(labelSet(t, c, "n1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := extractContents(c, w.Extract())
+	if len(got) != 1 || !got["n1"] {
+		t.Fatalf("φ({n1}) = %v, want {n1}", got)
+	}
+}
+
+func TestSameColumnGeneralizesToColumn(t *testing.T) {
+	c := paperTable()
+	ind := New(c)
+	w, err := ind.Induce(labelSet(t, c, "n1", "n2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := extractContents(c, w.Extract())
+	want := []string{"n1", "n2", "n3", "n4", "n5"}
+	if len(got) != len(want) {
+		t.Fatalf("φ({n1,n2}) = %v", got)
+	}
+	for _, v := range want {
+		if !got[v] {
+			t.Fatalf("column wrapper missing %s: %v", v, got)
+		}
+	}
+}
+
+func TestSameRowGeneralizesToRow(t *testing.T) {
+	c := paperTable()
+	ind := New(c)
+	w, err := ind.Induce(labelSet(t, c, "n4", "a4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := extractContents(c, w.Extract())
+	want := []string{"n4", "a4", "z4", "p4"}
+	if len(got) != len(want) {
+		t.Fatalf("φ({n4,a4}) = %v", got)
+	}
+	for _, v := range want {
+		if !got[v] {
+			t.Fatalf("row wrapper missing %s", v)
+		}
+	}
+}
+
+func TestSpanningLabelsGeneralizeToTable(t *testing.T) {
+	c := paperTable()
+	ind := New(c)
+	// {a4, z5} spans two rows and two columns (paper Example 1).
+	w, err := ind.Induce(labelSet(t, c, "a4", "z5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Extract().Count() != 20 {
+		t.Fatalf("φ({a4,z5}) has %d cells, want the whole table (20)", w.Extract().Count())
+	}
+}
+
+func TestClosureProperty(t *testing.T) {
+	c := paperTable()
+	ind := New(c)
+	// Paper: {n1,n2} generalizes to the first column, which includes n4;
+	// starting from {n1,n2,n4} still gives the first column.
+	w1, _ := ind.Induce(labelSet(t, c, "n1", "n2"))
+	w2, _ := ind.Induce(labelSet(t, c, "n1", "n2", "n4"))
+	if !w1.Extract().Equal(w2.Extract()) {
+		t.Fatal("closure violated on the paper's example")
+	}
+}
+
+func TestWellBehaved(t *testing.T) {
+	c := paperTable()
+	ind := New(c)
+	labels := labelSet(t, c, "n1", "n2", "n4", "a4", "z5")
+	if err := wrapper.CheckWellBehaved(ind, labels); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRuleRendering(t *testing.T) {
+	c := paperTable()
+	ind := New(c)
+	w, _ := ind.Induce(labelSet(t, c, "n1", "n2"))
+	if w.Rule() != "TABLE(col=1)" {
+		t.Fatalf("rule = %q", w.Rule())
+	}
+	w, _ = ind.Induce(labelSet(t, c, "a4", "z5"))
+	if w.Rule() != "TABLE(*)" {
+		t.Fatalf("whole-table rule = %q", w.Rule())
+	}
+}
+
+func TestTextOutsideTableHasNoFeatures(t *testing.T) {
+	// A page with a header outside the table: single-label induction on a
+	// featureless node generalizes to everything (no shared features).
+	c := corpus.ParseHTML([]string{
+		`<html><body><h1>Dealers</h1><table><tr><td>x</td></tr></table></body></html>`,
+	})
+	ind := New(c)
+	w, err := ind.Induce(c.SetOf(ordOf(t, c, "Dealers")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Extract().Count() != c.NumTexts() {
+		t.Fatalf("featureless label should generalize to all text, got %d", w.Extract().Count())
+	}
+}
+
+func TestEmptyLabelsRejected(t *testing.T) {
+	c := paperTable()
+	ind := New(c)
+	if _, err := ind.Induce(c.EmptySet()); err == nil {
+		t.Fatal("expected error on empty labels")
+	}
+}

@@ -1,0 +1,156 @@
+// Package textutil supplies the sequence-comparison primitives behind the
+// web publication model (paper Sec. 6.1): edit distance between record
+// segments (the "alignment" feature) and longest common substring (the
+// "schema size" feature), both over token sequences.
+package textutil
+
+// EditDistance computes the Levenshtein distance between two token
+// sequences (unit costs). Tokens are interned ints, typically tag ids.
+func EditDistance(a, b []int32) int {
+	// Ensure a is the shorter row to bound memory.
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return len(b)
+	}
+	prev := make([]int, len(a)+1)
+	cur := make([]int, len(a)+1)
+	for i := range prev {
+		prev[i] = i
+	}
+	for j := 1; j <= len(b); j++ {
+		cur[0] = j
+		bj := b[j-1]
+		for i := 1; i <= len(a); i++ {
+			cost := 1
+			if a[i-1] == bj {
+				cost = 0
+			}
+			m := prev[i-1] + cost        // substitute / match
+			if v := prev[i] + 1; v < m { // delete
+				m = v
+			}
+			if v := cur[i-1] + 1; v < m { // insert
+				m = v
+			}
+			cur[i] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(a)]
+}
+
+// EditDistanceCapped is EditDistance with an early-exit upper bound: as soon
+// as every cell of a row exceeds cap, it returns cap+1. The ranking model
+// only needs distances up to the tail of the learned distribution, so the
+// cap keeps degenerate (very long) segments cheap.
+func EditDistanceCapped(a, b []int32, cap int) int {
+	if cap < 0 {
+		cap = 0
+	}
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(b)-len(a) > cap {
+		return cap + 1
+	}
+	if len(a) == 0 {
+		return len(b)
+	}
+	prev := make([]int, len(a)+1)
+	cur := make([]int, len(a)+1)
+	for i := range prev {
+		prev[i] = i
+	}
+	for j := 1; j <= len(b); j++ {
+		cur[0] = j
+		bj := b[j-1]
+		rowMin := cur[0]
+		for i := 1; i <= len(a); i++ {
+			cost := 1
+			if a[i-1] == bj {
+				cost = 0
+			}
+			m := prev[i-1] + cost
+			if v := prev[i] + 1; v < m {
+				m = v
+			}
+			if v := cur[i-1] + 1; v < m {
+				m = v
+			}
+			cur[i] = m
+			if m < rowMin {
+				rowMin = m
+			}
+		}
+		if rowMin > cap {
+			return cap + 1
+		}
+		prev, cur = cur, prev
+	}
+	d := prev[len(a)]
+	if d > cap {
+		return cap + 1
+	}
+	return d
+}
+
+// LongestCommonSubstring returns (in tokens) the longest contiguous run
+// shared by a and b, and the run itself.
+func LongestCommonSubstring(a, b []int32) []int32 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	best, bestEnd := 0, 0
+	for i := 1; i <= len(a); i++ {
+		ai := a[i-1]
+		for j := 1; j <= len(b); j++ {
+			if ai == b[j-1] {
+				cur[j] = prev[j-1] + 1
+				if cur[j] > best {
+					best = cur[j]
+					bestEnd = i
+				}
+			} else {
+				cur[j] = 0
+			}
+		}
+		prev, cur = cur, prev
+		for j := range cur {
+			cur[j] = 0
+		}
+	}
+	if best == 0 {
+		return nil
+	}
+	return a[bestEnd-best : bestEnd]
+}
+
+// CommonPrefixLen returns the length of the longest common prefix of a and b.
+func CommonPrefixLen(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+// CommonSuffixLen returns the length of the longest common suffix of a and b.
+func CommonSuffixLen(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[len(a)-1-i] == b[len(b)-1-i] {
+		i++
+	}
+	return i
+}

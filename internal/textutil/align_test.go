@@ -1,0 +1,243 @@
+package textutil
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func seq(vals ...int32) []int32 { return vals }
+
+func TestEditDistanceBasics(t *testing.T) {
+	cases := []struct {
+		a, b []int32
+		want int
+	}{
+		{nil, nil, 0},
+		{seq(1, 2, 3), nil, 3},
+		{nil, seq(9), 1},
+		{seq(1, 2, 3), seq(1, 2, 3), 0},
+		{seq(1, 2, 3), seq(1, 9, 3), 1},
+		{seq(1, 2, 3), seq(1, 3), 1},
+		{seq(1, 2, 3), seq(0, 1, 2, 3), 1},
+		{seq(1, 2, 3, 4), seq(4, 3, 2, 1), 4}, // reversal: 2 subs + ... = 4? verify below
+	}
+	for i, c := range cases[:len(cases)-1] {
+		if got := EditDistance(c.a, c.b); got != c.want {
+			t.Fatalf("case %d: EditDistance = %d, want %d", i, got, c.want)
+		}
+	}
+	// Reversal distance computed by brute force below.
+	if got, want := EditDistance(seq(1, 2, 3, 4), seq(4, 3, 2, 1)), bruteForce(seq(1, 2, 3, 4), seq(4, 3, 2, 1)); got != want {
+		t.Fatalf("reversal: got %d want %d", got, want)
+	}
+}
+
+// bruteForce is an exponential reference implementation for small inputs.
+func bruteForce(a, b []int32) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	best := bruteForce(a[1:], b[1:])
+	if a[0] != b[0] {
+		best++
+	}
+	if v := bruteForce(a[1:], b) + 1; v < best {
+		best = v
+	}
+	if v := bruteForce(a, b[1:]) + 1; v < best {
+		best = v
+	}
+	return best
+}
+
+func randSeq(rng *rand.Rand, n, alpha int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(rng.Intn(alpha))
+	}
+	return out
+}
+
+func TestEditDistanceAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 200; iter++ {
+		a := randSeq(rng, rng.Intn(7), 3)
+		b := randSeq(rng, rng.Intn(7), 3)
+		if got, want := EditDistance(a, b), bruteForce(a, b); got != want {
+			t.Fatalf("EditDistance(%v, %v) = %d, want %d", a, b, got, want)
+		}
+	}
+}
+
+func TestEditDistanceMetricProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 300; iter++ {
+		a := randSeq(rng, rng.Intn(12), 4)
+		b := randSeq(rng, rng.Intn(12), 4)
+		c := randSeq(rng, rng.Intn(12), 4)
+		dab := EditDistance(a, b)
+		dba := EditDistance(b, a)
+		if dab != dba {
+			t.Fatalf("not symmetric: %d vs %d", dab, dba)
+		}
+		if EditDistance(a, a) != 0 {
+			t.Fatal("identity violated")
+		}
+		dac := EditDistance(a, c)
+		dbc := EditDistance(b, c)
+		if dac > dab+dbc {
+			t.Fatalf("triangle inequality violated: %d > %d + %d", dac, dab, dbc)
+		}
+	}
+}
+
+func TestEditDistanceCapped(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 300; iter++ {
+		a := randSeq(rng, rng.Intn(15), 3)
+		b := randSeq(rng, rng.Intn(15), 3)
+		full := EditDistance(a, b)
+		for _, cap := range []int{0, 1, 3, 10, 100} {
+			got := EditDistanceCapped(a, b, cap)
+			if full <= cap && got != full {
+				t.Fatalf("cap %d: got %d, want exact %d", cap, got, full)
+			}
+			if full > cap && got != cap+1 {
+				t.Fatalf("cap %d: got %d, want %d (full %d)", cap, got, cap+1, full)
+			}
+		}
+	}
+}
+
+func TestLongestCommonSubstring(t *testing.T) {
+	cases := []struct {
+		a, b []int32
+		want []int32
+	}{
+		{seq(1, 2, 3, 4), seq(9, 2, 3, 8), seq(2, 3)},
+		{seq(1, 2, 3), seq(4, 5, 6), nil},
+		{seq(1, 2, 3), seq(1, 2, 3), seq(1, 2, 3)},
+		{nil, seq(1), nil},
+		{seq(5, 1, 2, 3, 6), seq(1, 2, 3), seq(1, 2, 3)},
+	}
+	for i, c := range cases {
+		got := LongestCommonSubstring(c.a, c.b)
+		if len(got) != len(c.want) {
+			t.Fatalf("case %d: LCS = %v, want %v", i, got, c.want)
+		}
+		for j := range got {
+			if got[j] != c.want[j] {
+				t.Fatalf("case %d: LCS = %v, want %v", i, got, c.want)
+			}
+		}
+	}
+}
+
+// lcsBrute is a quadratic-in-substrings reference.
+func lcsBrute(a, b []int32) int {
+	best := 0
+	for i := 0; i < len(a); i++ {
+		for j := 0; j < len(b); j++ {
+			k := 0
+			for i+k < len(a) && j+k < len(b) && a[i+k] == b[j+k] {
+				k++
+			}
+			if k > best {
+				best = k
+			}
+		}
+	}
+	return best
+}
+
+func TestLCSAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for iter := 0; iter < 300; iter++ {
+		a := randSeq(rng, rng.Intn(12), 3)
+		b := randSeq(rng, rng.Intn(12), 3)
+		got := len(LongestCommonSubstring(a, b))
+		want := lcsBrute(a, b)
+		if got != want {
+			t.Fatalf("LCS(%v, %v) = %d, want %d", a, b, got, want)
+		}
+	}
+}
+
+func TestLCSIsSubstringOfBoth(t *testing.T) {
+	f := func(ra, rb []uint8) bool {
+		a := make([]int32, len(ra))
+		for i, v := range ra {
+			a[i] = int32(v % 4)
+		}
+		b := make([]int32, len(rb))
+		for i, v := range rb {
+			b[i] = int32(v % 4)
+		}
+		lcs := LongestCommonSubstring(a, b)
+		return containsSub(a, lcs) && containsSub(b, lcs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func containsSub(hay, needle []int32) bool {
+	if len(needle) == 0 {
+		return true
+	}
+	for i := 0; i+len(needle) <= len(hay); i++ {
+		ok := true
+		for j := range needle {
+			if hay[i+j] != needle[j] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCommonPrefixSuffix(t *testing.T) {
+	if CommonPrefixLen("abcde", "abxde") != 2 {
+		t.Fatal("prefix")
+	}
+	if CommonSuffixLen("abcde", "xycde") != 3 {
+		t.Fatal("suffix")
+	}
+	if CommonPrefixLen("", "abc") != 0 || CommonSuffixLen("abc", "") != 0 {
+		t.Fatal("empty")
+	}
+	if CommonPrefixLen("same", "same") != 4 || CommonSuffixLen("same", "same") != 4 {
+		t.Fatal("identical")
+	}
+}
+
+func TestCommonPrefixSuffixProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		p := CommonPrefixLen(a, b)
+		if a[:p] != b[:p] {
+			return false
+		}
+		if p < len(a) && p < len(b) && a[p] == b[p] {
+			return false // not maximal
+		}
+		s := CommonSuffixLen(a, b)
+		if a[len(a)-s:] != b[len(b)-s:] {
+			return false
+		}
+		if s < len(a) && s < len(b) && a[len(a)-s-1] == b[len(b)-s-1] {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

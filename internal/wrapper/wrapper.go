@@ -1,0 +1,156 @@
+// Package wrapper defines the inductor abstractions of the paper's
+// framework: the blackbox Inductor interface with the well-behavedness
+// properties of Definition 1 (fidelity, closure, monotonicity) and the
+// feature-based inductor refinement of Sec. 4.2 that enables the TopDown
+// enumeration algorithm.
+package wrapper
+
+import (
+	"fmt"
+
+	"autowrap/internal/bitset"
+	"autowrap/internal/corpus"
+)
+
+// Wrapper is a learned extraction rule. The paper (Sec. 6) scores wrappers
+// purely by their output, so the core requirement is Extract; Rule gives the
+// human-readable form for documentation and debugging.
+type Wrapper interface {
+	// Extract returns the set of text-node ordinals matched on the corpus
+	// the wrapper was induced from. Implementations may memoize.
+	Extract() *bitset.Set
+	// Rule renders the wrapper in its native language (an xpath, an (l,r)
+	// delimiter pair, ...).
+	Rule() string
+}
+
+// Inductor is a blackbox wrapper induction system φ: given noise-free
+// labeled examples it generalizes them to a wrapper (paper Sec. 3).
+type Inductor interface {
+	// Name identifies the wrapper language (e.g. "xpath", "lr", "table").
+	Name() string
+	// Corpus returns the corpus this inductor was built over.
+	Corpus() *corpus.Corpus
+	// Induce learns a wrapper from a non-empty label set. Implementations
+	// of well-behaved inductors must satisfy Definition 1.
+	Induce(labels *bitset.Set) (Wrapper, error)
+}
+
+// Attr identifies one attribute of a feature-based inductor (paper
+// Sec. 4.2): features are (attribute, value) pairs and
+// φ(L) = {n | F(n) ⊇ ∩_{ℓ∈L} F(ℓ)}.
+type Attr struct {
+	// Kind is inductor-specific (e.g. "tag", "cn", "@class" at an ancestor
+	// position for XPATH; "L" or "R" with a context length for LR).
+	Kind string
+	// Pos is the ancestor position or context length the attribute refers
+	// to; 0 when unused.
+	Pos int
+}
+
+func (a Attr) String() string {
+	if a.Pos != 0 {
+		return fmt.Sprintf("%d:%s", a.Pos, a.Kind)
+	}
+	return a.Kind
+}
+
+// FeatureInductor is an inductor expressible in the feature-based form, the
+// class for which TopDown enumerates the wrapper space with exactly k calls
+// (Theorem 3).
+type FeatureInductor interface {
+	Inductor
+	// Attrs returns every attribute that appears among the features of the
+	// given labels (attrs(L) in the paper).
+	Attrs(labels *bitset.Set) []Attr
+	// Subdivide partitions s by the value of attribute a
+	// (subdivision(s, a) in the paper). Labels lacking the attribute are
+	// omitted — a subdivision need not cover s.
+	Subdivide(s *bitset.Set, a Attr) []*bitset.Set
+}
+
+// Closure computes φ̆(s) = φ(s) ∩ L for the BottomUp algorithm (Sec. 4.1).
+func Closure(ind Inductor, s, labels *bitset.Set) (*bitset.Set, error) {
+	w, err := ind.Induce(s)
+	if err != nil {
+		return nil, err
+	}
+	return bitset.And(w.Extract(), labels), nil
+}
+
+// CheckWellBehaved verifies Definition 1 on a specific (inductor, labels)
+// instance by sampling subset pairs; it is used by the property-based tests
+// of every shipped inductor. It returns a descriptive error naming the
+// violated property.
+func CheckWellBehaved(ind Inductor, labels *bitset.Set) error {
+	ords := labels.Indices()
+	n := len(ords)
+	if n == 0 {
+		return nil
+	}
+	if n > 8 {
+		ords = ords[:8]
+		n = 8
+	}
+	// Enumerate all subsets when small; this is a test helper, not a
+	// production path.
+	universe := ind.Corpus().NumTexts()
+	subsets := make([]*bitset.Set, 0, 1<<uint(n))
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		s := bitset.New(universe)
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				s.Add(ords[i])
+			}
+		}
+		subsets = append(subsets, s)
+	}
+	outputs := make([]*bitset.Set, len(subsets))
+	for i, s := range subsets {
+		w, err := ind.Induce(s)
+		if err != nil {
+			return fmt.Errorf("induce failed on subset %v: %w", s.Indices(), err)
+		}
+		outputs[i] = w.Extract()
+		// FIDELITY: L ⊆ φ(L).
+		if !s.SubsetOf(outputs[i]) {
+			return fmt.Errorf("fidelity violated: labels %v not within output %v",
+				s.Indices(), outputs[i].Indices())
+		}
+		// CLOSURE: for each ℓ ∈ φ(L), φ(L ∪ {ℓ}) == φ(L). Verify on a
+		// bounded sample of ℓ to keep the check tractable.
+		checked := 0
+		for _, ell := range outputs[i].Indices() {
+			if s.Has(ell) {
+				continue
+			}
+			if checked >= 4 {
+				break
+			}
+			checked++
+			ext := s.Clone()
+			ext.Add(ell)
+			w2, err := ind.Induce(ext)
+			if err != nil {
+				return fmt.Errorf("induce failed on closure extension: %w", err)
+			}
+			if !w2.Extract().Equal(outputs[i]) {
+				return fmt.Errorf("closure violated: adding extracted node %d to %v changed output",
+					ell, s.Indices())
+			}
+		}
+	}
+	// MONOTONICITY: L1 ⊆ L2 ⇒ φ(L1) ⊆ φ(L2). Check subset pairs.
+	for i, si := range subsets {
+		for j, sj := range subsets {
+			if i == j || !si.SubsetOf(sj) {
+				continue
+			}
+			if !outputs[i].SubsetOf(outputs[j]) {
+				return fmt.Errorf("monotonicity violated: φ(%v) ⊄ φ(%v)",
+					si.Indices(), sj.Indices())
+			}
+		}
+	}
+	return nil
+}

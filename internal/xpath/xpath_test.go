@@ -1,0 +1,182 @@
+package xpath
+
+import (
+	"strings"
+	"testing"
+
+	"autowrap/internal/dom"
+	"autowrap/internal/htmlparse"
+)
+
+func doc(t *testing.T, src string) *dom.Node {
+	t.Helper()
+	return htmlparse.Parse(src)
+}
+
+const page = `
+<html><body>
+<div class="content">
+  <table>
+    <tr><td>a1</td><td>b1</td></tr>
+    <tr><td>a2</td><td>b2</td></tr>
+  </table>
+  <table>
+    <tr><td>x1</td><td>y1</td></tr>
+  </table>
+</div>
+<div class="nav">
+  <ul><li>home</li><li>about</li></ul>
+</div>
+</body></html>`
+
+func evalTexts(t *testing.T, root *dom.Node, expr string) []string {
+	t.Helper()
+	e, err := Parse(expr)
+	if err != nil {
+		t.Fatalf("parse %q: %v", expr, err)
+	}
+	var out []string
+	for _, n := range e.Eval(root) {
+		out = append(out, strings.TrimSpace(n.Data))
+	}
+	return out
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	exprs := []string{
+		"//div[@class='dealerlinks']/tr/td/u/text()",
+		"//div[@class='content']/table[1]/tr/td[2]/text()",
+		"/html/body/div/text()",
+		"//*/text()",
+		"//td",
+		"//div[@id='a'][@class='b']/span[3]/text()",
+	}
+	for _, s := range exprs {
+		e, err := Parse(s)
+		if err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		if e.String() != s {
+			t.Fatalf("round trip %q -> %q", s, e.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "div", "//", "//div[", "//div[@]", "//div[@class]",
+		"//div[@class=]", "//div[@class='x]", "//div[0]", "//div]",
+		"//text()/div", "//div[@class=x]",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Fatalf("expected parse error for %q", s)
+		}
+	}
+}
+
+func TestEvalPaperEquation3(t *testing.T) {
+	root := doc(t, page)
+	// Equation (3): second column of each row of the first table in the
+	// content div.
+	got := evalTexts(t, root, "//div[@class='content']/table[1]/tr/td[2]/text()")
+	want := []string{"b1", "b2"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestEvalDescendantVsChild(t *testing.T) {
+	root := doc(t, page)
+	all := evalTexts(t, root, "//td/text()")
+	if len(all) != 6 {
+		t.Fatalf("//td/text() = %v", all)
+	}
+	// Child edge from body only matches direct div children.
+	divs, err := Parse("/html/body/div")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(divs.Eval(root)); n != 2 {
+		t.Fatalf("child div count = %d", n)
+	}
+}
+
+func TestEvalAttributePredicate(t *testing.T) {
+	root := doc(t, page)
+	got := evalTexts(t, root, "//div[@class='nav']/ul/li/text()")
+	if strings.Join(got, ",") != "home,about" {
+		t.Fatalf("got %v", got)
+	}
+	if res := evalTexts(t, root, "//div[@class='missing']/ul/li/text()"); len(res) != 0 {
+		t.Fatalf("expected empty, got %v", res)
+	}
+}
+
+func TestEvalChildIndexIsSameTagNumber(t *testing.T) {
+	root := doc(t, `<div><span>s1</span><b>b1</b><span>s2</span></div>`)
+	got := evalTexts(t, root, "//div/span[2]/text()")
+	if strings.Join(got, ",") != "s2" {
+		t.Fatalf("span[2] = %v", got)
+	}
+	// b is the first (and only) b child even though it is the second child
+	// overall: the index counts same-tag siblings (paper's td[2] usage).
+	got = evalTexts(t, root, "//div/b[1]/text()")
+	if strings.Join(got, ",") != "b1" {
+		t.Fatalf("b[1] = %v", got)
+	}
+}
+
+func TestEvalWildcard(t *testing.T) {
+	root := doc(t, page)
+	got := evalTexts(t, root, "//table/tr/*/text()")
+	if len(got) != 6 {
+		t.Fatalf("wildcard got %v", got)
+	}
+}
+
+func TestEvalAllTextNodes(t *testing.T) {
+	root := doc(t, page)
+	got := evalTexts(t, root, "//*/text()")
+	if len(got) != 8 {
+		t.Fatalf("//*/text() = %v", got)
+	}
+}
+
+func TestEvalDocumentOrderNoDuplicates(t *testing.T) {
+	root := doc(t, page)
+	got := evalTexts(t, root, "//div//td/text()")
+	want := []string{"a1", "b1", "a2", "b2", "x1", "y1"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("order/dup issue: %v", got)
+	}
+}
+
+func TestEvalEmptyOnNoMatch(t *testing.T) {
+	root := doc(t, page)
+	if got := evalTexts(t, root, "//article/text()"); len(got) != 0 {
+		t.Fatalf("expected empty, got %v", got)
+	}
+}
+
+func TestEvalNestedSameTag(t *testing.T) {
+	root := doc(t, `<div><div><div>deep</div></div></div>`)
+	got := evalTexts(t, root, "//div/div/div/text()")
+	if strings.Join(got, ",") != "deep" {
+		t.Fatalf("nested = %v", got)
+	}
+	// Descendant axis must find the deep div from any level.
+	got = evalTexts(t, root, "//div//div/text()")
+	if len(got) != 1 {
+		t.Fatalf("descendant nested = %v", got)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustParse("not an xpath")
+}

@@ -1,0 +1,55 @@
+package xpinduct
+
+import (
+	"math/rand"
+	"testing"
+
+	"autowrap/internal/bitset"
+	"autowrap/internal/gen"
+)
+
+// TestRuleEvalMatchesExtractionOnGeneratedSites closes the loop between the
+// feature semantics and the concrete xpath language on realistic markup:
+// for random label subsets over generated dealer sites, the rendered rule,
+// evaluated by the xpath engine, selects exactly the wrapper's extraction.
+func TestRuleEvalMatchesExtractionOnGeneratedSites(t *testing.T) {
+	pool := gen.BusinessPool(77, 400, 0)
+	rng := rand.New(rand.NewSource(123))
+	for seed := int64(0); seed < 5; seed++ {
+		site, err := gen.DealerSite(gen.DealerConfig{Seed: seed + 200, Pool: pool, NumPages: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := site.Corpus
+		ind := New(c, Options{})
+		for trial := 0; trial < 6; trial++ {
+			labels := bitset.New(c.NumTexts())
+			n := 1 + rng.Intn(5)
+			for labels.Count() < n {
+				labels.Add(rng.Intn(c.NumTexts()))
+			}
+			w, err := ind.Induce(labels)
+			if err != nil {
+				t.Fatal(err)
+			}
+			expr, err := RuleExpr(w)
+			if err != nil {
+				t.Fatalf("site %s labels %v: rule %q does not parse: %v",
+					site.Name, labels.Indices(), w.Rule(), err)
+			}
+			viaXPath := c.EmptySet()
+			for _, p := range c.Pages {
+				for _, node := range expr.Eval(p.Root) {
+					if ord := c.OrdinalOf(node); ord >= 0 {
+						viaXPath.Add(ord)
+					}
+				}
+			}
+			if !viaXPath.Equal(w.Extract()) {
+				t.Fatalf("site %s (%s layout) labels %v: xpath eval %d nodes != extraction %d nodes; rule %q",
+					site.Name, site.Layout, labels.Indices(),
+					viaXPath.Count(), w.Extract().Count(), w.Rule())
+			}
+		}
+	}
+}

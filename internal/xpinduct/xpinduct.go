@@ -1,0 +1,132 @@
+// Package xpinduct implements the XPATH wrapper inductor of Dalvi et al. [6]
+// in the feature-based form the paper derives in Sec. 5: for each text node
+// we look at the path from the node to the root and record, per position i
+// (1 = the node's parent element), the tag name, the same-tag child number
+// and every HTML attribute. Induction intersects the features of the
+// labeled nodes; extraction matches every text node whose features contain
+// that intersection. Theorem 5: this inductor is well-behaved.
+package xpinduct
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"autowrap/internal/corpus"
+	"autowrap/internal/wrapper"
+	"autowrap/internal/xpath"
+)
+
+// Options configures feature extraction.
+type Options struct {
+	// MaxDepth bounds how many ancestors contribute features; 0 means the
+	// full path to the root. Bounding depth is an ablation knob, not a
+	// paper parameter.
+	MaxDepth int
+	// IgnoreAttrs lists attribute keys excluded from features (e.g. style
+	// junk). The defaults exclude nothing.
+	IgnoreAttrs []string
+}
+
+// New builds the XPATH inductor over the corpus.
+func New(c *corpus.Corpus, opt Options) *wrapper.FeatureSpace {
+	ignored := make(map[string]bool, len(opt.IgnoreAttrs))
+	for _, k := range opt.IgnoreAttrs {
+		ignored[strings.ToLower(k)] = true
+	}
+	fs := wrapper.NewFeatureSpace("xpath", c, renderRule)
+	for ord := 0; ord < c.NumTexts(); ord++ {
+		n := c.Text(ord)
+		pos := 0
+		for _, anc := range n.Ancestors() {
+			pos++
+			if opt.MaxDepth > 0 && pos > opt.MaxDepth {
+				break
+			}
+			fs.AddFeature(ord, wrapper.Attr{Kind: "tag", Pos: pos}, anc.Tag)
+			fs.AddFeature(ord, wrapper.Attr{Kind: "cn", Pos: pos},
+				strconv.Itoa(anc.ChildNumber()))
+			for _, a := range anc.Attrs {
+				if ignored[a.Key] {
+					continue
+				}
+				fs.AddFeature(ord, wrapper.Attr{Kind: "@" + a.Key, Pos: pos}, a.Val)
+			}
+		}
+	}
+	fs.Seal()
+	return fs
+}
+
+// renderRule converts an intersected feature set into the equivalent xpath
+// expression (illustrated by Equation (3) in the paper). Positions count
+// upward from the labeled text node's parent; position gaps render as '*'
+// steps so the expression's semantics match the feature semantics exactly.
+func renderRule(fs *wrapper.FeatureSpace, featIDs []int32) string {
+	if len(featIDs) == 0 {
+		return "//text()"
+	}
+	type stepInfo struct {
+		tag   string
+		cn    int
+		attrs [][2]string
+	}
+	byPos := make(map[int]*stepInfo)
+	maxPos := 0
+	for _, fid := range featIDs {
+		a := fs.FeatureAttr(fid)
+		v := fs.FeatureValue(fid)
+		si := byPos[a.Pos]
+		if si == nil {
+			si = &stepInfo{tag: "*"}
+			byPos[a.Pos] = si
+		}
+		if a.Pos > maxPos {
+			maxPos = a.Pos
+		}
+		switch {
+		case a.Kind == "tag":
+			si.tag = v
+		case a.Kind == "cn":
+			si.cn, _ = strconv.Atoi(v)
+		case strings.HasPrefix(a.Kind, "@"):
+			si.attrs = append(si.attrs, [2]string{a.Kind[1:], v})
+		}
+	}
+	var sb strings.Builder
+	for pos := maxPos; pos >= 1; pos-- {
+		if pos == maxPos {
+			sb.WriteString("//")
+		} else {
+			sb.WriteString("/")
+		}
+		si := byPos[pos]
+		if si == nil {
+			sb.WriteString("*")
+			continue
+		}
+		sb.WriteString(si.tag)
+		if si.cn > 0 {
+			sb.WriteString("[")
+			sb.WriteString(strconv.Itoa(si.cn))
+			sb.WriteString("]")
+		}
+		sort.Slice(si.attrs, func(i, j int) bool { return si.attrs[i][0] < si.attrs[j][0] })
+		for _, kv := range si.attrs {
+			sb.WriteString("[@")
+			sb.WriteString(kv[0])
+			sb.WriteString("='")
+			sb.WriteString(kv[1])
+			sb.WriteString("']")
+		}
+	}
+	sb.WriteString("/text()")
+	return sb.String()
+}
+
+// RuleExpr parses the rendered rule of a wrapper produced by this inductor.
+// It exists so integration tests can verify that the rendered xpath
+// evaluates to exactly the wrapper's extraction.
+func RuleExpr(w wrapper.Wrapper) (*xpath.Expr, error) {
+	return xpath.Parse(w.Rule())
+}

@@ -1,0 +1,98 @@
+package autowrap
+
+import (
+	"autowrap/internal/multitype"
+	"autowrap/internal/rank"
+	"autowrap/internal/single"
+)
+
+// SingleEntityResult is the outcome of single-entity learning: all
+// top-ranked wrappers (pages often expose the entity in several consistent
+// locations — title tag, heading, breadcrumb — and all of them tie).
+type SingleEntityResult = single.Result
+
+// SingleEntityOptions configures LearnSingleEntity.
+type SingleEntityOptions struct {
+	// Enumerator defaults to EnumTopDown.
+	Enumerator string
+	// MinPageCoverage is the minimum fraction of pages a winner must
+	// extract its item on (default 0.5).
+	MinPageCoverage float64
+}
+
+// LearnSingleEntity learns a wrapper for pages that each contain exactly one
+// entity of interest (paper Appendix B.2): the wrapper space is enumerated,
+// wrappers extracting more than one item from any page are discarded, and
+// the wrappers covering the most labels win. The list-goodness prior does
+// not apply to single entities, so no Models are needed.
+func LearnSingleEntity(ind Inductor, labels *NodeSet, opt SingleEntityOptions) (*SingleEntityResult, error) {
+	return single.Learn(ind, labels, single.Config{
+		Enumerator:      opt.Enumerator,
+		MinPageCoverage: opt.MinPageCoverage,
+	})
+}
+
+// RecordType declares one field of a multi-type record extraction.
+type RecordType struct {
+	// Name identifies the field ("name", "zipcode", ...).
+	Name string
+	// Annotator produces this field's noisy labels.
+	Annotator Annotator
+	// P and R are this field's annotation-model parameters; zero values
+	// default to 0.95 / 0.30.
+	P, R float64
+}
+
+// RecordsResult is the outcome of multi-type learning.
+type RecordsResult struct {
+	// Wrappers holds the chosen wrapper per declared type.
+	Wrappers []Wrapper
+	// Records are assembled tuples of text contents, one value per type.
+	Records [][]string
+	// PagesFailed counts pages whose extraction could not be assembled
+	// into records.
+	PagesFailed int
+}
+
+// LearnRecords jointly learns one wrapper per record field and assembles
+// records from the interleaved extractions (paper Appendix A). Between two
+// consecutive nodes of the first type there must be exactly one node of
+// every other type; pages violating this produce no records.
+func LearnRecords(c *Corpus, m *Models, types ...RecordType) (*RecordsResult, error) {
+	mts := make([]multitype.Type, len(types))
+	for i, t := range types {
+		p, r := t.P, t.R
+		if p == 0 {
+			p = 0.95
+		}
+		if r == 0 {
+			r = 0.30
+		}
+		mts[i] = multitype.Type{
+			Name:     t.Name,
+			Inductor: NewXPathInductor(c),
+			Labels:   t.Annotator.Annotate(c),
+			Ann:      rank.NewAnnotationModel(p, r),
+		}
+	}
+	res, err := multitype.Learn(c, mts, multitype.Config{Pub: m.Pub})
+	if err != nil {
+		return nil, err
+	}
+	out := &RecordsResult{}
+	if res.Best == nil {
+		return out, nil
+	}
+	out.Wrappers = append(out.Wrappers, res.Best.Wrappers...)
+	out.PagesFailed = res.Best.PagesFailed
+	for _, rec := range res.Best.Records {
+		row := make([]string, len(rec))
+		for i, ord := range rec {
+			if ord >= 0 {
+				row[i] = c.TextContent(ord)
+			}
+		}
+		out.Records = append(out.Records, row)
+	}
+	return out, nil
+}
