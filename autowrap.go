@@ -27,6 +27,7 @@
 package autowrap
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -34,6 +35,7 @@ import (
 	"autowrap/internal/bitset"
 	"autowrap/internal/core"
 	"autowrap/internal/corpus"
+	"autowrap/internal/engine"
 	"autowrap/internal/enum"
 	"autowrap/internal/lr"
 	"autowrap/internal/rank"
@@ -64,6 +66,28 @@ type (
 	// Models bundles the annotation and publication models used for
 	// ranking.
 	Models = rank.Scorer
+
+	// Engine is the concurrent multi-site batch learner: N sites in,
+	// bounded workers, per-site error isolation, aggregate throughput
+	// stats. Build one with NewEngine, or use LearnBatch for one-shot
+	// batches.
+	Engine = engine.Engine
+	// BatchSite describes one site of a batch (corpus + annotator or
+	// precomputed labels + inductor factory + learning config).
+	BatchSite = engine.SiteSpec
+	// BatchOptions bounds a batch run (worker count, label threshold,
+	// progress callback).
+	BatchOptions = engine.Options
+	// BatchResult holds one SiteOutcome per input site plus BatchStats.
+	BatchResult = engine.BatchResult
+	// SiteOutcome is one site's learned result, error, or skip.
+	SiteOutcome = engine.SiteResult
+	// BatchStats aggregates a batch: learned/failed/skipped counts, wall
+	// and serial-equivalent work time, speedup and sites/sec.
+	BatchStats = engine.Stats
+	// LearnConfig is the per-site learning configuration carried by a
+	// BatchSite; build one with NewLearnConfig.
+	LearnConfig = core.Config
 )
 
 // Ranking variants (the paper's Sec. 7.3 ablations).
@@ -219,17 +243,44 @@ type Options struct {
 	Enumerator string
 	// MaxEnumCalls bounds enumeration effort.
 	MaxEnumCalls int64
+	// ScoreWorkers fans the candidate-ranking loop out over that many
+	// goroutines with results identical to the serial path. Parallel
+	// scoring is opt-in (<= 1 stays serial); pass runtime.GOMAXPROCS(0)
+	// to saturate the machine from a single site. Prefer batch-level
+	// parallelism (LearnBatch) when learning many sites.
+	ScoreWorkers int
 }
 
 // Learn runs noise-tolerant wrapper induction: enumerate the wrapper space
 // of the labels, rank by P(L|X)·P(X), return the ranked candidates.
 func Learn(ind Inductor, labels *NodeSet, m *Models, opt Options) (*Result, error) {
-	return core.Learn(ind, labels, core.Config{
-		Enumerator:  opt.Enumerator,
-		EnumOptions: enum.Options{MaxCalls: opt.MaxEnumCalls},
-		Scorer:      m,
-		Variant:     opt.Variant,
-	})
+	return core.Learn(ind, labels, NewLearnConfig(m, opt))
+}
+
+// NewEngine builds a reusable multi-site batch learner.
+func NewEngine(opt BatchOptions) *Engine { return engine.New(opt) }
+
+// NewLearnConfig builds a BatchSite's learning configuration from ranking
+// models and the same Options Learn takes.
+func NewLearnConfig(m *Models, opt Options) LearnConfig {
+	return LearnConfig{
+		Enumerator:   opt.Enumerator,
+		EnumOptions:  enum.Options{MaxCalls: opt.MaxEnumCalls},
+		Scorer:       m,
+		Variant:      opt.Variant,
+		ScoreWorkers: opt.ScoreWorkers,
+	}
+}
+
+// LearnBatch learns N sites concurrently on a bounded worker pool — the
+// paper's deployment shape (Yahoo!-scale extraction runs the single-site
+// pipeline over hundreds of independent sites). Every site gets its own
+// slot in the result: a failing or panicking site reports an error there
+// without disturbing the batch, and per-site learning is byte-identical to
+// calling Learn serially. Cancel ctx to stop at the next site boundary;
+// partial results are returned alongside the context's error.
+func LearnBatch(ctx context.Context, sites []BatchSite, opt BatchOptions) (*BatchResult, error) {
+	return engine.LearnBatch(ctx, sites, opt)
 }
 
 // NaiveLearn is the baseline that trains the inductor directly on all the

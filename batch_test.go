@@ -1,0 +1,104 @@
+package autowrap_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"autowrap"
+	"autowrap/internal/dataset"
+	"autowrap/internal/experiments"
+	"autowrap/internal/segment"
+	"autowrap/internal/stats"
+)
+
+// batchDealers builds a small DEALERS dataset plus engine specs over it.
+func batchSpecs(t *testing.T, numSites int) []autowrap.BatchSite {
+	t.Helper()
+	ds, err := dataset.Dealers(dataset.DealersOptions{NumSites: numSites, NumPages: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	models, err := dataset.LearnModels(ds.Train(), ds.TypeName, ds.Annotator,
+		segment.Options{}, stats.KDEOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return experiments.BatchSpecs(ds, experiments.KindXPath, models.Scorer,
+		experiments.BatchConfig{})
+}
+
+// TestLearnBatchMatchesSerialLearn is the facade-level acceptance check:
+// the engine with many workers learns exactly the wrapper that serial
+// per-site Learn calls produce, for every site of a DEALERS batch.
+func TestLearnBatchMatchesSerialLearn(t *testing.T) {
+	specs := batchSpecs(t, 10)
+	serial, err := autowrap.LearnBatch(context.Background(), specs,
+		autowrap.BatchOptions{Workers: 1, MinLabels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := autowrap.LearnBatch(context.Background(), specs,
+		autowrap.BatchOptions{Workers: 8, MinLabels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Stats.Learned == 0 {
+		t.Fatalf("nothing learned: %+v", serial.Stats)
+	}
+	for i := range specs {
+		a, b := serial.Sites[i], parallel.Sites[i]
+		if a.Skipped != b.Skipped || (a.Err == nil) != (b.Err == nil) {
+			t.Fatalf("site %d outcome differs: serial=%+v parallel=%+v", i, a, b)
+		}
+		if a.Result == nil {
+			continue
+		}
+		ra, rb := a.Result.Best.Wrapper, b.Result.Best.Wrapper
+		if ra.Rule() != rb.Rule() {
+			t.Fatalf("site %s: parallel best %q != serial best %q", a.Name, rb.Rule(), ra.Rule())
+		}
+		if !ra.Extract().Equal(rb.Extract()) {
+			t.Fatalf("site %s: parallel extraction differs from serial", a.Name)
+		}
+	}
+}
+
+// TestLearnBatchFacadeSmoke exercises the documented facade path: build
+// BatchSites by hand from parsed pages and learn them in one call.
+func TestLearnBatchFacadeSmoke(t *testing.T) {
+	var sites []autowrap.BatchSite
+	for s := 0; s < 3; s++ {
+		var pages []string
+		for p := 0; p < 3; p++ {
+			pages = append(pages, fmt.Sprintf(
+				`<html><body><table>`+
+					`<tr><td><u>STORE %02d%d1</u><br>1 Main St</td></tr>`+
+					`<tr><td><u>STORE %02d%d2</u><br>2 Main St</td></tr>`+
+					`</table></body></html>`, s, p, s, p))
+		}
+		c := autowrap.ParsePages(pages)
+		sites = append(sites, autowrap.BatchSite{
+			Name:   fmt.Sprintf("site-%d", s),
+			Corpus: c,
+			Annotator: autowrap.DictionaryAnnotator("d", []string{
+				fmt.Sprintf("STORE %02d01", s), fmt.Sprintf("STORE %02d12", s)}),
+			NewInductor: func(c *autowrap.Corpus) (autowrap.Inductor, error) {
+				return autowrap.NewXPathInductor(c), nil
+			},
+			Config: autowrap.NewLearnConfig(autowrap.GenericModels(c), autowrap.Options{}),
+		})
+	}
+	res, err := autowrap.LearnBatch(context.Background(), sites, autowrap.BatchOptions{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Learned != 3 {
+		t.Fatalf("stats = %+v, want 3 learned", res.Stats)
+	}
+	for _, r := range res.Sites {
+		if got := r.Result.Best.Wrapper.Extract().Count(); got != 6 {
+			t.Fatalf("site %s extracted %d nodes, want 6", r.Name, got)
+		}
+	}
+}

@@ -1,19 +1,24 @@
 // Benchmarks regenerating every table and figure of the paper's evaluation
-// at reduced scale (see DESIGN.md for the experiment index, cmd/benchrun
-// for paper-scale runs, and EXPERIMENTS.md for paper-vs-measured values).
+// at reduced scale (see DESIGN.md for the experiment index and cmd/benchrun
+// for paper-scale runs), plus the multi-site engine benchmarks tracked for
+// regressions by scripts/bench.sh and CI (see benchmarks/README.md).
 //
 // Each benchmark runs one full experiment per iteration and reports the
-// headline quantities as custom metrics (F1 values, call counts), so
-// `go test -bench=. -benchmem` both times the pipeline and regenerates the
-// numbers.
+// headline quantities as custom metrics (F1 values, call counts, sites/sec,
+// speedup), so `go test -bench=. -benchmem` both times the pipeline and
+// regenerates the numbers.
 package autowrap_test
 
 import (
+	"context"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"autowrap"
 	"autowrap/internal/dataset"
+	"autowrap/internal/engine"
 	"autowrap/internal/experiments"
 	"autowrap/internal/lr"
 	"autowrap/internal/segment"
@@ -88,6 +93,123 @@ func table1Dealers(b *testing.B) *dataset.Dataset {
 		benchT1 = ds
 	})
 	return benchT1
+}
+
+// --- Engine: concurrent multi-site learning (ISSUE 1 tentpole) ---
+
+// engineSpecs builds the 24-site DEALERS batch the engine benchmarks run:
+// specs are rebuilt per call so no wrapper/label caches leak between runs.
+func engineSpecs(b *testing.B) []engine.SiteSpec {
+	b.Helper()
+	ds := dealers(b)
+	models, err := dataset.LearnModels(ds.Train(), ds.TypeName, ds.Annotator,
+		segment.Options{}, stats.KDEOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return experiments.BatchSpecs(ds, experiments.KindXPath, models.Scorer,
+		experiments.BatchConfig{})
+}
+
+// learnBatchOnce runs one full batch and returns it, failing the benchmark
+// on any per-site error.
+func learnBatchOnce(b *testing.B, specs []engine.SiteSpec, workers int) *engine.BatchResult {
+	b.Helper()
+	batch, err := engine.LearnBatch(context.Background(), specs,
+		engine.Options{Workers: workers, MinLabels: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, f := range batch.Failed() {
+		b.Fatalf("site %s failed: %v", f.Name, f.Err)
+	}
+	return batch
+}
+
+// serialBatchTime measures the 1-worker batch once; the parallel benchmarks
+// report their speedup against it.
+var (
+	onceSerialBatch sync.Once
+	serialBatchNs   float64
+)
+
+func serialBatchBaseline(b *testing.B) float64 {
+	b.Helper()
+	onceSerialBatch.Do(func() {
+		specs := engineSpecs(b)
+		learnBatchOnce(b, specs, 1) // warm dataset/model caches
+		start := time.Now()
+		learnBatchOnce(b, specs, 1)
+		serialBatchNs = float64(time.Since(start).Nanoseconds())
+	})
+	return serialBatchNs
+}
+
+// benchEngine times LearnBatch at a fixed worker count and reports
+// throughput (sites/sec), the pool's internal work/wall speedup, and the
+// wall-clock speedup against the measured serial baseline.
+func benchEngine(b *testing.B, workers int) {
+	serialNs := serialBatchBaseline(b)
+	specs := engineSpecs(b)
+	b.ResetTimer()
+	var batch *engine.BatchResult
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		batch = learnBatchOnce(b, specs, workers)
+	}
+	elapsed := time.Since(start)
+	perRun := float64(elapsed.Nanoseconds()) / float64(b.N)
+	b.ReportMetric(float64(batch.Stats.Sites)/(perRun/1e9), "sites/sec")
+	b.ReportMetric(serialNs/perRun, "speedup-vs-serial")
+	b.ReportMetric(batch.Stats.Speedup(), "pool-speedup")
+}
+
+// BenchmarkEngineBatchSerial is the 1-worker reference point.
+func BenchmarkEngineBatchSerial(b *testing.B) { benchEngine(b, 1) }
+
+// BenchmarkEngineBatch8Workers is the acceptance configuration: 24 DEALERS
+// sites on 8 workers. On a machine with >= 8 cores, speedup-vs-serial
+// should exceed 3x; TestLearnBatchMatchesSerialLearn (batch_test.go)
+// separately proves the per-site results are identical to serial.
+func BenchmarkEngineBatch8Workers(b *testing.B) { benchEngine(b, 8) }
+
+// BenchmarkEngineBatchMaxWorkers saturates the host (GOMAXPROCS workers).
+func BenchmarkEngineBatchMaxWorkers(b *testing.B) { benchEngine(b, 0) }
+
+// BenchmarkCoreParallelScoring isolates the fanned-out ranking loop: one
+// site, serial vs GOMAXPROCS scoring workers.
+func BenchmarkCoreParallelScoring(b *testing.B) {
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		name := "serial"
+		if workers != 1 {
+			name = "maxworkers"
+		}
+		b.Run(name, func(b *testing.B) {
+			ds := dealers(b)
+			models, err := dataset.LearnModels(ds.Train(), ds.TypeName, ds.Annotator,
+				segment.Options{}, stats.KDEOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			site := ds.Eval()[0]
+			labels := ds.Annotator.Annotate(site.Corpus)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ind, err := experiments.NewInductor(experiments.KindXPath, site.Corpus)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := autowrap.Learn(ind, labels, models.Scorer,
+					autowrap.Options{ScoreWorkers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Best == nil {
+					b.Fatal("no result")
+				}
+			}
+		})
+	}
 }
 
 // --- Figure 2(a): # of wrapper calls for LR ---

@@ -7,9 +7,15 @@
 //	benchrun -exp all                 # everything, reduced default scale
 //	benchrun -exp fig2d -sites 330    # one experiment at paper scale
 //	benchrun -exp table1 -sites 60
+//	benchrun -exp batch -workers 8    # engine throughput over all sites
 //
 // Experiments: fig2a fig2b fig2c fig2d fig2e fig2f fig2g fig2h fig2i
-// table1 fig3a fig3b fig3c b2 all
+// table1 fig3a fig3b fig3c b2 batch all. "batch" is the multi-site engine
+// throughput demo (sites/sec, speedup, per-site failures); the rest map to
+// the paper's tables and figures as indexed in DESIGN.md.
+//
+// All multi-site experiments run on the internal/engine worker pool;
+// -workers bounds it (0 = GOMAXPROCS).
 package main
 
 import (
@@ -24,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (fig2a..fig2i, table1, fig3a, fig3b, fig3c, b2, all)")
+		exp     = flag.String("exp", "all", "experiment id (fig2a..fig2i, table1, fig3a, fig3b, fig3c, b2, batch, all)")
 		sites   = flag.Int("sites", 120, "number of DEALERS sites to generate (paper: 330)")
 		pages   = flag.Int("pages", 0, "pages per DEALERS site (default 12; table1 uses 25)")
 		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
@@ -42,6 +48,7 @@ var knownExperiments = map[string]bool{
 	"all": true, "fig2a": true, "fig2b": true, "fig2c": true, "fig2d": true,
 	"fig2e": true, "fig2f": true, "fig2g": true, "fig2h": true, "fig2i": true,
 	"table1": true, "fig3a": true, "fig3b": true, "fig3c": true, "b2": true,
+	"batch": true,
 }
 
 func run(exp string, sites, pages, workers, rows int, seed int64) error {
@@ -54,7 +61,7 @@ func run(exp string, sites, pages, workers, rows int, seed int64) error {
 
 	var dealers *dataset.Dataset
 	needDealers := false
-	for _, id := range []string{"fig2a", "fig2b", "fig2c", "fig2d", "fig2e", "fig2h", "fig2i", "fig3a", "fig3b"} {
+	for _, id := range []string{"fig2a", "fig2b", "fig2c", "fig2d", "fig2e", "fig2h", "fig2i", "fig3a", "fig3b", "batch"} {
 		if want(id) {
 			needDealers = true
 		}
@@ -184,6 +191,15 @@ func run(exp string, sites, pages, workers, rows int, seed int64) error {
 			return err
 		}
 		experiments.ReportAccuracy(out, res)
+	}
+	if want("batch") {
+		experiments.Separator(out, "Engine: concurrent multi-site learning over DEALERS")
+		res, err := experiments.BatchExperiment(dealers, experiments.KindXPath,
+			experiments.BatchConfig{Workers: workers})
+		if err != nil {
+			return err
+		}
+		experiments.ReportBatch(out, res)
 	}
 	if want("b2") {
 		experiments.Separator(out, "Appendix B.2: single-entity extraction on DISC")

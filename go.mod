@@ -1,0 +1,3 @@
+module autowrap
+
+go 1.24

@@ -15,6 +15,7 @@ import (
 	"autowrap/internal/bitset"
 	"autowrap/internal/corpus"
 	"autowrap/internal/enum"
+	"autowrap/internal/par"
 	"autowrap/internal/rank"
 	"autowrap/internal/wrapper"
 )
@@ -30,6 +31,23 @@ type Config struct {
 	Scorer *rank.Scorer
 	// Variant selects NTW, NTW-L, or NTW-X.
 	Variant rank.Variant
+	// ScoreWorkers fans candidate scoring out over a bounded goroutine
+	// pool: each enumerated wrapper is scored independently, results land
+	// in the candidate's own slot, and the final ranking sort is the same
+	// stable sort as the serial path — so the Result is byte-identical
+	// whatever the worker count. Parallel scoring is opt-in: <= 1 keeps
+	// the serial loop, so zero-value configs nested under a site-level
+	// pool (the engine, the experiment runners) don't oversubscribe the
+	// host with workers × workers goroutines. Pass
+	// runtime.GOMAXPROCS(0) to saturate a machine from a single site.
+	ScoreWorkers int
+}
+
+func (cfg Config) scoreWorkers() int {
+	if cfg.ScoreWorkers < 1 {
+		return 1
+	}
+	return cfg.ScoreWorkers
 }
 
 func (cfg Config) enumerator() string {
@@ -71,13 +89,20 @@ func Learn(ind wrapper.Inductor, labels *bitset.Set, cfg Config) (*Result, error
 		return nil, fmt.Errorf("core: enumeration failed: %w", err)
 	}
 	res := &Result{EnumCalls: enumRes.Calls}
-	for _, it := range enumRes.Items {
-		res.Candidates = append(res.Candidates, Candidate{
-			Wrapper:   it.Wrapper,
-			TrainedOn: it.Labels,
-			Score:     cfg.Scorer.Score(c, labels, it.Wrapper.Extract(), cfg.Variant),
-		})
-	}
+	// Scoring is the hot loop: every enumerated wrapper is scored against
+	// the labels and the publication model (segmentation + KDE lookups),
+	// and the candidates are independent — fan them out. Each goroutine
+	// writes only its own index, so the merge is a no-op and the ordering
+	// below sees exactly the slice the serial loop would build.
+	items := enumRes.Items
+	res.Candidates = make([]Candidate, len(items))
+	par.For(len(items), cfg.scoreWorkers(), func(i int) {
+		res.Candidates[i] = Candidate{
+			Wrapper:   items[i].Wrapper,
+			TrainedOn: items[i].Labels,
+			Score:     cfg.Scorer.Score(c, labels, items[i].Wrapper.Extract(), cfg.Variant),
+		}
+	})
 	sortCandidates(res.Candidates, labels)
 	if len(res.Candidates) > 0 {
 		res.Best = &res.Candidates[0]

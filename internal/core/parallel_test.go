@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"autowrap/internal/rank"
+	"autowrap/internal/xpinduct"
+)
+
+// TestParallelScoringMatchesSerial is the determinism guarantee of the
+// fanned-out ranking loop: for any ScoreWorkers value, Learn returns the
+// same candidates in the same order with the same scores as the serial
+// path — not just the same Best.
+func TestParallelScoringMatchesSerial(t *testing.T) {
+	c := dealerCorpus(5, 4)
+	gold := goldNames(c)
+	labels := noisyLabels(c, gold)
+	scorer := scorerFor(t, c, gold)
+
+	serial, err := Learn(xpinduct.New(c, xpinduct.Options{}), labels,
+		Config{Scorer: scorer, ScoreWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Candidates) < 2 {
+		t.Fatalf("only %d candidates; the determinism check needs a real space",
+			len(serial.Candidates))
+	}
+
+	for _, workers := range []int{0, 2, 3, 8, 32} {
+		par, err := Learn(xpinduct.New(c, xpinduct.Options{}), labels,
+			Config{Scorer: scorer, ScoreWorkers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(par.Candidates) != len(serial.Candidates) {
+			t.Fatalf("workers=%d: %d candidates, serial has %d",
+				workers, len(par.Candidates), len(serial.Candidates))
+		}
+		for i := range serial.Candidates {
+			a, b := serial.Candidates[i], par.Candidates[i]
+			if a.Score != b.Score {
+				t.Fatalf("workers=%d: candidate %d score %+v != serial %+v",
+					workers, i, b.Score, a.Score)
+			}
+			if a.Wrapper.Rule() != b.Wrapper.Rule() {
+				t.Fatalf("workers=%d: candidate %d rule %q != serial %q",
+					workers, i, b.Wrapper.Rule(), a.Wrapper.Rule())
+			}
+			if !a.Wrapper.Extract().Equal(b.Wrapper.Extract()) {
+				t.Fatalf("workers=%d: candidate %d extraction differs", workers, i)
+			}
+			if !a.TrainedOn.Equal(b.TrainedOn) {
+				t.Fatalf("workers=%d: candidate %d trained-on subset differs", workers, i)
+			}
+		}
+		if par.Best.Wrapper.Rule() != serial.Best.Wrapper.Rule() {
+			t.Fatalf("workers=%d: Best differs from serial", workers)
+		}
+	}
+}
+
+// TestParallelScoringVariants exercises the fan-out under every ranking
+// variant (each reads a different slice of the scorer).
+func TestParallelScoringVariants(t *testing.T) {
+	c := dealerCorpus(4, 3)
+	gold := goldNames(c)
+	labels := noisyLabels(c, gold)
+	scorer := scorerFor(t, c, gold)
+	for _, v := range []rank.Variant{rank.NTW, rank.NTWL, rank.NTWX} {
+		serial, err := Learn(xpinduct.New(c, xpinduct.Options{}), labels,
+			Config{Scorer: scorer, Variant: v, ScoreWorkers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := Learn(xpinduct.New(c, xpinduct.Options{}), labels,
+			Config{Scorer: scorer, Variant: v, ScoreWorkers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial.Best.Wrapper.Rule() != par.Best.Wrapper.Rule() {
+			t.Fatalf("variant %v: parallel Best differs from serial", v)
+		}
+	}
+}

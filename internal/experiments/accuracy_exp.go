@@ -1,13 +1,19 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"autowrap/internal/bitset"
 	"autowrap/internal/core"
+	"autowrap/internal/corpus"
 	"autowrap/internal/dataset"
+	"autowrap/internal/engine"
 	"autowrap/internal/eval"
 	"autowrap/internal/gen"
+	"autowrap/internal/par"
 	"autowrap/internal/rank"
+	"autowrap/internal/wrapper"
 )
 
 // AccuracyResult reproduces one of Figs. 2(d)–2(g) / 3(c): macro-averaged
@@ -23,6 +29,8 @@ type AccuracyResult struct {
 	Skipped int
 	// Annotator quality as measured on the training half.
 	AnnotPrecision, AnnotRecall float64
+	// Batch carries the engine's throughput/latency stats for the NTW runs.
+	Batch engine.Stats
 }
 
 // AccuracyConfig bounds the experiment.
@@ -32,78 +40,123 @@ type AccuracyConfig struct {
 	Variant rank.Variant
 }
 
+// sitePrep is the per-site stage shared by the accuracy experiments:
+// annotation, inductor construction, and the NAIVE baseline.
+type sitePrep struct {
+	labels  *bitset.Set
+	ind     wrapper.Inductor
+	naive   eval.PRF
+	skipped bool
+	err     error
+}
+
+// prepareSites annotates and builds an inductor per evaluation site, and
+// runs the NAIVE baseline on it. Sites with fewer than two labels are
+// skipped (a single label carries no list signal).
+func prepareSites(ds *dataset.Dataset, evalSites []*gen.Site, kind string, workers int) []sitePrep {
+	preps := make([]sitePrep, len(evalSites))
+	par.For(len(evalSites), workers, func(i int) {
+		site := evalSites[i]
+		p := &preps[i]
+		p.labels = ds.Annotator.Annotate(site.Corpus)
+		if p.labels.Count() < 2 {
+			p.skipped = true
+			return
+		}
+		p.ind, p.err = NewInductor(kind, site.Corpus)
+		if p.err != nil {
+			return
+		}
+		nw, err := core.Naive(p.ind, p.labels)
+		if err != nil {
+			p.err = fmt.Errorf("site %s naive: %w", site.Name, err)
+			return
+		}
+		p.naive = eval.Score(nw.Extract(), site.Gold[ds.TypeName])
+	})
+	return preps
+}
+
+// ntwSpecs turns the prepared sites into engine SiteSpecs (one per variant
+// requested), reusing the stage-1 labels. The stage-1 inductor is reused by
+// the first variant's spec only; further variants build a fresh inductor
+// inside their worker — inductors carry per-instance induction caches, so
+// sharing one across concurrently-running specs would race. specSite and
+// specVariant map each spec back to its site and variant index.
+func ntwSpecs(evalSites []*gen.Site, preps []sitePrep, kind string, scorer *rank.Scorer,
+	variants []rank.Variant) (specs []engine.SiteSpec, specSite []int, specVariant []int) {
+	for i, p := range preps {
+		if p.skipped || p.err != nil {
+			continue
+		}
+		for vi, v := range variants {
+			ind, first := p.ind, vi == 0
+			specs = append(specs, engine.SiteSpec{
+				Name:   evalSites[i].Name,
+				Corpus: evalSites[i].Corpus,
+				Labels: p.labels,
+				NewInductor: func(c *corpus.Corpus) (wrapper.Inductor, error) {
+					if first {
+						return ind, nil
+					}
+					return NewInductor(kind, c)
+				},
+				Config: core.Config{Scorer: scorer, Variant: v},
+			})
+			specSite = append(specSite, i)
+			specVariant = append(specVariant, vi)
+		}
+	}
+	return specs, specSite, specVariant
+}
+
 // AccuracyExperiment runs NAIVE and NTW over the evaluation half of the
-// dataset with models learned on the training half.
+// dataset with models learned on the training half. The NAIVE baselines run
+// in a data-parallel prepass; the NTW learning — the expensive half — runs
+// as one batch on the multi-site engine.
 func AccuracyExperiment(ds *dataset.Dataset, kind string, cfg AccuracyConfig) (*AccuracyResult, error) {
 	models, err := defaultModels(ds)
 	if err != nil {
 		return nil, err
 	}
 	evalSites := ds.Eval()
-	type siteOut struct {
-		naive, ntw eval.PRF
-		skipped    bool
-		err        error
+	preps := prepareSites(ds, evalSites, kind, cfg.Workers)
+	specs, specSite, _ := ntwSpecs(evalSites, preps, kind, models.Scorer,
+		[]rank.Variant{cfg.Variant})
+	batch, err := engine.LearnBatch(context.Background(), specs,
+		engine.Options{Workers: cfg.Workers, MinLabels: 2})
+	if err != nil {
+		return nil, err
 	}
-	outs := make([]siteOut, len(evalSites))
-	parallelFor(len(evalSites), cfg.Workers, func(i int) {
-		outs[i] = runAccuracySite(ds, evalSites[i], kind, models, cfg.Variant)
-	})
+
 	res := &AccuracyResult{
 		Dataset: ds.Name, Inductor: kind,
 		AnnotPrecision: models.AnnotPrecision, AnnotRecall: models.AnnotRecall,
+		Batch: batch.Stats,
 	}
 	var naives, ntws []eval.PRF
-	for _, o := range outs {
-		if o.err != nil {
-			return nil, o.err
+	for _, p := range preps {
+		if p.err != nil {
+			return nil, p.err
 		}
-		if o.skipped {
+		if p.skipped {
 			res.Skipped++
 			continue
 		}
-		naives = append(naives, o.naive)
-		ntws = append(ntws, o.ntw)
+		naives = append(naives, p.naive)
+	}
+	for si, r := range batch.Sites {
+		if r.Err != nil {
+			return nil, fmt.Errorf("site %s ntw: %w", r.Name, r.Err)
+		}
+		site := evalSites[specSite[si]]
+		ntws = append(ntws, eval.Score(r.Result.Extraction(site.Corpus),
+			site.Gold[ds.TypeName]))
 	}
 	res.Sites = len(naives)
 	res.Naive = eval.Macro(naives)
 	res.NTW = eval.Macro(ntws)
 	return res, nil
-}
-
-func runAccuracySite(ds *dataset.Dataset, site *gen.Site, kind string, models *dataset.Models, variant rank.Variant) (out struct {
-	naive, ntw eval.PRF
-	skipped    bool
-	err        error
-}) {
-	gold := site.Gold[ds.TypeName]
-	labels := ds.Annotator.Annotate(site.Corpus)
-	if labels.Count() < 2 {
-		out.skipped = true
-		return
-	}
-	ind, err := NewInductor(kind, site.Corpus)
-	if err != nil {
-		out.err = err
-		return
-	}
-	nw, err := core.Naive(ind, labels)
-	if err != nil {
-		out.err = fmt.Errorf("site %s naive: %w", site.Name, err)
-		return
-	}
-	out.naive = eval.Score(nw.Extract(), gold)
-
-	res, err := core.Learn(ind, labels, core.Config{
-		Scorer:  models.Scorer,
-		Variant: variant,
-	})
-	if err != nil {
-		out.err = fmt.Errorf("site %s ntw: %w", site.Name, err)
-		return
-	}
-	out.ntw = eval.Score(res.Extraction(site.Corpus), gold)
-	return
 }
 
 // VariantsResult reproduces Figs. 2(h)/2(i): the accuracy (F1) of the full
@@ -117,53 +170,38 @@ type VariantsResult struct {
 	Sites    int
 }
 
-// VariantsExperiment evaluates NTW, NTW-L and NTW-X on the same sites.
+// VariantsExperiment evaluates NTW, NTW-L and NTW-X on the same sites: all
+// (site, variant) pairs are dispatched as one engine batch, so the three
+// ablations interleave across the worker pool instead of running as three
+// serial sweeps.
 func VariantsExperiment(ds *dataset.Dataset, kind string, cfg AccuracyConfig) (*VariantsResult, error) {
 	models, err := defaultModels(ds)
 	if err != nil {
 		return nil, err
 	}
 	evalSites := ds.Eval()
-	type siteOut struct {
-		prf     [3]eval.PRF
-		skipped bool
-		err     error
+	preps := prepareSites(ds, evalSites, kind, cfg.Workers)
+	for _, p := range preps {
+		if p.err != nil {
+			return nil, p.err
+		}
 	}
-	outs := make([]siteOut, len(evalSites))
 	variants := []rank.Variant{rank.NTW, rank.NTWL, rank.NTWX}
-	parallelFor(len(evalSites), cfg.Workers, func(i int) {
-		site := evalSites[i]
-		gold := site.Gold[ds.TypeName]
-		labels := ds.Annotator.Annotate(site.Corpus)
-		if labels.Count() < 2 {
-			outs[i].skipped = true
-			return
-		}
-		ind, err := NewInductor(kind, site.Corpus)
-		if err != nil {
-			outs[i].err = err
-			return
-		}
-		for vi, v := range variants {
-			res, err := core.Learn(ind, labels, core.Config{Scorer: models.Scorer, Variant: v})
-			if err != nil {
-				outs[i].err = fmt.Errorf("site %s variant %s: %w", site.Name, v, err)
-				return
-			}
-			outs[i].prf[vi] = eval.Score(res.Extraction(site.Corpus), gold)
-		}
-	})
+	specs, specSite, specVariant := ntwSpecs(evalSites, preps, kind, models.Scorer, variants)
+	batch, err := engine.LearnBatch(context.Background(), specs,
+		engine.Options{Workers: cfg.Workers, MinLabels: 2})
+	if err != nil {
+		return nil, err
+	}
 	var per [3][]eval.PRF
-	for _, o := range outs {
-		if o.err != nil {
-			return nil, o.err
+	for si, r := range batch.Sites {
+		if r.Err != nil {
+			return nil, fmt.Errorf("site %s variant %s: %w",
+				r.Name, variants[specVariant[si]], r.Err)
 		}
-		if o.skipped {
-			continue
-		}
-		for vi := range variants {
-			per[vi] = append(per[vi], o.prf[vi])
-		}
+		site := evalSites[specSite[si]]
+		prf := eval.Score(r.Result.Extraction(site.Corpus), site.Gold[ds.TypeName])
+		per[specVariant[si]] = append(per[specVariant[si]], prf)
 	}
 	return &VariantsResult{
 		Dataset:  ds.Name,

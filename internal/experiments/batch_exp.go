@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"context"
+
+	"autowrap/internal/core"
+	"autowrap/internal/corpus"
+	"autowrap/internal/dataset"
+	"autowrap/internal/engine"
+	"autowrap/internal/eval"
+	"autowrap/internal/gen"
+	"autowrap/internal/rank"
+	"autowrap/internal/wrapper"
+)
+
+// BatchConfig sizes the multi-site engine run.
+type BatchConfig struct {
+	Workers int
+	Variant rank.Variant
+	// ScoreWorkers additionally fans out the per-site ranking loop; the
+	// default (serial) keeps all parallelism at the site level, which is
+	// where the throughput is for large batches.
+	ScoreWorkers int
+}
+
+// BatchOutcome is the engine throughput demo's result: the raw batch plus
+// extraction accuracy so the speedup is provably not coming from wrong
+// answers.
+type BatchOutcome struct {
+	Dataset  string
+	Inductor string
+	Batch    *engine.BatchResult
+	// NTW is the macro accuracy over the learned sites of the dataset's
+	// evaluation half — the training half's sites are learned too (they
+	// count for throughput) but are excluded here because the scorer's
+	// models were fitted on them.
+	NTW eval.PRF
+	// EvalSites is the number of sites NTW averages over.
+	EvalSites int
+}
+
+// BatchExperiment learns every site of the dataset in one engine batch with
+// models from the training half — the deployment shape of the paper
+// (hundreds of sites, annotate → enumerate → rank per site, all
+// embarrassingly parallel).
+func BatchExperiment(ds *dataset.Dataset, kind string, cfg BatchConfig) (*BatchOutcome, error) {
+	models, err := defaultModels(ds)
+	if err != nil {
+		return nil, err
+	}
+	specs := BatchSpecs(ds, kind, models.Scorer, cfg)
+	batch, err := engine.LearnBatch(context.Background(), specs,
+		engine.Options{Workers: cfg.Workers, MinLabels: 2})
+	if err != nil {
+		return nil, err
+	}
+	heldOut := make(map[*gen.Site]bool)
+	for _, s := range ds.Eval() {
+		heldOut[s] = true
+	}
+	var prfs []eval.PRF
+	for i, r := range batch.Sites {
+		if r.Err != nil || r.Skipped || !heldOut[ds.Sites[i]] {
+			continue
+		}
+		site := ds.Sites[i]
+		prfs = append(prfs, eval.Score(r.Result.Extraction(site.Corpus),
+			site.Gold[ds.TypeName]))
+	}
+	return &BatchOutcome{
+		Dataset:   ds.Name,
+		Inductor:  kind,
+		Batch:     batch,
+		NTW:       eval.Macro(prfs),
+		EvalSites: len(prfs),
+	}, nil
+}
+
+// BatchSpecs builds one engine SiteSpec per dataset site; bench_test.go
+// uses it directly to time the engine with and without workers.
+func BatchSpecs(ds *dataset.Dataset, kind string, scorer *rank.Scorer, cfg BatchConfig) []engine.SiteSpec {
+	specs := make([]engine.SiteSpec, len(ds.Sites))
+	for i, site := range ds.Sites {
+		specs[i] = engine.SiteSpec{
+			Name:      site.Name,
+			Corpus:    site.Corpus,
+			Annotator: ds.Annotator,
+			NewInductor: func(c *corpus.Corpus) (wrapper.Inductor, error) {
+				return NewInductor(kind, c)
+			},
+			Config: core.Config{
+				Scorer:       scorer,
+				Variant:      cfg.Variant,
+				ScoreWorkers: cfg.ScoreWorkers,
+			},
+		}
+	}
+	return specs
+}

@@ -7,6 +7,7 @@ import (
 
 	"autowrap/internal/dataset"
 	"autowrap/internal/enum"
+	"autowrap/internal/par"
 	"autowrap/internal/wrapper"
 )
 
@@ -59,7 +60,7 @@ func EnumExperiment(ds *dataset.Dataset, kind string, cfg EnumConfig) (*EnumResu
 	res := &EnumResult{Dataset: ds.Name, Inductor: kind}
 	rows := make([]*EnumRow, len(ds.Sites))
 	errs := make([]error, len(ds.Sites))
-	parallelFor(len(ds.Sites), cfg.Workers, func(i int) {
+	par.For(len(ds.Sites), cfg.Workers, func(i int) {
 		site := ds.Sites[i]
 		labels := ds.Annotator.Annotate(site.Corpus)
 		if labels.Count() < 2 {

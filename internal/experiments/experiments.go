@@ -7,8 +7,6 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"autowrap/internal/corpus"
 	"autowrap/internal/dataset"
@@ -35,39 +33,6 @@ func NewInductor(kind string, c *corpus.Corpus) (wrapper.Inductor, error) {
 	default:
 		return nil, fmt.Errorf("experiments: unknown inductor kind %q", kind)
 	}
-}
-
-// parallelFor runs fn(i) for i in [0, n) on up to workers goroutines.
-// workers <= 0 selects GOMAXPROCS.
-func parallelFor(n, workers int, fn func(i int)) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
 }
 
 // defaultModels learns the scorer from a dataset's training half with

@@ -9,6 +9,7 @@ import (
 	"autowrap/internal/eval"
 	"autowrap/internal/gen"
 	"autowrap/internal/multitype"
+	"autowrap/internal/par"
 	"autowrap/internal/rank"
 	"autowrap/internal/wrapper"
 	"autowrap/internal/xpinduct"
@@ -72,7 +73,7 @@ func MultiTypeExperiment(ds *dataset.Dataset, cfg MultiTypeConfig) (*MultiTypeRe
 		err                                        error
 	}
 	outs := make([]siteOut, len(sites))
-	parallelFor(len(sites), cfg.Workers, func(i int) {
+	par.For(len(sites), cfg.Workers, func(i int) {
 		outs[i] = runMultiTypeSite(ds, sites[i], zipAnnot, nameModel, zipModel, models)
 	})
 

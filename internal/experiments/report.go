@@ -95,6 +95,19 @@ func ReportSingleEntity(w io.Writer, r *SingleEntityResult) {
 		r.Correct, r.Sites, r.WithTies, r.TotalWinners, r.SkippedNoAnno)
 }
 
+// ReportBatch renders the engine throughput demo: the aggregate pool stats
+// plus accuracy, and every failed site with its error.
+func ReportBatch(w io.Writer, r *BatchOutcome) {
+	st := r.Batch.Stats
+	fmt.Fprintf(w, "== Engine batch (%s, %s) ==\n", r.Dataset, r.Inductor)
+	fmt.Fprintf(w, "%s\n", st)
+	fmt.Fprintf(w, "max site latency: %v; enum calls: %d\n", st.MaxSite, st.EnumCalls)
+	fmt.Fprintf(w, "NTW accuracy over %d held-out sites: %s\n", r.EvalSites, r.NTW)
+	for _, f := range r.Batch.Failed() {
+		fmt.Fprintf(w, "FAILED %s: %v\n", f.Name, f.Err)
+	}
+}
+
 // Separator prints a section break.
 func Separator(w io.Writer, title string) {
 	fmt.Fprintf(w, "\n%s\n%s\n", title, strings.Repeat("-", len(title)))

@@ -7,6 +7,7 @@ import (
 
 	"autowrap/internal/dataset"
 	"autowrap/internal/eval"
+	"autowrap/internal/par"
 )
 
 func TestReportEnum(t *testing.T) {
@@ -124,12 +125,12 @@ func TestParallelForCoversAllIndices(t *testing.T) {
 	for _, workers := range []int{0, 1, 3, 64} {
 		n := 100
 		hits := make([]int32, n)
-		parallelFor(n, workers, func(i int) { hits[i]++ })
+		par.For(n, workers, func(i int) { hits[i]++ })
 		for i, h := range hits {
 			if h != 1 {
 				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
 			}
 		}
 	}
-	parallelFor(0, 4, func(i int) { t.Fatal("fn called for n=0") })
+	par.For(0, 4, func(i int) { t.Fatal("fn called for n=0") })
 }

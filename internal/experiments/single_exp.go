@@ -7,6 +7,7 @@ import (
 	"autowrap/internal/annotate"
 	"autowrap/internal/dataset"
 	"autowrap/internal/gen"
+	"autowrap/internal/par"
 	"autowrap/internal/single"
 )
 
@@ -47,7 +48,7 @@ func SingleEntityExperiment(ds *dataset.Dataset, seedTitles []string, cfg Single
 		err     error
 	}
 	outs := make([]out, len(ds.Sites))
-	parallelFor(len(ds.Sites), cfg.Workers, func(i int) {
+	par.For(len(ds.Sites), cfg.Workers, func(i int) {
 		outs[i] = runSingleEntitySite(ds.Sites[i], annot, cfg)
 	})
 	for _, o := range outs {

@@ -7,6 +7,7 @@ import (
 	"autowrap/internal/core"
 	"autowrap/internal/dataset"
 	"autowrap/internal/eval"
+	"autowrap/internal/par"
 	"autowrap/internal/rank"
 )
 
@@ -91,7 +92,7 @@ func Table1Experiment(ds *dataset.Dataset, cfg Table1Config) (*Table1Result, err
 		err error
 	}, len(jobs))
 
-	parallelFor(len(jobs), cfg.Workers, func(ji int) {
+	par.For(len(jobs), cfg.Workers, func(ji int) {
 		j := jobs[ji]
 		site := sites[j.si]
 		gold := site.Gold[ds.TypeName]

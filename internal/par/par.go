@@ -1,0 +1,84 @@
+// Package par is the shared bounded-parallelism primitive under the batch
+// engine, the core ranking loop and the experiment runners. It is a plain
+// work-stealing index loop: callers get data-parallel fan-out with a hard
+// worker bound and (optionally) context cancellation, and keep full control
+// over where results land — fn writes into caller-owned, index-addressed
+// storage, which is what makes parallel runs byte-identical to serial ones.
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count knob: values <= 0 select GOMAXPROCS,
+// and the count is capped at n (never spawn idle goroutines).
+func Workers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// For runs fn(i) for every i in [0, n) on up to workers goroutines and
+// waits for all of them. workers <= 0 selects GOMAXPROCS; workers == 1 (or
+// n <= 1) degrades to a plain serial loop on the calling goroutine.
+func For(n, workers int, fn func(i int)) {
+	ForContext(context.Background(), n, workers, fn)
+}
+
+// ForContext is For with cancellation: once ctx is done, workers stop
+// claiming new indices (an fn already running is not interrupted). It
+// returns ctx.Err() when the loop was cut short and nil when every index
+// ran — even if ctx was cancelled while the last fn was executing.
+//
+// Indices are claimed with an atomic counter, so cancellation skips exactly
+// a suffix of the claim order, never the middle of it — but because workers
+// race for the counter, which indices ran is only deterministic in the
+// serial (workers == 1) case.
+func ForContext(ctx context.Context, n, workers int, fn func(i int)) error {
+	if n <= 0 {
+		return nil
+	}
+	var done atomic.Int64
+	workers = Workers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				break
+			}
+			fn(i)
+			done.Add(1)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ctx.Err() == nil {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					fn(i)
+					done.Add(1)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if int(done.Load()) == n {
+		return nil
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,120 @@
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		n := 53
+		hits := make([]int32, n)
+		For(n, workers, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times, want 1", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForZeroAndNegativeN(t *testing.T) {
+	For(0, 4, func(i int) { t.Fatal("fn called for n=0") })
+	For(-3, 4, func(i int) { t.Fatal("fn called for n<0") })
+}
+
+func TestWorkersNormalization(t *testing.T) {
+	if got := Workers(0, 100); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0, 100) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(8, 3); got != 3 {
+		t.Fatalf("Workers(8, 3) = %d, want 3 (capped at n)", got)
+	}
+	if got := Workers(-2, 0); got != 1 {
+		t.Fatalf("Workers(-2, 0) = %d, want 1", got)
+	}
+}
+
+func TestForContextCancelledUpFront(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := ForContext(ctx, 100, 4, func(i int) { ran.Add(1) })
+	if err == nil {
+		t.Fatal("want ctx error from pre-cancelled context")
+	}
+	if got := ran.Load(); got != 0 {
+		t.Fatalf("%d indices ran under a pre-cancelled context, want 0", got)
+	}
+}
+
+func TestForContextCancelMidLoop(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 1000
+	var ran atomic.Int32
+	err := ForContext(ctx, n, 4, func(i int) {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+	})
+	if err == nil {
+		t.Fatal("want ctx error after mid-loop cancel")
+	}
+	if got := ran.Load(); got >= n {
+		t.Fatalf("all %d indices ran despite cancellation", n)
+	}
+}
+
+// TestForContextCancelDuringLastIndexIsNil: a cancellation that lands while
+// the final index is executing did not cut the loop short — every index
+// ran, so ForContext reports success.
+func TestForContextCancelDuringLastIndexIsNil(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const n = 10
+	var ran atomic.Int32
+	err := ForContext(ctx, n, 1, func(i int) {
+		ran.Add(1)
+		if i == n-1 {
+			cancel()
+		}
+	})
+	if err != nil {
+		t.Fatalf("err = %v, want nil when every index ran", err)
+	}
+	if ran.Load() != n {
+		t.Fatalf("ran %d of %d", ran.Load(), n)
+	}
+}
+
+func TestForContextZeroNIsNil(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := ForContext(ctx, 0, 4, func(i int) {}); err != nil {
+		t.Fatalf("err = %v, want nil for n=0", err)
+	}
+}
+
+func TestForContextSerialCancelIsPrefix(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var seen []int
+	err := ForContext(ctx, 100, 1, func(i int) {
+		seen = append(seen, i)
+		if i == 4 {
+			cancel()
+		}
+	})
+	if err == nil {
+		t.Fatal("want ctx error")
+	}
+	if len(seen) != 5 {
+		t.Fatalf("serial cancel ran %v, want exactly [0..4]", seen)
+	}
+	for i, v := range seen {
+		if v != i {
+			t.Fatalf("serial order broken: %v", seen)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Compare benchmarks/latest.txt against benchmarks/baseline.txt and fail
+# when any benchmark's ns/op regressed by more than
+# BENCH_MAX_REGRESSION_PCT percent (default: 10).
+#
+# Usage: bench-compare.sh [baseline] [latest]
+#
+# Only benchmarks present in BOTH files are compared (averaged over -count
+# repetitions; the goroutine-count suffix Go appends to benchmark names is
+# stripped so runs from hosts with different core counts still line up).
+# Exits 0 when no baseline exists yet — the gate arms itself the first time
+# a baseline is promoted with scripts/bench-update.sh.
+#
+# Absolute ns/op only means something on the hardware that recorded the
+# baseline, so when the goos/goarch/cpu header lines of the two files
+# disagree the gate disarms (warn + exit 0) instead of reporting hardware
+# deltas as regressions. Re-promote a baseline on the new host to re-arm.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="${1:-benchmarks/baseline.txt}"
+LATEST="${2:-benchmarks/latest.txt}"
+MAX_PCT="${BENCH_MAX_REGRESSION_PCT:-10}"
+
+if [ ! -f "$BASELINE" ]; then
+  echo "bench-compare: no baseline at $BASELINE; nothing to compare (gate unarmed)"
+  exit 0
+fi
+if [ ! -f "$LATEST" ]; then
+  echo "bench-compare: no results at $LATEST; run scripts/bench.sh first" >&2
+  exit 1
+fi
+
+# The go test header identifies the recording host.
+host_of() { grep -E '^(goos|goarch|cpu):' "$1" | sort | tr -s ' '; }
+if [ "$(host_of "$BASELINE")" != "$(host_of "$LATEST")" ]; then
+  echo "bench-compare: baseline and latest were recorded on different hosts; gate disarmed"
+  echo "  baseline: $(host_of "$BASELINE" | tr '\n' ' ')"
+  echo "  latest:   $(host_of "$LATEST" | tr '\n' ' ')"
+  echo "  re-promote a baseline on this host (scripts/bench-update.sh) to re-arm"
+  exit 0
+fi
+
+awk -v max="$MAX_PCT" -v basefile="$BASELINE" -v latestfile="$LATEST" '
+  # Benchmark lines look like: BenchmarkName-8  120  9876543 ns/op  ...
+  function benchname(s) { sub(/-[0-9]+$/, "", s); return s }
+  FNR == 1 { fileno++ }
+  /^Benchmark/ {
+    for (i = 2; i < NF; i++) {
+      if ($(i + 1) == "ns/op") {
+        name = benchname($1)
+        if (fileno == 1) { bsum[name] += $i; bcnt[name]++ }
+        else             { lsum[name] += $i; lcnt[name]++ }
+        break
+      }
+    }
+  }
+  END {
+    compared = 0; failed = 0
+    for (name in bsum) {
+      if (!(name in lsum)) continue
+      compared++
+      base = bsum[name] / bcnt[name]
+      latest = lsum[name] / lcnt[name]
+      delta = (latest - base) * 100.0 / base
+      status = "ok"
+      if (delta > max) { status = "REGRESSION"; failed++ }
+      printf "%-40s base=%.0fns latest=%.0fns delta=%+.1f%% %s\n",
+             name, base, latest, delta, status
+    }
+    if (compared == 0) {
+      printf "bench-compare: no common benchmarks between %s and %s\n", basefile, latestfile > "/dev/stderr"
+      exit 1
+    }
+    if (failed > 0) {
+      printf "bench-compare: %d benchmark(s) regressed more than %s%%\n", failed, max > "/dev/stderr"
+      exit 1
+    }
+    printf "bench-compare: %d benchmark(s) within %s%% of baseline\n", compared, max
+  }
+' "$BASELINE" "$LATEST"

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Promote benchmarks/latest.txt to benchmarks/baseline.txt after review.
+# Keep baseline and compare runs on the same machine/goos/goarch — the
+# regression gate compares absolute ns/op.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+[ -f benchmarks/latest.txt ] || {
+  echo "benchmarks/latest.txt missing; run scripts/bench.sh first" >&2
+  exit 1
+}
+cp benchmarks/latest.txt benchmarks/baseline.txt
+echo "promoted benchmarks/latest.txt -> benchmarks/baseline.txt"
