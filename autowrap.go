@@ -35,12 +35,16 @@ import (
 	"autowrap/internal/bitset"
 	"autowrap/internal/core"
 	"autowrap/internal/corpus"
+	"autowrap/internal/dom"
 	"autowrap/internal/engine"
 	"autowrap/internal/enum"
+	"autowrap/internal/extract"
+	"autowrap/internal/htmlparse"
 	"autowrap/internal/lr"
 	"autowrap/internal/rank"
 	"autowrap/internal/segment"
 	"autowrap/internal/stats"
+	"autowrap/internal/store"
 	"autowrap/internal/wrapper"
 	"autowrap/internal/xpinduct"
 )
@@ -88,6 +92,39 @@ type (
 	// LearnConfig is the per-site learning configuration carried by a
 	// BatchSite; build one with NewLearnConfig.
 	LearnConfig = core.Config
+
+	// Node is one node of a parsed HTML page; serving-time extraction
+	// results reference these.
+	Node = dom.Node
+	// Portable is a compiled, corpus-independent wrapper: the durable
+	// artifact of the learn/serve split. Build one with Compile, persist
+	// it with MarshalWrapper or a WrapperStore, apply it to unseen pages
+	// with ApplyPage or an Extractor.
+	Portable = wrapper.Portable
+	// WrapperStore is a versioned registry of compiled wrappers keyed by
+	// site, with atomic Save/Load.
+	WrapperStore = store.Store
+	// StoredWrapper is one immutable version in a WrapperStore.
+	StoredWrapper = store.Entry
+	// StoredMeta carries provenance (score, label count) into a store Put.
+	StoredMeta = store.Meta
+
+	// Extractor is the streaming extraction runtime: pages in, records
+	// out, on a bounded worker pool with per-page error isolation.
+	Extractor = extract.Runtime
+	// ExtractPage is one unit of serving work (raw HTML or parsed Root).
+	ExtractPage = extract.Page
+	// ExtractResult is one page's extraction outcome.
+	ExtractResult = extract.Result
+	// ExtractBatch is an Extractor.Run outcome: index-aligned results
+	// plus throughput stats.
+	ExtractBatch = extract.Batch
+	// ExtractStream is a running streaming extraction (Extractor.Stream).
+	ExtractStream = extract.Stream
+	// ExtractStats aggregates a run: pages/sec, records/sec, speedup.
+	ExtractStats = extract.Stats
+	// ExtractOptions bounds an Extractor (worker count, stream window).
+	ExtractOptions = extract.Options
 )
 
 // Ranking variants (the paper's Sec. 7.3 ablations).
@@ -299,3 +336,42 @@ func Extracted(c *Corpus, w Wrapper) [][]string {
 	})
 	return out
 }
+
+// --- Serving: compiled wrappers, the wrapper store, the extraction runtime ---
+
+// Compile turns a learned wrapper into its portable, corpus-independent
+// form: an xpath wrapper compiles its rule to an evaluable expression, an
+// LR wrapper to a delimiter matcher over any page's character stream. The
+// result applies to pages that did not exist at learning time — the
+// paper's learn-once / extract-from-millions split.
+func Compile(w Wrapper) (Portable, error) { return store.Compile(w) }
+
+// MarshalWrapper renders a compiled wrapper in its stable, versioned JSON
+// wire form.
+func MarshalWrapper(p Portable) ([]byte, error) { return store.MarshalWrapper(p) }
+
+// UnmarshalWrapper decodes and re-compiles a wrapper from its wire form —
+// typically in a different process than the one that learned it.
+func UnmarshalWrapper(data []byte) (Portable, error) { return store.UnmarshalWrapper(data) }
+
+// ParsePage parses one HTML page for serving-time extraction. The parser
+// is tolerant: any input produces a tree.
+func ParsePage(html string) *Node { return htmlparse.Parse(html) }
+
+// NewWrapperStore returns an empty versioned wrapper registry.
+func NewWrapperStore() *WrapperStore { return store.New() }
+
+// LoadWrapperStore reads a registry saved with WrapperStore.Save,
+// validating every stored rule eagerly.
+func LoadWrapperStore(path string) (*WrapperStore, error) { return store.Load(path) }
+
+// StoreBatch records a LearnBatch run's winners in the store: one new
+// version per successfully learned site. It returns how many sites were
+// stored; compile failures are joined into err without blocking the rest.
+func StoreBatch(s *WrapperStore, batch *BatchResult) (int, error) { return s.PutBatch(batch) }
+
+// NewExtractor builds the streaming extraction runtime serving one
+// compiled wrapper: Run for index-aligned batches, Stream for channels,
+// both on a bounded worker pool with per-page error isolation and output
+// independent of the worker count.
+func NewExtractor(p Portable, opt ExtractOptions) *Extractor { return extract.New(p, opt) }

@@ -4,15 +4,14 @@
 //
 // Usage:
 //
+//	benchrun -list                    # enumerate experiment ids
 //	benchrun -exp all                 # everything, reduced default scale
 //	benchrun -exp fig2d -sites 330    # one experiment at paper scale
 //	benchrun -exp table1 -sites 60
 //	benchrun -exp batch -workers 8    # engine throughput over all sites
 //
-// Experiments: fig2a fig2b fig2c fig2d fig2e fig2f fig2g fig2h fig2i
-// table1 fig3a fig3b fig3c b2 batch all. "batch" is the multi-site engine
-// throughput demo (sites/sec, speedup, per-site failures); the rest map to
-// the paper's tables and figures as indexed in DESIGN.md.
+// Run benchrun -list for the experiment index (also in DESIGN.md): the
+// paper's figures and tables plus the engine throughput demo.
 //
 // All multi-site experiments run on the internal/engine worker pool;
 // -workers bounds it (0 = GOMAXPROCS).
@@ -30,7 +29,8 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (fig2a..fig2i, table1, fig3a, fig3b, fig3c, b2, batch, all)")
+		exp     = flag.String("exp", "all", "experiment id (see -list)")
+		list    = flag.Bool("list", false, "list all experiment ids with descriptions and exit")
 		sites   = flag.Int("sites", 120, "number of DEALERS sites to generate (paper: 330)")
 		pages   = flag.Int("pages", 0, "pages per DEALERS site (default 12; table1 uses 25)")
 		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
@@ -38,22 +38,56 @@ func main() {
 		seed    = flag.Int64("seed", 0, "dataset seed override (0 = default)")
 	)
 	flag.Parse()
+	if *list {
+		listExperiments(os.Stdout)
+		return
+	}
 	if err := run(*exp, *sites, *pages, *workers, *rows, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrun:", err)
 		os.Exit(1)
 	}
 }
 
-var knownExperiments = map[string]bool{
-	"all": true, "fig2a": true, "fig2b": true, "fig2c": true, "fig2d": true,
-	"fig2e": true, "fig2f": true, "fig2g": true, "fig2h": true, "fig2i": true,
-	"table1": true, "fig3a": true, "fig3b": true, "fig3c": true, "b2": true,
-	"batch": true,
+// experimentIndex maps every -exp id to its one-line description, in the
+// order -list prints them (the paper's order, then the system demos).
+var experimentIndex = []struct{ id, desc string }{
+	{"fig2a", "Figure 2(a): # of wrapper induction calls for LR enumeration (DEALERS)"},
+	{"fig2b", "Figure 2(b): # of wrapper induction calls for XPATH enumeration (DEALERS)"},
+	{"fig2c", "Figure 2(c): running time of XPATH enumeration, TopDown vs BottomUp (DEALERS)"},
+	{"fig2d", "Figure 2(d): extraction accuracy of XPATH, NTW vs NAIVE (DEALERS)"},
+	{"fig2e", "Figure 2(e): extraction accuracy of LR, NTW vs NAIVE (DEALERS)"},
+	{"fig2f", "Figure 2(f): extraction accuracy of XPATH on DISC"},
+	{"fig2g", "Figure 2(g): extraction accuracy of LR on DISC"},
+	{"fig2h", "Figure 2(h): ranking-component ablation NTW/NTW-L/NTW-X for XPATH (DEALERS)"},
+	{"fig2i", "Figure 2(i): ranking-component ablation NTW/NTW-L/NTW-X for LR (DEALERS)"},
+	{"table1", "Table 1: NTW accuracy over a controlled annotator precision/recall grid"},
+	{"fig3a", "Figure 3(a): multi-type record extraction, NTW vs NAIVE (DEALERS)"},
+	{"fig3b", "Figure 3(b): multi-type vs independent single-type extraction (DEALERS)"},
+	{"fig3c", "Figure 3(c): extraction accuracy of XPATH on PRODUCTS"},
+	{"b2", "Appendix B.2: single-entity (album title) extraction on DISC"},
+	{"batch", "Engine demo: concurrent multi-site learning throughput (sites/sec, speedup)"},
+	{"all", "every experiment above at the configured scale"},
+}
+
+func listExperiments(out *os.File) {
+	fmt.Fprintln(out, "experiments (benchrun -exp <id>):")
+	for _, e := range experimentIndex {
+		fmt.Fprintf(out, "  %-8s %s\n", e.id, e.desc)
+	}
+}
+
+func knownExperiment(id string) bool {
+	for _, e := range experimentIndex {
+		if e.id == id {
+			return true
+		}
+	}
+	return false
 }
 
 func run(exp string, sites, pages, workers, rows int, seed int64) error {
-	if !knownExperiments[exp] {
-		return fmt.Errorf("unknown experiment %q (see -h)", exp)
+	if !knownExperiment(exp) {
+		return fmt.Errorf("unknown experiment %q (run benchrun -list)", exp)
 	}
 	out := os.Stdout
 	want := func(id string) bool { return exp == "all" || exp == id }

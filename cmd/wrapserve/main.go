@@ -1,0 +1,297 @@
+// Command wrapserve exercises the learn/serve split end to end: learning
+// produces a portable compiled wrapper, the versioned store persists it,
+// and the streaming extraction runtime serves it to pages the learner
+// never saw — across process restarts.
+//
+// Usage:
+//
+//	wrapserve -demo                      # full cycle on a generated site
+//	wrapserve -demo -kind lr -workers 8  # same, LR wrapper language
+//
+//	wrapserve -learn -store w.json -site shop -dict names.txt p1.html p2.html ...
+//	wrapserve -extract -store w.json -site shop fresh1.html fresh2.html ...
+//
+// -learn runs noise-tolerant induction over the given pages, compiles the
+// winning wrapper and appends it as a new version of the site's entry in
+// the store (creating the store file if needed). -extract reloads the
+// store in a fresh process and streams the given pages through the
+// extraction runtime, printing one tab-separated line per record and a
+// throughput summary. -demo performs learn, save, reload and extract in
+// one run, splitting a generated DEALERS-style site into training and
+// held-out pages.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"autowrap"
+	"autowrap/internal/dataset"
+	"autowrap/internal/experiments"
+	"autowrap/internal/store"
+)
+
+func main() {
+	var (
+		demo     = flag.Bool("demo", false, "run the full learn -> store -> restart -> extract cycle on a generated site")
+		learn    = flag.Bool("learn", false, "learn a wrapper from HTML files and store it")
+		extr     = flag.Bool("extract", false, "load the store and extract from HTML files")
+		storeP   = flag.String("store", "wrappers.json", "wrapper store path")
+		site     = flag.String("site", "", "site name in the store (required for -learn/-extract)")
+		dictPath = flag.String("dict", "", "dictionary file for -learn (one entry per line)")
+		kind     = flag.String("kind", "xpath", "wrapper language: xpath | lr")
+		workers  = flag.Int("workers", 0, "extraction workers (0 = GOMAXPROCS)")
+		pages    = flag.Int("pages", 16, "pages of the generated demo site")
+	)
+	flag.Parse()
+	var err error
+	switch {
+	case *demo:
+		err = runDemo(*storeP, *kind, *workers, *pages)
+	case *learn:
+		err = runLearn(*storeP, *site, *dictPath, *kind, flag.Args())
+	case *extr:
+		err = runExtract(*storeP, *site, *workers, flag.Args())
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wrapserve:", err)
+		os.Exit(1)
+	}
+}
+
+// newInductor is the shared kind-string dispatch (xpath | lr).
+func newInductor(kind string, c *autowrap.Corpus) (autowrap.Inductor, error) {
+	return experiments.NewInductor(kind, c)
+}
+
+// runDemo is the zero-setup proof of the whole lifecycle.
+func runDemo(storePath, kind string, workers, numPages int) error {
+	if numPages < 4 {
+		return fmt.Errorf("-pages must be >= 4 (need held-out pages)")
+	}
+	ds, err := dataset.Dealers(dataset.DealersOptions{NumSites: 2, NumPages: numPages})
+	if err != nil {
+		return err
+	}
+	siteData := ds.Sites[0]
+	var htmls []string
+	for _, p := range siteData.Corpus.Pages {
+		htmls = append(htmls, p.HTML)
+	}
+	split := numPages / 2
+	fmt.Printf("site %s: %d pages; learning on %d, serving %d held-out\n",
+		siteData.Name, numPages, split, numPages-split)
+
+	// Learn on the training half only.
+	train := autowrap.ParsePages(htmls[:split])
+	labels := ds.Annotator.Annotate(train)
+	ind, err := newInductor(kind, train)
+	if err != nil {
+		return err
+	}
+	res, err := autowrap.Learn(ind, labels, autowrap.GenericModels(train), autowrap.Options{})
+	if err != nil {
+		return err
+	}
+	if res.Best == nil {
+		return fmt.Errorf("no wrapper learned (labels: %d)", labels.Count())
+	}
+	fmt.Printf("learned %s wrapper: %s\n", kind, res.Best.Wrapper.Rule())
+
+	// Compile and persist.
+	compiled, err := autowrap.Compile(res.Best.Wrapper)
+	if err != nil {
+		return err
+	}
+	// Append to an existing store rather than clobbering it — the demo may
+	// point at a registry that -learn has already populated.
+	st, err := loadOrNewStore(storePath)
+	if err != nil {
+		return err
+	}
+	entry, err := st.Put(siteData.Name, compiled, autowrap.StoredMeta{
+		Score: res.Best.Score.Total, Labels: labels.Count(),
+	})
+	if err != nil {
+		return err
+	}
+	if err := st.Save(storePath); err != nil {
+		return err
+	}
+	fmt.Printf("stored as %s v%d in %s\n", entry.Site, entry.Version, storePath)
+
+	// "Restart": forget everything, reload, serve the held-out half.
+	reloaded, err := autowrap.LoadWrapperStore(storePath)
+	if err != nil {
+		return err
+	}
+	fresh, ok := reloaded.Latest(siteData.Name)
+	if !ok {
+		return fmt.Errorf("site %s missing after reload", siteData.Name)
+	}
+	served, err := fresh.Compile()
+	if err != nil {
+		return err
+	}
+	var heldOut []autowrap.ExtractPage
+	for i := split; i < len(htmls); i++ {
+		heldOut = append(heldOut, autowrap.ExtractPage{
+			ID: fmt.Sprintf("%s/page-%02d", siteData.Name, i), HTML: htmls[i],
+		})
+	}
+	rt := autowrap.NewExtractor(served, autowrap.ExtractOptions{Workers: workers})
+	batch, err := rt.Run(context.Background(), heldOut)
+	if err != nil {
+		return err
+	}
+	printBatch(batch, 3)
+	return nil
+}
+
+func runLearn(storePath, site, dictPath, kind string, pageFiles []string) error {
+	if site == "" || dictPath == "" || len(pageFiles) == 0 {
+		return fmt.Errorf("usage: wrapserve -learn -store w.json -site NAME -dict entries.txt page1.html ...")
+	}
+	entries, err := readLines(dictPath)
+	if err != nil {
+		return err
+	}
+	c, err := autowrap.ParseFiles(pageFiles)
+	if err != nil {
+		return err
+	}
+	labels := autowrap.DictionaryAnnotator(filepath.Base(dictPath), entries).Annotate(c)
+	fmt.Printf("parsed %d pages, %d extractable nodes, %d labels\n",
+		len(c.Pages), c.NumTexts(), labels.Count())
+	ind, err := newInductor(kind, c)
+	if err != nil {
+		return err
+	}
+	res, err := autowrap.Learn(ind, labels, autowrap.GenericModels(c), autowrap.Options{})
+	if err != nil {
+		return err
+	}
+	if res.Best == nil {
+		return fmt.Errorf("no wrapper learned")
+	}
+	compiled, err := autowrap.Compile(res.Best.Wrapper)
+	if err != nil {
+		return err
+	}
+	st, err := loadOrNewStore(storePath)
+	if err != nil {
+		return err
+	}
+	entry, err := st.Put(site, compiled, autowrap.StoredMeta{
+		Score: res.Best.Score.Total, Labels: labels.Count(),
+	})
+	if err != nil {
+		return err
+	}
+	if err := st.Save(storePath); err != nil {
+		return err
+	}
+	fmt.Printf("stored %s v%d (%s): %s\n", entry.Site, entry.Version, entry.Lang, compiled.Rule())
+	return nil
+}
+
+func runExtract(storePath, site string, workers int, pageFiles []string) error {
+	if site == "" || len(pageFiles) == 0 {
+		return fmt.Errorf("usage: wrapserve -extract -store w.json -site NAME page1.html ...")
+	}
+	st, err := autowrap.LoadWrapperStore(storePath)
+	if err != nil {
+		return err
+	}
+	entry, ok := st.Latest(site)
+	if !ok {
+		return fmt.Errorf("site %q not in store (have: %s)", site, strings.Join(st.Sites(), ", "))
+	}
+	compiled, err := entry.Compile()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "serving %s v%d (%s): %s\n",
+		entry.Site, entry.Version, entry.Lang, compiled.Rule())
+	pages := make([]autowrap.ExtractPage, len(pageFiles))
+	for i, path := range pageFiles {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		pages[i] = autowrap.ExtractPage{ID: path, HTML: string(b)}
+	}
+	rt := autowrap.NewExtractor(compiled, autowrap.ExtractOptions{Workers: workers})
+	batch, err := rt.Run(context.Background(), pages)
+	if err != nil {
+		return err
+	}
+	for _, res := range batch.Results {
+		if res.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", res.ID, res.Err)
+			continue
+		}
+		for _, txt := range res.Texts {
+			fmt.Printf("%s\t%s\n", res.ID, txt)
+		}
+	}
+	fmt.Fprintln(os.Stderr, batch.Stats.String())
+	return nil
+}
+
+// printBatch shows up to perPage records of each page plus the stats line.
+func printBatch(batch *autowrap.ExtractBatch, perPage int) {
+	for _, res := range batch.Results {
+		if res.Err != nil {
+			fmt.Printf("  %s: ERROR %v\n", res.ID, res.Err)
+			continue
+		}
+		shown := res.Texts
+		suffix := ""
+		if len(shown) > perPage {
+			suffix = fmt.Sprintf(" (+%d more)", len(shown)-perPage)
+			shown = shown[:perPage]
+		}
+		fmt.Printf("  %s (%v): %s%s\n", res.ID, res.Elapsed.Round(time.Microsecond),
+			strings.Join(shown, " | "), suffix)
+	}
+	fmt.Println(batch.Stats.String())
+}
+
+func loadOrNewStore(path string) (*store.Store, error) {
+	if _, err := os.Stat(path); err != nil {
+		if os.IsNotExist(err) {
+			return autowrap.NewWrapperStore(), nil
+		}
+		return nil, err
+	}
+	return autowrap.LoadWrapperStore(path)
+}
+
+// readLines matches cmd/wrapinduce's dictionary format: one entry per
+// line, blank lines and '#' comments skipped.
+func readLines(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" && !strings.HasPrefix(line, "#") {
+			out = append(out, line)
+		}
+	}
+	return out, sc.Err()
+}

@@ -66,7 +66,7 @@ func New(docs []*dom.Node) *Corpus {
 			switch n.Type {
 			case dom.TextNode:
 				p.Tokens = append(p.Tokens, TextTokenID)
-				if strings.TrimSpace(n.Data) != "" && !isRawText(n) {
+				if IsExtractableText(n) {
 					ord := len(c.texts)
 					c.texts = append(c.texts, n)
 					c.pageOf = append(c.pageOf, i)
@@ -96,6 +96,28 @@ func ParseHTML(pages []string) *Corpus {
 
 func isRawText(n *dom.Node) bool {
 	return n.Parent != nil && n.Parent.Raw
+}
+
+// IsExtractableText reports whether n belongs to the extractable text-node
+// universe a corpus indexes: a text node with non-whitespace content outside
+// raw-text (script/style) elements. Compiled wrappers apply the same
+// predicate at serve time so that extraction on unseen pages selects from
+// exactly the universe induction saw.
+func IsExtractableText(n *dom.Node) bool {
+	return n.Type == dom.TextNode && strings.TrimSpace(n.Data) != "" && !isRawText(n)
+}
+
+// ExtractableTexts returns a page's extractable text nodes in preorder —
+// the universe New would index for that page.
+func ExtractableTexts(root *dom.Node) []*dom.Node {
+	var out []*dom.Node
+	root.Walk(func(n *dom.Node) bool {
+		if IsExtractableText(n) {
+			out = append(out, n)
+		}
+		return true
+	})
+	return out
 }
 
 func (c *Corpus) internToken(tag string) int32 {

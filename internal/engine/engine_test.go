@@ -316,3 +316,30 @@ func TestStatsDerivedMetrics(t *testing.T) {
 		t.Fatal("zero stats should yield zero rates")
 	}
 }
+
+func TestLearnBatchIsolatesNestedScoringPanic(t *testing.T) {
+	// A panic during parallel candidate scoring happens on a goroutine of
+	// the site's nested scoring pool, not the engine worker that holds the
+	// recover — par must rethrow it on the caller for the site's isolation
+	// to hold. A Scorer with a nil publication model panics inside Score.
+	specs := testSpecs(4)
+	specs[2].Config = core.Config{
+		Scorer:       &rank.Scorer{Ann: rank.NewAnnotationModel(0.95, 0.30)},
+		ScoreWorkers: 4,
+	}
+	batch, err := LearnBatch(context.Background(), specs, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Sites[2].Err == nil || !strings.Contains(batch.Sites[2].Err.Error(), "panicked") {
+		t.Fatalf("site 2 should fail with a recovered panic, got: %v", batch.Sites[2].Err)
+	}
+	for _, i := range []int{0, 1, 3} {
+		if batch.Sites[i].Err != nil {
+			t.Fatalf("healthy site %d was disturbed: %v", i, batch.Sites[i].Err)
+		}
+	}
+	if batch.Stats.Learned != 3 || batch.Stats.Failed != 1 {
+		t.Fatalf("stats = %+v", batch.Stats)
+	}
+}

@@ -1,0 +1,391 @@
+package extract_test
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"autowrap/internal/corpus"
+	"autowrap/internal/dom"
+	"autowrap/internal/extract"
+	"autowrap/internal/lr"
+	"autowrap/internal/wrapper"
+	"autowrap/internal/xpinduct"
+)
+
+// page renders one synthetic listing page with n records.
+func page(id int, n int) string {
+	var sb strings.Builder
+	sb.WriteString(`<html><body><h1>Site header</h1><div class="list"><table>`)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, `<tr><td class="v">rec-%d-%d</td><td>extra</td></tr>`, id, i)
+	}
+	sb.WriteString(`</table></div></body></html>`)
+	return sb.String()
+}
+
+func pages(n int) []extract.Page {
+	out := make([]extract.Page, n)
+	for i := range out {
+		out[i] = extract.Page{ID: fmt.Sprintf("p%03d", i), HTML: page(i, 2+i%4)}
+	}
+	return out
+}
+
+func compiled(t *testing.T) wrapper.Portable {
+	t.Helper()
+	p, err := xpinduct.CompileRule(`//td[@class='v']/text()`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunExtractsRecords(t *testing.T) {
+	rt := extract.New(compiled(t), extract.Options{Workers: 4})
+	in := pages(9)
+	batch, err := rt.Run(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Results) != len(in) {
+		t.Fatalf("got %d results for %d pages", len(batch.Results), len(in))
+	}
+	total := 0
+	for i, res := range batch.Results {
+		if res.Err != nil {
+			t.Fatalf("page %d failed: %v", i, res.Err)
+		}
+		if res.ID != in[i].ID || res.Index != i {
+			t.Fatalf("result %d misaligned: %+v", i, res)
+		}
+		want := 2 + i%4
+		if len(res.Texts) != want {
+			t.Fatalf("page %d extracted %v, want %d records", i, res.Texts, want)
+		}
+		for j, txt := range res.Texts {
+			if txt != fmt.Sprintf("rec-%d-%d", i, j) {
+				t.Fatalf("page %d record %d = %q", i, j, txt)
+			}
+		}
+		total += len(res.Texts)
+	}
+	s := batch.Stats
+	if s.Pages != 9 || s.Extracted != 9 || s.Failed != 0 || s.Unstarted != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Records != total {
+		t.Fatalf("stats.Records = %d, want %d", s.Records, total)
+	}
+	if s.PagesPerSec() <= 0 || s.RecordsPerSec() <= 0 {
+		t.Fatalf("throughput not measured: %s", s)
+	}
+}
+
+// TestRunDeterministicAcrossWorkers is the serving-side determinism
+// contract: extraction output is byte-identical whatever the worker count.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	in := pages(25)
+	var ref [][]string
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0), 0} {
+		rt := extract.New(compiled(t), extract.Options{Workers: workers})
+		batch, err := rt.Run(context.Background(), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		texts := make([][]string, len(batch.Results))
+		for i, res := range batch.Results {
+			if res.Err != nil {
+				t.Fatalf("workers=%d page %d: %v", workers, i, res.Err)
+			}
+			texts[i] = res.Texts
+		}
+		if ref == nil {
+			ref = texts
+			continue
+		}
+		if !reflect.DeepEqual(ref, texts) {
+			t.Fatalf("workers=%d produced different output", workers)
+		}
+	}
+}
+
+func TestRunIsolatesPageErrors(t *testing.T) {
+	rt := extract.New(compiled(t), extract.Options{Workers: 3})
+	in := pages(5)
+	in[2] = extract.Page{ID: "empty"} // neither Root nor HTML
+	batch, err := rt.Run(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Results[2].Err == nil {
+		t.Fatal("empty page should fail")
+	}
+	for i, res := range batch.Results {
+		if i != 2 && res.Err != nil {
+			t.Fatalf("page %d failed: %v", i, res.Err)
+		}
+	}
+	if batch.Stats.Failed != 1 || batch.Stats.Extracted != 4 {
+		t.Fatalf("stats = %+v", batch.Stats)
+	}
+	if got := batch.Failed(); len(got) != 1 || got[0].ID != "empty" {
+		t.Fatalf("Failed() = %+v", got)
+	}
+}
+
+// panicky panics on pages whose serialized form contains a marker.
+type panicky struct{}
+
+func (panicky) Lang() string { return "panic" }
+func (panicky) Rule() string { return "panic()" }
+func (panicky) ApplyPage(root *dom.Node) []*dom.Node {
+	if strings.Contains(dom.Serialize(root), "boom") {
+		panic("wrapper exploded")
+	}
+	return corpus.ExtractableTexts(root)
+}
+
+func TestRunIsolatesPanics(t *testing.T) {
+	rt := extract.New(panicky{}, extract.Options{Workers: 2})
+	in := pages(4)
+	in[1].HTML = `<html><body><p>boom</p></body></html>`
+	batch, err := rt.Run(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Results[1].Err == nil || !strings.Contains(batch.Results[1].Err.Error(), "panicked") {
+		t.Fatalf("panic not isolated: %v", batch.Results[1].Err)
+	}
+	for i, res := range batch.Results {
+		if i != 1 && res.Err != nil {
+			t.Fatalf("page %d failed: %v", i, res.Err)
+		}
+	}
+}
+
+// slowWrapper delays each page so cancellation can land mid-run.
+type slowWrapper struct{ d time.Duration }
+
+func (s slowWrapper) Lang() string { return "slow" }
+func (s slowWrapper) Rule() string { return "slow" }
+func (s slowWrapper) ApplyPage(root *dom.Node) []*dom.Node {
+	time.Sleep(s.d)
+	return corpus.ExtractableTexts(root)
+}
+
+func TestRunCancellation(t *testing.T) {
+	rt := extract.New(slowWrapper{d: 20 * time.Millisecond}, extract.Options{Workers: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	batch, err := rt.Run(ctx, pages(50))
+	if err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if batch.Stats.Unstarted == 0 {
+		t.Fatalf("expected unstarted pages, stats = %+v", batch.Stats)
+	}
+	for _, res := range batch.Results {
+		if res.Err != nil && !strings.Contains(res.Err.Error(), "not started") {
+			t.Fatalf("unexpected page error: %v", res.Err)
+		}
+	}
+}
+
+func TestStreamEmitsInInputOrder(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		rt := extract.New(compiled(t), extract.Options{Workers: workers})
+		in := make(chan extract.Page)
+		const n = 40
+		go func() {
+			defer close(in)
+			for _, pg := range pages(n) {
+				in <- pg
+			}
+		}()
+		st := rt.Stream(context.Background(), in)
+		var got []int
+		records := 0
+		for res := range st.Results() {
+			if res.Err != nil {
+				t.Fatalf("workers=%d page %s: %v", workers, res.ID, res.Err)
+			}
+			got = append(got, res.Index)
+			records += len(res.Texts)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d emitted %d of %d results", workers, len(got), n)
+		}
+		for i, idx := range got {
+			if idx != i {
+				t.Fatalf("workers=%d out of order at %d: %v", workers, i, got[:i+1])
+			}
+		}
+		s := st.Stats()
+		if s.Pages != n || s.Records != records || s.Extracted != n {
+			t.Fatalf("workers=%d stream stats = %+v (records %d)", workers, s, records)
+		}
+	}
+}
+
+func TestStreamCancellation(t *testing.T) {
+	rt := extract.New(slowWrapper{d: 10 * time.Millisecond}, extract.Options{Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	in := make(chan extract.Page)
+	go func() {
+		defer close(in)
+		for _, pg := range pages(200) {
+			select {
+			case in <- pg:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	st := rt.Stream(ctx, in)
+	seen := 0
+	for res := range st.Results() {
+		seen++
+		if res.Index != seen-1 {
+			t.Fatalf("hole in emitted prefix at %d: %+v", seen-1, res)
+		}
+		if seen == 5 {
+			cancel()
+		}
+	}
+	if seen >= 200 {
+		t.Fatal("cancellation did not stop the stream")
+	}
+	// Stats must become available (no deadlock) and cover the emitted prefix.
+	s := st.Stats()
+	if s.Pages != seen {
+		t.Fatalf("stats.Pages = %d, emitted %d", s.Pages, seen)
+	}
+}
+
+// gatedWrapper blocks on pages containing "gate" until released, and
+// counts pages processed — for observing the stream's in-flight window.
+type gatedWrapper struct {
+	release   chan struct{}
+	processed *atomic.Int64
+}
+
+func (g gatedWrapper) Lang() string { return "gated" }
+func (g gatedWrapper) Rule() string { return "gated" }
+func (g gatedWrapper) ApplyPage(root *dom.Node) []*dom.Node {
+	if strings.Contains(dom.Serialize(root), "gate") {
+		<-g.release
+	}
+	g.processed.Add(1)
+	return corpus.ExtractableTexts(root)
+}
+
+// TestStreamWindowIsBounded pins the backpressure contract: with a slow
+// head-of-line page, the stream consumes at most Buffer pages from the
+// input — later completions must not pile up in the reorder buffer.
+func TestStreamWindowIsBounded(t *testing.T) {
+	const buffer = 4
+	g := gatedWrapper{release: make(chan struct{}), processed: &atomic.Int64{}}
+	rt := extract.New(g, extract.Options{Workers: 2, Buffer: buffer})
+	const n = 100
+	in := make(chan extract.Page)
+	fed := make(chan int, 1)
+	go func() {
+		defer close(in)
+		sent := 0
+		for i := 0; i < n; i++ {
+			html := page(i, 2)
+			if i == 0 {
+				html = `<html><body><p>gate page</p></body></html>`
+			}
+			in <- extract.Page{ID: fmt.Sprintf("p%03d", i), HTML: html}
+			sent++
+		}
+		fed <- sent
+	}()
+	st := rt.Stream(context.Background(), in)
+
+	// With page 0 blocked, the stream may hold at most buffer pages
+	// in flight; give it ample time to overrun if it were unbounded.
+	time.Sleep(100 * time.Millisecond)
+	if got := g.processed.Load(); got > buffer {
+		t.Fatalf("stream processed %d pages behind a blocked head-of-line, window is %d", got, buffer)
+	}
+	select {
+	case sent := <-fed:
+		t.Fatalf("input fully consumed (%d pages) despite blocked head-of-line", sent)
+	default:
+	}
+
+	close(g.release)
+	var got []int
+	for res := range st.Results() {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		got = append(got, res.Index)
+	}
+	if len(got) != n {
+		t.Fatalf("emitted %d of %d results after release", len(got), n)
+	}
+	for i, idx := range got {
+		if idx != i {
+			t.Fatalf("out of order at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestStreamPreParsedRoots(t *testing.T) {
+	rt := extract.New(compiled(t), extract.Options{Workers: 2})
+	c := corpus.ParseHTML([]string{page(0, 3), page(1, 2)})
+	in := make(chan extract.Page, 2)
+	for i, p := range c.Pages {
+		in <- extract.Page{ID: fmt.Sprintf("root%d", i), Root: p.Root}
+	}
+	close(in)
+	st := rt.Stream(context.Background(), in)
+	var texts []string
+	for res := range st.Results() {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		texts = append(texts, res.Texts...)
+	}
+	want := []string{"rec-0-0", "rec-0-1", "rec-0-2", "rec-1-0", "rec-1-1"}
+	if !reflect.DeepEqual(texts, want) {
+		t.Fatalf("texts = %v, want %v", texts, want)
+	}
+}
+
+func TestLRCompiledServesUnseenPages(t *testing.T) {
+	// Learn LR delimiters on two pages, then serve a third, unseen page
+	// through the runtime — the wrapper travels as delimiters only.
+	train := corpus.ParseHTML([]string{page(0, 2), page(1, 3)})
+	labels := train.MatchingText(func(s string) bool { return strings.HasPrefix(s, "rec-") })
+	w, err := lr.New(train, 0).Induce(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := lr.Compile(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := extract.New(p, extract.Options{})
+	batch, err := rt.Run(context.Background(), []extract.Page{{ID: "fresh", HTML: page(7, 4)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"rec-7-0", "rec-7-1", "rec-7-2", "rec-7-3"}
+	if !reflect.DeepEqual(batch.Results[0].Texts, want) {
+		t.Fatalf("LR served %v, want %v", batch.Results[0].Texts, want)
+	}
+}

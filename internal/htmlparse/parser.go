@@ -25,10 +25,29 @@ var autoClose = map[string][]string{
 // Parse builds a document tree from HTML source. It never returns an error:
 // any input yields a tree (tolerant, tidy-like behaviour). Whitespace-only
 // text between elements is dropped; other text keeps its original spacing.
+//
+// Consecutive text runs — split by the tokenizer at a literal '<', or by a
+// dropped comment/doctype — coalesce into a single text node. This keeps
+// the tree a fixed point of serialize→reparse (escaping erases the split
+// points), which stored-page extraction relies on: text-node identity must
+// not shift between the original parse and a reparse of the serialization.
 func Parse(src string) *dom.Node {
 	doc := dom.NewDocument()
 	stack := []*dom.Node{doc}
 	top := func() *dom.Node { return stack[len(stack)-1] }
+
+	var textBuf strings.Builder
+	flushText := func() {
+		if textBuf.Len() == 0 {
+			return
+		}
+		data := textBuf.String()
+		textBuf.Reset()
+		if strings.TrimSpace(data) == "" {
+			return
+		}
+		top().Append(dom.NewText(collapseSpace(data)))
+	}
 
 	tz := newTokenizer(src)
 	for {
@@ -38,7 +57,9 @@ func Parse(src string) *dom.Node {
 		}
 		switch tok.typ {
 		case tokComment, tokDoctype:
-			// dropped: the extraction model does not use them
+			// dropped: the extraction model does not use them. They do not
+			// flush the text buffer — once dropped, the text on either side
+			// is adjacent, exactly as a reparse of the serialization sees it.
 		case tokText:
 			if top().Raw {
 				if strings.TrimSpace(tok.data) != "" {
@@ -46,11 +67,9 @@ func Parse(src string) *dom.Node {
 				}
 				continue
 			}
-			if strings.TrimSpace(tok.data) == "" {
-				continue
-			}
-			top().Append(dom.NewText(collapseSpace(tok.data)))
+			textBuf.WriteString(tok.data)
 		case tokStartTag, tokSelfClosing:
+			flushText()
 			for _, victim := range autoClose[tok.data] {
 				if top().IsElement(victim) {
 					stack = stack[:len(stack)-1]
@@ -69,15 +88,18 @@ func Parse(src string) *dom.Node {
 			}
 		case tokEndTag:
 			// Find the nearest matching open element; if none, drop the
-			// stray close tag. Everything above the match is force-closed.
+			// stray close tag (without splitting the surrounding text run).
+			// Everything above the match is force-closed.
 			for i := len(stack) - 1; i >= 1; i-- {
 				if stack[i].IsElement(tok.data) {
+					flushText()
 					stack = stack[:i]
 					break
 				}
 			}
 		}
 	}
+	flushText()
 	return doc
 }
 

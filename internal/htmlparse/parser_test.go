@@ -145,13 +145,16 @@ func countTag(n *dom.Node, tag string) int {
 }
 
 func TestParseStrayCloseTagDropped(t *testing.T) {
+	// The stray </span> is dropped without splitting the text run: a
+	// reparse of the serialization ("ab") could never see the split, and
+	// the tree must be a fixed point of serialize -> reparse.
 	doc := parseBody(t, `<div>a</span>b</div>`)
 	texts := findTexts(doc)
-	if strings.Join(texts, "|") != "a|b" {
+	if strings.Join(texts, "|") != "ab" {
 		t.Fatalf("texts = %q", texts)
 	}
 	div := findFirst(doc, "div")
-	if len(div.Children) != 2 {
+	if len(div.Children) != 1 {
 		t.Fatalf("div children = %d", len(div.Children))
 	}
 }

@@ -1,0 +1,68 @@
+package lr
+
+import (
+	"fmt"
+
+	"autowrap/internal/corpus"
+	"autowrap/internal/dom"
+	"autowrap/internal/wrapper"
+)
+
+// Compiled is the portable form of an LR wrapper: the delimiter pair alone,
+// evaluated against any page's serialized character stream instead of the
+// training corpus's precomputed context arrays. A text node matches when
+// the bytes immediately preceding its serialized content end with Left and
+// the bytes immediately following begin with Right — exactly the predicate
+// Inductor.extract applies to its capped per-ordinal contexts, because an
+// induced delimiter is never longer than the context it was cut from.
+type Compiled struct {
+	Left  string
+	Right string
+}
+
+// Compile converts an induced LR wrapper into its portable form.
+func Compile(w wrapper.Wrapper) (*Compiled, error) {
+	lw, ok := w.(*Wrapper)
+	if !ok {
+		return nil, fmt.Errorf("lr: cannot compile %T into a portable LR wrapper", w)
+	}
+	return &Compiled{Left: lw.Left, Right: lw.Right}, nil
+}
+
+// Lang implements wrapper.Portable.
+func (c *Compiled) Lang() string { return "lr" }
+
+// Rule implements wrapper.Portable, matching Wrapper.Rule.
+func (c *Compiled) Rule() string { return fmt.Sprintf("LR(%q, %q)", c.Left, c.Right) }
+
+// ApplyPage implements wrapper.Portable: serialize the page the same way
+// corpus construction does, then match every extractable text node whose
+// left context ends with Left and whose right context begins with Right.
+func (c *Compiled) ApplyPage(root *dom.Node) []*dom.Node {
+	html, spans := dom.SerializeWithSpans(root)
+	var out []*dom.Node
+	root.Walk(func(n *dom.Node) bool {
+		if !corpus.IsExtractableText(n) {
+			return true
+		}
+		span, ok := spans[n]
+		if !ok {
+			return true
+		}
+		if c.matches(html, span) {
+			out = append(out, n)
+		}
+		return true
+	})
+	return out
+}
+
+func (c *Compiled) matches(html string, span [2]int) bool {
+	if span[0] < len(c.Left) || span[1]+len(c.Right) > len(html) {
+		return false
+	}
+	return html[span[0]-len(c.Left):span[0]] == c.Left &&
+		html[span[1]:span[1]+len(c.Right)] == c.Right
+}
+
+var _ wrapper.Portable = (*Compiled)(nil)

@@ -8,7 +8,9 @@ package par
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -35,6 +37,19 @@ func For(n, workers int, fn func(i int)) {
 	ForContext(context.Background(), n, workers, fn)
 }
 
+// WorkerPanic wraps a panic that happened inside fn on a pool goroutine so
+// it can be rethrown on the calling goroutine — where the caller's recover
+// (e.g. the engine's per-site isolation) can actually catch it. It keeps
+// the worker's stack, which the rethrow would otherwise lose.
+type WorkerPanic struct {
+	Value any
+	Stack []byte
+}
+
+func (w WorkerPanic) String() string {
+	return fmt.Sprintf("%v\n\nworker goroutine stack:\n%s", w.Value, w.Stack)
+}
+
 // ForContext is For with cancellation: once ctx is done, workers stop
 // claiming new indices (an fn already running is not interrupted). It
 // returns ctx.Err() when the loop was cut short and nil when every index
@@ -44,6 +59,12 @@ func For(n, workers int, fn func(i int)) {
 // a suffix of the claim order, never the middle of it — but because workers
 // race for the counter, which indices ran is only deterministic in the
 // serial (workers == 1) case.
+//
+// A panic inside fn does not kill the process from a pool goroutine: the
+// first one is captured (the panicking worker stops, the others finish
+// their remaining indices) and rethrown on the calling goroutine as a
+// WorkerPanic, matching the serial path where fn's panic unwinds the
+// caller directly.
 func ForContext(ctx context.Context, n, workers int, fn func(i int)) error {
 	if n <= 0 {
 		return nil
@@ -59,6 +80,16 @@ func ForContext(ctx context.Context, n, workers int, fn func(i int)) error {
 			done.Add(1)
 		}
 	} else {
+		var panicked atomic.Pointer[WorkerPanic]
+		call := func(i int) (ok bool) {
+			defer func() {
+				if p := recover(); p != nil {
+					panicked.CompareAndSwap(nil, &WorkerPanic{Value: p, Stack: debug.Stack()})
+				}
+			}()
+			fn(i)
+			return true
+		}
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -70,12 +101,17 @@ func ForContext(ctx context.Context, n, workers int, fn func(i int)) error {
 					if i >= n {
 						return
 					}
-					fn(i)
+					if !call(i) {
+						return
+					}
 					done.Add(1)
 				}
 			}()
 		}
 		wg.Wait()
+		if p := panicked.Load(); p != nil {
+			panic(*p)
+		}
 	}
 	if int(done.Load()) == n {
 		return nil

@@ -3,6 +3,7 @@ package par
 import (
 	"context"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -115,6 +116,46 @@ func TestForContextSerialCancelIsPrefix(t *testing.T) {
 	for i, v := range seen {
 		if v != i {
 			t.Fatalf("serial order broken: %v", seen)
+		}
+	}
+}
+
+func TestForContextPanicPropagatesToCaller(t *testing.T) {
+	// A panic inside fn on a pool goroutine must be rethrown on the
+	// calling goroutine (as a WorkerPanic carrying the worker stack), so
+	// callers' recover-based isolation — the engine's per-site recovery
+	// wrapping a nested scoring pool — keeps working. The other indices
+	// still complete.
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		func() {
+			defer func() {
+				p := recover()
+				if p == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+				if workers > 1 {
+					wp, ok := p.(WorkerPanic)
+					if !ok {
+						t.Fatalf("workers=%d: recovered %T, want WorkerPanic", workers, p)
+					}
+					if wp.Value != "boom-7" || len(wp.Stack) == 0 {
+						t.Fatalf("workers=%d: WorkerPanic = %+v", workers, wp)
+					}
+					if !strings.Contains(wp.String(), "boom-7") {
+						t.Fatalf("workers=%d: String() lacks the value: %s", workers, wp)
+					}
+				}
+			}()
+			For(32, workers, func(i int) {
+				if i == 7 {
+					panic("boom-7")
+				}
+				ran.Add(1)
+			})
+		}()
+		if workers > 1 && ran.Load() != 31 {
+			t.Fatalf("workers=%d: %d healthy indices ran, want 31", workers, ran.Load())
 		}
 	}
 }

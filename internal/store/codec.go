@@ -1,0 +1,101 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"autowrap/internal/lr"
+	"autowrap/internal/wrapper"
+	"autowrap/internal/xpinduct"
+)
+
+// FormatVersion is the wire-format version stamped into every marshaled
+// wrapper and store file. Decoders reject versions they do not know instead
+// of guessing at field semantics.
+const FormatVersion = 1
+
+// LRRule is the LR payload of the wire form: the delimiter pair verbatim,
+// so stored rules survive byte-exact (the rendered LR(%q, %q) syntax is for
+// humans, not for parsing back).
+type LRRule struct {
+	Left  string `json:"left"`
+	Right string `json:"right"`
+}
+
+// wireWrapper is the stable serialization of one compiled wrapper.
+type wireWrapper struct {
+	Format int     `json:"format"`
+	Lang   string  `json:"lang"`
+	Rule   string  `json:"rule,omitempty"`
+	LR     *LRRule `json:"lr,omitempty"`
+}
+
+// Compile converts a learned (corpus-bound) wrapper into its portable,
+// serializable form, dispatching on the wrapper language. Wrappers that are
+// already portable pass through.
+func Compile(w wrapper.Wrapper) (wrapper.Portable, error) {
+	switch t := w.(type) {
+	case wrapper.Portable:
+		return t, nil
+	case *lr.Wrapper:
+		return lr.Compile(t)
+	case *wrapper.FeatureWrapper:
+		if t.Space().Name() == "xpath" {
+			return xpinduct.Compile(t)
+		}
+		return nil, fmt.Errorf("store: no portable form for feature space %q", t.Space().Name())
+	default:
+		return nil, fmt.Errorf("store: no portable form for wrapper type %T", w)
+	}
+}
+
+// MarshalWrapper renders a portable wrapper in the versioned JSON wire form.
+func MarshalWrapper(p wrapper.Portable) ([]byte, error) {
+	w, err := wireOf(p)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(w)
+}
+
+func wireOf(p wrapper.Portable) (wireWrapper, error) {
+	w := wireWrapper{Format: FormatVersion, Lang: p.Lang()}
+	switch t := p.(type) {
+	case *xpinduct.Compiled:
+		w.Rule = t.Rule()
+	case *lr.Compiled:
+		w.Rule = t.Rule()
+		w.LR = &LRRule{Left: t.Left, Right: t.Right}
+	default:
+		return wireWrapper{}, fmt.Errorf("store: no wire form for portable type %T", p)
+	}
+	return w, nil
+}
+
+// UnmarshalWrapper decodes and compiles a wrapper from its wire form — the
+// fresh-process half of the learn/serve split. Rules are re-compiled on
+// load, so a corrupted or hand-edited rule fails here, not at serve time.
+func UnmarshalWrapper(data []byte) (wrapper.Portable, error) {
+	var w wireWrapper
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("store: unmarshal wrapper: %w", err)
+	}
+	return w.compile()
+}
+
+func (w wireWrapper) compile() (wrapper.Portable, error) {
+	if w.Format != FormatVersion {
+		return nil, fmt.Errorf("store: unsupported wire format %d (want %d)", w.Format, FormatVersion)
+	}
+	switch w.Lang {
+	case "xpath":
+		return xpinduct.CompileRule(w.Rule)
+	case "lr":
+		if w.LR == nil {
+			return nil, fmt.Errorf("store: lr wrapper missing delimiter payload")
+		}
+		return &lr.Compiled{Left: w.LR.Left, Right: w.LR.Right}, nil
+	default:
+		return nil, fmt.Errorf("store: unknown wrapper language %q", w.Lang)
+	}
+}

@@ -1,0 +1,247 @@
+// Package store is the durable half of the learn/serve split: a versioned
+// registry of compiled wrappers keyed by site, a stable JSON wire format
+// for single wrappers and whole registries, and atomic save/load so a
+// serving process can pick up a learning run's winners after a restart.
+// Versions are immutable and append-only — re-learning a site adds a new
+// version, it never rewrites history — which is what makes a stored wrapper
+// a durable artifact rather than a cache entry.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"autowrap/internal/engine"
+	"autowrap/internal/wrapper"
+)
+
+// Entry is one immutable stored wrapper version for a site.
+type Entry struct {
+	Site    string  `json:"site"`
+	Version int     `json:"version"` // 1-based, ascending per site
+	Lang    string  `json:"lang"`
+	Rule    string  `json:"rule,omitempty"`
+	LR      *LRRule `json:"lr,omitempty"`
+	// Score is the ranking score the wrapper won with (0 when unknown).
+	Score float64 `json:"score,omitempty"`
+	// Labels counts the noisy labels the site was learned from.
+	Labels int `json:"labels,omitempty"`
+}
+
+// Compile builds the runnable form of the entry. Entries loaded from disk
+// were already validated by Load; compiling is cheap (one parse).
+func (e *Entry) Compile() (wrapper.Portable, error) {
+	w := wireWrapper{Format: FormatVersion, Lang: e.Lang, Rule: e.Rule, LR: e.LR}
+	p, err := w.compile()
+	if err != nil {
+		return nil, fmt.Errorf("store: site %q v%d: %w", e.Site, e.Version, err)
+	}
+	return p, nil
+}
+
+// Store is a concurrency-safe versioned wrapper registry keyed by site.
+// The zero value is not usable; call New or Load.
+type Store struct {
+	mu    sync.RWMutex
+	sites map[string][]Entry // ascending Version order
+}
+
+// New returns an empty registry.
+func New() *Store {
+	return &Store{sites: make(map[string][]Entry)}
+}
+
+// Meta carries optional provenance recorded with a stored wrapper.
+type Meta struct {
+	Score  float64
+	Labels int
+}
+
+// Put compiles-down and appends a new version of the site's wrapper,
+// returning the stored entry. The previous versions stay addressable.
+func (s *Store) Put(site string, p wrapper.Portable, meta Meta) (Entry, error) {
+	if site == "" {
+		return Entry{}, fmt.Errorf("store: empty site name")
+	}
+	w, err := wireOf(p)
+	if err != nil {
+		return Entry{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := Entry{
+		Site:    site,
+		Version: len(s.sites[site]) + 1,
+		Lang:    w.Lang,
+		Rule:    w.Rule,
+		LR:      w.LR,
+		Score:   meta.Score,
+		Labels:  meta.Labels,
+	}
+	s.sites[site] = append(s.sites[site], e)
+	return e, nil
+}
+
+// Latest returns the newest version stored for the site.
+func (s *Store) Latest(site string) (Entry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vs := s.sites[site]
+	if len(vs) == 0 {
+		return Entry{}, false
+	}
+	return vs[len(vs)-1], true
+}
+
+// Version returns one specific stored version (1-based).
+func (s *Store) Version(site string, version int) (Entry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vs := s.sites[site]
+	if version < 1 || version > len(vs) {
+		return Entry{}, false
+	}
+	return vs[version-1], true
+}
+
+// History returns every stored version of the site, oldest first.
+func (s *Store) History(site string) []Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]Entry(nil), s.sites[site]...)
+}
+
+// Sites lists the registered site names, sorted.
+func (s *Store) Sites() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.sites))
+	for name := range s.sites {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len counts registered sites (not versions).
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.sites)
+}
+
+// PutBatch stores the winners of an engine batch run: for every learned
+// site with a best-ranked wrapper, compile it and append a version named by
+// the site's spec. Sites that failed, were skipped, or whose winner has no
+// portable form are left out; their compile errors are joined into err
+// without blocking the rest (mirroring the engine's per-site isolation).
+func (s *Store) PutBatch(batch *engine.BatchResult) (stored int, err error) {
+	var errs []error
+	for i := range batch.Sites {
+		r := &batch.Sites[i]
+		if r.Err != nil || r.Skipped || r.Result == nil || r.Result.Best == nil {
+			continue
+		}
+		p, cerr := Compile(r.Result.Best.Wrapper)
+		if cerr != nil {
+			errs = append(errs, fmt.Errorf("site %q: %w", r.Name, cerr))
+			continue
+		}
+		meta := Meta{Score: r.Result.Best.Score.Total}
+		if r.Labels != nil {
+			meta.Labels = r.Labels.Count()
+		}
+		if _, perr := s.Put(r.Name, p, meta); perr != nil {
+			errs = append(errs, perr)
+			continue
+		}
+		stored++
+	}
+	return stored, errors.Join(errs...)
+}
+
+// FromBatch builds a fresh registry from a batch run's winners.
+func FromBatch(batch *engine.BatchResult) (*Store, int, error) {
+	s := New()
+	n, err := s.PutBatch(batch)
+	return s, n, err
+}
+
+// storeFile is the on-disk format: versioned envelope around the registry.
+type storeFile struct {
+	Format int                `json:"format"`
+	Sites  map[string][]Entry `json:"sites"`
+}
+
+// Save writes the registry to path atomically: marshal to a temp file in
+// the same directory, then rename over the target, so a crash mid-write
+// can never leave a truncated registry where a good one was.
+func (s *Store) Save(path string) error {
+	s.mu.RLock()
+	f := storeFile{Format: FormatVersion, Sites: s.sites}
+	data, err := json.MarshalIndent(f, "", "  ")
+	s.mu.RUnlock()
+	if err != nil {
+		return fmt.Errorf("store: save: %w", err)
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".wrapstore-*.json")
+	if err != nil {
+		return fmt.Errorf("store: save: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: save: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: save: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a registry saved by Save and validates it eagerly: format
+// version, per-site version numbering, and — crucially — that every stored
+// rule still compiles, so a corrupted or hand-edited store fails at load
+// time with the offending site named, not at serve time.
+func Load(path string) (*Store, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: load: %w", err)
+	}
+	var f storeFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("store: load %s: %w", path, err)
+	}
+	if f.Format != FormatVersion {
+		return nil, fmt.Errorf("store: load %s: unsupported format %d (want %d)",
+			path, f.Format, FormatVersion)
+	}
+	s := New()
+	for site, vs := range f.Sites {
+		for i := range vs {
+			e := &vs[i]
+			if e.Site != site || e.Version != i+1 {
+				return nil, fmt.Errorf("store: load %s: site %q entry %d has key %q v%d",
+					path, site, i, e.Site, e.Version)
+			}
+			if _, err := e.Compile(); err != nil {
+				return nil, fmt.Errorf("store: load %s: %w", path, err)
+			}
+		}
+		s.sites[site] = vs
+	}
+	return s, nil
+}

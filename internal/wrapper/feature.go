@@ -119,6 +119,10 @@ func (w *FeatureWrapper) Rule() string {
 // Features exposes the intersected feature ids (tests and rule rendering).
 func (w *FeatureWrapper) Features() []int32 { return w.featIDs }
 
+// Space returns the FeatureSpace the wrapper was induced in; compilation to
+// a Portable dispatches on its Name.
+func (w *FeatureWrapper) Space() *FeatureSpace { return w.fs }
+
 // Induce implements Inductor: φ(L) = {n | F(n) ⊇ ∩ F(ℓ)}.
 func (fs *FeatureSpace) Induce(labels *bitset.Set) (Wrapper, error) {
 	fs.induceCalls++

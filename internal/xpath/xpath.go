@@ -164,9 +164,21 @@ func (p *parser) pred() (Pred, error) {
 	if p.pos == start {
 		return Pred{}, fmt.Errorf("expected '@attr=...' or child index")
 	}
+	// maxChildIndex bounds [k] filters; beyond it the digits would overflow
+	// int on 32-bit hosts (and no real page has a billion same-tag
+	// siblings). Rules can arrive from a persisted store, so reject rather
+	// than silently wrap — checking before the multiply, which could
+	// itself overflow on 32-bit ints.
+	const maxChildIndex = 1 << 30
 	idx := 0
 	for _, c := range p.src[start:p.pos] {
+		if idx > maxChildIndex/10 {
+			return Pred{}, fmt.Errorf("child index %q too large", p.src[start:p.pos])
+		}
 		idx = idx*10 + int(c-'0')
+		if idx > maxChildIndex {
+			return Pred{}, fmt.Errorf("child index %q too large", p.src[start:p.pos])
+		}
 	}
 	if idx == 0 {
 		return Pred{}, fmt.Errorf("child index must be >= 1")

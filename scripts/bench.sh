@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Run the benchmark suite and record results in benchmarks/latest.txt.
 #
-#   BENCH_PATTERN  regexp of benchmarks to run (default: EngineBatch, the
-#                  regression-tracked set; use '.' for the full paper suite)
+#   BENCH_PATTERN  regexp of benchmarks to run (default: the
+#                  regression-tracked set — engine batch learning plus the
+#                  extraction runtime; use '.' for the full paper suite)
 #   BENCH_TIME     -benchtime per benchmark (default: 1s)
 #   BENCH_COUNT    -count repetitions (default: 1; use >= 3 before
 #                  promoting a baseline)
@@ -13,7 +14,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PATTERN="${BENCH_PATTERN:-EngineBatch}"
+PATTERN="${BENCH_PATTERN:-EngineBatch|Extract}"
 TIME="${BENCH_TIME:-1s}"
 COUNT="${BENCH_COUNT:-1}"
 
