@@ -24,6 +24,14 @@
 //	res, err := autowrap.Learn(autowrap.NewXPathInductor(c), labels,
 //	    autowrap.GenericModels(c), autowrap.Options{})
 //	// res.Best.Wrapper.Rule() is an xpath; res.Extraction(c) the node set.
+//
+// Beyond single-site learning the package exposes the full production
+// lifecycle: LearnBatch learns many sites concurrently, Compile and the
+// WrapperStore turn winners into versioned portable artifacts, NewExtractor
+// serves them to unseen pages, and the maintenance loop (NewMonitor,
+// Repairer, WrapperStore.Promote/Rollback) detects template drift from
+// serving-time health signals and re-learns tripped sites with validated
+// promotion. See docs/ARCHITECTURE.md for the end-to-end walkthrough.
 package autowrap
 
 import (
@@ -36,6 +44,7 @@ import (
 	"autowrap/internal/core"
 	"autowrap/internal/corpus"
 	"autowrap/internal/dom"
+	"autowrap/internal/drift"
 	"autowrap/internal/engine"
 	"autowrap/internal/enum"
 	"autowrap/internal/extract"
@@ -123,8 +132,40 @@ type (
 	ExtractStream = extract.Stream
 	// ExtractStats aggregates a run: pages/sec, records/sec, speedup.
 	ExtractStats = extract.Stats
-	// ExtractOptions bounds an Extractor (worker count, stream window).
+	// ExtractOptions bounds an Extractor (worker count, stream window) and
+	// carries the OnResult health tap a Monitor hooks into.
 	ExtractOptions = extract.Options
+	// RuntimeHealth is an Extractor's lifetime health snapshot
+	// (Extractor.Health): pages, failures, empties, records.
+	RuntimeHealth = extract.HealthCounts
+
+	// Monitor aggregates serving-time health signals per site and trips a
+	// site when its sliding window violates the HealthPolicy — the
+	// detection half of the wrapper-maintenance loop. Build one with
+	// NewMonitor.
+	Monitor = drift.Monitor
+	// SiteHealth is one monitored site's sliding-window state; wire its
+	// Observe method into ExtractOptions.OnResult.
+	SiteHealth = drift.SiteHealth
+	// HealthPolicy configures when a site trips (window size, empty and
+	// failure fractions, record-count collapse vs. the learn-time
+	// profile).
+	HealthPolicy = drift.Policy
+	// HealthStats is a point-in-time snapshot of one site's window.
+	HealthStats = drift.Stats
+	// WrapperProfile is the learn-time extraction footprint stored with a
+	// wrapper version; drift detection is calibrated against it.
+	WrapperProfile = store.Profile
+	// Repairer is the response half of the loop: re-learn a tripped site
+	// on fresh pages, stage the winner as a new store version, and promote
+	// it only after it beats the incumbent on a held-out sample.
+	Repairer = drift.Repairer
+	// RepairReport is one repair attempt's outcome.
+	RepairReport = drift.Report
+	// RepairEval summarizes a wrapper's held-out validation footprint.
+	RepairEval = drift.Eval
+	// RelearnSpec builds the per-site re-learning recipe a Repairer uses.
+	RelearnSpec = drift.LearnSpec
 )
 
 // Ranking variants (the paper's Sec. 7.3 ablations).
@@ -373,5 +414,25 @@ func StoreBatch(s *WrapperStore, batch *BatchResult) (int, error) { return s.Put
 // NewExtractor builds the streaming extraction runtime serving one
 // compiled wrapper: Run for index-aligned batches, Stream for channels,
 // both on a bounded worker pool with per-page error isolation and output
-// independent of the worker count.
+// independent of the worker count. Every completed page updates the
+// extractor's lifetime Health counters and fires opt.OnResult, the tap a
+// Monitor's SiteHealth.Observe hooks into.
 func NewExtractor(p Portable, opt ExtractOptions) *Extractor { return extract.New(p, opt) }
+
+// --- Maintenance: drift detection, automatic re-learning, promote/rollback ---
+
+// NewMonitor builds the per-site drift monitor; zero HealthPolicy fields
+// select defaults (window 32, trip after 8 pages at >50% empties, >50%
+// failures, or mean records under 50% of the learn-time profile).
+// Register each served site with its stored profile, wire the returned
+// SiteHealth's Observe into the site's ExtractOptions.OnResult, and poll
+// Monitor.Tripped (or set HealthPolicy.OnTrip) to dispatch repairs.
+func NewMonitor(policy HealthPolicy) *Monitor { return drift.NewMonitor(policy) }
+
+// ProfileOf computes a wrapper's learn-time health profile: its per-page
+// record counts over the corpus it was induced from. StoreBatch records
+// profiles automatically; use this when storing wrappers one at a time via
+// WrapperStore.Put.
+func ProfileOf(c *Corpus, w Wrapper) *WrapperProfile {
+	return store.ProfileOf(c.PerPageCounts(w.Extract()))
+}

@@ -18,12 +18,14 @@ import (
 
 	"autowrap"
 	"autowrap/internal/dataset"
+	"autowrap/internal/drift"
 	"autowrap/internal/engine"
 	"autowrap/internal/experiments"
 	"autowrap/internal/extract"
 	"autowrap/internal/lr"
 	"autowrap/internal/segment"
 	"autowrap/internal/stats"
+	"autowrap/internal/store"
 )
 
 // learnWith runs NTW with an explicit enumeration algorithm (the
@@ -358,6 +360,47 @@ func BenchmarkExtractStream(b *testing.B) {
 		if n == 0 {
 			b.Fatal("stream extracted nothing")
 		}
+	}
+}
+
+// BenchmarkExtractMonitored is BenchmarkExtractMaxWorkers with the drift
+// monitor's health observer wired into OnResult — the whole point of the
+// health-signal design is that monitoring costs nothing measurable on the
+// serving fast path, and this benchmark (gated next to the unmonitored
+// BenchmarkExtract* runs) keeps that claim honest.
+func BenchmarkExtractMonitored(b *testing.B) {
+	p, pages := extractFixture(b)
+	m := drift.NewMonitor(drift.Policy{Window: 64})
+	h := m.Register("bench", &store.Profile{Pages: len(pages), MeanRecords: 6})
+	rt := extract.New(p, extract.Options{OnResult: h.Observe})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch, err := rt.Run(context.Background(), pages)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if batch.Stats.Failed > 0 {
+			b.Fatalf("extraction failures: %+v", batch.Failed())
+		}
+	}
+	b.StopTimer()
+	if h.Stats().Pages == 0 {
+		b.Fatal("monitor observed nothing")
+	}
+}
+
+// BenchmarkHealthObserve times the health-signal hot path itself: one
+// sliding-window observation, which every served page pays when a monitor
+// is attached. It must stay allocation-free (also pinned by
+// TestObserveIsAllocationFree) and in the tens of nanoseconds.
+func BenchmarkHealthObserve(b *testing.B) {
+	m := drift.NewMonitor(drift.Policy{Window: 64})
+	h := m.Register("bench", &store.Profile{Pages: 64, MeanRecords: 6})
+	res := &extract.Result{Texts: []string{"a", "b", "c", "d", "e", "f"}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(res)
 	}
 }
 

@@ -28,20 +28,24 @@ func main() {
 		sites = flag.Int("sites", 5, "number of sites to write (dealers only; disc/products use paper scale)")
 		out   = flag.String("out", "sitegen-out", "output directory")
 		seed  = flag.Int64("seed", 0, "seed override (0 = dataset default)")
+		drift = flag.Int("drift", 0, "template mutations per site (dealers only): same record data, mutated template — pair a -drift 0 run with a -drift N run to simulate sites changing under a learned wrapper")
 	)
 	flag.Parse()
-	if err := run(*kind, *sites, *out, *seed); err != nil {
+	if err := run(*kind, *sites, *out, *seed, *drift); err != nil {
 		fmt.Fprintln(os.Stderr, "sitegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kind string, sites int, out string, seed int64) error {
+func run(kind string, sites int, out string, seed int64, drift int) error {
 	var ds *dataset.Dataset
 	var err error
+	if drift != 0 && kind != "dealers" {
+		return fmt.Errorf("-drift is only supported for -dataset dealers")
+	}
 	switch kind {
 	case "dealers":
-		ds, err = dataset.Dealers(dataset.DealersOptions{NumSites: sites, Seed: seed})
+		ds, err = dataset.Dealers(dataset.DealersOptions{NumSites: sites, Seed: seed, Drift: drift})
 	case "disc":
 		ds, err = dataset.Disc(dataset.DiscOptions{Seed: seed})
 	case "products":

@@ -1,29 +1,52 @@
-// Command wrapserve exercises the learn/serve split end to end: learning
-// produces a portable compiled wrapper, the versioned store persists it,
-// and the streaming extraction runtime serves it to pages the learner
-// never saw — across process restarts.
+// Command wrapserve exercises the learn/serve/maintain lifecycle end to
+// end: learning produces a portable compiled wrapper, the versioned store
+// persists it, the streaming extraction runtime serves it to pages the
+// learner never saw — across process restarts — and the drift monitor
+// detects a changed template and dispatches validated re-learning.
 //
 // Usage:
 //
-//	wrapserve -demo                      # full cycle on a generated site
+//	wrapserve -demo                      # learn -> store -> restart -> extract
 //	wrapserve -demo -kind lr -workers 8  # same, LR wrapper language
 //
 //	wrapserve -learn -store w.json -site shop -dict names.txt p1.html p2.html ...
 //	wrapserve -extract -store w.json -site shop fresh1.html fresh2.html ...
 //
+//	wrapserve -monitor                   # learn clean, serve a mutated template,
+//	                                     # watch the health window trip (exit 3)
+//	wrapserve -monitor -repair           # same, then auto-relearn, validate
+//	                                     # against the incumbent, promote
+//	wrapserve -rollback -store w.json -site shop   # revert to the previous
+//	                                               # promoted version
+//
 // -learn runs noise-tolerant induction over the given pages, compiles the
-// winning wrapper and appends it as a new version of the site's entry in
-// the store (creating the store file if needed). -extract reloads the
-// store in a fresh process and streams the given pages through the
+// winning wrapper and appends it as a new serving version of the site's
+// entry in the store (creating the store file if needed). -extract reloads
+// the store in a fresh process and streams the given pages through the
 // extraction runtime, printing one tab-separated line per record and a
 // throughput summary. -demo performs learn, save, reload and extract in
 // one run, splitting a generated DEALERS-style site into training and
 // held-out pages.
+//
+// -monitor exercises the maintenance loop against sitegen-style template
+// mutation: it learns v1 on a pristine generated site, then serves the
+// same site re-rendered with -drift template mutations (identical record
+// data, different markup — see sitegen -drift) through a monitored
+// extractor until the sliding health window trips. With -repair it then
+// re-learns on the drifted pages, stages the winner as v2, validates it
+// against v1 on a held-out sample, promotes it only on a strict win, and
+// re-serves to show recovery; without -repair it stops at detection.
+//
+// Exit codes: 0 success (including a successful repair); 1 runtime error;
+// 2 usage error; 3 drift detected but not repaired (no -repair flag, or
+// the re-learned candidate failed held-out validation and the incumbent
+// kept serving).
 package main
 
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -37,33 +60,49 @@ import (
 	"autowrap/internal/store"
 )
 
+// errDriftUnrepaired distinguishes "the monitor tripped and serving is
+// still on the broken wrapper" (exit 3) from runtime errors (exit 1).
+var errDriftUnrepaired = errors.New("drift detected, serving wrapper not repaired")
+
 func main() {
 	var (
 		demo     = flag.Bool("demo", false, "run the full learn -> store -> restart -> extract cycle on a generated site")
 		learn    = flag.Bool("learn", false, "learn a wrapper from HTML files and store it")
 		extr     = flag.Bool("extract", false, "load the store and extract from HTML files")
+		monitor  = flag.Bool("monitor", false, "learn on a clean generated site, serve a template-mutated twin, and watch the drift monitor trip")
+		repair   = flag.Bool("repair", false, "with -monitor: auto-relearn the tripped site, validate against the incumbent, and promote on a win")
+		rollback = flag.Bool("rollback", false, "revert -site to its previously promoted version")
 		storeP   = flag.String("store", "wrappers.json", "wrapper store path")
-		site     = flag.String("site", "", "site name in the store (required for -learn/-extract)")
+		site     = flag.String("site", "", "site name in the store (required for -learn/-extract/-rollback)")
 		dictPath = flag.String("dict", "", "dictionary file for -learn (one entry per line)")
 		kind     = flag.String("kind", "xpath", "wrapper language: xpath | lr")
 		workers  = flag.Int("workers", 0, "extraction workers (0 = GOMAXPROCS)")
 		pages    = flag.Int("pages", 16, "pages of the generated demo site")
+		driftN   = flag.Int("drift", 2, "template mutations applied to the served twin in -monitor mode")
+		window   = flag.Int("window", 8, "health sliding-window size in -monitor mode")
 	)
 	flag.Parse()
 	var err error
 	switch {
+	case *monitor:
+		err = runMonitor(*storeP, *kind, *workers, *pages, *driftN, *window, *repair)
 	case *demo:
 		err = runDemo(*storeP, *kind, *workers, *pages)
 	case *learn:
 		err = runLearn(*storeP, *site, *dictPath, *kind, flag.Args())
 	case *extr:
 		err = runExtract(*storeP, *site, *workers, flag.Args())
+	case *rollback:
+		err = runRollback(*storeP, *site)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wrapserve:", err)
+		if errors.Is(err, errDriftUnrepaired) {
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 }
@@ -134,7 +173,7 @@ func runDemo(storePath, kind string, workers, numPages int) error {
 	if err != nil {
 		return err
 	}
-	fresh, ok := reloaded.Latest(siteData.Name)
+	fresh, ok := reloaded.Active(siteData.Name)
 	if !ok {
 		return fmt.Errorf("site %s missing after reload", siteData.Name)
 	}
@@ -154,6 +193,161 @@ func runDemo(storePath, kind string, workers, numPages int) error {
 		return err
 	}
 	printBatch(batch, 3)
+	return nil
+}
+
+// runMonitor is the zero-setup proof of the maintenance loop: learn on a
+// pristine generated site, serve its template-mutated twin (same record
+// data, drifted markup) through a monitored extractor until the health
+// window trips, then — with doRepair — auto-relearn, validate and promote.
+func runMonitor(storePath, kind string, workers, numPages, driftN, window int, doRepair bool) error {
+	if numPages < 8 {
+		return fmt.Errorf("-pages must be >= 8 (the health window needs traffic)")
+	}
+	if driftN < 1 {
+		return fmt.Errorf("-drift must be >= 1 (no drift, nothing to detect)")
+	}
+	opts := dataset.DealersOptions{NumSites: 1, NumPages: numPages}
+	ds, err := dataset.Dealers(opts)
+	if err != nil {
+		return err
+	}
+	opts.Drift = driftN
+	dsm, err := dataset.Dealers(opts)
+	if err != nil {
+		return err
+	}
+	clean, mutated := ds.Sites[0], dsm.Sites[0]
+	fmt.Printf("site %s: %d pages, template will drift by %d step(s)\n",
+		clean.Name, numPages, driftN)
+
+	// Learn v1 on the pristine site; StoreBatch records the learn-time
+	// profile the monitor calibrates against.
+	mkInductor := func(c *autowrap.Corpus) (autowrap.Inductor, error) {
+		return newInductor(kind, c)
+	}
+	config := autowrap.NewLearnConfig(autowrap.GenericModels(clean.Corpus), autowrap.Options{})
+	batch, err := autowrap.LearnBatch(context.Background(), []autowrap.BatchSite{{
+		Name:        clean.Name,
+		Corpus:      clean.Corpus,
+		Annotator:   ds.Annotator,
+		NewInductor: mkInductor,
+		Config:      config,
+	}}, autowrap.BatchOptions{})
+	if err != nil {
+		return err
+	}
+	st, err := loadOrNewStore(storePath)
+	if err != nil {
+		return err
+	}
+	if n, err := autowrap.StoreBatch(st, batch); n != 1 {
+		return fmt.Errorf("learning the pristine site failed: %v", err)
+	}
+	if err := st.Save(storePath); err != nil {
+		return err
+	}
+	v1, _ := st.Active(clean.Name)
+	fmt.Printf("learned and promoted %s v%d (%s): %s\n", v1.Site, v1.Version, v1.Lang, v1.Rule)
+	fmt.Printf("learn-time profile: %.1f records/page over %d pages\n",
+		v1.Profile.MeanRecords, v1.Profile.Pages)
+
+	// Serve the drifted twin through a monitored runtime.
+	served, err := v1.Compile()
+	if err != nil {
+		return err
+	}
+	monitor := autowrap.NewMonitor(autowrap.HealthPolicy{
+		Window:   window,
+		MinPages: window / 2,
+		OnTrip: func(site string, s autowrap.HealthStats) {
+			fmt.Printf("!! DRIFT DETECTED after %d pages: %s\n", s.Pages, s)
+		},
+	})
+	health := monitor.Register(clean.Name, v1.Profile)
+	rt := autowrap.NewExtractor(served, autowrap.ExtractOptions{Workers: workers, OnResult: health.Observe})
+	freshHTML := make([]string, len(mutated.Corpus.Pages))
+	pages := make([]autowrap.ExtractPage, len(mutated.Corpus.Pages))
+	for i, p := range mutated.Corpus.Pages {
+		freshHTML[i] = p.HTML
+		pages[i] = autowrap.ExtractPage{ID: fmt.Sprintf("%s/drifted-%02d", clean.Name, i), HTML: p.HTML}
+	}
+	fmt.Printf("serving %d pages of the drifted template through v%d...\n", len(pages), v1.Version)
+	if _, err := rt.Run(context.Background(), pages); err != nil {
+		return err
+	}
+	fmt.Printf("runtime health: %+v\n", rt.Health())
+	if !health.Tripped() {
+		fmt.Println("monitor stayed healthy — the wrapper survived this drift")
+		return nil
+	}
+	if !doRepair {
+		fmt.Println("re-run with -repair to auto-relearn, or roll forward manually with -learn")
+		return fmt.Errorf("site %s: %w", clean.Name, errDriftUnrepaired)
+	}
+
+	// Auto-relearn on the freshest (drifted) pages; promotion only happens
+	// if the candidate beats the incumbent on a held-out sample.
+	rep := &autowrap.Repairer{
+		Store: st,
+		Spec: func(site string, c *autowrap.Corpus) (autowrap.BatchSite, error) {
+			return autowrap.BatchSite{
+				Annotator:   ds.Annotator,
+				NewInductor: mkInductor,
+				Config:      autowrap.NewLearnConfig(autowrap.GenericModels(c), autowrap.Options{}),
+			}, nil
+		},
+		Monitor: monitor,
+	}
+	report, err := rep.Repair(context.Background(), clean.Name, freshHTML)
+	if err != nil {
+		return err
+	}
+	fmt.Println("repair:", report)
+	if err := st.Save(storePath); err != nil {
+		return err
+	}
+	if !report.Promoted {
+		return fmt.Errorf("site %s: candidate v%d failed held-out validation: %w",
+			clean.Name, report.Candidate.Version, errDriftUnrepaired)
+	}
+
+	// Show recovery: the promoted version serves the drifted pages.
+	active, _ := st.Active(clean.Name)
+	repaired, err := active.Compile()
+	if err != nil {
+		return err
+	}
+	rt2 := autowrap.NewExtractor(repaired, autowrap.ExtractOptions{Workers: workers, OnResult: health.Observe})
+	batch2, err := rt2.Run(context.Background(), pages)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recovered with %s v%d (%s): %s\n", active.Site, active.Version, active.Lang, active.Rule)
+	printBatch(batch2, 2)
+	fmt.Printf("health after repair: %s\n", health.Stats())
+	fmt.Printf("previous version kept for rollback: wrapserve -rollback -store %s -site %s\n",
+		storePath, clean.Name)
+	return nil
+}
+
+// runRollback reverts the site to its previously promoted version.
+func runRollback(storePath, site string) error {
+	if site == "" {
+		return fmt.Errorf("usage: wrapserve -rollback -store w.json -site NAME")
+	}
+	st, err := autowrap.LoadWrapperStore(storePath)
+	if err != nil {
+		return err
+	}
+	entry, err := st.Rollback(site)
+	if err != nil {
+		return err
+	}
+	if err := st.Save(storePath); err != nil {
+		return err
+	}
+	fmt.Printf("rolled %s back to v%d (%s): %s\n", entry.Site, entry.Version, entry.Lang, entry.Rule)
 	return nil
 }
 
@@ -212,8 +406,13 @@ func runExtract(storePath, site string, workers int, pageFiles []string) error {
 	if err != nil {
 		return err
 	}
-	entry, ok := st.Latest(site)
+	// Serve the promoted (validated) version, not the newest: a staged
+	// repair candidate that failed validation must never serve.
+	entry, ok := st.Active(site)
 	if !ok {
+		if _, staged := st.Latest(site); staged {
+			return fmt.Errorf("site %q has only unpromoted candidate versions; promote one first", site)
+		}
 		return fmt.Errorf("site %q not in store (have: %s)", site, strings.Join(st.Sites(), ", "))
 	}
 	compiled, err := entry.Compile()

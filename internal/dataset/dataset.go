@@ -66,7 +66,12 @@ type DealersOptions struct {
 	DictFrac float64
 	// LRHostileFrac is the fraction of sites with no perfect LR wrapper.
 	LRHostileFrac float64
-	Seed          int64
+	// Drift applies that many template mutations to every site, leaving
+	// the record data untouched (see gen.DealerConfig.Drift): the same
+	// options with Drift 0 and Drift n yield a before/after pair of the
+	// whole dataset for wrapper-drift experiments.
+	Drift int
+	Seed  int64
 }
 
 func (o DealersOptions) withDefaults() DealersOptions {
@@ -112,6 +117,7 @@ func Dealers(opt DealersOptions) (*Dataset, error) {
 			Pool:      pool,
 			NumPages:  opt.NumPages,
 			LRHostile: rng.Float64() < opt.LRHostileFrac,
+			Drift:     opt.Drift,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("dataset: dealers site %d: %w", i, err)

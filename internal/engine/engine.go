@@ -65,6 +65,11 @@ type SiteResult struct {
 	// Name and Index echo the spec.
 	Name  string
 	Index int
+	// Corpus echoes the spec's corpus, so downstream consumers (the
+	// wrapper store computing a learn-time health profile, accuracy
+	// evaluation) can interpret the winner's ordinal extraction without
+	// re-threading the specs.
+	Corpus *corpus.Corpus
 	// Labels are the noisy labels the site was learned from.
 	Labels *bitset.Set
 	// Result is the ranked wrapper space (nil on error or skip).
@@ -242,6 +247,7 @@ func learnSite(index int, spec *SiteSpec, minLabels int) (out SiteResult) {
 		out.Err = err
 		return
 	}
+	out.Corpus = spec.Corpus
 	labels := spec.Labels
 	if labels == nil {
 		labels = spec.Annotator.Annotate(spec.Corpus)

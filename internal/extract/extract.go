@@ -6,6 +6,11 @@
 // cancellation, throughput stats (pages/sec, records/sec), and output that
 // is byte-identical whatever the worker count — Run writes index-aligned
 // results, Stream reorders completions back into input order.
+//
+// Every completed page additionally feeds the runtime's lifetime Health
+// counters and the optional Options.OnResult tap; both are allocation-light
+// so they can stay on the serving fast path. internal/drift builds its
+// sliding-window template-drift detection on top of these signals.
 package extract
 
 import (
@@ -14,6 +19,7 @@ import (
 	"runtime/debug"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"autowrap/internal/dom"
@@ -126,14 +132,23 @@ type Options struct {
 	// behind a slow head-of-line page). <= 0 selects 2 x workers; values
 	// below Workers throttle the pool to Buffer concurrent pages.
 	Buffer int
+	// OnResult, when set, is called once per completed page — successes
+	// and failures alike — on the worker goroutine that extracted it,
+	// before the result is delivered. It is the serving-side health tap:
+	// a drift monitor hooks here to observe empty extractions, failures
+	// and record counts without touching the result path. The callback
+	// runs concurrently from every worker and sits on the serving fast
+	// path, so it must be safe for concurrent use and allocation-light.
+	OnResult func(*Result)
 }
 
-// Runtime applies one compiled wrapper to pages. It is stateless apart
-// from its options and safe for concurrent use; build one per served
-// (site, wrapper version) pair.
+// Runtime applies one compiled wrapper to pages. It is safe for concurrent
+// use; build one per served (site, wrapper version) pair. Apart from its
+// lifetime Health counters it is stateless.
 type Runtime struct {
-	p   wrapper.Portable
-	opt Options
+	p      wrapper.Portable
+	opt    Options
+	health Health
 }
 
 // New builds an extraction runtime serving the given compiled wrapper.
@@ -143,6 +158,84 @@ func New(p wrapper.Portable, opt Options) *Runtime {
 
 // Wrapper returns the compiled wrapper being served.
 func (r *Runtime) Wrapper() wrapper.Portable { return r.p }
+
+// Health is the runtime's lifetime health ledger: monotonic counters over
+// every page the runtime has served, across Run and Stream calls alike.
+// Updates are a handful of atomic adds on the worker that extracted the
+// page, so reading them never perturbs the serving fast path. Fields are
+// read with HealthCounts; the struct itself is internal to Runtime.
+type Health struct {
+	pages   atomic.Int64
+	failed  atomic.Int64
+	empty   atomic.Int64
+	records atomic.Int64
+}
+
+// HealthCounts is a point-in-time snapshot of a runtime's lifetime health.
+// Counters are read individually (not under a lock), so a snapshot taken
+// while pages are in flight may be off by the pages completing during the
+// read — fine for monitoring, which only looks at ratios and trends.
+type HealthCounts struct {
+	// Pages counts every completed page; Failed the pages whose extraction
+	// errored (parse-less input, panics); Empty the pages that succeeded
+	// but yielded zero records — the classic silent-drift signal.
+	Pages, Failed, Empty int64
+	// Records totals the extracted records over all successful pages.
+	Records int64
+}
+
+// EmptyFrac is the fraction of completed pages that succeeded with zero
+// records (0 when nothing was served yet).
+func (h HealthCounts) EmptyFrac() float64 {
+	if h.Pages == 0 {
+		return 0
+	}
+	return float64(h.Empty) / float64(h.Pages)
+}
+
+// FailFrac is the fraction of completed pages that errored.
+func (h HealthCounts) FailFrac() float64 {
+	if h.Pages == 0 {
+		return 0
+	}
+	return float64(h.Failed) / float64(h.Pages)
+}
+
+// MeanRecords is the mean record count over non-failed pages.
+func (h HealthCounts) MeanRecords() float64 {
+	ok := h.Pages - h.Failed
+	if ok <= 0 {
+		return 0
+	}
+	return float64(h.Records) / float64(ok)
+}
+
+// Health snapshots the runtime's lifetime health counters.
+func (r *Runtime) Health() HealthCounts {
+	return HealthCounts{
+		Pages:   r.health.pages.Load(),
+		Failed:  r.health.failed.Load(),
+		Empty:   r.health.empty.Load(),
+		Records: r.health.records.Load(),
+	}
+}
+
+// observe updates the health ledger and fires the OnResult tap for one
+// completed page. Called on the worker goroutine, for Run and Stream both.
+func (r *Runtime) observe(res *Result) {
+	r.health.pages.Add(1)
+	switch {
+	case res.Err != nil:
+		r.health.failed.Add(1)
+	case len(res.Texts) == 0:
+		r.health.empty.Add(1)
+	default:
+		r.health.records.Add(int64(len(res.Texts)))
+	}
+	if r.opt.OnResult != nil {
+		r.opt.OnResult(res)
+	}
+}
 
 // Run extracts every page of a batch on the worker pool. The returned
 // Batch always has one entry per page (index-aligned, so output is
@@ -161,6 +254,7 @@ func (r *Runtime) Run(ctx context.Context, pages []Page) (*Batch, error) {
 	ctxErr := par.ForContext(ctx, len(pages), r.opt.Workers, func(i int) {
 		started[i] = true
 		batch.Results[i] = r.one(pages[i], i)
+		r.observe(&batch.Results[i])
 	})
 	batch.Stats.Wall = time.Since(start)
 
@@ -309,6 +403,7 @@ func (r *Runtime) Stream(ctx context.Context, in <-chan Page) *Stream {
 			defer wg.Done()
 			for j := range jobs {
 				res := r.one(j.page, j.idx)
+				r.observe(&res)
 				select {
 				case outs <- res:
 				case <-ctx.Done():

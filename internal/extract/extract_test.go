@@ -389,3 +389,56 @@ func TestLRCompiledServesUnseenPages(t *testing.T) {
 		t.Fatalf("LR served %v, want %v", batch.Results[0].Texts, want)
 	}
 }
+
+// TestHealthCountersAndOnResult checks the serving-side health tap: the
+// lifetime counters classify pages into extracted/empty/failed, and the
+// OnResult hook sees every completed page exactly once.
+func TestHealthCountersAndOnResult(t *testing.T) {
+	rt := extract.New(compiled(t), extract.Options{Workers: 4})
+	var hooked atomic.Int64
+	rtHooked := extract.New(compiled(t), extract.Options{
+		Workers:  4,
+		OnResult: func(res *extract.Result) { hooked.Add(1) },
+	})
+	in := pages(8)
+	in = append(in,
+		extract.Page{ID: "empty", HTML: "<html><body><p>no records here</p></body></html>"},
+		extract.Page{ID: "bad"}, // neither Root nor HTML: per-page error
+	)
+	for _, r := range []*extract.Runtime{rt, rtHooked} {
+		if _, err := r.Run(context.Background(), in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := hooked.Load(); got != int64(len(in)) {
+		t.Fatalf("OnResult fired %d times for %d pages", got, len(in))
+	}
+	h := rt.Health()
+	if h.Pages != int64(len(in)) || h.Failed != 1 || h.Empty != 1 {
+		t.Fatalf("health = %+v", h)
+	}
+	wantRecords := int64(0)
+	for i := 0; i < 8; i++ {
+		wantRecords += int64(2 + i%4)
+	}
+	if h.Records != wantRecords {
+		t.Fatalf("health records = %d, want %d", h.Records, wantRecords)
+	}
+	if h.EmptyFrac() <= 0 || h.FailFrac() <= 0 || h.MeanRecords() <= 0 {
+		t.Fatalf("health ratios = %.3f/%.3f/%.3f", h.EmptyFrac(), h.FailFrac(), h.MeanRecords())
+	}
+
+	// The hook also fires on the streaming path.
+	hooked.Store(0)
+	ch := make(chan extract.Page, len(in))
+	for _, pg := range in {
+		ch <- pg
+	}
+	close(ch)
+	st := rtHooked.Stream(context.Background(), ch)
+	for range st.Results() {
+	}
+	if got := hooked.Load(); got != int64(len(in)) {
+		t.Fatalf("stream OnResult fired %d times for %d pages", got, len(in))
+	}
+}

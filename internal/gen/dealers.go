@@ -31,6 +31,14 @@ type DealerConfig struct {
 	// a pool business name ("X Plaza"), the paper's "business names
 	// matching street addresses" noise.
 	PlazaProb float64
+	// Drift applies that many deterministic template mutations to the
+	// site's rendering script while leaving the record data untouched: the
+	// same seed with Drift 0 and Drift n produces pages with identical
+	// businesses, zips and phones but a different template (name tag, list
+	// class, and from the second step on a different layout). This is the
+	// "site changed its template overnight" scenario wrapper-drift
+	// detection and repair are exercised against.
+	Drift int
 }
 
 func (c DealerConfig) withDefaults() DealerConfig {
@@ -68,6 +76,41 @@ type dealerStyle struct {
 
 var dealerLayoutNames = []string{"table", "divs", "linklist", "dl", "headings"}
 
+// drifted applies n deterministic template mutations to the rendering
+// style: each step moves the name tag and the list class to the next
+// candidate, and from the second step on also rotates the layout family.
+// It runs after every style-affecting rng draw, so the page content (the
+// record data) of a drifted site is byte-identical to its undrifted twin —
+// only the template around it changes, which is exactly how a production
+// site breaks a deployed wrapper.
+func (s dealerStyle) drifted(n int) dealerStyle {
+	if n <= 0 {
+		return s
+	}
+	tags := []string{"u", "b", "a", "strong", "span"}
+	classes := []string{"dealerlinks", "results", "storelist", "locator", "listing"}
+	out := s
+	for step := 1; step <= n; step++ {
+		out.nameTag = rotateChoice(tags, out.nameTag)
+		out.listClass = rotateChoice(classes, out.listClass)
+		if step >= 2 {
+			out.layout = (out.layout + 1) % len(dealerLayoutNames)
+		}
+	}
+	return out
+}
+
+// rotateChoice returns the entry after cur in the candidate list (wrapping),
+// so repeated drift steps cycle through distinct values deterministically.
+func rotateChoice(candidates []string, cur string) string {
+	for i, c := range candidates {
+		if c == cur {
+			return candidates[(i+1)%len(candidates)]
+		}
+	}
+	return candidates[0]
+}
+
 // DealerSite generates one dealer-locator website with gold name and zip
 // labels.
 func DealerSite(cfg DealerConfig) (*Site, error) {
@@ -86,6 +129,7 @@ func DealerSite(cfg DealerConfig) (*Site, error) {
 		style.layout = 2
 		style.nameTag = "a"
 	}
+	style = style.drifted(cfg.Drift)
 
 	var pages []*pageBuild
 	for pi := 0; pi < cfg.NumPages; pi++ {

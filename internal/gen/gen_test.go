@@ -259,3 +259,52 @@ func TestSiteDeterminism(t *testing.T) {
 		t.Fatal("gold differs across identical seeds")
 	}
 }
+
+// TestDealerSiteDriftKeepsDataMutatesTemplate pins the drift contract: a
+// drifted site carries exactly the same record data (gold name and zip
+// values, page for page) as its undrifted twin, while the rendered HTML
+// differs — the template changed, the database did not.
+func TestDealerSiteDriftKeepsDataMutatesTemplate(t *testing.T) {
+	pool := BusinessPool(11, 500, 0)
+	goldValues := func(s *Site, typ string) []string {
+		var out []string
+		s.Gold[typ].ForEach(func(ord int) {
+			out = append(out, strings.Join([]string{
+				string(rune('0' + s.Corpus.PageOf(ord))), s.Corpus.TextContent(ord)}, ":"))
+		})
+		return out
+	}
+	for _, drift := range []int{1, 2, 3} {
+		base, err := DealerSite(DealerConfig{Seed: 42, Pool: pool, NumPages: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mut, err := DealerSite(DealerConfig{Seed: 42, Pool: pool, NumPages: 6, Drift: drift})
+		if err != nil {
+			t.Fatalf("drift %d: %v", drift, err)
+		}
+		for _, typ := range []string{"name", "zip"} {
+			b, m := goldValues(base, typ), goldValues(mut, typ)
+			if strings.Join(b, "|") != strings.Join(m, "|") {
+				t.Fatalf("drift %d changed %s gold values:\n  base %v\n  mut  %v", drift, typ, b, m)
+			}
+		}
+		same := 0
+		for i := range base.Corpus.Pages {
+			if base.Corpus.Pages[i].HTML == mut.Corpus.Pages[i].HTML {
+				same++
+			}
+		}
+		if same > 0 {
+			t.Fatalf("drift %d left %d/%d pages byte-identical", drift, same, len(base.Corpus.Pages))
+		}
+	}
+	// Drift is deterministic: the same config drifts the same way.
+	a, _ := DealerSite(DealerConfig{Seed: 42, Pool: pool, NumPages: 6, Drift: 2})
+	b, _ := DealerSite(DealerConfig{Seed: 42, Pool: pool, NumPages: 6, Drift: 2})
+	for i := range a.Corpus.Pages {
+		if a.Corpus.Pages[i].HTML != b.Corpus.Pages[i].HTML {
+			t.Fatalf("drift nondeterministic on page %d", i)
+		}
+	}
+}

@@ -80,22 +80,30 @@ func UnmarshalWrapper(data []byte) (wrapper.Portable, error) {
 	if err := json.Unmarshal(data, &w); err != nil {
 		return nil, fmt.Errorf("store: unmarshal wrapper: %w", err)
 	}
-	return w.compile()
+	p, err := w.compile()
+	if err != nil {
+		return nil, fmt.Errorf("store: unmarshal wrapper: %w", err)
+	}
+	return p, nil
 }
 
+// compile produces the runnable form of the wire wrapper. Errors carry no
+// "store:" prefix — every public entry point (UnmarshalWrapper,
+// Entry.Compile, Load) wraps them with its own context (site, version,
+// file path), which is what makes a bad stored rule debuggable.
 func (w wireWrapper) compile() (wrapper.Portable, error) {
 	if w.Format != FormatVersion {
-		return nil, fmt.Errorf("store: unsupported wire format %d (want %d)", w.Format, FormatVersion)
+		return nil, fmt.Errorf("unsupported wire format %d (want %d)", w.Format, FormatVersion)
 	}
 	switch w.Lang {
 	case "xpath":
 		return xpinduct.CompileRule(w.Rule)
 	case "lr":
 		if w.LR == nil {
-			return nil, fmt.Errorf("store: lr wrapper missing delimiter payload")
+			return nil, fmt.Errorf("lr wrapper missing delimiter payload")
 		}
 		return &lr.Compiled{Left: w.LR.Left, Right: w.LR.Right}, nil
 	default:
-		return nil, fmt.Errorf("store: unknown wrapper language %q", w.Lang)
+		return nil, fmt.Errorf("unknown wrapper language %q", w.Lang)
 	}
 }

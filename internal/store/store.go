@@ -5,6 +5,15 @@
 // Versions are immutable and append-only — re-learning a site adds a new
 // version, it never rewrites history — which is what makes a stored wrapper
 // a durable artifact rather than a cache entry.
+//
+// Which version serves is a separate, explicit decision: each site carries
+// a promotion log (Put promotes its new version immediately; PutCandidate
+// stages one without promoting), Active names the serving version, and
+// Promote/Rollback move it. The drift-repair loop in internal/drift leans
+// on this split — a re-learned candidate is staged, validated on held-out
+// pages, and only then promoted, with the incumbent one Rollback away.
+// Entries also record a learn-time health Profile (per-page record counts
+// on the training corpus), the baseline drift detection compares against.
 package store
 
 import (
@@ -20,6 +29,20 @@ import (
 	"autowrap/internal/wrapper"
 )
 
+// Profile is the learn-time extraction footprint of a stored wrapper: what
+// "healthy" looked like on the pages the wrapper was induced from. A drift
+// monitor compares serving-time behaviour against it — a record-count
+// collapse or a surge of empty pages relative to the profile is the signal
+// that the site's template changed underneath the wrapper.
+type Profile struct {
+	// Pages is the number of training pages the profile was measured over.
+	Pages int `json:"pages"`
+	// MeanRecords is the mean record count over all profiled pages.
+	MeanRecords float64 `json:"mean_records"`
+	// EmptyFrac is the fraction of profiled pages with zero records.
+	EmptyFrac float64 `json:"empty_frac"`
+}
+
 // Entry is one immutable stored wrapper version for a site.
 type Entry struct {
 	Site    string  `json:"site"`
@@ -31,6 +54,9 @@ type Entry struct {
 	Score float64 `json:"score,omitempty"`
 	// Labels counts the noisy labels the site was learned from.
 	Labels int `json:"labels,omitempty"`
+	// Profile is the learn-time health profile, when recorded; drift
+	// monitoring is calibrated against it.
+	Profile *Profile `json:"profile,omitempty"`
 }
 
 // Compile builds the runnable form of the entry. Entries loaded from disk
@@ -46,25 +72,56 @@ func (e *Entry) Compile() (wrapper.Portable, error) {
 
 // Store is a concurrency-safe versioned wrapper registry keyed by site.
 // The zero value is not usable; call New or Load.
+//
+// Every site additionally carries a promotion log: the ordered history of
+// versions that were made the serving ("active") version. Put promotes the
+// new version immediately (newest-serves, the pre-lifecycle behaviour);
+// PutCandidate appends a version without promoting it, which is how the
+// drift-repair loop stages an unvalidated re-learned wrapper — serving
+// flips only on an explicit Promote, and Rollback reverts to the
+// previously promoted version.
 type Store struct {
-	mu    sync.RWMutex
-	sites map[string][]Entry // ascending Version order
+	mu        sync.RWMutex
+	sites     map[string][]Entry // ascending Version order
+	promotion map[string][]int   // per-site promotion log; last = active
 }
 
 // New returns an empty registry.
 func New() *Store {
-	return &Store{sites: make(map[string][]Entry)}
+	return &Store{
+		sites:     make(map[string][]Entry),
+		promotion: make(map[string][]int),
+	}
 }
 
 // Meta carries optional provenance recorded with a stored wrapper.
 type Meta struct {
 	Score  float64
 	Labels int
+	// Profile is the learn-time health profile (optional but recommended:
+	// without it a drift monitor can only watch for empties and failures,
+	// not record-count collapse).
+	Profile *Profile
 }
 
-// Put compiles-down and appends a new version of the site's wrapper,
-// returning the stored entry. The previous versions stay addressable.
+// Put compiles-down and appends a new version of the site's wrapper, makes
+// it the active (serving) version, and returns the stored entry. The
+// previous versions stay addressable and the promotion is recorded, so a
+// later Rollback can revert to what served before.
 func (s *Store) Put(site string, p wrapper.Portable, meta Meta) (Entry, error) {
+	return s.put(site, p, meta, true)
+}
+
+// PutCandidate appends a new version of the site's wrapper without
+// promoting it: the active version keeps serving. This is the staging half
+// of the repair loop — the candidate gets a durable version number and can
+// be validated against held-out pages, then either promoted or left in
+// history as a rejected attempt.
+func (s *Store) PutCandidate(site string, p wrapper.Portable, meta Meta) (Entry, error) {
+	return s.put(site, p, meta, false)
+}
+
+func (s *Store) put(site string, p wrapper.Portable, meta Meta, promote bool) (Entry, error) {
 	if site == "" {
 		return Entry{}, fmt.Errorf("store: empty site name")
 	}
@@ -82,9 +139,69 @@ func (s *Store) Put(site string, p wrapper.Portable, meta Meta) (Entry, error) {
 		LR:      w.LR,
 		Score:   meta.Score,
 		Labels:  meta.Labels,
+		Profile: meta.Profile,
 	}
 	s.sites[site] = append(s.sites[site], e)
+	if promote {
+		s.promotion[site] = append(s.promotion[site], e.Version)
+	}
 	return e, nil
+}
+
+// Active returns the site's serving version: the most recently promoted
+// one. A site always has an active version as soon as it has any promoted
+// version; candidates staged with PutCandidate never show up here until
+// they are promoted.
+func (s *Store) Active(site string) (Entry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	log := s.promotion[site]
+	if len(log) == 0 {
+		return Entry{}, false
+	}
+	return s.sites[site][log[len(log)-1]-1], true
+}
+
+// Promote makes an existing stored version the site's serving version,
+// appending to the promotion log. Promoting the already-active version is
+// a no-op. This is the only way a staged candidate starts serving — the
+// repair loop calls it strictly after held-out validation.
+func (s *Store) Promote(site string, version int) (Entry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	vs := s.sites[site]
+	if version < 1 || version > len(vs) {
+		return Entry{}, fmt.Errorf("store: promote %s: no version %d (have %d)",
+			site, version, len(vs))
+	}
+	log := s.promotion[site]
+	if len(log) == 0 || log[len(log)-1] != version {
+		s.promotion[site] = append(log, version)
+	}
+	return vs[version-1], nil
+}
+
+// Rollback reverts the site to the version promoted before the current
+// one and returns it. It fails when there is no earlier promotion to
+// return to — rollback never guesses.
+func (s *Store) Rollback(site string) (Entry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	log := s.promotion[site]
+	if len(log) < 2 {
+		return Entry{}, fmt.Errorf("store: rollback %s: no previous promoted version (log %v)",
+			site, log)
+	}
+	s.promotion[site] = log[:len(log)-1]
+	return s.sites[site][log[len(log)-2]-1], nil
+}
+
+// Promotions returns the site's promotion log, oldest first; the last
+// element is the active version.
+func (s *Store) Promotions(site string) []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]int(nil), s.promotion[site]...)
 }
 
 // Latest returns the newest version stored for the site.
@@ -135,11 +252,34 @@ func (s *Store) Len() int {
 	return len(s.sites)
 }
 
+// ProfileOf summarizes per-page record counts into a learn-time Profile.
+// Serving pages extracted through the winning wrapper on the training
+// corpus is exactly what the wrapper "should" keep doing; drift monitoring
+// measures departures from this footprint.
+func ProfileOf(recordsPerPage []int) *Profile {
+	p := &Profile{Pages: len(recordsPerPage)}
+	if p.Pages == 0 {
+		return p
+	}
+	total, empties := 0, 0
+	for _, n := range recordsPerPage {
+		total += n
+		if n == 0 {
+			empties++
+		}
+	}
+	p.MeanRecords = float64(total) / float64(p.Pages)
+	p.EmptyFrac = float64(empties) / float64(p.Pages)
+	return p
+}
+
 // PutBatch stores the winners of an engine batch run: for every learned
 // site with a best-ranked wrapper, compile it and append a version named by
-// the site's spec. Sites that failed, were skipped, or whose winner has no
-// portable form are left out; their compile errors are joined into err
-// without blocking the rest (mirroring the engine's per-site isolation).
+// the site's spec, recording the learn-time health profile (the winner's
+// per-page record counts on its training corpus). Sites that failed, were
+// skipped, or whose winner has no portable form are left out; their compile
+// errors are joined into err without blocking the rest (mirroring the
+// engine's per-site isolation).
 func (s *Store) PutBatch(batch *engine.BatchResult) (stored int, err error) {
 	var errs []error
 	for i := range batch.Sites {
@@ -155,6 +295,9 @@ func (s *Store) PutBatch(batch *engine.BatchResult) (stored int, err error) {
 		meta := Meta{Score: r.Result.Best.Score.Total}
 		if r.Labels != nil {
 			meta.Labels = r.Labels.Count()
+		}
+		if r.Corpus != nil {
+			meta.Profile = ProfileOf(r.Corpus.PerPageCounts(r.Result.Best.Wrapper.Extract()))
 		}
 		if _, perr := s.Put(r.Name, p, meta); perr != nil {
 			errs = append(errs, perr)
@@ -173,9 +316,16 @@ func FromBatch(batch *engine.BatchResult) (*Store, int, error) {
 }
 
 // storeFile is the on-disk format: versioned envelope around the registry.
+// Promotions is always written (even empty), so its absence identifies a
+// pre-lifecycle file; Load then synthesizes a one-entry log activating
+// each site's newest version, which is exactly what those files meant
+// (newest-serves). A present-but-sparse map is authoritative: a site with
+// versions and no log entry holds only unpromoted candidates and must not
+// serve.
 type storeFile struct {
-	Format int                `json:"format"`
-	Sites  map[string][]Entry `json:"sites"`
+	Format     int                `json:"format"`
+	Sites      map[string][]Entry `json:"sites"`
+	Promotions map[string][]int   `json:"promotions"`
 }
 
 // Save writes the registry to path atomically: marshal to a temp file in
@@ -183,7 +333,7 @@ type storeFile struct {
 // can never leave a truncated registry where a good one was.
 func (s *Store) Save(path string) error {
 	s.mu.RLock()
-	f := storeFile{Format: FormatVersion, Sites: s.sites}
+	f := storeFile{Format: FormatVersion, Sites: s.sites, Promotions: s.promotion}
 	data, err := json.MarshalIndent(f, "", "  ")
 	s.mu.RUnlock()
 	if err != nil {
@@ -213,9 +363,11 @@ func (s *Store) Save(path string) error {
 }
 
 // Load reads a registry saved by Save and validates it eagerly: format
-// version, per-site version numbering, and — crucially — that every stored
-// rule still compiles, so a corrupted or hand-edited store fails at load
-// time with the offending site named, not at serve time.
+// version, per-site version numbering, promotion-log consistency, and —
+// crucially — that every stored rule still compiles. A corrupted or
+// hand-edited store fails at load time with the file path and the
+// offending site + version named, not at serve time with a bare codec
+// error.
 func Load(path string) (*Store, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -234,14 +386,43 @@ func Load(path string) (*Store, error) {
 		for i := range vs {
 			e := &vs[i]
 			if e.Site != site || e.Version != i+1 {
-				return nil, fmt.Errorf("store: load %s: site %q entry %d has key %q v%d",
-					path, site, i, e.Site, e.Version)
+				return nil, fmt.Errorf("store: load %s: site %q v%d: entry carries key %q v%d",
+					path, site, i+1, e.Site, e.Version)
 			}
-			if _, err := e.Compile(); err != nil {
-				return nil, fmt.Errorf("store: load %s: %w", path, err)
+			w := wireWrapper{Format: FormatVersion, Lang: e.Lang, Rule: e.Rule, LR: e.LR}
+			if _, err := w.compile(); err != nil {
+				return nil, fmt.Errorf("store: load %s: site %q v%d (%s rule %q): %w",
+					path, site, e.Version, e.Lang, e.Rule, err)
 			}
 		}
 		s.sites[site] = vs
+	}
+	for site, log := range f.Promotions {
+		vs, ok := s.sites[site]
+		if !ok {
+			return nil, fmt.Errorf("store: load %s: promotion log for unknown site %q",
+				path, site)
+		}
+		for _, v := range log {
+			if v < 1 || v > len(vs) {
+				return nil, fmt.Errorf("store: load %s: site %q: promotion log names v%d, have %d version(s)",
+					path, site, v, len(vs))
+			}
+		}
+		if len(log) > 0 {
+			s.promotion[site] = log
+		}
+	}
+	// Only a pre-lifecycle file (no promotions key at all) means
+	// newest-serves. When the key is present, a site without a log entry
+	// holds only unpromoted candidates — synthesizing an active version
+	// for it would flip serving to an unvalidated wrapper.
+	if f.Promotions == nil {
+		for site, vs := range s.sites {
+			if len(vs) > 0 {
+				s.promotion[site] = []int{len(vs)}
+			}
+		}
 	}
 	return s, nil
 }

@@ -419,3 +419,228 @@ func TestFromBatchStoresWinners(t *testing.T) {
 		t.Fatal("skipped site must not be stored")
 	}
 }
+
+// TestPromoteRollbackLifecycle exercises the staging half of the repair
+// loop: Put promotes, PutCandidate stages without flipping serving, and
+// Promote/Rollback move the active version explicitly.
+func TestPromoteRollbackLifecycle(t *testing.T) {
+	c := testCorpus(t)
+	s := store.New()
+	px, _ := store.Compile(induceXPath(t, c))
+	plr, _ := store.Compile(induceLR(t, c))
+
+	if _, ok := s.Active("shop"); ok {
+		t.Fatal("empty site reported an active version")
+	}
+	if _, err := s.Put("shop", px, store.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if a, ok := s.Active("shop"); !ok || a.Version != 1 {
+		t.Fatalf("after Put, active = %+v, %v", a, ok)
+	}
+
+	// Staging a candidate must not flip serving.
+	cand, err := s.PutCandidate("shop", plr, store.Meta{Score: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cand.Version != 2 {
+		t.Fatalf("candidate version = %d, want 2", cand.Version)
+	}
+	if a, _ := s.Active("shop"); a.Version != 1 {
+		t.Fatalf("candidate flipped serving to v%d", a.Version)
+	}
+	if l, _ := s.Latest("shop"); l.Version != 2 {
+		t.Fatalf("Latest = v%d, want the staged candidate", l.Version)
+	}
+
+	// Explicit promote flips; rollback reverts to the prior promotion.
+	if _, err := s.Promote("shop", 2); err != nil {
+		t.Fatal(err)
+	}
+	if a, _ := s.Active("shop"); a.Version != 2 {
+		t.Fatalf("after promote, active = v%d", a.Version)
+	}
+	back, err := s.Rollback("shop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Version != 1 {
+		t.Fatalf("rollback landed on v%d, want 1", back.Version)
+	}
+	if _, err := s.Rollback("shop"); err == nil {
+		t.Fatal("rollback past the first promotion should fail")
+	}
+	if _, err := s.Promote("shop", 9); err == nil {
+		t.Fatal("promoting a missing version should fail")
+	}
+
+	// The promotion log survives save/load.
+	if _, err := s.Promote("shop", 2); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "w.json")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := store.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, _ := s2.Active("shop"); a.Version != 2 {
+		t.Fatalf("active after reload = v%d", a.Version)
+	}
+	if got := s2.Promotions("shop"); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("promotion log after reload = %v", got)
+	}
+	if back, err := s2.Rollback("shop"); err != nil || back.Version != 1 {
+		t.Fatalf("rollback after reload = %+v, %v", back, err)
+	}
+}
+
+// TestLoadPreLifecycleStoreActivatesLatest checks backward compatibility:
+// a registry written before promotion logs existed serves its newest
+// version, exactly as it did then.
+func TestLoadPreLifecycleStoreActivatesLatest(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "old.json")
+	old := `{"format":1,"sites":{"s":[
+		{"site":"s","version":1,"lang":"lr","lr":{"left":"a","right":"b"}},
+		{"site":"s","version":2,"lang":"lr","lr":{"left":"c","right":"d"}}]}}`
+	if err := os.WriteFile(path, []byte(old), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := store.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, ok := s.Active("s"); !ok || a.Version != 2 {
+		t.Fatalf("pre-lifecycle store active = %+v, %v", a, ok)
+	}
+}
+
+// TestLoadErrorsNameSiteVersionAndPath pins the debuggability contract: a
+// bad stored rule fails at load time naming the file, the site, and the
+// version — not just the codec error.
+func TestLoadErrorsNameSiteVersionAndPath(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "broken.json")
+	content := `{"format":1,"sites":{"shop-7":[
+		{"site":"shop-7","version":1,"lang":"lr","lr":{"left":"a","right":"b"}},
+		{"site":"shop-7","version":2,"lang":"xpath","rule":"///["}]}}`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := store.Load(path)
+	if err == nil {
+		t.Fatal("expected load error")
+	}
+	msg := err.Error()
+	for _, want := range []string{path, `"shop-7"`, "v2"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("load error %q does not name %q", msg, want)
+		}
+	}
+	if strings.Count(msg, "store:") != 1 {
+		t.Fatalf("load error %q stutters the package prefix", msg)
+	}
+
+	// A promotion log pointing at a missing version is named too.
+	path2 := filepath.Join(dir, "badlog.json")
+	content2 := `{"format":1,"sites":{"s":[{"site":"s","version":1,"lang":"lr","lr":{"left":"a","right":"b"}}]},"promotions":{"s":[3]}}`
+	if err := os.WriteFile(path2, []byte(content2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Load(path2); err == nil || !strings.Contains(err.Error(), "v3") {
+		t.Fatalf("bad promotion log error = %v", err)
+	}
+}
+
+// TestPutBatchRecordsProfile checks that batch winners carry their
+// learn-time health profile into the store.
+func TestPutBatchRecordsProfile(t *testing.T) {
+	c := testCorpus(t)
+	batch, err := engine.LearnBatch(context.Background(), []engine.SiteSpec{{
+		Name:   "profiled",
+		Corpus: c,
+		Labels: valueLabels(t, c),
+		NewInductor: func(c *corpus.Corpus) (wrapper.Inductor, error) {
+			return xpinduct.New(c, xpinduct.Options{}), nil
+		},
+		Config: core.Config{Scorer: testScorer()},
+	}}, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, n, err := store.FromBatch(batch)
+	if err != nil || n != 1 {
+		t.Fatalf("FromBatch: n=%d err=%v", n, err)
+	}
+	e, _ := s.Active("profiled")
+	if e.Profile == nil {
+		t.Fatal("batch winner stored without a profile")
+	}
+	if e.Profile.Pages != 2 || e.Profile.MeanRecords != 2 || e.Profile.EmptyFrac != 0 {
+		t.Fatalf("profile = %+v, want 2 pages x 2 records", e.Profile)
+	}
+	// The profile survives the wire format.
+	path := filepath.Join(t.TempDir(), "p.json")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := store.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, _ := s2.Active("profiled")
+	if e2.Profile == nil || e2.Profile.MeanRecords != 2 {
+		t.Fatalf("profile lost over save/load: %+v", e2.Profile)
+	}
+}
+
+// TestCandidateOnlySiteStaysInactiveAcrossReload pins the serving
+// invariant through persistence: a site holding only staged (never
+// promoted) candidates must not acquire an active version from a
+// Save/Load round trip — the pre-lifecycle newest-serves synthesis
+// applies only to files with no promotions key at all.
+func TestCandidateOnlySiteStaysInactiveAcrossReload(t *testing.T) {
+	c := testCorpus(t)
+	s := store.New()
+	px, _ := store.Compile(induceXPath(t, c))
+	if _, err := s.PutCandidate("staged-only", px, store.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Active("staged-only"); ok {
+		t.Fatal("candidate-only site active before save")
+	}
+	path := filepath.Join(t.TempDir(), "w.json")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := store.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, ok := s2.Active("staged-only"); ok {
+		t.Fatalf("reload activated the unpromoted candidate v%d", a.Version)
+	}
+	if _, ok := s2.Latest("staged-only"); !ok {
+		t.Fatal("staged candidate lost over reload")
+	}
+	// A mixed store keeps the distinction per site.
+	if _, err := s.Put("promoted", px, store.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := store.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s3.Active("staged-only"); ok {
+		t.Fatal("mixed store activated the candidate-only site")
+	}
+	if a, ok := s3.Active("promoted"); !ok || a.Version != 1 {
+		t.Fatalf("promoted site active = %+v, %v", a, ok)
+	}
+}

@@ -14,7 +14,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PATTERN="${BENCH_PATTERN:-EngineBatch|Extract}"
+PATTERN="${BENCH_PATTERN:-EngineBatch|Extract|HealthObserve}"
 TIME="${BENCH_TIME:-1s}"
 COUNT="${BENCH_COUNT:-1}"
 

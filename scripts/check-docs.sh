@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# Documentation gate, run by the CI docs job:
+#
+#   1. Every intra-repo markdown link ([text](relative/path)) in the
+#      repo's tracked .md files must resolve to an existing file.
+#   2. Every fenced ```go block in README.md, DESIGN.md and docs/*.md
+#      must be syntactically valid, gofmt-clean Go. Blocks that are not
+#      full files are wrapped (imports hoisted to a synthetic header,
+#      statements into a function body) before formatting, so examples
+#      stay copy-pasteable fragments.
+#
+# Use a non-go fence (```text, ```sh, ...) for prose that merely looks
+# like code; ```go means "this is checked".
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- 1. intra-repo link check -------------------------------------------
+
+mdfiles="$(git ls-files '*.md' 2>/dev/null || find . -name '*.md' -not -path './.git/*')"
+
+for md in $mdfiles; do
+  case "$md" in
+    # Machine-captured paper abstracts keep their source's figure links.
+    PAPERS.md|PAPER.md|./PAPERS.md|./PAPER.md) continue ;;
+  esac
+  dir="$(dirname "$md")"
+  # Pull out markdown link targets: [text](target). One per line.
+  targets="$(grep -o '\[[^][]*\]([^()]*)' "$md" 2>/dev/null | sed 's/.*(\(.*\))/\1/' || true)"
+  while IFS= read -r target; do
+    [ -z "$target" ] && continue
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}" # strip fragment
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+      echo "check-docs: $md: broken intra-repo link: $target" >&2
+      fail=1
+    fi
+  done <<EOF2
+$targets
+EOF2
+done
+
+# --- 2. gofmt over fenced go blocks -------------------------------------
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+docfiles="README.md DESIGN.md"
+for f in docs/*.md; do
+  [ -e "$f" ] && docfiles="$docfiles $f"
+done
+
+for md in $docfiles; do
+  [ -f "$md" ] || continue
+  # Split every ```go fence into its own numbered snippet file.
+  awk -v out="$tmpdir/$(echo "$md" | tr '/' '_')" '
+    /^```go$/ { inblock = 1; n++; next }
+    /^```/    { inblock = 0; next }
+    inblock   { print > (out ".snippet" n) }
+  ' "$md"
+done
+
+for snippet in "$tmpdir"/*.snippet*; do
+  [ -e "$snippet" ] || continue
+  name="$(basename "$snippet")"
+  wrapped="$tmpdir/wrapped-$name.go"
+  if head -1 "$snippet" | grep -q '^package '; then
+    cp "$snippet" "$wrapped"
+  else
+    # Hoist import lines (single-line or parenthesized group) into the
+    # synthetic file header; everything else becomes a function body at
+    # one tab of indentation — exactly how gofmt would lay it out.
+    imports="$(awk '
+      /^import \(/   { ingroup = 1 }
+      ingroup        { print; if ($0 == ")") ingroup = 0; next }
+      /^import[ \t]/ { print }
+    ' "$snippet")"
+    # Command substitution strips trailing blank lines; the sed drops
+    # leading ones, so the synthetic body starts and ends tight.
+    body="$(awk '
+      /^import \(/   { ingroup = 1 }
+      ingroup        { if ($0 == ")") ingroup = 0; next }
+      /^import[ \t]/ { next }
+                     { print }
+    ' "$snippet" | sed '/./,$!d')"
+    {
+      echo "package snippets"
+      echo
+      if [ -n "$imports" ]; then
+        printf '%s\n\n' "$imports"
+      fi
+      echo "func _() {"
+      printf '%s\n' "$body" | sed -e 's/^\(.\)/\t\1/'
+      echo "}"
+    } > "$wrapped"
+  fi
+  if ! formatted="$(gofmt "$wrapped" 2>"$tmpdir/err-$name")"; then
+    echo "check-docs: $name: go snippet does not parse:" >&2
+    sed "s/^/  /" "$tmpdir/err-$name" >&2
+    fail=1
+    continue
+  fi
+  if [ "$formatted" != "$(cat "$wrapped")" ]; then
+    echo "check-docs: $name: go snippet is not gofmt-clean; diff (have vs want):" >&2
+    diff "$wrapped" <(printf '%s\n' "$formatted") | sed 's/^/  /' >&2 || true
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "check-docs: FAILED" >&2
+  exit 1
+fi
+echo "check-docs: all intra-repo links resolve and all go snippets are gofmt-clean"
