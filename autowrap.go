@@ -31,7 +31,11 @@
 // serves them to unseen pages, and the maintenance loop (NewMonitor,
 // Repairer, WrapperStore.Promote/Rollback) detects template drift from
 // serving-time health signals and re-learns tripped sites with validated
-// promotion. See docs/ARCHITECTURE.md for the end-to-end walkthrough.
+// promotion. NewDispatcher and NewServer put all of it behind one HTTP
+// service — multi-site dispatch with hot-swapped wrapper versions,
+// admission control with backpressure, and drift repair over the wire;
+// cmd/wrapserved is the ready-made daemon and cmd/loadgen its load
+// harness. See docs/ARCHITECTURE.md for the end-to-end walkthrough.
 package autowrap
 
 import (
@@ -52,6 +56,7 @@ import (
 	"autowrap/internal/lr"
 	"autowrap/internal/rank"
 	"autowrap/internal/segment"
+	"autowrap/internal/serve"
 	"autowrap/internal/stats"
 	"autowrap/internal/store"
 	"autowrap/internal/wrapper"
@@ -166,6 +171,34 @@ type (
 	RepairEval = drift.Eval
 	// RelearnSpec builds the per-site re-learning recipe a Repairer uses.
 	RelearnSpec = drift.LearnSpec
+
+	// Dispatcher routes extraction requests to per-site hot-swappable
+	// runtimes, all backed by one WrapperStore: a promote or rollback swaps
+	// the served wrapper atomically, without dropping in-flight requests
+	// and without a restart. Build one with NewDispatcher.
+	Dispatcher = serve.Dispatcher
+	// DispatcherOptions bounds a Dispatcher (extraction workers) and wires
+	// its drift Monitor.
+	DispatcherOptions = serve.Options
+	// ServedExtraction is one dispatcher request's outcome: the wrapper
+	// version that served it plus per-page results.
+	ServedExtraction = serve.Extraction
+	// SiteServingStatus is one site's serving state (active vs serving
+	// version, epoch, health, drift window, request metrics).
+	SiteServingStatus = serve.SiteStatus
+	// Server is the HTTP extraction service over a Dispatcher: the
+	// /v1/extract hot path behind an AdmissionGate, /healthz, /metrics and
+	// the lifecycle admin routes. Build one with NewServer; cmd/wrapserved
+	// is the ready-made daemon.
+	Server = serve.Server
+	// ServerConfig wires a Server (dispatcher, gate, deadlines, repairer).
+	ServerConfig = serve.ServerConfig
+	// AdmissionGate bounds the serving hot path: a slot semaphore plus a
+	// bounded wait queue, shedding overload as 429 + Retry-After instead of
+	// collapsing. Build one with NewAdmissionGate.
+	AdmissionGate = serve.Gate
+	// AdmissionOptions sizes an AdmissionGate.
+	AdmissionOptions = serve.GateOptions
 )
 
 // Ranking variants (the paper's Sec. 7.3 ablations).
@@ -418,6 +451,27 @@ func StoreBatch(s *WrapperStore, batch *BatchResult) (int, error) { return s.Put
 // extractor's lifetime Health counters and fires opt.OnResult, the tap a
 // Monitor's SiteHealth.Observe hooks into.
 func NewExtractor(p Portable, opt ExtractOptions) *Extractor { return extract.New(p, opt) }
+
+// NewDispatcher builds the store-backed multi-site serving dispatcher:
+// requests are routed to one hot-swappable extraction runtime per site,
+// rebuilt lazily whenever the site's store epoch moves (Put, Promote,
+// Rollback — see WrapperStore.Epoch). In-flight requests always finish on
+// the runtime they started with; the swap only changes what the next
+// request loads.
+func NewDispatcher(s *WrapperStore, opt DispatcherOptions) *Dispatcher {
+	return serve.NewDispatcher(s, opt)
+}
+
+// NewServer builds the HTTP extraction service over a dispatcher:
+// POST /v1/extract behind admission control, GET /healthz and /metrics,
+// and the lifecycle admin routes /v1/sites, /v1/promote, /v1/rollback and
+// /v1/repair. Mount Handler() on an http.Server; cmd/wrapserved is the
+// ready-made daemon with graceful drain.
+func NewServer(cfg ServerConfig) (*Server, error) { return serve.NewServer(cfg) }
+
+// NewAdmissionGate builds the hot path's admission controller; zero
+// options select defaults (64 slots, 4x queue, 1s Retry-After).
+func NewAdmissionGate(opt AdmissionOptions) *AdmissionGate { return serve.NewGate(opt) }
 
 // --- Maintenance: drift detection, automatic re-learning, promote/rollback ---
 

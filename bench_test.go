@@ -10,7 +10,12 @@
 package autowrap_test
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"sync"
 	"testing"
@@ -24,6 +29,7 @@ import (
 	"autowrap/internal/extract"
 	"autowrap/internal/lr"
 	"autowrap/internal/segment"
+	"autowrap/internal/serve"
 	"autowrap/internal/stats"
 	"autowrap/internal/store"
 )
@@ -402,6 +408,122 @@ func BenchmarkHealthObserve(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		h.Observe(res)
 	}
+}
+
+// --- Serving daemon (internal/serve), tracked by the bench gate ---
+
+// serveFixture builds a monitored dispatcher over a store holding the
+// extraction fixture's wrapper: the full serving stack minus HTTP.
+func serveFixture(b *testing.B) (*serve.Dispatcher, []extract.Page) {
+	b.Helper()
+	p, pages := extractFixture(b)
+	st := store.New()
+	if _, err := st.Put("bench", p, store.Meta{
+		Profile: &store.Profile{Pages: len(pages), MeanRecords: 6},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	mon := drift.NewMonitor(drift.Policy{Window: 64})
+	return serve.NewDispatcher(st, serve.Options{Monitor: mon}), pages
+}
+
+// BenchmarkServeExtractDispatch times the dispatcher's single-page hot
+// path per request: store-epoch staleness check, atomic runtime load,
+// extraction, health observation and metrics — everything a daemon request
+// pays on top of the bare runtime, minus HTTP.
+func BenchmarkServeExtractDispatch(b *testing.B) {
+	d, pages := serveFixture(b)
+	ctx := context.Background()
+	one := pages[:1]
+	if _, err := d.Extract(ctx, "bench", one); err != nil {
+		b.Fatal(err) // warm-up builds the runtime binding
+	}
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		ext, err := d.Extract(ctx, "bench", one)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ext.Results) != 1 || ext.Results[0].Err != nil {
+			b.Fatalf("bad extraction: %+v", ext.Results)
+		}
+	}
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "req/sec")
+}
+
+// BenchmarkServeExtractDispatchBatch is the batched flavor: the whole
+// fixture batch per request, through the dispatcher's pool path.
+func BenchmarkServeExtractDispatchBatch(b *testing.B) {
+	d, pages := serveFixture(b)
+	ctx := context.Background()
+	if _, err := d.Extract(ctx, "bench", pages); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		ext, err := d.Extract(ctx, "bench", pages)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ext.Records()) == 0 {
+			b.Fatal("no records")
+		}
+	}
+	elapsed := time.Since(start)
+	b.ReportMetric(float64(b.N*len(pages))/elapsed.Seconds(), "pages/sec")
+}
+
+// BenchmarkServeExtractHTTP is the end-to-end request cost: a real HTTP
+// round trip through the admission gate, JSON codec both ways, and the
+// dispatcher hot path, one page per request — the daemon's serving
+// overhead in its deployment shape.
+func BenchmarkServeExtractHTTP(b *testing.B) {
+	d, pages := serveFixture(b)
+	srv, err := serve.NewServer(serve.ServerConfig{Dispatcher: d})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	client := hs.Client()
+	body, err := json.Marshal(serve.ExtractRequest{
+		Site: "bench",
+		Page: &serve.PageInput{ID: pages[0].ID, HTML: pages[0].HTML},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Verify the wire path once, then time request round trips.
+	resp, err := client.Post(hs.URL+"/v1/extract", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var out serve.ExtractResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(out.Results) != 1 || len(out.Results[0].Records) == 0 {
+		b.Fatalf("wire check: status %d, results %+v", resp.StatusCode, out.Results)
+	}
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(hs.URL+"/v1/extract", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "req/sec")
 }
 
 // --- Figure 2(a): # of wrapper calls for LR ---

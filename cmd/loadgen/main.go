@@ -1,0 +1,333 @@
+// Command loadgen replays a sitegen corpus against a running wrapserved
+// daemon at a target request rate and reports throughput and latency
+// percentiles — the measurement half of the serving system.
+//
+// Usage:
+//
+//	sitegen -dataset dealers -sites 8 -out corpus
+//	wrapserved -store wrappers.json &
+//	loadgen -addr http://localhost:8080 -corpus corpus -qps 50 -duration 10s
+//
+// The corpus directory is walked for *.html files; each page belongs to the
+// site named by its parent directory (exactly sitegen's layout,
+// out/DATASET/site-name/page-NNN.html). Before the run, loadgen fetches
+// /v1/sites and keeps only sites the server actually serves, so a corpus
+// can be broader than the store.
+//
+// Traffic is mixed-site: every request picks a site and -batch of its pages
+// with a seeded RNG, so runs are reproducible. The generator is open-loop
+// up to -concurrency outstanding requests (beyond that it applies its own
+// backpressure and the achieved rate drops below -qps, which the report
+// shows honestly).
+//
+// 429 responses are counted as "rejected" — that is the server's admission
+// control working, not a failure; with -respect-retry-after loadgen waits
+// out the server's Retry-After hint before the next request on that worker.
+// Anything else non-2xx, and transport errors, count as failed. Exit code
+// is 0 when no request failed, 1 otherwise.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"autowrap/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:8080", "wrapserved base URL")
+		corpus   = flag.String("corpus", "", "sitegen output directory (required)")
+		qps      = flag.Float64("qps", 50, "target request rate")
+		duration = flag.Duration("duration", 10*time.Second, "run length")
+		conc     = flag.Int("concurrency", 16, "max outstanding requests")
+		batch    = flag.Int("batch", 1, "pages per request")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-request client timeout")
+		seed     = flag.Int64("seed", 1, "traffic RNG seed")
+		respect  = flag.Bool("respect-retry-after", false, "sleep out Retry-After hints after a 429")
+		site     = flag.String("site", "", "restrict traffic to one site")
+	)
+	flag.Parse()
+	if *corpus == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -corpus is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	rep, err := run(*addr, *corpus, *qps, *duration, *conc, *batch, *timeout, *seed, *respect, *site)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep)
+	if rep.Failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// sitePages is one site's replayable page set.
+type sitePages struct {
+	name  string
+	pages []string // raw HTML
+}
+
+// loadCorpus walks the sitegen output tree: site name = parent directory of
+// each .html file.
+func loadCorpus(root string) ([]sitePages, error) {
+	bySite := make(map[string][]string)
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".html") {
+			return nil
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		site := filepath.Base(filepath.Dir(path))
+		bySite[site] = append(bySite[site], string(b))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(bySite))
+	for name := range bySite {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]sitePages, 0, len(names))
+	for _, name := range names {
+		out = append(out, sitePages{name: name, pages: bySite[name]})
+	}
+	return out, nil
+}
+
+// servedSites asks the daemon which sites it can serve.
+func servedSites(client *http.Client, addr string) (map[string]bool, error) {
+	resp, err := client.Get(addr + "/v1/sites")
+	if err != nil {
+		return nil, fmt.Errorf("fetching /v1/sites: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/v1/sites: status %d", resp.StatusCode)
+	}
+	var sites []serve.SiteStatus
+	if err := json.NewDecoder(resp.Body).Decode(&sites); err != nil {
+		return nil, fmt.Errorf("decoding /v1/sites: %w", err)
+	}
+	out := make(map[string]bool, len(sites))
+	for _, s := range sites {
+		if s.ActiveVersion > 0 {
+			out[s.Site] = true
+		}
+	}
+	return out, nil
+}
+
+// Report aggregates a run.
+type Report struct {
+	Sent, OK, Rejected, Failed int
+	Pages, Records             int
+	TargetQPS, AchievedQPS     float64
+	Wall                       time.Duration
+	latencies                  []time.Duration // of successful requests
+	failures                   []string        // first few failure descriptions
+}
+
+func (r *Report) quantile(q float64) time.Duration {
+	if len(r.latencies) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(r.latencies)))
+	if i >= len(r.latencies) {
+		i = len(r.latencies) - 1
+	}
+	return r.latencies[i]
+}
+
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "loadgen: %d requests in %.1fs (target %.1f req/s, achieved %.1f)\n",
+		r.Sent, r.Wall.Seconds(), r.TargetQPS, r.AchievedQPS)
+	fmt.Fprintf(&sb, "  ok=%d rejected=%d failed=%d pages=%d records=%d\n",
+		r.OK, r.Rejected, r.Failed, r.Pages, r.Records)
+	if len(r.latencies) > 0 {
+		var sum time.Duration
+		for _, d := range r.latencies {
+			sum += d
+		}
+		ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+		fmt.Fprintf(&sb, "  latency ms: p50=%.2f p90=%.2f p99=%.2f max=%.2f mean=%.2f\n",
+			ms(r.quantile(0.50)), ms(r.quantile(0.90)), ms(r.quantile(0.99)),
+			ms(r.latencies[len(r.latencies)-1]), ms(sum/time.Duration(len(r.latencies))))
+	}
+	for _, f := range r.failures {
+		fmt.Fprintf(&sb, "  FAILED: %s\n", f)
+	}
+	return sb.String()
+}
+
+func run(addr, corpusDir string, qps float64, duration time.Duration,
+	conc, batch int, timeout time.Duration, seed int64, respect bool,
+	onlySite string) (*Report, error) {
+	if qps <= 0 || batch < 1 || conc < 1 {
+		return nil, fmt.Errorf("need -qps > 0, -batch >= 1, -concurrency >= 1")
+	}
+	corpus, err := loadCorpus(corpusDir)
+	if err != nil {
+		return nil, err
+	}
+	client := &http.Client{Timeout: timeout}
+	served, err := servedSites(client, addr)
+	if err != nil {
+		return nil, err
+	}
+	var replay []sitePages
+	for _, sp := range corpus {
+		if onlySite != "" && sp.name != onlySite {
+			continue
+		}
+		if served[sp.name] {
+			replay = append(replay, sp)
+		}
+	}
+	if len(replay) == 0 {
+		return nil, fmt.Errorf("no overlap between corpus sites (%d) and served sites (%d)",
+			len(corpus), len(served))
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: replaying %d site(s) at %.1f req/s for %v (batch %d)\n",
+		len(replay), qps, duration, batch)
+
+	rep := &Report{TargetQPS: qps}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, conc)
+	rng := rand.New(rand.NewSource(seed))
+	interval := time.Duration(float64(time.Second) / qps)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	stop := time.After(duration)
+	start := time.Now()
+
+loop:
+	for {
+		select {
+		case <-stop:
+			break loop
+		case <-ticker.C:
+			// Pre-draw the traffic choice on the generator goroutine so the
+			// RNG stays deterministic.
+			sp := replay[rng.Intn(len(replay))]
+			pageIdx := make([]int, batch)
+			for i := range pageIdx {
+				pageIdx[i] = rng.Intn(len(sp.pages))
+			}
+			sem <- struct{}{} // own backpressure beyond -concurrency
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				oneRequest(client, addr, sp, pageIdx, respect, rep, &mu)
+			}()
+		}
+	}
+	wg.Wait()
+	rep.Wall = time.Since(start)
+	if rep.Wall > 0 {
+		rep.AchievedQPS = float64(rep.Sent) / rep.Wall.Seconds()
+	}
+	sort.Slice(rep.latencies, func(i, j int) bool { return rep.latencies[i] < rep.latencies[j] })
+	return rep, nil
+}
+
+func oneRequest(client *http.Client, addr string, sp sitePages, pageIdx []int,
+	respect bool, rep *Report, mu *sync.Mutex) {
+	req := serve.ExtractRequest{Site: sp.name}
+	for _, pi := range pageIdx {
+		req.Pages = append(req.Pages, serve.PageInput{
+			ID: fmt.Sprintf("%s/p%d", sp.name, pi), HTML: sp.pages[pi],
+		})
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		record(rep, mu, func(r *Report) { r.Sent++; fail(r, err.Error()) })
+		return
+	}
+	t0 := time.Now()
+	resp, err := client.Post(addr+"/v1/extract", "application/json", bytes.NewReader(body))
+	lat := time.Since(t0)
+	if err != nil {
+		record(rep, mu, func(r *Report) { r.Sent++; fail(r, err.Error()) })
+		return
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		var out serve.ExtractResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			record(rep, mu, func(r *Report) { r.Sent++; fail(r, "bad response body: "+err.Error()) })
+			return
+		}
+		records, pageFails := 0, 0
+		for _, pr := range out.Results {
+			if pr.Error != "" {
+				pageFails++
+			}
+			records += len(pr.Records)
+		}
+		record(rep, mu, func(r *Report) {
+			r.Sent++
+			if pageFails > 0 {
+				fail(r, fmt.Sprintf("%s: %d page(s) failed inside a 200", sp.name, pageFails))
+				return
+			}
+			r.OK++
+			r.Pages += len(out.Results)
+			r.Records += records
+			r.latencies = append(r.latencies, lat)
+		})
+	case resp.StatusCode == http.StatusTooManyRequests:
+		io.Copy(io.Discard, resp.Body)
+		record(rep, mu, func(r *Report) { r.Sent++; r.Rejected++ })
+		if respect {
+			if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
+				time.Sleep(time.Duration(s) * time.Second)
+			}
+		}
+	default:
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		record(rep, mu, func(r *Report) {
+			r.Sent++
+			fail(r, fmt.Sprintf("%s: status %d: %s", sp.name, resp.StatusCode, bytes.TrimSpace(b)))
+		})
+	}
+}
+
+func record(rep *Report, mu *sync.Mutex, fn func(*Report)) {
+	mu.Lock()
+	defer mu.Unlock()
+	fn(rep)
+}
+
+func fail(r *Report, msg string) {
+	r.Failed++
+	if len(r.failures) < 5 {
+		r.failures = append(r.failures, msg)
+	}
+}

@@ -1,13 +1,28 @@
 // Command sitegen materializes the synthetic evaluation datasets as HTML
-// files on disk, so the generated "websites" can be inspected in a browser
-// or fed to other tools. Gold labels are written alongside as .gold.txt
-// files (one value per line, per type).
+// files on disk, so the generated "websites" can be inspected in a browser,
+// fed to other tools, or replayed as serving traffic. Gold labels are
+// written alongside as .gold.txt files (one value per line, per type).
 //
 // Usage:
 //
 //	sitegen -dataset dealers -sites 5 -out ./out
-//	sitegen -dataset disc -out ./out
+//	sitegen -dataset disc -sites 8 -out ./out
 //	sitegen -dataset products -out ./out
+//	sitegen -dataset dealers -sites 5 -drift 2 -out ./drifted
+//
+// -sites N sizes every dataset; 0 selects the paper's scale (330 dealers,
+// 15 disc, 10 products). When the flag is not given, dealers defaults to 5
+// sites and disc/products to their paper scale — the historical behavior.
+// The output layout is one directory per site,
+// out/DATASET/site-name/page-NNN.html — exactly what cmd/loadgen walks to
+// build mixed-site replay traffic against a running wrapserved, so
+//
+//	sitegen -dataset dealers -sites 8 -out corpus
+//	loadgen -corpus corpus -qps 50
+//
+// generates a realistic multi-site load. Pair a -drift 0 run with a
+// -drift N run (dealers only) to also exercise the drift-repair path: same
+// record data, mutated template.
 package main
 
 import (
@@ -25,16 +40,32 @@ import (
 func main() {
 	var (
 		kind  = flag.String("dataset", "dealers", "dealers | disc | products")
-		sites = flag.Int("sites", 5, "number of sites to write (dealers only; disc/products use paper scale)")
+		sites = flag.Int("sites", 5, "number of sites to write (0 = the dataset's paper scale; when not set, dealers writes 5 and disc/products their paper scale)")
 		out   = flag.String("out", "sitegen-out", "output directory")
 		seed  = flag.Int64("seed", 0, "seed override (0 = dataset default)")
 		drift = flag.Int("drift", 0, "template mutations per site (dealers only): same record data, mutated template — pair a -drift 0 run with a -drift N run to simulate sites changing under a learned wrapper")
 	)
 	flag.Parse()
+	// An unset -sites keeps each dataset's historical default: 5 for
+	// dealers (paper scale is a heavy 330), paper scale for disc/products.
+	// An explicit -sites sizes any dataset, with 0 meaning paper scale.
+	if *kind != "dealers" && !flagWasSet("sites") {
+		*sites = 0
+	}
 	if err := run(*kind, *sites, *out, *seed, *drift); err != nil {
 		fmt.Fprintln(os.Stderr, "sitegen:", err)
 		os.Exit(1)
 	}
+}
+
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 func run(kind string, sites int, out string, seed int64, drift int) error {
@@ -47,9 +78,9 @@ func run(kind string, sites int, out string, seed int64, drift int) error {
 	case "dealers":
 		ds, err = dataset.Dealers(dataset.DealersOptions{NumSites: sites, Seed: seed, Drift: drift})
 	case "disc":
-		ds, err = dataset.Disc(dataset.DiscOptions{Seed: seed})
+		ds, err = dataset.Disc(dataset.DiscOptions{NumSites: sites, Seed: seed})
 	case "products":
-		ds, err = dataset.Products(dataset.ProductsOptions{Seed: seed})
+		ds, err = dataset.Products(dataset.ProductsOptions{NumSites: sites, Seed: seed})
 	default:
 		return fmt.Errorf("unknown dataset %q", kind)
 	}

@@ -13,7 +13,6 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +20,7 @@ import (
 	"strings"
 
 	"autowrap"
+	"autowrap/internal/experiments"
 )
 
 func main() {
@@ -42,7 +42,7 @@ func main() {
 }
 
 func run(dictPath string, pageArgs []string, inductorKind string, naive bool, topK int) error {
-	entries, err := readLines(dictPath)
+	entries, err := experiments.ReadDictFile(dictPath)
 	if err != nil {
 		return err
 	}
@@ -113,23 +113,6 @@ func printExtraction(c *autowrap.Corpus, w autowrap.Wrapper) {
 	for p, values := range autowrap.Extracted(c, w) {
 		fmt.Printf("  page %d: %s\n", p, strings.Join(values, " | "))
 	}
-}
-
-func readLines(path string) ([]string, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	var out []string
-	sc := bufio.NewScanner(f)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line != "" && !strings.HasPrefix(line, "#") {
-			out = append(out, line)
-		}
-	}
-	return out, sc.Err()
 }
 
 func expand(args []string) ([]string, error) {

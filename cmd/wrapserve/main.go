@@ -44,7 +44,6 @@
 package main
 
 import (
-	"bufio"
 	"context"
 	"errors"
 	"flag"
@@ -355,7 +354,7 @@ func runLearn(storePath, site, dictPath, kind string, pageFiles []string) error 
 	if site == "" || dictPath == "" || len(pageFiles) == 0 {
 		return fmt.Errorf("usage: wrapserve -learn -store w.json -site NAME -dict entries.txt page1.html ...")
 	}
-	entries, err := readLines(dictPath)
+	entries, err := experiments.ReadDictFile(dictPath)
 	if err != nil {
 		return err
 	}
@@ -474,23 +473,4 @@ func loadOrNewStore(path string) (*store.Store, error) {
 		return nil, err
 	}
 	return autowrap.LoadWrapperStore(path)
-}
-
-// readLines matches cmd/wrapinduce's dictionary format: one entry per
-// line, blank lines and '#' comments skipped.
-func readLines(path string) ([]string, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	var out []string
-	sc := bufio.NewScanner(f)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line != "" && !strings.HasPrefix(line, "#") {
-			out = append(out, line)
-		}
-	}
-	return out, sc.Err()
 }

@@ -1,0 +1,191 @@
+// Command wrapserved is the HTTP extraction daemon: it loads a versioned
+// wrapper store and serves every site's active wrapper over HTTP, with
+// hot-swap on promote/rollback (no restart), drift monitoring, admission
+// control with backpressure, and graceful drain on SIGTERM.
+//
+// Usage:
+//
+//	wrapserved -store wrappers.json -addr :8080
+//	wrapserved -store wrappers.json -dict names.txt -kind xpath   # enables /v1/repair
+//
+// Endpoints:
+//
+//	POST /v1/extract   {"site":"s","page":{"html":"..."}} or {"site":"s","pages":[...]}
+//	GET  /healthz      liveness + readiness (503 while draining)
+//	GET  /metrics      per-site QPS, latency quantiles, runtime health, gate counters
+//	GET  /v1/sites     serving state of every site
+//	POST /v1/promote   {"site":"s","version":2}
+//	POST /v1/rollback  {"site":"s"}
+//	POST /v1/repair    {"site":"s","pages":["<html>...",...]}
+//
+// The hot path is admission-controlled: at most -max-inflight requests
+// extract concurrently, at most -queue more wait, and everything beyond
+// that is rejected immediately with 429 and a Retry-After header — the
+// daemon sheds load instead of collapsing under it. Every request gets a
+// deadline (-timeout, shortenable per request via timeout_ms).
+//
+// /v1/repair needs an annotator to re-learn with; start the daemon with
+// -dict (one dictionary entry per line) to enable it. Successful admin
+// mutations (promote, rollback, repair) are persisted back to -store.
+//
+// On SIGTERM or SIGINT the daemon flips /healthz to 503 (so load balancers
+// drain it), finishes in-flight requests, and exits 0 once idle or after
+// -drain-timeout, whichever comes first.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"autowrap"
+	"autowrap/internal/drift"
+	"autowrap/internal/engine"
+	"autowrap/internal/experiments"
+	"autowrap/internal/serve"
+	"autowrap/internal/store"
+)
+
+func main() {
+	var (
+		storeP      = flag.String("store", "wrappers.json", "wrapper store path (required; must exist)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "extraction workers per batch request (0 = GOMAXPROCS)")
+		maxInflight = flag.Int("max-inflight", 64, "max concurrently executing extract requests")
+		queue       = flag.Int("queue", 0, "max extract requests waiting for a slot (0 = 4x max-inflight, negative disables queueing)")
+		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After hint attached to 429 responses")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-request extraction deadline")
+		maxPages    = flag.Int("max-pages", 256, "max pages per extract request")
+		window      = flag.Int("window", 32, "drift-monitor sliding window in pages (0 disables monitoring)")
+		dictPath    = flag.String("dict", "", "dictionary file enabling /v1/repair (one entry per line)")
+		kind        = flag.String("kind", "xpath", "re-learn wrapper language for /v1/repair: xpath | lr")
+		drainT      = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+	)
+	flag.Parse()
+	if err := run(*storeP, *addr, *workers, *maxInflight, *queue, *retryAfter,
+		*timeout, *maxPages, *window, *dictPath, *kind, *drainT); err != nil {
+		fmt.Fprintln(os.Stderr, "wrapserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(storePath, addr string, workers, maxInflight, queue int,
+	retryAfter, timeout time.Duration, maxPages, window int,
+	dictPath, kind string, drainTimeout time.Duration) error {
+	logger := log.New(os.Stderr, "wrapserved: ", log.LstdFlags)
+
+	st, err := store.Load(storePath)
+	if err != nil {
+		return err
+	}
+	var mon *drift.Monitor
+	if window > 0 {
+		mon = drift.NewMonitor(drift.Policy{
+			Window: window,
+			OnTrip: func(site string, s drift.Stats) {
+				logger.Printf("DRIFT TRIPPED: %s", s)
+			},
+		})
+	}
+	dispatcher := serve.NewDispatcher(st, serve.Options{Workers: workers, Monitor: mon})
+
+	var repairer *drift.Repairer
+	if dictPath != "" {
+		rep, err := newRepairer(st, mon, dictPath, kind)
+		if err != nil {
+			return err
+		}
+		repairer = rep
+	}
+
+	srv, err := serve.NewServer(serve.ServerConfig{
+		Dispatcher: dispatcher,
+		Gate: serve.NewGate(serve.GateOptions{
+			MaxInFlight: maxInflight, MaxQueue: queue, RetryAfter: retryAfter,
+		}),
+		RequestTimeout: timeout,
+		MaxPages:       maxPages,
+		Repairer:       repairer,
+		StorePath:      storePath,
+		Log:            logger,
+	})
+	if err != nil {
+		return err
+	}
+
+	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("serving %d site(s) from %s on %s (repair %s)",
+			st.Len(), storePath, addr, enabledWord(repairer != nil))
+		if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	// Graceful drain: flip readiness first so load balancers steer away,
+	// then let in-flight requests finish.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		logger.Printf("%s: draining (up to %v)...", sig, drainTimeout)
+		srv.SetDraining(true)
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		logger.Printf("drained cleanly")
+		return <-errc
+	}
+}
+
+// newRepairer wires the drift-repair loop for /v1/repair: re-learn with a
+// dictionary annotator over the posted fresh pages, in the configured
+// wrapper language.
+func newRepairer(st *store.Store, mon *drift.Monitor, dictPath, kind string) (*drift.Repairer, error) {
+	entries, err := experiments.ReadDictFile(dictPath)
+	if err != nil {
+		return nil, err
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("dictionary %s is empty", dictPath)
+	}
+	annot := autowrap.DictionaryAnnotator(filepath.Base(dictPath), entries)
+	if _, err := experiments.NewInductor(kind, autowrap.ParsePages([]string{"<p>probe</p>"})); err != nil {
+		return nil, err
+	}
+	return &drift.Repairer{
+		Store: st,
+		Spec: func(site string, c *autowrap.Corpus) (engine.SiteSpec, error) {
+			return engine.SiteSpec{
+				Annotator: annot,
+				NewInductor: func(c *autowrap.Corpus) (autowrap.Inductor, error) {
+					return experiments.NewInductor(kind, c)
+				},
+				Config: autowrap.NewLearnConfig(autowrap.GenericModels(c), autowrap.Options{}),
+			}, nil
+		},
+		Monitor: mon,
+	}, nil
+}
+
+func enabledWord(b bool) string {
+	if b {
+		return "enabled"
+	}
+	return "disabled"
+}

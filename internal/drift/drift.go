@@ -96,18 +96,21 @@ func (p Policy) withDefaults() Policy {
 // Stats is a point-in-time snapshot of one site's health window.
 type Stats struct {
 	// Site names the monitored site.
-	Site string
+	Site string `json:"site"`
 	// Pages counts every observation since registration; WindowPages the
 	// observations currently in the sliding window.
-	Pages, WindowPages int64
+	Pages       int64 `json:"pages"`
+	WindowPages int64 `json:"window_pages"`
 	// EmptyFrac, FailFrac and MeanRecords describe the current window.
-	EmptyFrac, FailFrac, MeanRecords float64
+	EmptyFrac   float64 `json:"empty_frac"`
+	FailFrac    float64 `json:"fail_frac"`
+	MeanRecords float64 `json:"mean_records"`
 	// ProfileMean is the learn-time mean record count (0 when the site was
 	// registered without a profile).
-	ProfileMean float64
+	ProfileMean float64 `json:"profile_mean"`
 	// Tripped reports the latched trip state; Trips counts lifetime trips.
-	Tripped bool
-	Trips   int64
+	Tripped bool  `json:"tripped"`
+	Trips   int64 `json:"trips"`
 }
 
 // String renders the stats as a one-line summary.

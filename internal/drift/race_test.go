@@ -1,0 +1,102 @@
+package drift_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"autowrap/internal/drift"
+	"autowrap/internal/extract"
+	"autowrap/internal/lr"
+	"autowrap/internal/store"
+)
+
+// TestConcurrentObserveAndHealthReads is the HTTP-handler-path race test:
+// many goroutines extract through one monitored runtime (each page firing
+// SiteHealth.Observe on a worker goroutine) while other goroutines
+// concurrently read Runtime.Health(), SiteHealth.Stats()/Tripped(), the
+// monitor's Snapshot()/Tripped() and register further sites — exactly what
+// a serving daemon's /metrics and /v1/sites endpoints do under load. Run
+// under -race (CI does); the assertions then pin the totals so no
+// observation was lost.
+func TestConcurrentObserveAndHealthReads(t *testing.T) {
+	const (
+		writers        = 8
+		readers        = 4
+		runsPerWriter  = 20
+		pagesPerRun    = 5
+		recordsPerPage = 3
+	)
+	mon := drift.NewMonitor(drift.Policy{Window: 16})
+	health := mon.Register("site", &store.Profile{Pages: 8, MeanRecords: recordsPerPage})
+	rt := extract.New(
+		&lr.Compiled{Left: `<span class="r">`, Right: `</span>`},
+		extract.Options{Workers: 2, OnResult: health.Observe},
+	)
+
+	var html string
+	for i := 0; i < recordsPerPage; i++ {
+		html += fmt.Sprintf(`<span class="r">rec-%d</span>`, i)
+	}
+	pages := make([]extract.Page, pagesPerRun)
+	for i := range pages {
+		pages[i] = extract.Page{ID: fmt.Sprintf("p%d", i), HTML: "<html><body>" + html + "</body></html>"}
+	}
+
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func(r int) {
+			defer readerWG.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = rt.Health()
+				_ = health.Stats()
+				_ = health.Tripped()
+				_ = mon.Snapshot()
+				_ = mon.Tripped()
+				_ = mon.Register(fmt.Sprintf("other-%d-%d", r, i%3), nil)
+			}
+		}(r)
+	}
+
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			for i := 0; i < runsPerWriter; i++ {
+				if _, err := rt.Run(context.Background(), pages); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	wantPages := int64(writers * runsPerWriter * pagesPerRun)
+	if got := rt.Health(); got.Pages != wantPages ||
+		got.Records != wantPages*recordsPerPage || got.Failed != 0 || got.Empty != 0 {
+		t.Fatalf("runtime health = %+v, want %d clean pages / %d records",
+			got, wantPages, wantPages*recordsPerPage)
+	}
+	st := health.Stats()
+	if st.Pages != wantPages {
+		t.Fatalf("monitor observed %d pages, want %d", st.Pages, wantPages)
+	}
+	if st.Tripped {
+		t.Fatalf("healthy traffic tripped the monitor: %s", st)
+	}
+	if st.MeanRecords != recordsPerPage {
+		t.Fatalf("window mean records = %v, want %d", st.MeanRecords, recordsPerPage)
+	}
+}

@@ -6,7 +6,10 @@
 package experiments
 
 import (
+	"bufio"
 	"fmt"
+	"os"
+	"strings"
 
 	"autowrap/internal/corpus"
 	"autowrap/internal/dataset"
@@ -16,6 +19,26 @@ import (
 	"autowrap/internal/wrapper"
 	"autowrap/internal/xpinduct"
 )
+
+// ReadDictFile reads the CLIs' shared dictionary-file format: one entry
+// per line, blank lines and '#' comments skipped. wrapinduce, wrapserve
+// and wrapserved all accept it.
+func ReadDictFile(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" && !strings.HasPrefix(line, "#") {
+			out = append(out, line)
+		}
+	}
+	return out, sc.Err()
+}
 
 // Inductor kinds used across experiments.
 const (

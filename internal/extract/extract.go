@@ -179,9 +179,11 @@ type HealthCounts struct {
 	// Pages counts every completed page; Failed the pages whose extraction
 	// errored (parse-less input, panics); Empty the pages that succeeded
 	// but yielded zero records — the classic silent-drift signal.
-	Pages, Failed, Empty int64
+	Pages  int64 `json:"pages"`
+	Failed int64 `json:"failed"`
+	Empty  int64 `json:"empty"`
 	// Records totals the extracted records over all successful pages.
-	Records int64
+	Records int64 `json:"records"`
 }
 
 // EmptyFrac is the fraction of completed pages that succeeded with zero
@@ -235,6 +237,18 @@ func (r *Runtime) observe(res *Result) {
 	if r.opt.OnResult != nil {
 		r.opt.OnResult(res)
 	}
+}
+
+// ExtractOne applies the wrapper to a single page synchronously on the
+// calling goroutine — the low-latency serving path for single-page
+// requests. It keeps Run's per-page contract (panic isolation, health
+// accounting, the OnResult tap) but skips pool dispatch and batch
+// allocation entirely, so an HTTP handler can call it per request without
+// paying the batch machinery for one page.
+func (r *Runtime) ExtractOne(pg Page) Result {
+	res := r.one(pg, 0)
+	r.observe(&res)
+	return res
 }
 
 // Run extracts every page of a batch on the worker pool. The returned

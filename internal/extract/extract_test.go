@@ -442,3 +442,44 @@ func TestHealthCountersAndOnResult(t *testing.T) {
 		t.Fatalf("stream OnResult fired %d times for %d pages", got, len(in))
 	}
 }
+
+// TestExtractOneMatchesRun pins the single-page serving path: ExtractOne
+// returns the same records Run finds for the page, with the same health
+// accounting and OnResult tap, minus the batch machinery.
+func TestExtractOneMatchesRun(t *testing.T) {
+	var taps atomic.Int64
+	rt := extract.New(compiled(t), extract.Options{
+		OnResult: func(*extract.Result) { taps.Add(1) },
+	})
+	pg := extract.Page{ID: "one", HTML: page(7, 3)}
+
+	res := rt.ExtractOne(pg)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	batch, err := rt.Run(context.Background(), []extract.Page{pg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Texts, batch.Results[0].Texts) {
+		t.Fatalf("ExtractOne %v != Run %v", res.Texts, batch.Results[0].Texts)
+	}
+	if res.ID != "one" || res.Index != 0 || res.Elapsed <= 0 {
+		t.Fatalf("result metadata = %+v", res)
+	}
+	if got := rt.Health(); got.Pages != 2 || got.Records != 6 {
+		t.Fatalf("health after ExtractOne + Run = %+v, want 2 pages / 6 records", got)
+	}
+	if taps.Load() != 2 {
+		t.Fatalf("OnResult fired %d times, want 2", taps.Load())
+	}
+
+	// Failures are isolated the same way as in Run.
+	bad := rt.ExtractOne(extract.Page{ID: "empty"})
+	if bad.Err == nil {
+		t.Fatal("page with neither Root nor HTML succeeded")
+	}
+	if got := rt.Health(); got.Failed != 1 {
+		t.Fatalf("health after failed page = %+v", got)
+	}
+}

@@ -1,0 +1,37 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"autowrap/internal/extract"
+	"autowrap/internal/lr"
+	"autowrap/internal/store"
+)
+
+// TestUnknownSitesDoNotLeakSlots pins the admission-side memory bound: a
+// stream of requests for junk site names must not grow the per-site slot
+// map — only sites the store knows get serving state.
+func TestUnknownSitesDoNotLeakSlots(t *testing.T) {
+	st := store.New()
+	if _, err := st.Put("real", &lr.Compiled{Left: "<b>", Right: "</b>"}, store.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDispatcher(st, Options{})
+	ctx := context.Background()
+	pages := []extract.Page{{ID: "p", HTML: "<html><b>x</b></html>"}}
+	if _, err := d.Extract(ctx, "real", pages); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := d.Extract(ctx, fmt.Sprintf("junk-%d", i), pages); err == nil {
+			t.Fatalf("junk site %d served", i)
+		}
+	}
+	slots := 0
+	d.sites.Range(func(_, _ any) bool { slots++; return true })
+	if slots != 1 {
+		t.Fatalf("slot map holds %d entries after junk traffic, want 1", slots)
+	}
+}

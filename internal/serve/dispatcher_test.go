@@ -1,0 +1,314 @@
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"autowrap/internal/drift"
+	"autowrap/internal/extract"
+	"autowrap/internal/lr"
+	"autowrap/internal/serve"
+	"autowrap/internal/store"
+	"autowrap/internal/wrapper"
+)
+
+// testPage renders a page carrying two disjoint record lists, so two
+// different wrappers over the same page extract two disjoint text families
+// — which makes a torn read (version says v1, records say v2) detectable.
+func testPage(i int) string {
+	var sb strings.Builder
+	sb.WriteString("<html><body>")
+	for r := 0; r < 3; r++ {
+		fmt.Fprintf(&sb, `<div class="a">alpha-%d-%d</div>`, i, r)
+	}
+	for r := 0; r < 3; r++ {
+		fmt.Fprintf(&sb, `<div class="b">beta-%d-%d</div>`, i, r)
+	}
+	sb.WriteString("</body></html>")
+	return sb.String()
+}
+
+func wrapperFor(class string) wrapper.Portable {
+	return &lr.Compiled{Left: `<div class="` + class + `">`, Right: `</div>`}
+}
+
+// twoVersionStore holds site "shop" with v1 extracting the alpha family
+// (active) and v2 extracting the beta family (stored, not yet promoted).
+func twoVersionStore(t *testing.T) *store.Store {
+	t.Helper()
+	st := store.New()
+	if _, err := st.Put("shop", wrapperFor("a"), store.Meta{
+		Profile: &store.Profile{Pages: 4, MeanRecords: 3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.PutCandidate("shop", wrapperFor("b"), store.Meta{
+		Profile: &store.Profile{Pages: 4, MeanRecords: 3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func pagesN(n int) []extract.Page {
+	out := make([]extract.Page, n)
+	for i := range out {
+		out[i] = extract.Page{ID: fmt.Sprintf("p%d", i), HTML: testPage(i)}
+	}
+	return out
+}
+
+// familyOf classifies an extraction's records; a response mixing families
+// (or mismatching its reported version) is a torn wrapper.
+func familyOf(t *testing.T, ext *serve.Extraction) string {
+	t.Helper()
+	recs := ext.Records()
+	if len(recs) == 0 {
+		t.Fatalf("no records extracted (version %d)", ext.Version)
+	}
+	family := "alpha"
+	if strings.HasPrefix(recs[0], "beta-") {
+		family = "beta"
+	}
+	for _, r := range recs {
+		if !strings.HasPrefix(r, family+"-") {
+			t.Fatalf("torn extraction: records mix families: %v", recs)
+		}
+	}
+	return family
+}
+
+func TestDispatcherServesActiveVersion(t *testing.T) {
+	st := twoVersionStore(t)
+	d := serve.NewDispatcher(st, serve.Options{})
+	ext, err := d.Extract(context.Background(), "shop", pagesN(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Version != 1 {
+		t.Fatalf("serving version = %d, want 1 (the promoted one)", ext.Version)
+	}
+	if got := familyOf(t, ext); got != "alpha" {
+		t.Fatalf("v1 extracted family %q, want alpha", got)
+	}
+	if n := len(ext.Records()); n != 6 {
+		t.Fatalf("extracted %d records, want 6", n)
+	}
+}
+
+func TestDispatcherHotSwapOnPromoteAndRollback(t *testing.T) {
+	st := twoVersionStore(t)
+	d := serve.NewDispatcher(st, serve.Options{})
+	ctx := context.Background()
+
+	ext, err := d.Extract(ctx, "shop", pagesN(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if familyOf(t, ext) != "alpha" {
+		t.Fatal("expected v1/alpha before promote")
+	}
+
+	// Promote the staged candidate: the very next request must serve v2,
+	// with no restart and no explicit cache invalidation by the caller.
+	if _, err := d.Promote("shop", 2); err != nil {
+		t.Fatal(err)
+	}
+	ext, err = d.Extract(ctx, "shop", pagesN(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Version != 2 || familyOf(t, ext) != "beta" {
+		t.Fatalf("after promote: version %d family %q, want 2/beta",
+			ext.Version, familyOf(t, ext))
+	}
+
+	// Rollback: back to v1.
+	if _, err := d.Rollback("shop"); err != nil {
+		t.Fatal(err)
+	}
+	ext, err = d.Extract(ctx, "shop", pagesN(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Version != 1 || familyOf(t, ext) != "alpha" {
+		t.Fatalf("after rollback: version %d, want 1/alpha", ext.Version)
+	}
+}
+
+// TestDispatcherSwapHappensWithoutStoreMethods proves the dispatcher reacts
+// to raw store mutations too (engine PutBatch, repairer promotes): the
+// epoch, not the dispatcher's own admin methods, is the swap trigger.
+func TestDispatcherSwapHappensWithoutStoreMethods(t *testing.T) {
+	st := twoVersionStore(t)
+	d := serve.NewDispatcher(st, serve.Options{})
+	ctx := context.Background()
+	if ext, _ := d.Extract(ctx, "shop", pagesN(1)); ext.Version != 1 {
+		t.Fatalf("precondition: want v1, got v%d", ext.Version)
+	}
+	if _, err := st.Promote("shop", 2); err != nil { // direct store mutation
+		t.Fatal(err)
+	}
+	ext, err := d.Extract(ctx, "shop", pagesN(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Version != 2 || familyOf(t, ext) != "beta" {
+		t.Fatalf("dispatcher did not pick up direct store promote: v%d", ext.Version)
+	}
+}
+
+// TestDispatcherEpochOnlyRefreshKeepsRuntime pins that a mutation that does
+// not change the serving version (staging a candidate) re-validates the
+// binding without rebuilding the runtime — the lifetime health counters
+// survive.
+func TestDispatcherEpochOnlyRefreshKeepsRuntime(t *testing.T) {
+	st := store.New()
+	if _, err := st.Put("shop", wrapperFor("a"), store.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	d := serve.NewDispatcher(st, serve.Options{})
+	ctx := context.Background()
+	if _, err := d.Extract(ctx, "shop", pagesN(4)); err != nil {
+		t.Fatal(err)
+	}
+	before := d.Status()[0].Health
+	if before == nil || before.Pages != 4 {
+		t.Fatalf("health before = %+v, want 4 pages", before)
+	}
+	// Staging a candidate bumps the epoch but not the active version.
+	if _, err := st.PutCandidate("shop", wrapperFor("b"), store.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Extract(ctx, "shop", pagesN(2)); err != nil {
+		t.Fatal(err)
+	}
+	after := d.Status()[0].Health
+	if after == nil || after.Pages != 6 {
+		t.Fatalf("health after epoch-only refresh = %+v, want 6 pages (runtime kept)", after)
+	}
+}
+
+func TestDispatcherSiteErrors(t *testing.T) {
+	st := store.New()
+	if _, err := st.PutCandidate("staged", wrapperFor("a"), store.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	d := serve.NewDispatcher(st, serve.Options{})
+	ctx := context.Background()
+
+	if _, err := d.Extract(ctx, "nosuch", pagesN(1)); !errors.Is(err, serve.ErrUnknownSite) {
+		t.Fatalf("unknown site error = %v, want ErrUnknownSite", err)
+	}
+	if _, err := d.Extract(ctx, "staged", pagesN(1)); !errors.Is(err, serve.ErrNoActiveVersion) {
+		t.Fatalf("candidate-only site error = %v, want ErrNoActiveVersion", err)
+	}
+}
+
+// TestConcurrentSwapNeverTearsWrapper is the acceptance-criteria stress
+// test: many goroutines extract while another flips the serving version
+// with Promote/Rollback as fast as it can. Every single response must be
+// internally consistent — the reported version's record family, never a
+// mix — and the runs after the last flip must serve the final version.
+func TestConcurrentSwapNeverTearsWrapper(t *testing.T) {
+	st := twoVersionStore(t)
+	mon := drift.NewMonitor(drift.Policy{})
+	d := serve.NewDispatcher(st, serve.Options{Workers: 2, Monitor: mon})
+	ctx := context.Background()
+
+	const (
+		extractors = 8
+		requests   = 60
+		flips      = 120
+	)
+	var wg sync.WaitGroup
+	var torn atomic.Int64
+	errs := make(chan error, extractors)
+	for g := 0; g < extractors; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < requests; i++ {
+				np := 1 + (g+i)%3 // exercise both the single-page and pool paths
+				ext, err := d.Extract(ctx, "shop", pagesN(np))
+				if err != nil {
+					errs <- err
+					return
+				}
+				recs := ext.Records()
+				if len(recs) != np*3 {
+					errs <- fmt.Errorf("got %d records for %d pages", len(recs), np)
+					return
+				}
+				wantPrefix := "alpha-"
+				if ext.Version == 2 {
+					wantPrefix = "beta-"
+				}
+				for _, r := range recs {
+					if !strings.HasPrefix(r, wantPrefix) {
+						torn.Add(1)
+						errs <- fmt.Errorf("torn: version %d served record %q", ext.Version, r)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	swapDone := make(chan struct{})
+	go func() {
+		defer close(swapDone)
+		for i := 0; i < flips; i++ {
+			if i%2 == 0 {
+				if _, err := d.Promote("shop", 2); err != nil {
+					errs <- err
+					return
+				}
+			} else {
+				if _, err := d.Rollback("shop"); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-swapDone
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if n := torn.Load(); n > 0 {
+		t.Fatalf("%d torn extractions", n)
+	}
+	// flips is even, so the last operation was a Rollback to v1.
+	ext, err := d.Extract(ctx, "shop", pagesN(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Version != 1 || familyOf(t, ext) != "alpha" {
+		t.Fatalf("after final rollback: v%d, want v1/alpha", ext.Version)
+	}
+}
+
+// TestDispatcherMonitorObservesServedPages pins the drift wiring: pages
+// served through the dispatcher land in the monitor's window.
+func TestDispatcherMonitorObservesServedPages(t *testing.T) {
+	st := twoVersionStore(t)
+	mon := drift.NewMonitor(drift.Policy{})
+	d := serve.NewDispatcher(st, serve.Options{Monitor: mon})
+	if _, err := d.Extract(context.Background(), "shop", pagesN(5)); err != nil {
+		t.Fatal(err)
+	}
+	h, ok := mon.Site("shop")
+	if !ok {
+		t.Fatal("site not registered with the monitor")
+	}
+	if got := h.Stats().Pages; got != 5 {
+		t.Fatalf("monitor observed %d pages, want 5", got)
+	}
+}

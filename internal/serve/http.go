@@ -1,0 +1,526 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"autowrap/internal/drift"
+	"autowrap/internal/extract"
+	"autowrap/internal/store"
+)
+
+// ServerConfig wires a Server. Dispatcher is required; everything else has
+// a usable default or degrades gracefully when absent.
+type ServerConfig struct {
+	Dispatcher *Dispatcher
+	// Gate admission-controls POST /v1/extract; nil builds one with default
+	// GateOptions. Admin and health routes are never gated.
+	Gate *Gate
+	// RequestTimeout is the per-request extraction deadline (default 30s).
+	// A request's timeout_ms field may shorten it, never extend it.
+	RequestTimeout time.Duration
+	// MaxPages caps pages per extract request (default 256); MaxBodyBytes
+	// caps the request body (default 32 MiB).
+	MaxPages     int
+	MaxBodyBytes int64
+	// Repairer enables POST /v1/repair; nil returns 501 there (the daemon
+	// needs an annotator to re-learn, which not every deployment has).
+	Repairer *drift.Repairer
+	// StorePath, when set, persists the registry after every successful
+	// admin mutation (promote, rollback, repair).
+	StorePath string
+	// Log receives request-path warnings (default: log.Default()).
+	Log *log.Logger
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.Gate == nil {
+		c.Gate = NewGate(GateOptions{})
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxPages <= 0 {
+		c.MaxPages = 256
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.Log == nil {
+		c.Log = log.Default()
+	}
+	return c
+}
+
+// Server is the HTTP extraction service: the dispatcher's hot path behind
+// admission control, plus health, metrics and the wrapper-lifecycle admin
+// routes. Build one with NewServer, mount Handler on an http.Server, and
+// call SetDraining(true) before shutdown so load balancers stop sending.
+//
+//	POST /v1/extract   extract records from one page or a batch
+//	GET  /healthz      liveness + readiness (503 while draining)
+//	GET  /metrics      per-site QPS/latency/health + gate counters (JSON)
+//	GET  /v1/sites     serving state of every site
+//	POST /v1/promote   make a stored version the serving one (hot-swap)
+//	POST /v1/rollback  revert to the previously promoted version
+//	POST /v1/repair    drift-repair: re-learn from posted pages, validate,
+//	                   promote on a strict held-out win
+type Server struct {
+	cfg      ServerConfig
+	started  time.Time
+	draining atomic.Bool
+}
+
+// NewServer builds the HTTP layer over a dispatcher.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Dispatcher == nil {
+		return nil, fmt.Errorf("serve: ServerConfig.Dispatcher is required")
+	}
+	return &Server{cfg: cfg.withDefaults(), started: time.Now()}, nil
+}
+
+// Gate returns the server's admission gate.
+func (s *Server) Gate() *Gate { return s.cfg.Gate }
+
+// SetDraining flips readiness: while draining, /healthz answers 503 (so
+// traffic steers away) but in-flight and newly arriving extractions still
+// complete — the process owner decides when to stop accepting connections.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Handler returns the route mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/extract", s.handleExtract)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/sites", s.handleSites)
+	mux.HandleFunc("/v1/promote", s.handlePromote)
+	mux.HandleFunc("/v1/rollback", s.handleRollback)
+	mux.HandleFunc("/v1/repair", s.handleRepair)
+	return mux
+}
+
+// --- wire types ---
+
+// PageInput is one page of an extract request.
+type PageInput struct {
+	ID   string `json:"id,omitempty"`
+	HTML string `json:"html"`
+}
+
+// ExtractRequest is the POST /v1/extract body. Exactly one of Page and
+// Pages must be set; Page is the single-page fast path.
+type ExtractRequest struct {
+	Site  string      `json:"site"`
+	Page  *PageInput  `json:"page,omitempty"`
+	Pages []PageInput `json:"pages,omitempty"`
+	// TimeoutMS shortens the server's per-request deadline.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// PageOutput is one page's extraction outcome on the wire.
+type PageOutput struct {
+	ID      string   `json:"id,omitempty"`
+	Records []string `json:"records"`
+	Error   string   `json:"error,omitempty"`
+	// ElapsedUS is the page's extraction latency in microseconds.
+	ElapsedUS int64 `json:"elapsed_us"`
+}
+
+// ExtractResponse is the POST /v1/extract reply.
+type ExtractResponse struct {
+	Site    string       `json:"site"`
+	Version int          `json:"version"`
+	Results []PageOutput `json:"results"`
+	// Error carries a request-level failure (e.g. deadline mid-batch) when
+	// partial results are still returned.
+	Error string `json:"error,omitempty"`
+}
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// readJSON decodes a bounded JSON body, rejecting trailing garbage.
+func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"body exceeds %d bytes", tooBig.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return false
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, "trailing data after JSON body")
+		return false
+	}
+	return true
+}
+
+func requirePost(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return false
+	}
+	return true
+}
+
+// siteStatusCode maps dispatcher site-level errors to HTTP statuses.
+func siteStatusCode(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownSite):
+		return http.StatusNotFound
+	case errors.Is(err, ErrNoActiveVersion):
+		return http.StatusConflict
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request (nginx convention)
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// --- hot path ---
+
+func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req ExtractRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if req.Site == "" {
+		writeError(w, http.StatusBadRequest, "site is required")
+		return
+	}
+	pages := req.Pages
+	if req.Page != nil {
+		if len(pages) > 0 {
+			writeError(w, http.StatusBadRequest, "set page or pages, not both")
+			return
+		}
+		pages = []PageInput{*req.Page}
+	}
+	if len(pages) == 0 {
+		writeError(w, http.StatusBadRequest, "no pages")
+		return
+	}
+	if len(pages) > s.cfg.MaxPages {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"%d pages exceeds the per-request cap of %d", len(pages), s.cfg.MaxPages)
+		return
+	}
+
+	// The per-request deadline starts before admission: a request queued
+	// behind busy slots never waits longer for admission than it would for
+	// the work itself.
+	timeout := s.cfg.RequestTimeout
+	if req.TimeoutMS > 0 {
+		if t := time.Duration(req.TimeoutMS) * time.Millisecond; t < timeout {
+			timeout = t
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// Admission: reject with backpressure before any extraction work.
+	release, err := s.cfg.Gate.Acquire(ctx)
+	if err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			w.Header().Set("Retry-After",
+				strconv.Itoa(int(s.cfg.Gate.RetryAfter()/time.Second)))
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+			return
+		}
+		writeError(w, siteStatusCode(err), "while queued: %v", err)
+		return
+	}
+	defer release()
+
+	in := make([]extract.Page, len(pages))
+	for i, p := range pages {
+		id := p.ID
+		if id == "" {
+			id = fmt.Sprintf("page-%d", i)
+		}
+		in[i] = extract.Page{ID: id, HTML: p.HTML}
+	}
+	ext, err := s.cfg.Dispatcher.Extract(ctx, req.Site, in)
+	if ext == nil {
+		writeError(w, siteStatusCode(err), "%v", err)
+		return
+	}
+	resp := ExtractResponse{Site: ext.Site, Version: ext.Version,
+		Results: make([]PageOutput, len(ext.Results))}
+	for i := range ext.Results {
+		res := &ext.Results[i]
+		out := PageOutput{ID: res.ID, Records: res.Texts,
+			ElapsedUS: res.Elapsed.Microseconds()}
+		if out.Records == nil {
+			out.Records = []string{}
+		}
+		if res.Err != nil {
+			out.Error = res.Err.Error()
+		}
+		resp.Results[i] = out
+	}
+	code := http.StatusOK
+	if err != nil {
+		// Partial batch (deadline/cancel mid-run): return what completed,
+		// flagged at both levels.
+		resp.Error = err.Error()
+		code = siteStatusCode(err)
+	}
+	writeJSON(w, code, resp)
+}
+
+// --- health + metrics ---
+
+// HealthzResponse is the GET /healthz body.
+type HealthzResponse struct {
+	Status string `json:"status"` // "ok" | "draining"
+	Sites  int    `json:"sites"`
+	// UptimeSec is the server's age.
+	UptimeSec int64 `json:"uptime_sec"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := HealthzResponse{
+		Status:    "ok",
+		Sites:     s.cfg.Dispatcher.Store().Len(),
+		UptimeSec: int64(time.Since(s.started).Seconds()),
+	}
+	code := http.StatusOK
+	if s.draining.Load() {
+		resp.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
+}
+
+// MetricsResponse is the GET /metrics body.
+type MetricsResponse struct {
+	UptimeSec int64        `json:"uptime_sec"`
+	Gate      GateSnapshot `json:"gate"`
+	Sites     []SiteStatus `json:"sites"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, MetricsResponse{
+		UptimeSec: int64(time.Since(s.started).Seconds()),
+		Gate:      s.cfg.Gate.Snapshot(),
+		Sites:     s.cfg.Dispatcher.Status(),
+	})
+}
+
+func (s *Server) handleSites(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.cfg.Dispatcher.Status())
+}
+
+// --- admin ---
+
+// AdminRequest is the promote/rollback body.
+type AdminRequest struct {
+	Site    string `json:"site"`
+	Version int    `json:"version,omitempty"` // promote only
+}
+
+// AdminResponse reports the entry now serving after an admin mutation.
+type AdminResponse struct {
+	Site           string `json:"site"`
+	ServingVersion int    `json:"serving_version"`
+	Lang           string `json:"lang"`
+	Rule           string `json:"rule"`
+}
+
+func (s *Server) persist() error {
+	if s.cfg.StorePath == "" {
+		return nil
+	}
+	return s.cfg.Dispatcher.Store().Save(s.cfg.StorePath)
+}
+
+func (s *Server) finishAdmin(w http.ResponseWriter, entry store.Entry, err error) {
+	if err != nil {
+		code := http.StatusConflict
+		if errors.Is(err, ErrUnknownSite) {
+			code = http.StatusNotFound
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	if err := s.persist(); err != nil {
+		s.cfg.Log.Printf("serve: persisting store after admin mutation: %v", err)
+		writeError(w, http.StatusInternalServerError, "mutation applied but not persisted: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, AdminResponse{
+		Site: entry.Site, ServingVersion: entry.Version,
+		Lang: entry.Lang, Rule: entry.Rule,
+	})
+}
+
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req AdminRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if req.Site == "" || req.Version < 1 {
+		writeError(w, http.StatusBadRequest, "site and version >= 1 are required")
+		return
+	}
+	entry, err := s.cfg.Dispatcher.Promote(req.Site, req.Version)
+	s.finishAdmin(w, entry, err)
+}
+
+func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req AdminRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if req.Site == "" {
+		writeError(w, http.StatusBadRequest, "site is required")
+		return
+	}
+	entry, err := s.cfg.Dispatcher.Rollback(req.Site)
+	s.finishAdmin(w, entry, err)
+}
+
+// RepairRequest is the POST /v1/repair body: the freshest pages of the
+// drifted site, raw HTML.
+type RepairRequest struct {
+	Site  string   `json:"site"`
+	Pages []string `json:"pages"`
+	// TimeoutMS shortens the server's repair deadline (10x the extract
+	// request timeout — learning is orders of magnitude heavier). Like the
+	// extract path it may shorten the deadline, never extend it.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// RepairResponse reports a repair attempt.
+type RepairResponse struct {
+	Site string `json:"site"`
+	// Promoted says whether serving flipped to the re-learned candidate.
+	Promoted         bool `json:"promoted"`
+	CandidateVersion int  `json:"candidate_version"`
+	ServingVersion   int  `json:"serving_version"`
+	// Candidate/Incumbent summarize the held-out validation.
+	CandidatePages     int    `json:"candidate_nonempty_pages"`
+	IncumbentPages     int    `json:"incumbent_nonempty_pages"`
+	CandidateRecords   int    `json:"candidate_records"`
+	IncumbentRecords   int    `json:"incumbent_records"`
+	LearnElapsedMS     int64  `json:"learn_elapsed_ms"`
+	ValidationVerdict  string `json:"verdict"`
+	TrainPagesUsed     int    `json:"train_pages"`
+	HoldoutPagesUsed   int    `json:"holdout_pages"`
+	MonitorReset       bool   `json:"monitor_reset"`
+	PreviousServingVer int    `json:"previous_serving_version,omitempty"`
+}
+
+func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	if s.cfg.Repairer == nil {
+		writeError(w, http.StatusNotImplemented,
+			"repair is not configured on this server (no annotator)")
+		return
+	}
+	var req RepairRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if req.Site == "" || len(req.Pages) < 2 {
+		writeError(w, http.StatusBadRequest, "site and at least 2 pages are required")
+		return
+	}
+	timeout := 10 * s.cfg.RequestTimeout
+	if req.TimeoutMS > 0 {
+		if t := time.Duration(req.TimeoutMS) * time.Millisecond; t < timeout {
+			timeout = t
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	prev := 0
+	if e, ok := s.cfg.Dispatcher.Store().Active(req.Site); ok {
+		prev = e.Version
+	}
+	report, err := s.cfg.Repairer.Repair(ctx, req.Site, req.Pages)
+	if err != nil {
+		// Deadline/cancellation is the caller's retry-with-more-time signal
+		// (504/499); everything else means these pages can't repair the site
+		// (422) — don't tell automation to stop retrying a timeout.
+		code := http.StatusUnprocessableEntity
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			code = siteStatusCode(err)
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	// Hot-swap so the promoted wrapper serves the very next request.
+	serving, err := s.cfg.Dispatcher.Refresh(req.Site)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "repair stored but refresh failed: %v", err)
+		return
+	}
+	if err := s.persist(); err != nil {
+		s.cfg.Log.Printf("serve: persisting store after repair: %v", err)
+		writeError(w, http.StatusInternalServerError, "repair applied but not persisted: %v", err)
+		return
+	}
+	verdict := "rejected: incumbent keeps serving"
+	if report.Promoted {
+		verdict = "promoted"
+	}
+	writeJSON(w, http.StatusOK, RepairResponse{
+		Site:               req.Site,
+		Promoted:           report.Promoted,
+		CandidateVersion:   report.Candidate.Version,
+		ServingVersion:     serving.Version,
+		CandidatePages:     report.CandidateEval.NonEmpty,
+		IncumbentPages:     report.IncumbentEval.NonEmpty,
+		CandidateRecords:   report.CandidateEval.Records,
+		IncumbentRecords:   report.IncumbentEval.Records,
+		LearnElapsedMS:     report.LearnElapsed.Milliseconds(),
+		ValidationVerdict:  verdict,
+		TrainPagesUsed:     report.TrainPages,
+		HoldoutPagesUsed:   report.HoldoutPages,
+		MonitorReset:       report.Promoted && s.cfg.Dispatcher.Monitor() != nil,
+		PreviousServingVer: prev,
+	})
+}

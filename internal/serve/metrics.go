@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the latency histogram's bucket count: bucket i holds
+// requests with latency in [2^(i-1), 2^i) microseconds, bucket 0 holds
+// sub-microsecond requests and the last bucket is open-ended (~2.3 min and
+// up is all the same kind of broken).
+const histBuckets = 38
+
+// latencyHist is a lock-free power-of-two latency histogram. Recording is
+// one atomic add; quantiles are estimated from the bucket boundaries
+// (geometric midpoint), which is plenty for a /metrics endpoint — the error
+// is bounded by the bucket width, ~±41% of the value, and the shape
+// (p50 vs p99 separation) survives exactly.
+type latencyHist struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // microseconds
+	max     atomic.Int64 // microseconds
+}
+
+func bucketOf(d time.Duration) int {
+	us := uint64(d.Microseconds())
+	b := bits.Len64(us) // 0 for 0µs, 1 for 1µs, ...
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// Record adds one request latency.
+func (h *latencyHist) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	us := d.Microseconds()
+	h.buckets[bucketOf(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(us)
+	for {
+		old := h.max.Load()
+		if us <= old || h.max.CompareAndSwap(old, us) {
+			return
+		}
+	}
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) in microseconds.
+func (h *latencyHist) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			if i == 0 {
+				return 0.5
+			}
+			lo := float64(int64(1) << (i - 1))
+			return lo * 1.5 // midpoint of [2^(i-1), 2^i)
+		}
+	}
+	return float64(h.max.Load())
+}
+
+// rateSlots sizes the QPS ring; rateWindow is the trailing averaging
+// window. Slots beyond the window absorb clock-skewed stragglers instead
+// of corrupting the live window.
+const (
+	rateSlots  = 16
+	rateWindow = 10 // seconds
+)
+
+// rateRing measures a trailing requests-per-second rate with one slot per
+// wall-clock second. Ticks are two atomic ops; a tick racing a second
+// boundary can miscount by a request or two, which monitoring tolerates.
+type rateRing struct {
+	sec [rateSlots]atomic.Int64
+	n   [rateSlots]atomic.Int64
+}
+
+// Tick records n events at time now.
+func (r *rateRing) Tick(now time.Time, n int64) {
+	sec := now.Unix()
+	i := int(sec % rateSlots)
+	if old := r.sec[i].Load(); old != sec && r.sec[i].CompareAndSwap(old, sec) {
+		r.n[i].Store(0)
+	}
+	r.n[i].Add(n)
+}
+
+// Rate returns the mean events/sec over the trailing rateWindow complete
+// seconds (the current, partial second is excluded so the rate doesn't dip
+// at every second boundary).
+func (r *rateRing) Rate(now time.Time) float64 {
+	nowSec := now.Unix()
+	var total int64
+	for i := 0; i < rateSlots; i++ {
+		sec := r.sec[i].Load()
+		if sec >= nowSec-rateWindow && sec < nowSec {
+			total += r.n[i].Load()
+		}
+	}
+	return float64(total) / rateWindow
+}
+
+// SiteMetrics is one site's serving-side request ledger: request and page
+// counts, extraction throughput, admission-independent error count, a
+// latency histogram and a trailing QPS ring. All paths are atomic; the
+// ledger sits on the request hot path.
+type SiteMetrics struct {
+	requests  atomic.Int64
+	pages     atomic.Int64
+	pageFails atomic.Int64
+	records   atomic.Int64
+	errors    atomic.Int64 // site-level request errors (unknown site, ...)
+	latency   latencyHist
+	qps       rateRing
+}
+
+// observe records one completed extraction request.
+func (m *SiteMetrics) observe(e *Extraction) {
+	m.requests.Add(1)
+	m.qps.Tick(time.Now(), 1)
+	m.latency.Record(e.Elapsed)
+	m.pages.Add(int64(len(e.Results)))
+	for i := range e.Results {
+		if e.Results[i].Err != nil {
+			m.pageFails.Add(1)
+		} else {
+			m.records.Add(int64(len(e.Results[i].Texts)))
+		}
+	}
+}
+
+// MetricsSnapshot is a point-in-time view of one site's ledger.
+type MetricsSnapshot struct {
+	Requests  int64 `json:"requests"`
+	Pages     int64 `json:"pages"`
+	PageFails int64 `json:"page_failures"`
+	Records   int64 `json:"records"`
+	Errors    int64 `json:"request_errors"`
+	// QPS is the trailing-10s request rate.
+	QPS float64 `json:"qps"`
+	// Latency quantiles are estimated from a power-of-two histogram, in
+	// milliseconds.
+	LatencyP50Ms  float64 `json:"latency_p50_ms"`
+	LatencyP90Ms  float64 `json:"latency_p90_ms"`
+	LatencyP99Ms  float64 `json:"latency_p99_ms"`
+	LatencyMaxMs  float64 `json:"latency_max_ms"`
+	LatencyMeanMs float64 `json:"latency_mean_ms"`
+}
+
+// Snapshot reads the ledger.
+func (m *SiteMetrics) Snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		Requests:     m.requests.Load(),
+		Pages:        m.pages.Load(),
+		PageFails:    m.pageFails.Load(),
+		Records:      m.records.Load(),
+		Errors:       m.errors.Load(),
+		QPS:          m.qps.Rate(time.Now()),
+		LatencyP50Ms: m.latency.Quantile(0.50) / 1000,
+		LatencyP90Ms: m.latency.Quantile(0.90) / 1000,
+		LatencyP99Ms: m.latency.Quantile(0.99) / 1000,
+		LatencyMaxMs: float64(m.latency.max.Load()) / 1000,
+	}
+	if s.Requests > 0 {
+		s.LatencyMeanMs = float64(m.latency.sum.Load()) / float64(s.Requests) / 1000
+	}
+	return s
+}

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyHistQuantiles(t *testing.T) {
+	var h latencyHist
+	// 90 fast requests (~100µs), 10 slow (~50ms): p50 must land in the fast
+	// band, p99 in the slow band, despite the coarse buckets.
+	for i := 0; i < 90; i++ {
+		h.Record(100 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(50 * time.Millisecond)
+	}
+	p50, p99 := h.Quantile(0.50), h.Quantile(0.99)
+	if p50 < 32 || p50 > 256 { // µs; bucket around 100µs is [64,128)
+		t.Fatalf("p50 = %vµs, want ~100µs", p50)
+	}
+	if p99 < 16_000 || p99 > 131_072 { // bucket around 50ms is [32.8ms, 65.5ms)
+		t.Fatalf("p99 = %vµs, want ~50_000µs", p99)
+	}
+	if max := h.max.Load(); max != 50_000 {
+		t.Fatalf("max = %dµs, want 50000", max)
+	}
+}
+
+func TestLatencyHistEmptyAndExtremes(t *testing.T) {
+	var h latencyHist
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty hist p50 = %v", got)
+	}
+	h.Record(0)
+	h.Record(-time.Second)   // clamped
+	h.Record(10 * time.Hour) // open-ended top bucket
+	if h.count.Load() != 3 {
+		t.Fatalf("count = %d", h.count.Load())
+	}
+	if top := h.Quantile(1.0); top <= 0 {
+		t.Fatalf("p100 = %v, want positive", top)
+	}
+}
+
+func TestRateRingTrailingWindow(t *testing.T) {
+	var r rateRing
+	base := time.Unix(1_700_000_100, 0)
+	// 20 events/sec over the 10 seconds preceding "now".
+	for s := 1; s <= rateWindow; s++ {
+		r.Tick(base.Add(-time.Duration(s)*time.Second), 20)
+	}
+	if got := r.Rate(base); got != 20 {
+		t.Fatalf("rate = %v, want 20", got)
+	}
+	// Events in the current partial second don't count yet.
+	r.Tick(base, 1000)
+	if got := r.Rate(base); got != 20 {
+		t.Fatalf("rate with partial second = %v, want 20", got)
+	}
+	// Stale slots age out of the window.
+	later := base.Add(rateWindow * 2 * time.Second)
+	if got := r.Rate(later); got != 0 {
+		t.Fatalf("rate after window passed = %v, want 0", got)
+	}
+}

@@ -1,0 +1,124 @@
+package store_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"autowrap/internal/lr"
+	"autowrap/internal/store"
+	"autowrap/internal/wrapper"
+)
+
+func testPortable() wrapper.Portable {
+	return &lr.Compiled{Left: `<td class="v">`, Right: `</td>`}
+}
+
+// TestEpochSemantics pins the change-notification contract the serving
+// dispatcher relies on: every successful mutation of a site bumps its epoch
+// by exactly one, other sites' epochs never move, and failed mutations
+// leave everything untouched.
+func TestEpochSemantics(t *testing.T) {
+	s := store.New()
+	if got := s.Epoch("shop"); got != 0 {
+		t.Fatalf("unknown site epoch = %d, want 0", got)
+	}
+	if got := s.Generation(); got != 0 {
+		t.Fatalf("fresh store generation = %d, want 0", got)
+	}
+
+	// Put bumps the written site only.
+	if _, err := s.Put("shop", testPortable(), store.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Epoch("shop"); got != 1 {
+		t.Fatalf("after Put: epoch = %d, want 1", got)
+	}
+	if got := s.Epoch("other"); got != 0 {
+		t.Fatalf("after Put(shop): epoch(other) = %d, want 0", got)
+	}
+
+	// PutCandidate is a mutation too (the dispatcher may not care, but a
+	// repair dashboard does).
+	if _, err := s.PutCandidate("shop", testPortable(), store.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Epoch("shop"); got != 2 {
+		t.Fatalf("after PutCandidate: epoch = %d, want 2", got)
+	}
+
+	// Promote bumps; promoting the candidate (v2) then rolling back.
+	if _, err := s.Promote("shop", 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Epoch("shop"); got != 3 {
+		t.Fatalf("after Promote: epoch = %d, want 3", got)
+	}
+	if _, err := s.Rollback("shop"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Epoch("shop"); got != 4 {
+		t.Fatalf("after Rollback: epoch = %d, want 4", got)
+	}
+
+	// Promoting the already-active version is a recorded serving decision:
+	// it still bumps, so subscribers re-check and find nothing changed.
+	if _, err := s.Promote("shop", 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Epoch("shop"); got != 5 {
+		t.Fatalf("after re-Promote of active: epoch = %d, want 5", got)
+	}
+
+	// Failed mutations never bump.
+	if _, err := s.Promote("shop", 99); err == nil {
+		t.Fatal("Promote of missing version succeeded")
+	}
+	if _, err := s.Put("", testPortable(), store.Meta{}); err == nil {
+		t.Fatal("Put with empty site succeeded")
+	}
+	if _, err := s.Rollback("nosuch"); err == nil {
+		t.Fatal("Rollback of unknown site succeeded")
+	}
+	if got := s.Epoch("shop"); got != 5 {
+		t.Fatalf("after failed mutations: epoch = %d, want 5", got)
+	}
+
+	// Generation totals the bumps across sites.
+	if _, err := s.Put("other", testPortable(), store.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Generation(); got != 6 {
+		t.Fatalf("generation = %d, want 6", got)
+	}
+	if got := s.Epoch("other"); got != 1 {
+		t.Fatalf("epoch(other) = %d, want 1", got)
+	}
+}
+
+// TestEpochNotPersisted pins that epochs are process-local: a reloaded
+// registry starts over at 0 — consumers rebuild their caches from scratch
+// after a Load, so carrying old counters across would only invite stale
+// comparisons.
+func TestEpochNotPersisted(t *testing.T) {
+	s := store.New()
+	if _, err := s.Put("shop", testPortable(), store.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Promote("shop", 1); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "w.json")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	re, err := store.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := re.Epoch("shop"); got != 0 {
+		t.Fatalf("epoch after reload = %d, want 0", got)
+	}
+	if got := re.Generation(); got != 0 {
+		t.Fatalf("generation after reload = %d, want 0", got)
+	}
+}

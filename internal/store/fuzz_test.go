@@ -1,0 +1,63 @@
+package store_test
+
+import (
+	"testing"
+
+	"autowrap/internal/store"
+)
+
+// FuzzUnmarshalWrapper fuzzes the wrapper wire format: arbitrary input must
+// either decode into a wrapper whose re-marshaled form round-trips
+// byte-stably, or fail with an error — it must never panic. The seeds cover
+// the two wrapper languages, the envelope's edge cases (wrong format
+// version, missing LR payload, unknown language), and raw junk.
+func FuzzUnmarshalWrapper(f *testing.F) {
+	seeds := []string{
+		// Valid envelopes.
+		`{"format":1,"lang":"xpath","rule":"//td[@class=\"v\"]"}`,
+		`{"format":1,"lang":"lr","lr":{"left":"<td class=\"v\">","right":"</td>"}}`,
+		`{"format":1,"lang":"lr","rule":"LR(a,b)","lr":{"left":"a","right":"b"}}`,
+		// Malformed envelopes that must error, not panic.
+		`{"format":2,"lang":"xpath","rule":"//td"}`,
+		`{"format":1,"lang":"lr"}`,
+		`{"format":1,"lang":"csspath","rule":"td.v"}`,
+		`{"format":1,"lang":"xpath","rule":""}`,
+		`{"format":1,"lang":"xpath","rule":"//td[@class="}`,
+		`{"format":1,"lang":"xpath","rule":"//td[9999999999999999999]"}`,
+		`{}`,
+		`null`,
+		`[]`,
+		`{"format":1`,
+		"\x00\xff\xfe",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := store.UnmarshalWrapper(data)
+		if err != nil {
+			return // rejected input: fine, as long as it did not panic
+		}
+		// Decoded wrappers must survive the canonical round trip.
+		wire, err := store.MarshalWrapper(p)
+		if err != nil {
+			t.Fatalf("decoded wrapper does not marshal: %v\ninput: %q", err, data)
+		}
+		p2, err := store.UnmarshalWrapper(wire)
+		if err != nil {
+			t.Fatalf("canonical form does not decode: %v\nwire: %s", err, wire)
+		}
+		if p.Lang() != p2.Lang() || p.Rule() != p2.Rule() {
+			t.Fatalf("round trip drifted: %s %q -> %s %q",
+				p.Lang(), p.Rule(), p2.Lang(), p2.Rule())
+		}
+		wire2, err := store.MarshalWrapper(p2)
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		if string(wire) != string(wire2) {
+			t.Fatalf("wire form not stable: %s vs %s", wire, wire2)
+		}
+	})
+}

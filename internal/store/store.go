@@ -84,6 +84,8 @@ type Store struct {
 	mu        sync.RWMutex
 	sites     map[string][]Entry // ascending Version order
 	promotion map[string][]int   // per-site promotion log; last = active
+	epoch     map[string]uint64  // per-site change counter; see Epoch
+	gen       uint64             // global change counter; see Generation
 }
 
 // New returns an empty registry.
@@ -91,7 +93,42 @@ func New() *Store {
 	return &Store{
 		sites:     make(map[string][]Entry),
 		promotion: make(map[string][]int),
+		epoch:     make(map[string]uint64),
 	}
+}
+
+// Epoch is the site's change counter: 0 until the site is first written,
+// then incremented by exactly one on every successful mutation touching the
+// site — Put, PutCandidate, Promote and Rollback. A Promote of the
+// already-active version is a recorded no-op and still bumps the epoch (the
+// caller asked for a serving decision; subscribers get to notice it), while
+// failed mutations never do. A serving layer that cached a compiled runtime
+// at epoch e needs to re-read the registry exactly when Epoch(site) != e —
+// this is the in-memory change-notification hook that lets a dispatcher
+// hot-swap on Promote/Rollback without watching the JSON file.
+//
+// Epochs are process-local: they are not persisted by Save, and a freshly
+// Loaded registry starts every site at 0 again (its consumers rebuild from
+// scratch anyway).
+func (s *Store) Epoch(site string) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch[site]
+}
+
+// Generation is the registry-wide change counter: the sum of all epoch
+// bumps. A poller watching many sites checks Generation first and only
+// walks per-site epochs when it moved.
+func (s *Store) Generation() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gen
+}
+
+// bump records a mutation of the site. Called with mu held for writing.
+func (s *Store) bump(site string) {
+	s.epoch[site]++
+	s.gen++
 }
 
 // Meta carries optional provenance recorded with a stored wrapper.
@@ -145,6 +182,7 @@ func (s *Store) put(site string, p wrapper.Portable, meta Meta, promote bool) (E
 	if promote {
 		s.promotion[site] = append(s.promotion[site], e.Version)
 	}
+	s.bump(site)
 	return e, nil
 }
 
@@ -178,6 +216,7 @@ func (s *Store) Promote(site string, version int) (Entry, error) {
 	if len(log) == 0 || log[len(log)-1] != version {
 		s.promotion[site] = append(log, version)
 	}
+	s.bump(site)
 	return vs[version-1], nil
 }
 
@@ -193,6 +232,7 @@ func (s *Store) Rollback(site string) (Entry, error) {
 			site, log)
 	}
 	s.promotion[site] = log[:len(log)-1]
+	s.bump(site)
 	return s.sites[site][log[len(log)-2]-1], nil
 }
 

@@ -2,8 +2,9 @@
 # Run the benchmark suite and record results in benchmarks/latest.txt.
 #
 #   BENCH_PATTERN  regexp of benchmarks to run (default: the
-#                  regression-tracked set — engine batch learning plus the
-#                  extraction runtime; use '.' for the full paper suite)
+#                  regression-tracked set — engine batch learning, the
+#                  extraction runtime and the serving daemon; use '.' for
+#                  the full paper suite)
 #   BENCH_TIME     -benchtime per benchmark (default: 1s)
 #   BENCH_COUNT    -count repetitions (default: 1; use >= 3 before
 #                  promoting a baseline)
@@ -14,7 +15,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PATTERN="${BENCH_PATTERN:-EngineBatch|Extract|HealthObserve}"
+PATTERN="${BENCH_PATTERN:-EngineBatch|Extract|HealthObserve|ServeExtract}"
 TIME="${BENCH_TIME:-1s}"
 COUNT="${BENCH_COUNT:-1}"
 

@@ -1,0 +1,207 @@
+// End-to-end acceptance test for the HTTP extraction service (ISSUE 4):
+// learn a batch with the engine, store it, boot the server on a random
+// port, extract over HTTP from held-out pages, serve a template-drifted
+// twin until the monitor trips, repair it via POST /v1/repair, and verify
+// the very same server instance serves the promoted wrapper — no restart,
+// no cache invalidation, the hot-swap is the whole mechanism.
+package autowrap_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"autowrap"
+	"autowrap/internal/serve"
+)
+
+// postJSON posts v and decodes the response into out, returning the status.
+func postJSON(t *testing.T, url string, v, out any) int {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHTTPServiceEndToEnd(t *testing.T) {
+	clean, mutated, annot := maintPair(t)
+	ctx := context.Background()
+
+	// Learn with the engine on the training half of the clean site.
+	var cleanHTML []string
+	for _, p := range clean.Corpus.Pages {
+		cleanHTML = append(cleanHTML, p.HTML)
+	}
+	split := len(cleanHTML) / 2
+	train := autowrap.ParsePages(cleanHTML[:split])
+	newInductor := func(c *autowrap.Corpus) (autowrap.Inductor, error) {
+		return autowrap.NewXPathInductor(c), nil
+	}
+	config := autowrap.NewLearnConfig(autowrap.GenericModels(train), autowrap.Options{})
+	batch, err := autowrap.LearnBatch(ctx, []autowrap.BatchSite{{
+		Name:        clean.Name,
+		Corpus:      train,
+		Annotator:   annot,
+		NewInductor: newInductor,
+		Config:      config,
+	}}, autowrap.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := autowrap.NewWrapperStore()
+	if n, err := autowrap.StoreBatch(st, batch); n != 1 || err != nil {
+		t.Fatalf("StoreBatch: n=%d err=%v", n, err)
+	}
+
+	// Boot the whole serving stack on a random port, through the facade.
+	monitor := autowrap.NewMonitor(autowrap.HealthPolicy{Window: 8, MinPages: 4})
+	dispatcher := autowrap.NewDispatcher(st, autowrap.DispatcherOptions{Monitor: monitor})
+	repairer := &autowrap.Repairer{
+		Store: st,
+		Spec: func(site string, c *autowrap.Corpus) (autowrap.BatchSite, error) {
+			return autowrap.BatchSite{Annotator: annot, NewInductor: newInductor,
+				Config: autowrap.NewLearnConfig(autowrap.GenericModels(c), autowrap.Options{})}, nil
+		},
+		Monitor: monitor,
+	}
+	srv, err := autowrap.NewServer(autowrap.ServerConfig{
+		Dispatcher: dispatcher,
+		Repairer:   repairer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	// Held-out pages of the clean site extract over HTTP exactly what the
+	// stored wrapper extracts natively.
+	v1, _ := st.Active(clean.Name)
+	native, err := v1.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := serve.ExtractRequest{Site: clean.Name}
+	var want []string
+	for i := split; i < len(cleanHTML); i++ {
+		req.Pages = append(req.Pages, serve.PageInput{
+			ID: fmt.Sprintf("held-%02d", i), HTML: cleanHTML[i]})
+		for _, n := range native.ApplyPage(autowrap.ParsePage(cleanHTML[i])) {
+			want = append(want, strings.TrimSpace(n.Data))
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("degenerate test: v1 extracts nothing from held-out pages")
+	}
+	var out serve.ExtractResponse
+	if code := postJSON(t, hs.URL+"/v1/extract", req, &out); code != http.StatusOK {
+		t.Fatalf("held-out extract: status %d", code)
+	}
+	if out.Version != 1 {
+		t.Fatalf("held-out extract served v%d, want v1", out.Version)
+	}
+	var got []string
+	for _, r := range out.Results {
+		if r.Error != "" {
+			t.Fatalf("held-out page %s failed: %s", r.ID, r.Error)
+		}
+		got = append(got, r.Records...)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("HTTP extraction %d records != native %d", len(got), len(want))
+	}
+
+	// Serve the template-drifted twin through the same endpoint: the
+	// records collapse and the drift monitor trips.
+	var driftReq serve.ExtractRequest
+	var driftHTML []string
+	driftReq.Site = clean.Name
+	for i, p := range mutated.Corpus.Pages {
+		driftReq.Pages = append(driftReq.Pages, serve.PageInput{
+			ID: fmt.Sprintf("drift-%02d", i), HTML: p.HTML})
+		driftHTML = append(driftHTML, p.HTML)
+	}
+	if code := postJSON(t, hs.URL+"/v1/extract", driftReq, nil); code != http.StatusOK {
+		t.Fatalf("drifted extract: status %d", code)
+	}
+	health, ok := monitor.Site(clean.Name)
+	if !ok || !health.Tripped() {
+		t.Fatalf("drifted traffic did not trip the monitor: %v", monitor.Snapshot())
+	}
+
+	// /metrics reports the trip.
+	mresp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics serve.MetricsResponse
+	if err := json.NewDecoder(mresp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if len(metrics.Sites) != 1 || metrics.Sites[0].Drift == nil || !metrics.Sites[0].Drift.Tripped {
+		t.Fatalf("/metrics does not report the trip: %+v", metrics.Sites)
+	}
+
+	// Repair over HTTP: re-learn from the drifted pages, validated
+	// promotion, hot-swap — all in one request.
+	var rout serve.RepairResponse
+	if code := postJSON(t, hs.URL+"/v1/repair",
+		serve.RepairRequest{Site: clean.Name, Pages: driftHTML}, &rout); code != http.StatusOK {
+		t.Fatalf("repair: status %d (%+v)", code, rout)
+	}
+	if !rout.Promoted || rout.ServingVersion != 2 {
+		t.Fatalf("repair = %+v, want promoted v2", rout)
+	}
+
+	// The same server instance now serves the promoted wrapper: the
+	// drifted pages extract the full gold record set, no restart involved.
+	if code := postJSON(t, hs.URL+"/v1/extract", driftReq, &out); code != http.StatusOK {
+		t.Fatalf("post-repair extract: status %d", code)
+	}
+	if out.Version != 2 {
+		t.Fatalf("post-repair extract served v%d, want v2", out.Version)
+	}
+	got = nil
+	for _, r := range out.Results {
+		got = append(got, r.Records...)
+	}
+	want = nil
+	mutated.Gold["name"].ForEach(func(ord int) {
+		want = append(want, strings.TrimSpace(mutated.Corpus.TextContent(ord)))
+	})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-repair extraction: %d records, want %d gold", len(got), len(want))
+	}
+
+	// Rollback over HTTP flips serving straight back to v1.
+	var admin serve.AdminResponse
+	if code := postJSON(t, hs.URL+"/v1/rollback",
+		serve.AdminRequest{Site: clean.Name}, &admin); code != http.StatusOK {
+		t.Fatalf("rollback: status %d", code)
+	}
+	if admin.ServingVersion != 1 {
+		t.Fatalf("rollback serving version = %d, want 1", admin.ServingVersion)
+	}
+	if code := postJSON(t, hs.URL+"/v1/extract", req, &out); code != http.StatusOK || out.Version != 1 {
+		t.Fatalf("after rollback: status %d version %d, want 200/v1", code, out.Version)
+	}
+}
