@@ -53,6 +53,7 @@ import (
 	"autowrap/internal/enum"
 	"autowrap/internal/extract"
 	"autowrap/internal/htmlparse"
+	"autowrap/internal/jobs"
 	"autowrap/internal/lr"
 	"autowrap/internal/rank"
 	"autowrap/internal/segment"
@@ -199,6 +200,26 @@ type (
 	AdmissionGate = serve.Gate
 	// AdmissionOptions sizes an AdmissionGate.
 	AdmissionOptions = serve.GateOptions
+
+	// JobManager is the asynchronous maintenance plane: a bounded queue of
+	// learn/repair jobs drained by a worker pool isolated from the extract
+	// hot path. Build one with NewJobManager; a Server with a Repairer
+	// creates a default one.
+	JobManager = jobs.Manager
+	// JobOptions sizes a JobManager (workers, queue depth, history).
+	JobOptions = jobs.Options
+	// JobSnapshot is one job's point-in-time public state
+	// (queued/running/done/failed/canceled, timings, result).
+	JobSnapshot = jobs.Snapshot
+	// JobMetrics is the maintenance plane's counters for /metrics.
+	JobMetrics = jobs.Metrics
+	// Maintainer is the autonomous repair loop: drift trips auto-enqueue
+	// rate-limited repair jobs re-learning from recently served pages.
+	// Build one with NewMaintainer.
+	Maintainer = serve.Maintainer
+	// MaintainerOptions tunes the loop (scan interval, per-site rate
+	// limit, minimum cached pages).
+	MaintainerOptions = serve.MaintainerOptions
 )
 
 // Ranking variants (the paper's Sec. 7.3 ablations).
@@ -216,6 +237,12 @@ const (
 	EnumTopDown  = enum.AlgoTopDown
 	EnumBottomUp = enum.AlgoBottomUp
 	EnumNaive    = enum.AlgoNaive
+)
+
+// Job kinds of the asynchronous maintenance plane (JobManager.Submit).
+const (
+	JobKindLearn  = jobs.KindLearn
+	JobKindRepair = jobs.KindRepair
 )
 
 // ZipcodePattern matches five-digit US zipcodes (the Appendix A regexp
@@ -464,14 +491,33 @@ func NewDispatcher(s *WrapperStore, opt DispatcherOptions) *Dispatcher {
 
 // NewServer builds the HTTP extraction service over a dispatcher:
 // POST /v1/extract behind admission control, GET /healthz and /metrics,
-// and the lifecycle admin routes /v1/sites, /v1/promote, /v1/rollback and
-// /v1/repair. Mount Handler() on an http.Server; cmd/wrapserved is the
-// ready-made daemon with graceful drain.
+// the lifecycle admin routes /v1/sites, /v1/promote, /v1/rollback, and —
+// when a Repairer is configured — the asynchronous maintenance plane:
+// POST /v1/learn and /v1/repair enqueue background jobs (202 + job id),
+// introspected via GET /v1/jobs[/{id}]. Mount Handler() on an
+// http.Server; cmd/wrapserved is the ready-made daemon with graceful
+// drain.
 func NewServer(cfg ServerConfig) (*Server, error) { return serve.NewServer(cfg) }
 
 // NewAdmissionGate builds the hot path's admission controller; zero
 // options select defaults (64 slots, 4x queue, 1s Retry-After).
 func NewAdmissionGate(opt AdmissionOptions) *AdmissionGate { return serve.NewGate(opt) }
+
+// NewJobManager builds the asynchronous maintenance plane's job queue +
+// worker pool; zero options select defaults (1 worker, queue depth 16,
+// history 256). The pool is fully isolated from the extraction hot path:
+// an extract burst can never starve a learn, and vice versa.
+func NewJobManager(opt JobOptions) *JobManager { return jobs.New(opt) }
+
+// NewMaintainer builds the autonomous repair loop over a server: drift
+// trips enqueue rate-limited repair jobs that re-learn a site from the
+// dispatcher's recently served pages, so a drifted site heals with no
+// operator call. Requires a server with a Repairer and job manager, drift
+// monitoring, and DispatcherOptions.RecentPages > 0. Call Start to arm it
+// and Stop before shutdown.
+func NewMaintainer(s *Server, opt MaintainerOptions) (*Maintainer, error) {
+	return serve.NewMaintainer(s, opt)
+}
 
 // --- Maintenance: drift detection, automatic re-learning, promote/rollback ---
 

@@ -526,6 +526,34 @@ func BenchmarkServeExtractHTTP(b *testing.B) {
 	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "req/sec")
 }
 
+// BenchmarkJobsSubmit times the maintenance plane's full job cycle for
+// trivial runners — submit, dispatch to a worker, finalize, snapshot
+// bookkeeping — i.e. the overhead the async plane wraps around a learn.
+// Tracked by the bench gate: this path must stay negligible next to the
+// learning it schedules.
+func BenchmarkJobsSubmit(b *testing.B) {
+	m := autowrap.NewJobManager(autowrap.JobOptions{
+		Workers: 2, QueueDepth: 256, History: 32,
+	})
+	noop := func(ctx context.Context, _ func(string)) (any, error) { return nil, nil }
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		for {
+			if _, err := m.Submit(autowrap.JobKindRepair, "bench", noop); err == nil {
+				break
+			}
+			runtime.Gosched() // queue full: workers are draining, retry
+		}
+	}
+	b.StopTimer()
+	if err := m.Drain(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "jobs/sec")
+}
+
 // --- Figure 2(a): # of wrapper calls for LR ---
 
 func BenchmarkFig2aEnumerationLR(b *testing.B) {

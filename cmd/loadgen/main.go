@@ -25,6 +25,14 @@
 // out the server's Retry-After hint before the next request on that worker.
 // Anything else non-2xx, and transport errors, count as failed. Exit code
 // is 0 when no request failed, 1 otherwise.
+//
+// With -repair-every the run turns into a mixed maintenance scenario: on
+// that period a repair job is submitted over POST /v1/repair for a random
+// served site, built from -repair-pages of its corpus pages. The server
+// answers 202 immediately (the learn happens on its background job plane),
+// so extract throughput must not dip — which is exactly what this mode
+// measures. 202 counts as accepted; 429/503 as refused backpressure (not
+// failure); anything else fails the run.
 package main
 
 import (
@@ -59,6 +67,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "traffic RNG seed")
 		respect  = flag.Bool("respect-retry-after", false, "sleep out Retry-After hints after a 429")
 		site     = flag.String("site", "", "restrict traffic to one site")
+		repEvery = flag.Duration("repair-every", 0, "also submit an async repair job this often (0 disables; mixed extract+repair scenario)")
+		repPages = flag.Int("repair-pages", 8, "corpus pages per submitted repair job")
 	)
 	flag.Parse()
 	if *corpus == "" {
@@ -66,7 +76,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	rep, err := run(*addr, *corpus, *qps, *duration, *conc, *batch, *timeout, *seed, *respect, *site)
+	rep, err := run(*addr, *corpus, *qps, *duration, *conc, *batch, *timeout, *seed, *respect, *site, *repEvery, *repPages)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
@@ -144,10 +154,13 @@ func servedSites(client *http.Client, addr string) (map[string]bool, error) {
 type Report struct {
 	Sent, OK, Rejected, Failed int
 	Pages, Records             int
-	TargetQPS, AchievedQPS     float64
-	Wall                       time.Duration
-	latencies                  []time.Duration // of successful requests
-	failures                   []string        // first few failure descriptions
+	// Repair-job submissions of the mixed scenario: accepted = 202,
+	// refused = the job queue's own 429/503 backpressure.
+	RepairsSent, RepairsAccepted, RepairsRefused int
+	TargetQPS, AchievedQPS                       float64
+	Wall                                         time.Duration
+	latencies                                    []time.Duration // of successful requests
+	failures                                     []string        // first few failure descriptions
 }
 
 func (r *Report) quantile(q float64) time.Duration {
@@ -167,6 +180,10 @@ func (r *Report) String() string {
 		r.Sent, r.Wall.Seconds(), r.TargetQPS, r.AchievedQPS)
 	fmt.Fprintf(&sb, "  ok=%d rejected=%d failed=%d pages=%d records=%d\n",
 		r.OK, r.Rejected, r.Failed, r.Pages, r.Records)
+	if r.RepairsSent > 0 {
+		fmt.Fprintf(&sb, "  repairs: sent=%d accepted=%d refused=%d\n",
+			r.RepairsSent, r.RepairsAccepted, r.RepairsRefused)
+	}
 	if len(r.latencies) > 0 {
 		var sum time.Duration
 		for _, d := range r.latencies {
@@ -185,7 +202,7 @@ func (r *Report) String() string {
 
 func run(addr, corpusDir string, qps float64, duration time.Duration,
 	conc, batch int, timeout time.Duration, seed int64, respect bool,
-	onlySite string) (*Report, error) {
+	onlySite string, repairEvery time.Duration, repairPages int) (*Report, error) {
 	if qps <= 0 || batch < 1 || conc < 1 {
 		return nil, fmt.Errorf("need -qps > 0, -batch >= 1, -concurrency >= 1")
 	}
@@ -225,6 +242,41 @@ func run(addr, corpusDir string, qps float64, duration time.Duration,
 	stop := time.After(duration)
 	start := time.Now()
 
+	// The mixed scenario submits async repair jobs alongside the extract
+	// stream, on its own goroutine with its own seeded RNG so the extract
+	// traffic draw stays byte-identical with or without it.
+	var repairWG sync.WaitGroup
+	repairStop := make(chan struct{})
+	if repairEvery > 0 {
+		repairWG.Add(1)
+		go func() {
+			defer repairWG.Done()
+			rrng := rand.New(rand.NewSource(seed + 1))
+			rt := time.NewTicker(repairEvery)
+			defer rt.Stop()
+			for {
+				select {
+				case <-repairStop:
+					return
+				case <-rt.C:
+					sp := replay[rrng.Intn(len(replay))]
+					n := repairPages
+					if n < 2 {
+						n = 2
+					}
+					if n > len(sp.pages) {
+						n = len(sp.pages)
+					}
+					pages := make([]string, n)
+					for i := range pages {
+						pages[i] = sp.pages[rrng.Intn(len(sp.pages))]
+					}
+					oneRepair(client, addr, sp.name, pages, rep, &mu)
+				}
+			}
+		}()
+	}
+
 loop:
 	for {
 		select {
@@ -247,6 +299,8 @@ loop:
 			}()
 		}
 	}
+	close(repairStop)
+	repairWG.Wait()
 	wg.Wait()
 	rep.Wall = time.Since(start)
 	if rep.Wall > 0 {
@@ -317,6 +371,36 @@ func oneRequest(client *http.Client, addr string, sp sitePages, pageIdx []int,
 			fail(r, fmt.Sprintf("%s: status %d: %s", sp.name, resp.StatusCode, bytes.TrimSpace(b)))
 		})
 	}
+}
+
+// oneRepair submits one async repair job. 202 means the maintenance
+// plane accepted it; 429/503 mean its bounded queue pushed back (fine);
+// anything else is a failure.
+func oneRepair(client *http.Client, addr, site string, pages []string,
+	rep *Report, mu *sync.Mutex) {
+	body, err := json.Marshal(serve.RepairRequest{Site: site, Pages: pages})
+	if err != nil {
+		record(rep, mu, func(r *Report) { r.RepairsSent++; fail(r, err.Error()) })
+		return
+	}
+	resp, err := client.Post(addr+"/v1/repair", "application/json", bytes.NewReader(body))
+	if err != nil {
+		record(rep, mu, func(r *Report) { r.RepairsSent++; fail(r, "repair: "+err.Error()) })
+		return
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	record(rep, mu, func(r *Report) {
+		r.RepairsSent++
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			r.RepairsAccepted++
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			r.RepairsRefused++
+		default:
+			fail(r, fmt.Sprintf("repair %s: status %d", site, resp.StatusCode))
+		}
+	})
 }
 
 func record(rep *Report, mu *sync.Mutex, fn func(*Report)) {

@@ -1,22 +1,31 @@
 // Command wrapserved is the HTTP extraction daemon: it loads a versioned
 // wrapper store and serves every site's active wrapper over HTTP, with
 // hot-swap on promote/rollback (no restart), drift monitoring, admission
-// control with backpressure, and graceful drain on SIGTERM.
+// control with backpressure, an asynchronous maintenance plane (learning
+// and repair run as background jobs, never inside an HTTP request), and
+// graceful drain on SIGTERM.
 //
 // Usage:
 //
 //	wrapserved -store wrappers.json -addr :8080
-//	wrapserved -store wrappers.json -dict names.txt -kind xpath   # enables /v1/repair
+//	wrapserved -store wrappers.json -dict names.txt -kind xpath   # enables /v1/learn + /v1/repair
+//	wrapserved -store wrappers.json -dict names.txt -auto-repair  # drifted sites heal themselves
 //
 // Endpoints:
 //
 //	POST /v1/extract   {"site":"s","page":{"html":"..."}} or {"site":"s","pages":[...]}
 //	GET  /healthz      liveness + readiness (503 while draining)
-//	GET  /metrics      per-site QPS, latency quantiles, runtime health, gate counters
+//	GET  /metrics      per-site QPS, latency quantiles, runtime health, gate + job counters
 //	GET  /v1/sites     serving state of every site
 //	POST /v1/promote   {"site":"s","version":2}
 //	POST /v1/rollback  {"site":"s"}
-//	POST /v1/repair    {"site":"s","pages":["<html>...",...]}
+//	POST /v1/learn     {"site":"s","pages":[html,...]} or {"site":"s","corpus_dir":"dir"}
+//	                   → 202 {"job_id":...}; learns, validates, promotes, hot-swaps
+//	                   (corpus_dir is confined under -learn-corpus-root and
+//	                   rejected when that flag is unset)
+//	POST /v1/repair    {"site":"s","pages":["<html>...",...]} → 202 {"job_id":...}
+//	GET  /v1/jobs      every retained job; GET /v1/jobs/{id} one job
+//	POST /v1/jobs/{id}/cancel
 //
 // The hot path is admission-controlled: at most -max-inflight requests
 // extract concurrently, at most -queue more wait, and everything beyond
@@ -24,13 +33,26 @@
 // daemon sheds load instead of collapsing under it. Every request gets a
 // deadline (-timeout, shortenable per request via timeout_ms).
 //
-// /v1/repair needs an annotator to re-learn with; start the daemon with
-// -dict (one dictionary entry per line) to enable it. Successful admin
-// mutations (promote, rollback, repair) are persisted back to -store.
+// Learning and repair are maintenance-plane work: submissions enqueue onto
+// a bounded job queue (-job-queue) drained by -learn-workers background
+// workers, fully isolated from the extract pools — POST /v1/repair answers
+// 202 in milliseconds even while the extract gate is saturated. /v1/learn
+// and /v1/repair need an annotator to re-learn with; start the daemon with
+// -dict (one dictionary entry per line) to enable them. Successful admin
+// mutations (promote, rollback, finished learn/repair jobs) are persisted
+// back to -store.
+//
+// With -auto-repair (requires -dict and monitoring), the daemon closes the
+// maintenance loop autonomously: a drift trip enqueues a repair job that
+// re-learns the site from its -recent-pages most recently served pages, at
+// most once per -auto-repair-gap per site — a drifted site heals with no
+// operator in the loop, and a repair that loses held-out validation leaves
+// the incumbent serving.
 //
 // On SIGTERM or SIGINT the daemon flips /healthz to 503 (so load balancers
-// drain it), finishes in-flight requests, and exits 0 once idle or after
-// -drain-timeout, whichever comes first.
+// drain it), finishes in-flight requests, then drains the job plane —
+// queued jobs are canceled, the running job is given the remainder of
+// -drain-timeout — and exits 0.
 package main
 
 import (
@@ -50,82 +72,148 @@ import (
 	"autowrap/internal/drift"
 	"autowrap/internal/engine"
 	"autowrap/internal/experiments"
+	"autowrap/internal/jobs"
 	"autowrap/internal/serve"
 	"autowrap/internal/store"
 )
 
+// options carries the parsed flag set.
+type options struct {
+	storePath   string
+	addr        string
+	workers     int
+	maxInflight int
+	queue       int
+	retryAfter  time.Duration
+	timeout     time.Duration
+	maxPages    int
+	window      int
+	dictPath    string
+	kind        string
+	drainT      time.Duration
+
+	learnWorkers int
+	jobQueue     int
+	corpusRoot   string
+	recentPages  int
+	autoRepair   bool
+	autoInterval time.Duration
+	autoGap      time.Duration
+}
+
 func main() {
-	var (
-		storeP      = flag.String("store", "wrappers.json", "wrapper store path (required; must exist)")
-		addr        = flag.String("addr", ":8080", "listen address")
-		workers     = flag.Int("workers", 0, "extraction workers per batch request (0 = GOMAXPROCS)")
-		maxInflight = flag.Int("max-inflight", 64, "max concurrently executing extract requests")
-		queue       = flag.Int("queue", 0, "max extract requests waiting for a slot (0 = 4x max-inflight, negative disables queueing)")
-		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After hint attached to 429 responses")
-		timeout     = flag.Duration("timeout", 30*time.Second, "per-request extraction deadline")
-		maxPages    = flag.Int("max-pages", 256, "max pages per extract request")
-		window      = flag.Int("window", 32, "drift-monitor sliding window in pages (0 disables monitoring)")
-		dictPath    = flag.String("dict", "", "dictionary file enabling /v1/repair (one entry per line)")
-		kind        = flag.String("kind", "xpath", "re-learn wrapper language for /v1/repair: xpath | lr")
-		drainT      = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
-	)
+	var o options
+	flag.StringVar(&o.storePath, "store", "wrappers.json", "wrapper store path (required; must exist)")
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&o.workers, "workers", 0, "extraction workers per batch request (0 = GOMAXPROCS)")
+	flag.IntVar(&o.maxInflight, "max-inflight", 64, "max concurrently executing extract requests")
+	flag.IntVar(&o.queue, "queue", 0, "max extract requests waiting for a slot (0 = 4x max-inflight, negative disables queueing)")
+	flag.DurationVar(&o.retryAfter, "retry-after", time.Second, "Retry-After hint attached to 429 responses")
+	flag.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-request extraction deadline")
+	flag.IntVar(&o.maxPages, "max-pages", 256, "max pages per extract request")
+	flag.IntVar(&o.window, "window", 32, "drift-monitor sliding window in pages (0 disables monitoring)")
+	flag.StringVar(&o.dictPath, "dict", "", "dictionary file enabling /v1/learn and /v1/repair (one entry per line)")
+	flag.StringVar(&o.kind, "kind", "xpath", "re-learn wrapper language for /v1/learn and /v1/repair: xpath | lr")
+	flag.DurationVar(&o.drainT, "drain-timeout", 30*time.Second, "max time to wait for in-flight requests and running jobs on shutdown")
+	flag.IntVar(&o.learnWorkers, "learn-workers", 1, "background learn/repair job workers (isolated from the extract pools)")
+	flag.IntVar(&o.jobQueue, "job-queue", 16, "max queued learn/repair jobs before submissions get 429")
+	flag.StringVar(&o.corpusRoot, "learn-corpus-root", "", "directory /v1/learn corpus_dir paths are confined to (empty disables corpus_dir)")
+	flag.IntVar(&o.recentPages, "recent-pages", 64, "recently served pages cached per site as auto-repair fuel (only cached with -auto-repair; 0 disables)")
+	flag.BoolVar(&o.autoRepair, "auto-repair", false, "auto-enqueue repair jobs when drift trips (needs -dict, -window > 0 and -recent-pages > 0)")
+	flag.DurationVar(&o.autoInterval, "auto-repair-interval", 2*time.Second, "scan period for tripped sites the trip hook could not enqueue")
+	flag.DurationVar(&o.autoGap, "auto-repair-gap", time.Minute, "per-site minimum time between auto-repair submissions")
 	flag.Parse()
-	if err := run(*storeP, *addr, *workers, *maxInflight, *queue, *retryAfter,
-		*timeout, *maxPages, *window, *dictPath, *kind, *drainT); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "wrapserved:", err)
 		os.Exit(1)
 	}
 }
 
-func run(storePath, addr string, workers, maxInflight, queue int,
-	retryAfter, timeout time.Duration, maxPages, window int,
-	dictPath, kind string, drainTimeout time.Duration) error {
+func run(o options) error {
 	logger := log.New(os.Stderr, "wrapserved: ", log.LstdFlags)
 
-	st, err := store.Load(storePath)
+	st, err := store.Load(o.storePath)
 	if err != nil {
 		return err
 	}
 	var mon *drift.Monitor
-	if window > 0 {
+	if o.window > 0 {
 		mon = drift.NewMonitor(drift.Policy{
-			Window: window,
+			Window: o.window,
 			OnTrip: func(site string, s drift.Stats) {
 				logger.Printf("DRIFT TRIPPED: %s", s)
 			},
 		})
 	}
-	dispatcher := serve.NewDispatcher(st, serve.Options{Workers: workers, Monitor: mon})
+	// The recent-page ring exists to fuel auto-repair; without it nothing
+	// reads the cache, so don't pay a copy per served page to fill it.
+	recentPages := 0
+	if o.autoRepair {
+		recentPages = o.recentPages
+	}
+	dispatcher := serve.NewDispatcher(st, serve.Options{
+		Workers: o.workers, Monitor: mon, RecentPages: recentPages,
+	})
 
 	var repairer *drift.Repairer
-	if dictPath != "" {
-		rep, err := newRepairer(st, mon, dictPath, kind)
+	if o.dictPath != "" {
+		rep, err := newRepairer(st, mon, o.dictPath, o.kind)
 		if err != nil {
 			return err
 		}
 		repairer = rep
 	}
+	if o.autoRepair {
+		switch {
+		case repairer == nil:
+			return fmt.Errorf("-auto-repair needs -dict (no annotator to re-learn with)")
+		case mon == nil:
+			return fmt.Errorf("-auto-repair needs drift monitoring (-window > 0)")
+		case o.recentPages <= 0:
+			return fmt.Errorf("-auto-repair needs -recent-pages > 0 (no cached pages to re-learn from)")
+		}
+	}
 
+	var jobsM *jobs.Manager
+	if repairer != nil {
+		jobsM = jobs.New(jobs.Options{Workers: o.learnWorkers, QueueDepth: o.jobQueue})
+	}
 	srv, err := serve.NewServer(serve.ServerConfig{
 		Dispatcher: dispatcher,
 		Gate: serve.NewGate(serve.GateOptions{
-			MaxInFlight: maxInflight, MaxQueue: queue, RetryAfter: retryAfter,
+			MaxInFlight: o.maxInflight, MaxQueue: o.queue, RetryAfter: o.retryAfter,
 		}),
-		RequestTimeout: timeout,
-		MaxPages:       maxPages,
-		Repairer:       repairer,
-		StorePath:      storePath,
-		Log:            logger,
+		RequestTimeout:  o.timeout,
+		MaxPages:        o.maxPages,
+		Repairer:        repairer,
+		Jobs:            jobsM,
+		LearnCorpusRoot: o.corpusRoot,
+		StorePath:       o.storePath,
+		Log:             logger,
 	})
 	if err != nil {
 		return err
 	}
 
-	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	var maintainer *serve.Maintainer
+	if o.autoRepair {
+		maintainer, err = serve.NewMaintainer(srv, serve.MaintainerOptions{
+			Interval: o.autoInterval,
+			MinGap:   o.autoGap,
+			Log:      logger,
+		})
+		if err != nil {
+			return err
+		}
+		maintainer.Start()
+		defer maintainer.Stop()
+	}
+
+	hs := &http.Server{Addr: o.addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() {
-		logger.Printf("serving %d site(s) from %s on %s (repair %s)",
-			st.Len(), storePath, addr, enabledWord(repairer != nil))
+		logger.Printf("serving %d site(s) from %s on %s (maintenance plane %s, auto-repair %s)",
+			st.Len(), o.storePath, o.addr, enabledWord(repairer != nil), enabledWord(o.autoRepair))
 		if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 			return
@@ -134,28 +222,38 @@ func run(storePath, addr string, workers, maxInflight, queue int,
 	}()
 
 	// Graceful drain: flip readiness first so load balancers steer away,
-	// then let in-flight requests finish.
+	// let in-flight requests finish, then close the job plane — queued
+	// jobs are canceled (they never started), running jobs get whatever
+	// remains of the drain budget before being canceled mid-learn.
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
 	select {
 	case err := <-errc:
 		return err
 	case sig := <-sigc:
-		logger.Printf("%s: draining (up to %v)...", sig, drainTimeout)
+		logger.Printf("%s: draining (up to %v)...", sig, o.drainT)
 		srv.SetDraining(true)
-		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		if maintainer != nil {
+			maintainer.Stop() // no new auto jobs while draining
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), o.drainT)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
 			return fmt.Errorf("drain: %w", err)
+		}
+		if jobsM != nil {
+			if err := jobsM.Drain(ctx); err != nil {
+				logger.Printf("job drain: running job canceled at deadline: %v", err)
+			}
 		}
 		logger.Printf("drained cleanly")
 		return <-errc
 	}
 }
 
-// newRepairer wires the drift-repair loop for /v1/repair: re-learn with a
-// dictionary annotator over the posted fresh pages, in the configured
-// wrapper language.
+// newRepairer wires the maintenance plane's learn recipe for /v1/learn,
+// /v1/repair and auto-repair: re-learn with a dictionary annotator over
+// the fresh pages, in the configured wrapper language.
 func newRepairer(st *store.Store, mon *drift.Monitor, dictPath, kind string) (*drift.Repairer, error) {
 	entries, err := experiments.ReadDictFile(dictPath)
 	if err != nil {

@@ -329,6 +329,24 @@ func (m *Monitor) Register(site string, profile *store.Profile) *SiteHealth {
 	return h
 }
 
+// SetOnTrip installs (or replaces) the trip hook on the monitor's policy
+// and on every already-registered site. The hook fires once per trip with
+// the site name and the tripping stats, on the serving worker that
+// observed the tripping page — keep it cheap and concurrency-safe (log,
+// enqueue a repair job). A maintenance plane built after the monitor (the
+// usual construction order in a serving daemon: store → monitor →
+// dispatcher → repairer → job queue) attaches itself here.
+func (m *Monitor) SetOnTrip(fn func(site string, s Stats)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.policy.OnTrip = fn
+	for _, h := range m.sites {
+		h.mu.Lock()
+		h.onTrip = fn
+		h.mu.Unlock()
+	}
+}
+
 // Site returns the registered health for the site, if any.
 func (m *Monitor) Site(site string) (*SiteHealth, bool) {
 	m.mu.RLock()

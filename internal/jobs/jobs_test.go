@@ -1,0 +1,381 @@
+package jobs_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"autowrap/internal/jobs"
+)
+
+// waitState polls until the job reaches a terminal state (or the wanted
+// one) and returns its snapshot.
+func waitState(t *testing.T, m *jobs.Manager, id string, want jobs.State) jobs.Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s, err := m.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.State == want {
+			return s
+		}
+		if s.State == jobs.StateDone || s.State == jobs.StateFailed || s.State == jobs.StateCanceled {
+			t.Fatalf("job %s reached terminal state %s, want %s (err=%q)", id, s.State, want, s.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s, want %s", id, s.State, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestJobLifecycleDone(t *testing.T) {
+	m := jobs.New(jobs.Options{Workers: 1})
+	defer m.Drain(context.Background())
+	snap, err := m.Submit(jobs.KindLearn, "site-a", func(ctx context.Context, progress func(string)) (any, error) {
+		progress("learning")
+		return map[string]int{"records": 42}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != jobs.StateQueued || snap.Kind != jobs.KindLearn || snap.Site != "site-a" {
+		t.Fatalf("submit snapshot = %+v", snap)
+	}
+	done := waitState(t, m, snap.ID, jobs.StateDone)
+	if done.Result == nil || done.Error != "" {
+		t.Fatalf("done snapshot = %+v", done)
+	}
+	met := m.Metrics()
+	if met.Kinds["learn"].Done != 1 || met.Kinds["learn"].Submitted != 1 {
+		t.Fatalf("metrics = %+v", met)
+	}
+}
+
+func TestJobFailureAndPanicIsolation(t *testing.T) {
+	m := jobs.New(jobs.Options{Workers: 1})
+	defer m.Drain(context.Background())
+	boom, err := m.Submit(jobs.KindRepair, "s", func(ctx context.Context, _ func(string)) (any, error) {
+		return nil, errors.New("relearn produced no wrapper")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := waitState(t, m, boom.ID, jobs.StateFailed); !strings.Contains(s.Error, "no wrapper") {
+		t.Fatalf("failed snapshot = %+v", s)
+	}
+
+	// A panicking runner fails its job; the manager keeps working.
+	pan, err := m.Submit(jobs.KindRepair, "s", func(ctx context.Context, _ func(string)) (any, error) {
+		panic("induction exploded")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := waitState(t, m, pan.ID, jobs.StateFailed); !strings.Contains(s.Error, "induction exploded") {
+		t.Fatalf("panic snapshot = %+v", s)
+	}
+	ok, err := m.Submit(jobs.KindLearn, "s", func(ctx context.Context, _ func(string)) (any, error) {
+		return "fine", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, ok.ID, jobs.StateDone)
+}
+
+func TestJobQueueFullBackpressure(t *testing.T) {
+	block := make(chan struct{})
+	m := jobs.New(jobs.Options{Workers: 1, QueueDepth: 2})
+	defer func() { close(block); m.Drain(context.Background()) }()
+	blocker := func(ctx context.Context, _ func(string)) (any, error) {
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return nil, ctx.Err()
+	}
+	// One running + two queued fills the plane.
+	first, err := m.Submit(jobs.KindLearn, "s0", blocker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, first.ID, jobs.StateRunning)
+	for i := 0; i < 2; i++ {
+		if _, err := m.Submit(jobs.KindLearn, fmt.Sprintf("s%d", i+1), blocker); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Submit(jobs.KindLearn, "s3", blocker); !errors.Is(err, jobs.ErrQueueFull) {
+		t.Fatalf("submit into full queue = %v, want ErrQueueFull", err)
+	}
+	met := m.Metrics()
+	if met.Queued != 2 || met.Running != 1 {
+		t.Fatalf("metrics = %+v", met)
+	}
+
+	// Canceling a queued job frees its slot immediately — the next
+	// submission must be accepted even though the worker is still stuck
+	// on the running job (a canceled tombstone must not hold the queue).
+	list := m.List()
+	var queuedID string
+	for _, s := range list {
+		if s.State == jobs.StateQueued {
+			queuedID = s.ID
+			break
+		}
+	}
+	if _, err := m.Cancel(queuedID); err != nil {
+		t.Fatal(err)
+	}
+	if met := m.Metrics(); met.Queued != 1 {
+		t.Fatalf("queued after cancel = %d, want 1", met.Queued)
+	}
+	if _, err := m.Submit(jobs.KindLearn, "s4", blocker); err != nil {
+		t.Fatalf("submit after canceling a queued job = %v, want accepted", err)
+	}
+}
+
+func TestJobCancelQueuedAndRunning(t *testing.T) {
+	started := make(chan struct{})
+	m := jobs.New(jobs.Options{Workers: 1})
+	defer m.Drain(context.Background())
+	running, err := m.Submit(jobs.KindRepair, "busy", func(ctx context.Context, _ func(string)) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queued, err := m.Submit(jobs.KindRepair, "waiting", func(ctx context.Context, _ func(string)) (any, error) {
+		return nil, errors.New("must never run")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cancel the queued job first: it flips immediately and never runs.
+	if s, err := m.Cancel(queued.ID); err != nil || s.State != jobs.StateCanceled {
+		t.Fatalf("cancel queued = %+v, %v", s, err)
+	}
+	// Cancel the running one: its context fires, the worker finalizes.
+	if _, err := m.Cancel(running.ID); err != nil {
+		t.Fatal(err)
+	}
+	s := waitState(t, m, running.ID, jobs.StateCanceled)
+	if s.State != jobs.StateCanceled {
+		t.Fatalf("running job after cancel = %+v", s)
+	}
+	// Canceling a finished job reports ErrFinished.
+	if _, err := m.Cancel(running.ID); !errors.Is(err, jobs.ErrFinished) {
+		t.Fatalf("cancel finished = %v, want ErrFinished", err)
+	}
+	if _, err := m.Cancel("job-999999"); !errors.Is(err, jobs.ErrNotFound) {
+		t.Fatalf("cancel unknown = %v, want ErrNotFound", err)
+	}
+}
+
+// TestJobDrainWithRunningJob pins the shutdown contract: queued jobs are
+// canceled without running, the running job is waited for, and new
+// submissions are rejected.
+func TestJobDrainWithRunningJob(t *testing.T) {
+	release := make(chan struct{})
+	m := jobs.New(jobs.Options{Workers: 1})
+	running, err := m.Submit(jobs.KindLearn, "slow", func(ctx context.Context, _ func(string)) (any, error) {
+		<-release
+		return "finished", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, running.ID, jobs.StateRunning)
+	queued, err := m.Submit(jobs.KindLearn, "never", func(ctx context.Context, _ func(string)) (any, error) {
+		return nil, errors.New("must never run")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	drained := make(chan error, 1)
+	go func() { drained <- m.Drain(context.Background()) }()
+	// Drain must reject new work immediately and cancel the queued job.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := m.Submit(jobs.KindLearn, "late", func(ctx context.Context, _ func(string)) (any, error) {
+			return nil, nil
+		}); errors.Is(err, jobs.ErrDraining) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("submissions not rejected while draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if s, _ := m.Get(queued.ID); s.State != jobs.StateCanceled {
+		t.Fatalf("queued job during drain = %s, want canceled", s.State)
+	}
+	select {
+	case err := <-drained:
+		t.Fatalf("drain returned %v before the running job finished", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("drain = %v", err)
+	}
+	if s, _ := m.Get(running.ID); s.State != jobs.StateDone || s.Result != "finished" {
+		t.Fatalf("running job after drain = %+v", s)
+	}
+}
+
+// TestJobDrainDeadlineCancelsRunning: a runner that never returns on its
+// own is force-canceled when the drain deadline expires.
+func TestJobDrainDeadlineCancelsRunning(t *testing.T) {
+	m := jobs.New(jobs.Options{Workers: 1})
+	stuck, err := m.Submit(jobs.KindRepair, "stuck", func(ctx context.Context, _ func(string)) (any, error) {
+		<-ctx.Done() // only a cancel gets this job off the worker
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, stuck.ID, jobs.StateRunning)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := m.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain = %v, want DeadlineExceeded", err)
+	}
+	if s, _ := m.Get(stuck.ID); s.State != jobs.StateCanceled {
+		t.Fatalf("stuck job after forced drain = %+v", s)
+	}
+}
+
+func TestJobHistoryEviction(t *testing.T) {
+	m := jobs.New(jobs.Options{Workers: 2, History: 4, QueueDepth: 64})
+	defer m.Drain(context.Background())
+	var last jobs.Snapshot
+	for i := 0; i < 12; i++ {
+		s, err := m.Submit(jobs.KindLearn, fmt.Sprintf("s%d", i), func(ctx context.Context, _ func(string)) (any, error) {
+			return nil, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = s
+	}
+	waitState(t, m, last.ID, jobs.StateDone)
+	// Let stragglers finish, then check the retained window.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		list := m.List()
+		terminal := 0
+		for _, s := range list {
+			if s.State == jobs.StateDone {
+				terminal++
+			}
+		}
+		if terminal == len(list) && len(list) <= 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("history not bounded: %d jobs retained", len(list))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The newest job must have survived eviction.
+	if _, err := m.Get(last.ID); err != nil {
+		t.Fatalf("newest job evicted: %v", err)
+	}
+}
+
+// TestJobConcurrentSubmitCancelList is the lifecycle race test: many
+// goroutines submit, cancel and list concurrently while workers run. Run
+// with -race in CI; invariants: no panic, every submitted job reaches a
+// terminal state, counters add up.
+func TestJobConcurrentSubmitCancelList(t *testing.T) {
+	m := jobs.New(jobs.Options{Workers: 4, QueueDepth: 1024, History: 2048})
+	const submitters, perSubmitter = 8, 40
+	var wg sync.WaitGroup
+	ids := make(chan string, submitters*perSubmitter)
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perSubmitter; i++ {
+				kind := jobs.KindLearn
+				if i%2 == 0 {
+					kind = jobs.KindRepair
+				}
+				s, err := m.Submit(kind, fmt.Sprintf("site-%d-%d", g, i), func(ctx context.Context, progress func(string)) (any, error) {
+					progress("working")
+					select {
+					case <-ctx.Done():
+						return nil, ctx.Err()
+					case <-time.After(time.Duration(i%3) * time.Millisecond):
+					}
+					if i%7 == 0 {
+						return nil, errors.New("synthetic failure")
+					}
+					return i, nil
+				})
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				ids <- s.ID
+				if i%5 == 0 {
+					m.Cancel(s.ID) // racing the worker on purpose
+				}
+				if i%9 == 0 {
+					m.List()
+					m.Metrics()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(ids)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for id := range ids {
+		for {
+			s, err := m.Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.State == jobs.StateDone || s.State == jobs.StateFailed || s.State == jobs.StateCanceled {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s never finished (state %s)", id, s.State)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	met := m.Metrics()
+	var done, failed, canceled, submitted int64
+	for _, km := range met.Kinds {
+		done += km.Done
+		failed += km.Failed
+		canceled += km.Canceled
+		submitted += km.Submitted
+	}
+	if submitted != submitters*perSubmitter {
+		t.Fatalf("submitted = %d, want %d", submitted, submitters*perSubmitter)
+	}
+	if done+failed+canceled != submitted {
+		t.Fatalf("done %d + failed %d + canceled %d != submitted %d",
+			done, failed, canceled, submitted)
+	}
+	if err := m.Drain(context.Background()); err != nil {
+		t.Fatalf("drain after storm: %v", err)
+	}
+}

@@ -51,6 +51,14 @@ type Options struct {
 	// detection half of the maintenance loop. On a version swap the site's
 	// window is reset against the new profile.
 	Monitor *drift.Monitor
+	// RecentPages, when positive, keeps the last N raw page HTMLs served
+	// per site (a bounded ring; string headers only, the request already
+	// owns the bytes). This is the fuel for autonomous repair: a drifted
+	// site's freshest pages are by definition the ones that just failed to
+	// extract, and the maintenance scanner re-learns from exactly those —
+	// no operator round-trip to collect a new corpus. 0 disables the cache
+	// (and with it, auto-repair).
+	RecentPages int
 }
 
 // Dispatcher routes extraction requests to per-site hot-swappable
@@ -85,12 +93,55 @@ type served struct {
 }
 
 // siteState is the per-site slot: the atomic current binding, the rebuild
-// lock serializing slow-path swaps, and the site's serving metrics.
+// lock serializing slow-path swaps, the site's serving metrics, and the
+// bounded recent-page ring auto-repair re-learns from.
 type siteState struct {
 	name    string
 	cur     atomic.Pointer[served]
 	mu      sync.Mutex // serializes refresh; never held on the hot path
 	metrics SiteMetrics
+
+	pageMu   sync.Mutex
+	pages    []string // ring of the last Options.RecentPages served HTMLs
+	pageNext int
+	pageN    int
+}
+
+// rememberPages records served page HTMLs into the site's bounded ring.
+func (st *siteState) rememberPages(cap int, pages []extract.Page) {
+	st.pageMu.Lock()
+	defer st.pageMu.Unlock()
+	if st.pages == nil {
+		st.pages = make([]string, cap)
+	}
+	for i := range pages {
+		if pages[i].HTML == "" {
+			continue // pre-parsed pages carry no raw HTML to re-learn from
+		}
+		st.pages[st.pageNext] = pages[i].HTML
+		st.pageNext = (st.pageNext + 1) % len(st.pages)
+		if st.pageN < len(st.pages) {
+			st.pageN++
+		}
+	}
+}
+
+// recentPages snapshots the ring, oldest first.
+func (st *siteState) recentPages() []string {
+	st.pageMu.Lock()
+	defer st.pageMu.Unlock()
+	if st.pageN == 0 {
+		return nil
+	}
+	out := make([]string, 0, st.pageN)
+	start := st.pageNext - st.pageN
+	if start < 0 {
+		start += len(st.pages)
+	}
+	for i := 0; i < st.pageN; i++ {
+		out = append(out, st.pages[(start+i)%len(st.pages)])
+	}
+	return out
 }
 
 // runtime returns the site's current binding, rebuilding it when the store
@@ -204,6 +255,9 @@ func (d *Dispatcher) Extract(ctx context.Context, site string, pages []extract.P
 		}
 		return nil, err
 	}
+	if d.opt.RecentPages > 0 {
+		st.rememberPages(d.opt.RecentPages, pages)
+	}
 	start := time.Now()
 	ext := &Extraction{Site: site, Version: sv.entry.Version}
 	if len(pages) == 1 && ctx.Err() == nil {
@@ -233,6 +287,17 @@ func (e *Extraction) Records() []string {
 		}
 	}
 	return out
+}
+
+// RecentPages returns the site's cached recent page HTMLs, oldest first
+// (nil when Options.RecentPages is 0 or nothing was served yet). The
+// maintenance scanner feeds these to the repairer as the fresh corpus.
+func (d *Dispatcher) RecentPages(site string) []string {
+	v, ok := d.sites.Load(site)
+	if !ok {
+		return nil
+	}
+	return v.(*siteState).recentPages()
 }
 
 // Promote makes an existing stored version the site's serving version and

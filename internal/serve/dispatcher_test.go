@@ -295,6 +295,39 @@ func TestConcurrentSwapNeverTearsWrapper(t *testing.T) {
 	}
 }
 
+// TestDispatcherRecentPagesRing pins the auto-repair fuel cache: served
+// page HTMLs land in a bounded per-site ring, oldest first, and the cache
+// stays off (nil) when Options.RecentPages is 0.
+func TestDispatcherRecentPagesRing(t *testing.T) {
+	st := twoVersionStore(t)
+	d := serve.NewDispatcher(st, serve.Options{RecentPages: 4})
+	ctx := context.Background()
+	if got := d.RecentPages("shop"); got != nil {
+		t.Fatalf("recent pages before traffic = %v, want nil", got)
+	}
+	if _, err := d.Extract(ctx, "shop", pagesN(6)); err != nil {
+		t.Fatal(err)
+	}
+	got := d.RecentPages("shop")
+	if len(got) != 4 {
+		t.Fatalf("ring holds %d pages, want 4 (bounded)", len(got))
+	}
+	// Oldest-first: pages 2..5 of the 6 survive.
+	for i, html := range got {
+		if want := testPage(i + 2); html != want {
+			t.Fatalf("ring[%d] is not page %d (oldest-first eviction broken)", i, i+2)
+		}
+	}
+	// Disabled cache records nothing.
+	d2 := serve.NewDispatcher(twoVersionStore(t), serve.Options{})
+	if _, err := d2.Extract(ctx, "shop", pagesN(2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := d2.RecentPages("shop"); got != nil {
+		t.Fatalf("recent pages with cache disabled = %v, want nil", got)
+	}
+}
+
 // TestDispatcherMonitorObservesServedPages pins the drift wiring: pages
 // served through the dispatcher land in the monitor's window.
 func TestDispatcherMonitorObservesServedPages(t *testing.T) {

@@ -57,6 +57,7 @@ type Gate struct {
 	waiting  atomic.Int64
 	admitted atomic.Int64
 	rejected atomic.Int64
+	timedOut atomic.Int64
 }
 
 // NewGate builds an admission gate; zero options select defaults.
@@ -99,7 +100,11 @@ func (g *Gate) Acquire(ctx context.Context) (release func(), err error) {
 	case g.slots <- struct{}{}:
 		return g.admit(), nil
 	case <-ctx.Done():
-		g.rejected.Add(1)
+		// The caller's own deadline expired while queued. That is a
+		// client timeout, not overload shedding — counting it as rejected
+		// would make alerting on the rejected counter fire for slow
+		// clients instead of a full queue.
+		g.timedOut.Add(1)
 		return nil, context.Cause(ctx)
 	}
 }
@@ -114,11 +119,16 @@ func (g *Gate) admit() func() {
 }
 
 // GateSnapshot is a point-in-time view of the gate for /metrics.
+// Rejected counts only queue-full overload shedding; TimedOut counts
+// queued requests whose own context deadline expired first — the two
+// signals mean different things to an operator (add capacity vs. slow
+// clients) and are never conflated.
 type GateSnapshot struct {
 	InFlight    int64 `json:"in_flight"`
 	Waiting     int64 `json:"waiting"`
 	Admitted    int64 `json:"admitted"`
 	Rejected    int64 `json:"rejected"`
+	TimedOut    int64 `json:"timed_out"`
 	MaxInFlight int   `json:"max_in_flight"`
 	MaxQueue    int   `json:"max_queue"`
 }
@@ -130,6 +140,7 @@ func (g *Gate) Snapshot() GateSnapshot {
 		Waiting:     g.waiting.Load(),
 		Admitted:    g.admitted.Load(),
 		Rejected:    g.rejected.Load(),
+		TimedOut:    g.timedOut.Load(),
 		MaxInFlight: g.opt.MaxInFlight,
 		MaxQueue:    g.opt.MaxQueue,
 	}

@@ -96,6 +96,55 @@ func TestGateQueuedRequestHonorsDeadline(t *testing.T) {
 	}
 }
 
+// TestGateTimedOutNotCountedAsRejected pins the satellite bugfix: a queued
+// request whose own deadline expires is a client timeout, not overload
+// shedding — it must land in TimedOut, never in Rejected, so alerting on
+// the rejected counter keeps meaning "queue full".
+func TestGateTimedOutNotCountedAsRejected(t *testing.T) {
+	g := serve.NewGate(serve.GateOptions{MaxInFlight: 1, MaxQueue: 1})
+	rel, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+
+	// A queued request timing out on its own deadline.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	if _, err := g.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued acquire = %v, want DeadlineExceeded", err)
+	}
+	cancel()
+	snap := g.Snapshot()
+	if snap.TimedOut != 1 || snap.Rejected != 0 {
+		t.Fatalf("after queued timeout: TimedOut=%d Rejected=%d, want 1/0", snap.TimedOut, snap.Rejected)
+	}
+
+	// A genuine queue-full rejection still counts as rejected: occupy the
+	// single queue slot with a waiter, then overflow it.
+	waiterIn := make(chan struct{})
+	waiterCtx, waiterCancel := context.WithCancel(context.Background())
+	go func() {
+		close(waiterIn)
+		g.Acquire(waiterCtx) //nolint:errcheck — canceled below
+	}()
+	<-waiterIn
+	deadline := time.Now().Add(2 * time.Second)
+	for g.Snapshot().Waiting == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := g.Acquire(context.Background()); !errors.Is(err, serve.ErrOverloaded) {
+		t.Fatalf("overflow acquire = %v, want ErrOverloaded", err)
+	}
+	waiterCancel()
+	snap = g.Snapshot()
+	if snap.Rejected != 1 {
+		t.Fatalf("after queue-full: Rejected=%d, want 1", snap.Rejected)
+	}
+}
+
 // TestGateBoundedUnderStorm hammers the gate and checks the hard invariant:
 // admitted concurrency never exceeds MaxInFlight, and every request either
 // got admitted or rejected (no lost requests, no deadlock).

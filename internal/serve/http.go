@@ -7,12 +7,17 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"autowrap/internal/drift"
 	"autowrap/internal/extract"
+	"autowrap/internal/jobs"
 	"autowrap/internal/store"
 )
 
@@ -30,9 +35,25 @@ type ServerConfig struct {
 	// caps the request body (default 32 MiB).
 	MaxPages     int
 	MaxBodyBytes int64
-	// Repairer enables POST /v1/repair; nil returns 501 there (the daemon
-	// needs an annotator to re-learn, which not every deployment has).
+	// Repairer enables the maintenance plane — POST /v1/learn and
+	// POST /v1/repair; nil returns 501 there (the daemon needs an
+	// annotator to re-learn, which not every deployment has).
 	Repairer *drift.Repairer
+	// Jobs executes learn and repair asynchronously; nil builds a default
+	// manager (1 worker, queue 16) when Repairer is set. The job pool is
+	// isolated from the extract hot path: learning never occupies a Gate
+	// slot, extraction never occupies a job worker.
+	Jobs *jobs.Manager
+	// JobTimeout is the per-job learn/repair deadline (default 10x
+	// RequestTimeout — learning is orders of magnitude heavier than
+	// extraction). A job's timeout_ms may shorten it, never extend it.
+	JobTimeout time.Duration
+	// LearnCorpusRoot, when set, enables LearnRequest.CorpusDir and
+	// confines it: a learn job only reads *.html from directories under
+	// this root. Empty (the default) rejects corpus_dir submissions —
+	// an HTTP endpoint must not get to point the daemon at arbitrary
+	// server-side paths.
+	LearnCorpusRoot string
 	// StorePath, when set, persists the registry after every successful
 	// admin mutation (promote, rollback, repair).
 	StorePath string
@@ -53,6 +74,12 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 32 << 20
 	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 10 * c.RequestTimeout
+	}
+	if c.Jobs == nil && c.Repairer != nil {
+		c.Jobs = jobs.New(jobs.Options{})
+	}
 	if c.Log == nil {
 		c.Log = log.Default()
 	}
@@ -66,16 +93,25 @@ func (c ServerConfig) withDefaults() ServerConfig {
 //
 //	POST /v1/extract   extract records from one page or a batch
 //	GET  /healthz      liveness + readiness (503 while draining)
-//	GET  /metrics      per-site QPS/latency/health + gate counters (JSON)
+//	GET  /metrics      per-site QPS/latency/health + gate + job counters
 //	GET  /v1/sites     serving state of every site
 //	POST /v1/promote   make a stored version the serving one (hot-swap)
 //	POST /v1/rollback  revert to the previously promoted version
-//	POST /v1/repair    drift-repair: re-learn from posted pages, validate,
-//	                   promote on a strict held-out win
+//	POST /v1/learn     enqueue a learn job (202 + job id): learn a site
+//	                   from posted pages or a server-side corpus dir,
+//	                   validate, promote, hot-swap
+//	POST /v1/repair    enqueue a drift-repair job (202 + job id):
+//	                   re-learn from posted pages, validate, promote on
+//	                   a strict held-out win
+//	GET  /v1/jobs      every retained job, submission order
+//	GET  /v1/jobs/{id} one job's state/progress/result
+//	POST /v1/jobs/{id}/cancel  cancel a queued or running job
 type Server struct {
 	cfg      ServerConfig
 	started  time.Time
 	draining atomic.Bool
+	ownJobs  bool // the manager was created by withDefaults, not the caller
+	closed   atomic.Bool
 }
 
 // NewServer builds the HTTP layer over a dispatcher.
@@ -83,11 +119,30 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Dispatcher == nil {
 		return nil, fmt.Errorf("serve: ServerConfig.Dispatcher is required")
 	}
-	return &Server{cfg: cfg.withDefaults(), started: time.Now()}, nil
+	ownJobs := cfg.Jobs == nil && cfg.Repairer != nil
+	return &Server{cfg: cfg.withDefaults(), started: time.Now(), ownJobs: ownJobs}, nil
+}
+
+// Close releases what the server created itself — today that is the job
+// manager withDefaults builds when a Repairer is configured without an
+// explicit Jobs field (its worker goroutine would otherwise outlive the
+// server). A caller-supplied manager is the caller's to drain; Close
+// leaves it running. Idempotent.
+func (s *Server) Close() error {
+	if !s.ownJobs || s.cfg.Jobs == nil || !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return s.cfg.Jobs.Drain(ctx)
 }
 
 // Gate returns the server's admission gate.
 func (s *Server) Gate() *Gate { return s.cfg.Gate }
+
+// Jobs returns the server's job manager (nil when the maintenance plane
+// is disabled). The process owner drains it on shutdown.
+func (s *Server) Jobs() *jobs.Manager { return s.cfg.Jobs }
 
 // SetDraining flips readiness: while draining, /healthz answers 503 (so
 // traffic steers away) but in-flight and newly arriving extractions still
@@ -104,6 +159,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/promote", s.handlePromote)
 	mux.HandleFunc("/v1/rollback", s.handleRollback)
 	mux.HandleFunc("/v1/repair", s.handleRepair)
+	mux.HandleFunc("/v1/learn", s.handleLearn)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
 	return mux
 }
 
@@ -241,13 +300,8 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	// The per-request deadline starts before admission: a request queued
 	// behind busy slots never waits longer for admission than it would for
 	// the work itself.
-	timeout := s.cfg.RequestTimeout
-	if req.TimeoutMS > 0 {
-		if t := time.Duration(req.TimeoutMS) * time.Millisecond; t < timeout {
-			timeout = t
-		}
-	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	ctx, cancel := context.WithTimeout(r.Context(),
+		clampTimeout(s.cfg.RequestTimeout, req.TimeoutMS))
 	defer cancel()
 
 	// Admission: reject with backpressure before any extraction work.
@@ -329,15 +383,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 type MetricsResponse struct {
 	UptimeSec int64        `json:"uptime_sec"`
 	Gate      GateSnapshot `json:"gate"`
-	Sites     []SiteStatus `json:"sites"`
+	// Jobs is the maintenance plane's ledger (absent when disabled).
+	Jobs  *jobs.Metrics `json:"jobs,omitempty"`
+	Sites []SiteStatus  `json:"sites"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, MetricsResponse{
+	resp := MetricsResponse{
 		UptimeSec: int64(time.Since(s.started).Seconds()),
 		Gate:      s.cfg.Gate.Snapshot(),
 		Sites:     s.cfg.Dispatcher.Status(),
-	})
+	}
+	if s.cfg.Jobs != nil {
+		m := s.cfg.Jobs.Metrics()
+		resp.Jobs = &m
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleSites(w http.ResponseWriter, r *http.Request) {
@@ -419,18 +480,35 @@ func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request) {
 	s.finishAdmin(w, entry, err)
 }
 
+// --- maintenance plane: async learn + repair jobs ---
+
 // RepairRequest is the POST /v1/repair body: the freshest pages of the
 // drifted site, raw HTML.
 type RepairRequest struct {
 	Site  string   `json:"site"`
 	Pages []string `json:"pages"`
-	// TimeoutMS shortens the server's repair deadline (10x the extract
-	// request timeout — learning is orders of magnitude heavier). Like the
-	// extract path it may shorten the deadline, never extend it.
+	// TimeoutMS shortens the job's learn deadline (default 10x the
+	// extract request timeout — learning is orders of magnitude heavier).
+	// It may shorten the deadline, never extend it.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
-// RepairResponse reports a repair attempt.
+// LearnRequest is the POST /v1/learn body: a new site's corpus, either
+// inline pages or a server-side directory of *.html files (exactly one).
+type LearnRequest struct {
+	Site  string   `json:"site"`
+	Pages []string `json:"pages,omitempty"`
+	// CorpusDir names a directory under the server's configured
+	// LearnCorpusRoot whose *.html files (flat, not recursive) form the
+	// corpus; it is read when the job runs, not at submit. Rejected when
+	// the server has no corpus root configured.
+	CorpusDir string `json:"corpus_dir,omitempty"`
+	// TimeoutMS shortens the job's learn deadline, like RepairRequest's.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// RepairResponse is a finished learn/repair job's result payload
+// (Snapshot.Result on GET /v1/jobs/{id}).
 type RepairResponse struct {
 	Site string `json:"site"`
 	// Promoted says whether serving flipped to the re-learned candidate.
@@ -450,6 +528,124 @@ type RepairResponse struct {
 	PreviousServingVer int    `json:"previous_serving_version,omitempty"`
 }
 
+// JobSnapshot aliases the job manager's wire snapshot — the GET /v1/jobs
+// and GET /v1/jobs/{id} body — so serve's HTTP clients need only this
+// package.
+type JobSnapshot = jobs.Snapshot
+
+// JobAccepted is the 202 body of POST /v1/learn and /v1/repair: poll
+// GET /v1/jobs/{id} for completion.
+type JobAccepted struct {
+	JobID string     `json:"job_id"`
+	Kind  jobs.Kind  `json:"kind"`
+	Site  string     `json:"site"`
+	State jobs.State `json:"state"`
+}
+
+// clampTimeout applies a request's timeout_ms to a server-side base
+// deadline: it may shorten the deadline, never extend it.
+func clampTimeout(base time.Duration, ms int) time.Duration {
+	if ms > 0 {
+		if t := time.Duration(ms) * time.Millisecond; t < base {
+			return t
+		}
+	}
+	return base
+}
+
+// RunMaintenance is the learn/repair work both HTTP jobs and the
+// auto-repair scanner execute: re-learn the site from fresh pages through
+// the repairer (stage → held-out validation → promote only on a strict
+// win, or unconditionally for a brand-new site), hot-swap the dispatcher
+// binding, and persist the store. It runs on a job worker, never on the
+// extract hot path.
+func (s *Server) RunMaintenance(ctx context.Context, site string, pages []string, progress func(string)) (*RepairResponse, error) {
+	if progress == nil {
+		progress = func(string) {}
+	}
+	prev := 0
+	if e, ok := s.cfg.Dispatcher.Store().Active(site); ok {
+		prev = e.Version
+	}
+	progress(fmt.Sprintf("learning from %d pages", len(pages)))
+	report, err := s.cfg.Repairer.Repair(ctx, site, pages)
+	if err != nil {
+		return nil, err
+	}
+	// Hot-swap so the promoted wrapper serves the very next request.
+	progress("validated; refreshing serving binding")
+	serving, err := s.cfg.Dispatcher.Refresh(site)
+	if err != nil {
+		return nil, fmt.Errorf("stored but refresh failed: %w", err)
+	}
+	if err := s.persist(); err != nil {
+		s.cfg.Log.Printf("serve: persisting store after %s job: %v", site, err)
+		return nil, fmt.Errorf("applied but not persisted: %w", err)
+	}
+	verdict := "rejected: incumbent keeps serving"
+	if report.Promoted {
+		verdict = "promoted"
+	}
+	return &RepairResponse{
+		Site:               site,
+		Promoted:           report.Promoted,
+		CandidateVersion:   report.Candidate.Version,
+		ServingVersion:     serving.Version,
+		CandidatePages:     report.CandidateEval.NonEmpty,
+		IncumbentPages:     report.IncumbentEval.NonEmpty,
+		CandidateRecords:   report.CandidateEval.Records,
+		IncumbentRecords:   report.IncumbentEval.Records,
+		LearnElapsedMS:     report.LearnElapsed.Milliseconds(),
+		ValidationVerdict:  verdict,
+		TrainPagesUsed:     report.TrainPages,
+		HoldoutPagesUsed:   report.HoldoutPages,
+		MonitorReset:       report.Promoted && s.cfg.Dispatcher.Monitor() != nil,
+		PreviousServingVer: prev,
+	}, nil
+}
+
+// submitMaintenance enqueues one learn/repair job and answers 202 + job
+// id (or 429/503 when the queue is full / the server is draining).
+// loadPages materializes the fresh corpus on the job worker — inline
+// pages are captured, corpus directories are read at run time.
+func (s *Server) submitMaintenance(w http.ResponseWriter, kind jobs.Kind, site string,
+	timeout time.Duration, loadPages func() ([]string, error)) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining: not accepting new jobs")
+		return
+	}
+	snap, err := s.cfg.Jobs.Submit(kind, site, func(ctx context.Context, progress func(string)) (any, error) {
+		ctx, cancel := context.WithTimeout(ctx, timeout)
+		defer cancel()
+		pages, err := loadPages()
+		if err != nil {
+			return nil, err
+		}
+		return s.RunMaintenance(ctx, site, pages, progress)
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, jobs.ErrQueueFull):
+			w.Header().Set("Retry-After",
+				strconv.Itoa(int(s.cfg.Gate.RetryAfter()/time.Second)))
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+		case errors.Is(err, jobs.ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		default:
+			writeError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+snap.ID)
+	writeJSON(w, http.StatusAccepted, JobAccepted{
+		JobID: snap.ID, Kind: snap.Kind, Site: snap.Site, State: snap.State,
+	})
+}
+
+// handleRepair enqueues a drift-repair job and returns 202 immediately:
+// repair is maintenance-plane work, and holding an HTTP request open
+// through a full re-learn would serialize operators (and automation)
+// behind the learn pool. Poll GET /v1/jobs/{id} for the outcome.
 func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	if !requirePost(w, r) {
 		return
@@ -467,60 +663,160 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "site and at least 2 pages are required")
 		return
 	}
-	timeout := 10 * s.cfg.RequestTimeout
-	if req.TimeoutMS > 0 {
-		if t := time.Duration(req.TimeoutMS) * time.Millisecond; t < timeout {
-			timeout = t
-		}
+	if len(req.Pages) > s.cfg.MaxPages {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"%d pages exceeds the per-request cap of %d", len(req.Pages), s.cfg.MaxPages)
+		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
-	defer cancel()
+	pages := req.Pages
+	s.submitMaintenance(w, jobs.KindRepair, req.Site, clampTimeout(s.cfg.JobTimeout, req.TimeoutMS),
+		func() ([]string, error) { return pages, nil })
+}
 
-	prev := 0
-	if e, ok := s.cfg.Dispatcher.Store().Active(req.Site); ok {
-		prev = e.Version
+// handleLearn enqueues a new-site learn job: corpus in (inline or by
+// server-side path), validated + promoted wrapper out, hot-swapped into
+// the dispatcher — the over-the-wire half of the engine's batch learning.
+func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
 	}
-	report, err := s.cfg.Repairer.Repair(ctx, req.Site, req.Pages)
-	if err != nil {
-		// Deadline/cancellation is the caller's retry-with-more-time signal
-		// (504/499); everything else means these pages can't repair the site
-		// (422) — don't tell automation to stop retrying a timeout.
-		code := http.StatusUnprocessableEntity
-		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			code = siteStatusCode(err)
+	if s.cfg.Repairer == nil {
+		writeError(w, http.StatusNotImplemented,
+			"learn is not configured on this server (no annotator)")
+		return
+	}
+	var req LearnRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	switch {
+	case req.Site == "":
+		writeError(w, http.StatusBadRequest, "site is required")
+		return
+	case len(req.Pages) > 0 && req.CorpusDir != "":
+		writeError(w, http.StatusBadRequest, "set pages or corpus_dir, not both")
+		return
+	case len(req.Pages) == 0 && req.CorpusDir == "":
+		writeError(w, http.StatusBadRequest, "pages or corpus_dir is required")
+		return
+	case req.CorpusDir == "" && len(req.Pages) < 2:
+		writeError(w, http.StatusBadRequest, "at least 2 pages are required")
+		return
+	case len(req.Pages) > s.cfg.MaxPages:
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"%d pages exceeds the per-request cap of %d", len(req.Pages), s.cfg.MaxPages)
+		return
+	}
+	loadPages := func() ([]string, error) { return req.Pages, nil }
+	if req.CorpusDir != "" {
+		dir, err := s.confineCorpusDir(req.CorpusDir)
+		if err != nil {
+			writeError(w, http.StatusForbidden, "%v", err)
+			return
 		}
-		writeError(w, code, "%v", err)
-		return
+		loadPages = func() ([]string, error) { return readCorpusDir(dir, s.cfg.MaxPages) }
 	}
-	// Hot-swap so the promoted wrapper serves the very next request.
-	serving, err := s.cfg.Dispatcher.Refresh(req.Site)
+	s.submitMaintenance(w, jobs.KindLearn, req.Site, clampTimeout(s.cfg.JobTimeout, req.TimeoutMS), loadPages)
+}
+
+// confineCorpusDir resolves a learn request's corpus_dir against the
+// configured root and rejects anything outside it (or everything, when no
+// root is configured) — the HTTP surface must not become an arbitrary
+// filesystem read. Both sides are resolved through symlinks before the
+// containment check, so a link planted under the root cannot smuggle the
+// walk out of it.
+func (s *Server) confineCorpusDir(dir string) (string, error) {
+	if s.cfg.LearnCorpusRoot == "" {
+		return "", fmt.Errorf("corpus_dir is disabled on this server (no corpus root configured); post inline pages instead")
+	}
+	root, err := filepath.Abs(s.cfg.LearnCorpusRoot)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "repair stored but refresh failed: %v", err)
+		return "", fmt.Errorf("corpus root: %v", err)
+	}
+	if root, err = filepath.EvalSymlinks(root); err != nil {
+		return "", fmt.Errorf("corpus root: %v", err)
+	}
+	if !filepath.IsAbs(dir) {
+		dir = filepath.Join(root, dir)
+	}
+	resolved, err := filepath.EvalSymlinks(filepath.Clean(dir))
+	if err != nil {
+		return "", fmt.Errorf("corpus_dir %s: %v", dir, err)
+	}
+	if resolved != root && !strings.HasPrefix(resolved, root+string(filepath.Separator)) {
+		return "", fmt.Errorf("corpus_dir %s is outside the configured corpus root", dir)
+	}
+	return resolved, nil
+}
+
+// readCorpusDir loads a learn job's corpus from a (confined) server-side
+// directory: its *.html files — flat, not recursive — sorted by name,
+// capped at maxPages.
+func readCorpusDir(dir string, maxPages int) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("corpus dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".html") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) < 2 {
+		return nil, fmt.Errorf("corpus dir %s: need at least 2 *.html files, found %d", dir, len(names))
+	}
+	if len(names) > maxPages {
+		names = names[:maxPages]
+	}
+	pages := make([]string, len(names))
+	for i, name := range names {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("corpus dir: %w", err)
+		}
+		pages[i] = string(b)
+	}
+	return pages, nil
+}
+
+// handleJobs lists every retained job.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Jobs == nil {
+		writeJSON(w, http.StatusOK, []jobs.Snapshot{})
 		return
 	}
-	if err := s.persist(); err != nil {
-		s.cfg.Log.Printf("serve: persisting store after repair: %v", err)
-		writeError(w, http.StatusInternalServerError, "repair applied but not persisted: %v", err)
+	writeJSON(w, http.StatusOK, s.cfg.Jobs.List())
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Jobs == nil {
+		writeError(w, http.StatusNotFound, "no job manager on this server")
 		return
 	}
-	verdict := "rejected: incumbent keeps serving"
-	if report.Promoted {
-		verdict = "promoted"
+	snap, err := s.cfg.Jobs.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
 	}
-	writeJSON(w, http.StatusOK, RepairResponse{
-		Site:               req.Site,
-		Promoted:           report.Promoted,
-		CandidateVersion:   report.Candidate.Version,
-		ServingVersion:     serving.Version,
-		CandidatePages:     report.CandidateEval.NonEmpty,
-		IncumbentPages:     report.IncumbentEval.NonEmpty,
-		CandidateRecords:   report.CandidateEval.Records,
-		IncumbentRecords:   report.IncumbentEval.Records,
-		LearnElapsedMS:     report.LearnElapsed.Milliseconds(),
-		ValidationVerdict:  verdict,
-		TrainPagesUsed:     report.TrainPages,
-		HoldoutPagesUsed:   report.HoldoutPages,
-		MonitorReset:       report.Promoted && s.cfg.Dispatcher.Monitor() != nil,
-		PreviousServingVer: prev,
-	})
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Jobs == nil {
+		writeError(w, http.StatusNotFound, "no job manager on this server")
+		return
+	}
+	snap, err := s.cfg.Jobs.Cancel(r.PathValue("id"))
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
+		writeError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, jobs.ErrFinished):
+		writeError(w, http.StatusConflict, "%v", err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	default:
+		writeJSON(w, http.StatusOK, snap)
+	}
 }

@@ -7,10 +7,14 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	"autowrap/internal/drift"
+	"autowrap/internal/jobs"
 	"autowrap/internal/serve"
 	"autowrap/internal/store"
 )
@@ -332,6 +336,106 @@ func TestHTTPRepairUnconfigured(t *testing.T) {
 		Site: "shop", Pages: []string{"<p>a</p>", "<p>b</p>"}})
 	if resp.StatusCode != http.StatusNotImplemented {
 		t.Fatalf("repair without repairer: status %d, want 501", resp.StatusCode)
+	}
+	resp = postJSON(t, hs.URL+"/v1/learn", serve.LearnRequest{
+		Site: "new", Pages: []string{"<p>a</p>", "<p>b</p>"}})
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("learn without repairer: status %d, want 501", resp.StatusCode)
+	}
+}
+
+// TestHTTPLearnCorpusDirConfined: corpus_dir is rejected without a
+// configured root, and rejected outside it — the learn endpoint must not
+// become an arbitrary server-side file read. The repairer here is a stub
+// (never reached: both requests die before submission).
+func TestHTTPLearnCorpusDirConfined(t *testing.T) {
+	root := t.TempDir()
+	d := serve.NewDispatcher(twoVersionStore(t), serve.Options{})
+	jm := jobs.New(jobs.Options{})
+	t.Cleanup(func() { jm.Drain(context.Background()) })
+	srv, err := serve.NewServer(serve.ServerConfig{
+		Dispatcher: d,
+		Repairer:   &drift.Repairer{},
+		Jobs:       jm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	// No root configured → corpus_dir disabled entirely.
+	resp := postJSON(t, hs.URL+"/v1/learn", serve.LearnRequest{Site: "s", CorpusDir: root})
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("corpus_dir without root: status %d, want 403", resp.StatusCode)
+	}
+
+	jm2 := jobs.New(jobs.Options{})
+	t.Cleanup(func() { jm2.Drain(context.Background()) })
+	srv2, err := serve.NewServer(serve.ServerConfig{
+		Dispatcher:      d,
+		Repairer:        &drift.Repairer{},
+		Jobs:            jm2,
+		LearnCorpusRoot: root,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs2 := httptest.NewServer(srv2.Handler())
+	t.Cleanup(hs2.Close)
+	for _, dir := range []string{"/etc", "../..", root + "/../outside"} {
+		resp := postJSON(t, hs2.URL+"/v1/learn", serve.LearnRequest{Site: "s", CorpusDir: dir})
+		if resp.StatusCode != http.StatusForbidden {
+			t.Fatalf("corpus_dir %q: status %d, want 403", dir, resp.StatusCode)
+		}
+	}
+	// A symlink under the root pointing outside it must not escape.
+	outside := t.TempDir()
+	if err := os.Symlink(outside, filepath.Join(root, "sneaky")); err != nil {
+		t.Fatal(err)
+	}
+	resp = postJSON(t, hs2.URL+"/v1/learn", serve.LearnRequest{Site: "s", CorpusDir: "sneaky"})
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("symlinked corpus_dir: status %d, want 403", resp.StatusCode)
+	}
+
+	// An existing directory inside the root is accepted (202; the job
+	// itself will fail on the empty dir + stub repairer, which is fine —
+	// submission is the test).
+	if err := os.Mkdir(filepath.Join(root, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	resp = postJSON(t, hs2.URL+"/v1/learn", serve.LearnRequest{Site: "s", CorpusDir: "sub"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("corpus_dir under root: status %d, want 202", resp.StatusCode)
+	}
+}
+
+// TestHTTPJobsEndpointsWithoutManager: a server with no maintenance plane
+// still answers the jobs routes sanely.
+func TestHTTPJobsEndpointsWithoutManager(t *testing.T) {
+	_, hs := newTestServer(t, twoVersionStore(t), nil)
+	resp, err := http.Get(hs.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("jobs list: status %d", resp.StatusCode)
+	}
+	if list := decode[[]serve.JobSnapshot](t, resp); len(list) != 0 {
+		t.Fatalf("jobs list = %+v, want empty", list)
+	}
+	getResp, err := http.Get(hs.URL + "/v1/jobs/job-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: status %d, want 404", getResp.StatusCode)
+	}
+	cresp := postJSON(t, hs.URL+"/v1/jobs/job-000001/cancel", struct{}{})
+	if cresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cancel unknown job: status %d, want 404", cresp.StatusCode)
 	}
 }
 

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"math"
 	"math/bits"
 	"sync/atomic"
 	"time"
@@ -50,15 +51,23 @@ func (h *latencyHist) Record(d time.Duration) {
 	}
 }
 
-// Quantile estimates the q-quantile (0 < q <= 1) in microseconds.
+// Quantile estimates the q-quantile (0 < q <= 1) in microseconds. The
+// rank is the ceiling of q*total — the smallest k such that at least a q
+// fraction of observations is <= the k-th — so p99 of 100 requests is the
+// 99th-slowest, not the 98th: truncation would bias tail quantiles one
+// bucket low exactly at small counts, where a histogram is already at its
+// coarsest.
 func (h *latencyHist) Quantile(q float64) float64 {
 	total := h.count.Load()
 	if total == 0 {
 		return 0
 	}
-	rank := int64(q * float64(total))
+	rank := int64(math.Ceil(q * float64(total)))
 	if rank < 1 {
 		rank = 1
+	}
+	if rank > total {
+		rank = total
 	}
 	var seen int64
 	for i := 0; i < histBuckets; i++ {
@@ -88,11 +97,47 @@ const (
 type rateRing struct {
 	sec [rateSlots]atomic.Int64
 	n   [rateSlots]atomic.Int64
+	// start is the first tick's wall-clock second: the ring cannot claim
+	// coverage of seconds before it existed, so the denominator below is
+	// bounded by the ring's own uptime.
+	start atomic.Int64
+	// last is the most recent tick's second; resume marks where coverage
+	// restarts after the ring went dark for longer than the whole window
+	// (at that point no in-window second predates the gap, so averaging
+	// across the empty window would just dilute the resumed traffic).
+	last   atomic.Int64
+	resume atomic.Int64
 }
 
 // Tick records n events at time now.
 func (r *rateRing) Tick(now time.Time, n int64) {
 	sec := now.Unix()
+	// Track the earliest tick second (ticks may arrive slightly out of
+	// order around second boundaries); the fast path is one load.
+	for {
+		old := r.start.Load()
+		if old != 0 && old <= sec {
+			break
+		}
+		if r.start.CompareAndSwap(old, sec) {
+			break
+		}
+	}
+	// Track the latest tick second, and restart coverage when the ring
+	// was dark for longer than the window. Races around the boundary can
+	// misplace resume by a second; monitoring tolerates that.
+	for {
+		old := r.last.Load()
+		if old >= sec {
+			break
+		}
+		if r.last.CompareAndSwap(old, sec) {
+			if old != 0 && sec-old > rateWindow {
+				r.resume.Store(sec)
+			}
+			break
+		}
+	}
 	i := int(sec % rateSlots)
 	if old := r.sec[i].Load(); old != sec && r.sec[i].CompareAndSwap(old, sec) {
 		r.n[i].Store(0)
@@ -100,11 +145,25 @@ func (r *rateRing) Tick(now time.Time, n int64) {
 	r.n[i].Add(n)
 }
 
-// Rate returns the mean events/sec over the trailing rateWindow complete
+// Rate returns the mean events/sec over the trailing window's complete
 // seconds (the current, partial second is excluded so the rate doesn't dip
-// at every second boundary).
+// at every second boundary). The denominator is the number of in-window
+// seconds actually covered, capped at rateWindow — never the full window
+// blindly: dividing by 10 when only 3 seconds of data exist under-reports
+// early-uptime QPS by 70%. Coverage runs from the latest of window start,
+// first tick (the ring cannot cover seconds before it existed) and the
+// resume watermark (traffic restarting after a dark gap longer than the
+// whole window — nothing in the window predates such a gap, so the gap's
+// emptiness must not dilute the resumed rate). A lull *shorter* than the
+// window, by contrast, leaves earlier in-window traffic standing, and its
+// idle seconds count as the genuine zeros they are.
 func (r *rateRing) Rate(now time.Time) float64 {
 	nowSec := now.Unix()
+	start := r.start.Load()
+	if start == 0 || nowSec <= start {
+		// No ticks yet, or no complete second of data: nothing to average.
+		return 0
+	}
 	var total int64
 	for i := 0; i < rateSlots; i++ {
 		sec := r.sec[i].Load()
@@ -112,7 +171,21 @@ func (r *rateRing) Rate(now time.Time) float64 {
 			total += r.n[i].Load()
 		}
 	}
-	return float64(total) / rateWindow
+	from := nowSec - rateWindow
+	if start > from {
+		from = start
+	}
+	if resume := r.resume.Load(); resume > from {
+		from = resume
+	}
+	covered := nowSec - from
+	if covered < 1 {
+		covered = 1
+	}
+	if covered > rateWindow {
+		covered = rateWindow
+	}
+	return float64(total) / float64(covered)
 }
 
 // SiteMetrics is one site's serving-side request ledger: request and page

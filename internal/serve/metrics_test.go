@@ -43,6 +43,51 @@ func TestLatencyHistEmptyAndExtremes(t *testing.T) {
 	}
 }
 
+// TestLatencyHistQuantileCeilingRank pins the rank arithmetic at exact
+// bucket boundaries: the rank must be ceil(q*total), not trunc(q*total),
+// or tail quantiles at small counts report one bucket low.
+func TestLatencyHistQuantileCeilingRank(t *testing.T) {
+	fast := 100 * time.Microsecond    // bucket [64,128)µs, midpoint 96
+	slow := 50 * time.Millisecond     // bucket [32.8,65.5)ms
+	fastMid, slowMid := 96.0, 49152.0 // geometric midpoints reported
+	cases := []struct {
+		name  string
+		nFast int
+		nSlow int
+		q     float64
+		want  float64
+	}{
+		// 99 fast + 1 slow: ceil(0.99*100)=99 lands on the last fast
+		// request; trunc would too — the boundary case is below.
+		{"p99 of 99+1", 99, 1, 0.99, fastMid},
+		// 98 fast + 2 slow: ceil(0.99*100)=99 is the first slow request.
+		// trunc(0.99*100)=98 would still report the fast bucket — the
+		// exact bias this test pins.
+		{"p99 of 98+2", 98, 2, 0.99, slowMid},
+		// 9 fast + 1 slow: ceil(0.99*10)=10 → the slow one. trunc = 9
+		// → fast: the small-count case from the bug report.
+		{"p99 of 9+1", 9, 1, 0.99, slowMid},
+		// p50 of 1 fast + 1 slow: ceil(0.5*2)=1 → fast.
+		{"p50 of 1+1", 1, 1, 0.50, fastMid},
+		// p100 always reaches the last observation.
+		{"p100 of 3+1", 3, 1, 1.0, slowMid},
+		// q so small the rank clamps up to 1.
+		{"p1 of 4+0", 4, 0, 0.01, fastMid},
+	}
+	for _, tc := range cases {
+		var h latencyHist
+		for i := 0; i < tc.nFast; i++ {
+			h.Record(fast)
+		}
+		for i := 0; i < tc.nSlow; i++ {
+			h.Record(slow)
+		}
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("%s: Quantile(%v) = %v µs, want %v", tc.name, tc.q, got, tc.want)
+		}
+	}
+}
+
 func TestRateRingTrailingWindow(t *testing.T) {
 	var r rateRing
 	base := time.Unix(1_700_000_100, 0)
@@ -62,5 +107,73 @@ func TestRateRingTrailingWindow(t *testing.T) {
 	later := base.Add(rateWindow * 2 * time.Second)
 	if got := r.Rate(later); got != 0 {
 		t.Fatalf("rate after window passed = %v, want 0", got)
+	}
+}
+
+// TestRateRingEarlyUptimeNotUnderReported pins the satellite bugfix: with
+// only k < rateWindow complete seconds of data since the first tick, the
+// denominator is k, not the full window — 50 req/s of steady traffic must
+// read as 50 from the second second of uptime, not ramp 5, 10, 15...
+func TestRateRingEarlyUptimeNotUnderReported(t *testing.T) {
+	var r rateRing
+	base := time.Unix(1_700_000_100, 0)
+	for s := 0; s < 3; s++ {
+		r.Tick(base.Add(time.Duration(s)*time.Second), 50)
+	}
+	// "now" is 3s after the first tick: exactly 3 complete seconds of
+	// data exist, each carrying 50 events.
+	if got := r.Rate(base.Add(3 * time.Second)); got != 50 {
+		t.Fatalf("rate after 3s of uptime = %v, want 50 (not %v)", got, 150.0/rateWindow)
+	}
+	// One complete second of data.
+	var r2 rateRing
+	r2.Tick(base, 50)
+	if got := r2.Rate(base.Add(time.Second)); got != 50 {
+		t.Fatalf("rate after 1s of uptime = %v, want 50", got)
+	}
+	// No complete seconds at all: nothing to average yet.
+	var r3 rateRing
+	r3.Tick(base, 50)
+	if got := r3.Rate(base); got != 0 {
+		t.Fatalf("rate in the first partial second = %v, want 0", got)
+	}
+}
+
+// TestRateRingIdleGapRecovery: after an idle gap long enough to stale the
+// whole window, resumed traffic is averaged over the seconds it actually
+// covers, not diluted across the empty window.
+func TestRateRingIdleGapRecovery(t *testing.T) {
+	var r rateRing
+	base := time.Unix(1_700_000_100, 0)
+	r.Tick(base, 30) // old burst, will fall out of the window
+	resume := base.Add(60 * time.Second)
+	r.Tick(resume, 40)
+	r.Tick(resume.Add(time.Second), 40)
+	if got := r.Rate(resume.Add(2 * time.Second)); got != 40 {
+		t.Fatalf("rate 2s after idle gap = %v, want 40", got)
+	}
+	// A genuine zero-traffic second inside a live window still counts:
+	// ticks at t and t+2 (nothing at t+1) average over 3 seconds.
+	var r2 rateRing
+	r2.Tick(base, 30)
+	r2.Tick(base.Add(2*time.Second), 30)
+	if got := r2.Rate(base.Add(3 * time.Second)); got != 20 {
+		t.Fatalf("rate with an embedded zero second = %v, want 20", got)
+	}
+}
+
+// TestRateRingLullDoesNotInflate: a lull shorter than the window is not a
+// restart — its idle seconds are genuine zeros and must stay in the
+// denominator, or a single post-lull request reads as a rate spike.
+func TestRateRingLullDoesNotInflate(t *testing.T) {
+	var r rateRing
+	base := time.Unix(1_700_000_100, 0)
+	r.Tick(base.Add(-30*time.Second), 10) // long-lived ring, old traffic
+	r.Tick(base, 10)                      // 1 event at T
+	// 8 idle seconds, then 1 event at T+9.
+	r.Tick(base.Add(9*time.Second), 1)
+	// Trailing window at T+11 covers T+1..T+10: one event, ten seconds.
+	if got := r.Rate(base.Add(11 * time.Second)); got != 0.1 {
+		t.Fatalf("rate after an in-window lull = %v, want 0.1 (zeros must count)", got)
 	}
 }

@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # CI smoke test for the serving daemon: generate a small multi-site corpus,
-# learn a wrapper per site into a store, boot wrapserved, hit /healthz and
-# /v1/extract, replay mixed-site load with loadgen (429 backpressure is
-# fine, failed requests are not), and verify a clean SIGTERM drain.
+# learn wrappers into a store (one site deliberately left out), boot
+# wrapserved, hit /healthz and /v1/extract, drive the asynchronous
+# maintenance plane (submit a learn job over HTTP for the left-out site,
+# poll it to done, extract with the promoted wrapper), replay mixed
+# extract+repair load with loadgen (429 backpressure is fine, failed
+# requests are not), and verify a clean SIGTERM drain with a job still
+# queued on the maintenance plane.
 #
 #   SMOKE_PORT  listen port (default 8931)
 set -euo pipefail
@@ -19,18 +23,31 @@ trap cleanup EXIT
 go build -o "$WORK" ./cmd/sitegen ./cmd/wrapserve ./cmd/wrapserved ./cmd/loadgen
 
 # A 3-site corpus; each site's gold list doubles as a clean dictionary.
+# Learn the first two sites ahead of time; the third stays out of the
+# store so the async /v1/learn path has a genuinely new site to learn.
 "$WORK/sitegen" -dataset dealers -sites 3 -out "$WORK/corpus" > /dev/null
 site=""
+newsite=""
+newdir=""
+n=0
 for dir in "$WORK"/corpus/DEALERS/*/; do
-  site="$(basename "$dir")"
-  cut -f2 "$dir/name.gold.txt" | sort -u > "$WORK/dict-$site.txt"
-  "$WORK/wrapserve" -learn -store "$WORK/wrappers.json" -site "$site" \
-    -dict "$WORK/dict-$site.txt" "$dir"/page-*.html > /dev/null
+  name="$(basename "$dir")"
+  cut -f2 "$dir/name.gold.txt" | sort -u >> "$WORK/dict-all.txt"
+  n=$((n + 1))
+  if [ "$n" -eq 3 ]; then
+    newsite="$name"; newdir="$dir"
+    continue
+  fi
+  site="$name"
+  "$WORK/wrapserve" -learn -store "$WORK/wrappers.json" -site "$name" \
+    -dict <(cut -f2 "$dir/name.gold.txt" | sort -u) "$dir"/page-*.html > /dev/null
 done
+sort -u "$WORK/dict-all.txt" -o "$WORK/dict-all.txt"
 
 ADDR="127.0.0.1:${SMOKE_PORT:-8931}"
 "$WORK/wrapserved" -store "$WORK/wrappers.json" -addr "$ADDR" \
-  -max-inflight 2 -queue 4 &> "$WORK/served.log" &
+  -max-inflight 2 -queue 4 -dict "$WORK/dict-all.txt" \
+  -learn-workers 1 -job-queue 8 -learn-corpus-root "$WORK/corpus" &> "$WORK/served.log" &
 SERVED_PID=$!
 
 healthy=""
@@ -55,16 +72,80 @@ PY
 curl -fsS -X POST --data-binary @"$WORK/req.json" "http://$ADDR/v1/extract" \
   | python3 -c 'import json,sys; d=json.load(sys.stdin); r=d["results"][0]["records"]; assert r, d; print("extract: %d records from v%d" % (len(r), d["version"]))'
 
-# Mixed-site load through a deliberately tight gate. loadgen exits non-zero
-# if any request fails (429 rejections are backpressure, not failures).
-"$WORK/loadgen" -addr "http://$ADDR" -corpus "$WORK/corpus" \
-  -qps 150 -duration 3s -concurrency 8 -batch 2
+# --- Asynchronous maintenance plane ---
+# corpus_dir outside -learn-corpus-root must be rejected outright.
+code="$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+  -d "{\"site\":\"evil\",\"corpus_dir\":\"/etc\"}" "http://$ADDR/v1/learn")"
+if [ "$code" != "403" ]; then
+  echo "smoke-serve: corpus_dir escape answered $code, want 403" >&2
+  exit 1
+fi
+echo "corpus_dir confinement: 403 outside root"
 
-# Clean drain: SIGTERM must finish in-flight work and exit 0.
+# Submit a learn job for the never-learned site by server-side corpus
+# path (under the configured root): 202 + job id immediately.
+JOB_ID="$(curl -fsS -X POST -d "{\"site\":\"$newsite\",\"corpus_dir\":\"$newdir\"}" \
+  "http://$ADDR/v1/learn" \
+  | python3 -c 'import json,sys; d=json.load(sys.stdin); assert d["state"] in ("queued","running"), d; print(d["job_id"])')"
+echo "learn job accepted: $JOB_ID for $newsite"
+
+# Poll the job to done.
+state=""
+for _ in $(seq 1 100); do
+  state="$(curl -fsS "http://$ADDR/v1/jobs/$JOB_ID" \
+    | python3 -c 'import json,sys; print(json.load(sys.stdin)["state"])')"
+  case "$state" in
+    done) break ;;
+    failed|canceled)
+      echo "smoke-serve: learn job ended $state" >&2
+      curl -fsS "http://$ADDR/v1/jobs/$JOB_ID" >&2 || true
+      exit 1 ;;
+  esac
+  sleep 0.2
+done
+if [ "$state" != "done" ]; then
+  echo "smoke-serve: learn job stuck in state $state" >&2
+  exit 1
+fi
+curl -fsS "http://$ADDR/v1/jobs/$JOB_ID" \
+  | python3 -c 'import json,sys; d=json.load(sys.stdin); r=d["result"]; assert r["promoted"], d; print("learn job done: %s promoted v%d in %dms" % (d["site"], r["serving_version"], d["run_ms"]))'
+
+# The freshly learned site must now extract over the wire.
+page="$newdir/page-000.html"
+python3 - "$newsite" "$page" > "$WORK/req2.json" <<'PY'
+import json, sys
+print(json.dumps({"site": sys.argv[1],
+                  "page": {"id": "smoke-learned", "html": open(sys.argv[2]).read()}}))
+PY
+curl -fsS -X POST --data-binary @"$WORK/req2.json" "http://$ADDR/v1/extract" \
+  | python3 -c 'import json,sys; d=json.load(sys.stdin); r=d["results"][0]["records"]; assert r, d; print("extract from learned site: %d records from v%d" % (len(r), d["version"]))'
+
+# Mixed-site load through a deliberately tight gate, with async repair
+# jobs submitted alongside (the mixed maintenance scenario). loadgen
+# exits non-zero if any request fails (429 rejections are backpressure,
+# not failures; repair 202s are accepted).
+"$WORK/loadgen" -addr "http://$ADDR" -corpus "$WORK/corpus" \
+  -qps 150 -duration 3s -concurrency 8 -batch 2 \
+  -repair-every 1s -repair-pages 6
+
+# Clean drain with a queued job: stack two repair submissions (one runs,
+# one queues behind the single learn worker), then SIGTERM. The daemon
+# must cancel the queued job, wait out the running one, and exit 0.
+pages_json="$(python3 - "$newdir" <<'PY'
+import glob, json, sys
+pages = [open(p).read() for p in sorted(glob.glob(sys.argv[1] + "/page-*.html"))[:6]]
+print(json.dumps(pages))
+PY
+)"
+for i in 1 2; do
+  printf '{"site":"%s","pages":%s}' "$newsite" "$pages_json" > "$WORK/repair.json"
+  curl -fsS -X POST --data-binary @"$WORK/repair.json" "http://$ADDR/v1/repair" \
+    | python3 -c 'import json,sys; d=json.load(sys.stdin); print("repair job %s: %s" % (d["job_id"], d["state"]))'
+done
 kill -TERM "$SERVED_PID"
 wait "$SERVED_PID"
 SERVED_PID=""
 grep -q "drained cleanly" "$WORK/served.log" || {
   echo "smoke-serve: no clean-drain log line" >&2; cat "$WORK/served.log" >&2; exit 1;
 }
-echo "smoke-serve: OK (clean drain)"
+echo "smoke-serve: OK (async learn + mixed load + clean drain with queued job)"

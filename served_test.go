@@ -16,10 +16,57 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"autowrap"
+	"autowrap/internal/dataset"
+	"autowrap/internal/gen"
 	"autowrap/internal/serve"
 )
+
+// waitJob polls GET /v1/jobs/{id} until the job reaches a terminal state
+// and fails the test unless that state is done.
+func waitJob(t *testing.T, base, id string) serve.JobSnapshot {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap serve.JobSnapshot
+		err = json.NewDecoder(resp.Body).Decode(&snap)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("decoding job %s: %v", id, err)
+		}
+		if snap.State.Terminal() {
+			if snap.State != "done" {
+				t.Fatalf("job %s finished %s: %s", id, snap.State, snap.Error)
+			}
+			return snap
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %s", id, snap.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// repairResult re-decodes a done job's result payload as a RepairResponse
+// (it travels as generic JSON inside the snapshot).
+func repairResult(t *testing.T, snap serve.JobSnapshot) serve.RepairResponse {
+	t.Helper()
+	b, err := json.Marshal(snap.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out serve.RepairResponse
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatalf("job %s result %v: %v", snap.ID, snap.Result, err)
+	}
+	return out
+}
 
 // postJSON posts v and decodes the response into out, returning the status.
 func postJSON(t *testing.T, url string, v, out any) int {
@@ -91,6 +138,7 @@ func TestHTTPServiceEndToEnd(t *testing.T) {
 	}
 	hs := httptest.NewServer(srv.Handler())
 	defer hs.Close()
+	defer srv.Close() // drains the implicitly created job manager
 
 	// Held-out pages of the clean site extract over HTTP exactly what the
 	// stored wrapper extracts natively.
@@ -161,15 +209,22 @@ func TestHTTPServiceEndToEnd(t *testing.T) {
 		t.Fatalf("/metrics does not report the trip: %+v", metrics.Sites)
 	}
 
-	// Repair over HTTP: re-learn from the drifted pages, validated
-	// promotion, hot-swap — all in one request.
-	var rout serve.RepairResponse
+	// Repair over HTTP: the request enqueues a background job and answers
+	// 202 + job id immediately — learning happens on the maintenance
+	// plane, not inside the HTTP request. Poll the job to completion,
+	// then check the validated promotion + hot-swap it performed.
+	var accepted serve.JobAccepted
 	if code := postJSON(t, hs.URL+"/v1/repair",
-		serve.RepairRequest{Site: clean.Name, Pages: driftHTML}, &rout); code != http.StatusOK {
-		t.Fatalf("repair: status %d (%+v)", code, rout)
+		serve.RepairRequest{Site: clean.Name, Pages: driftHTML}, &accepted); code != http.StatusAccepted {
+		t.Fatalf("repair: status %d (%+v), want 202", code, accepted)
 	}
+	if accepted.JobID == "" || accepted.Kind != "repair" {
+		t.Fatalf("repair acceptance = %+v", accepted)
+	}
+	job := waitJob(t, hs.URL, accepted.JobID)
+	rout := repairResult(t, job)
 	if !rout.Promoted || rout.ServingVersion != 2 {
-		t.Fatalf("repair = %+v, want promoted v2", rout)
+		t.Fatalf("repair job result = %+v, want promoted v2", rout)
 	}
 
 	// The same server instance now serves the promoted wrapper: the
@@ -203,5 +258,249 @@ func TestHTTPServiceEndToEnd(t *testing.T) {
 	}
 	if code := postJSON(t, hs.URL+"/v1/extract", req, &out); code != http.StatusOK || out.Version != 1 {
 		t.Fatalf("after rollback: status %d version %d, want 200/v1", code, out.Version)
+	}
+}
+
+// maintPairSeed is maintPair with a caller-chosen seed, for tests that
+// need a second, unrelated site.
+func maintPairSeed(t *testing.T, seed int64) (clean, mutated *gen.Site, annot autowrap.Annotator) {
+	t.Helper()
+	opts := dataset.DealersOptions{NumSites: 1, NumPages: 16, Seed: seed}
+	ds, err := dataset.Dealers(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Drift = 2
+	dsm, err := dataset.Dealers(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds.Sites[0], dsm.Sites[0], ds.Annotator
+}
+
+// learnedServerFromSites boots the full serving stack (engine-learned v1
+// of the clean site, monitor, repairer, job manager) and returns the
+// pieces the maintenance tests drive.
+func learnedServerFromSites(t *testing.T, clean *gen.Site, annot autowrap.Annotator,
+	gate *autowrap.AdmissionGate, recentPages int) (*autowrap.Server, *httptest.Server, *autowrap.Monitor) {
+	t.Helper()
+	ctx := context.Background()
+	newInductor := func(c *autowrap.Corpus) (autowrap.Inductor, error) {
+		return autowrap.NewXPathInductor(c), nil
+	}
+	batch, err := autowrap.LearnBatch(ctx, []autowrap.BatchSite{{
+		Name:        clean.Name,
+		Corpus:      clean.Corpus,
+		Annotator:   annot,
+		NewInductor: newInductor,
+		Config:      autowrap.NewLearnConfig(autowrap.GenericModels(clean.Corpus), autowrap.Options{}),
+	}}, autowrap.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := autowrap.NewWrapperStore()
+	if n, err := autowrap.StoreBatch(st, batch); n != 1 || err != nil {
+		t.Fatalf("StoreBatch: n=%d err=%v", n, err)
+	}
+	monitor := autowrap.NewMonitor(autowrap.HealthPolicy{Window: 8, MinPages: 4})
+	dispatcher := autowrap.NewDispatcher(st, autowrap.DispatcherOptions{
+		Monitor: monitor, RecentPages: recentPages,
+	})
+	repairer := &autowrap.Repairer{
+		Store: st,
+		Spec: func(site string, c *autowrap.Corpus) (autowrap.BatchSite, error) {
+			return autowrap.BatchSite{Annotator: annot, NewInductor: newInductor,
+				Config: autowrap.NewLearnConfig(autowrap.GenericModels(c), autowrap.Options{})}, nil
+		},
+		Monitor: monitor,
+	}
+	srv, err := autowrap.NewServer(autowrap.ServerConfig{
+		Dispatcher: dispatcher,
+		Gate:       gate,
+		Repairer:   repairer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	t.Cleanup(func() { srv.Close() })
+	return srv, hs, monitor
+}
+
+// TestAutoRepairHealsWithoutAdminCall is the acceptance e2e for the
+// autonomous maintenance loop: a drift-tripped site heals via the scanner
+// — trip → auto-enqueued repair job re-learning from recently served
+// pages → validated promotion → hot-swap — with no /v1/repair call and no
+// admin intervention of any kind.
+func TestAutoRepairHealsWithoutAdminCall(t *testing.T) {
+	clean, mutated, annot := maintPair(t)
+	srv, hs, monitor := learnedServerFromSites(t, clean, annot, nil, 32)
+
+	maintainer, err := autowrap.NewMaintainer(srv, autowrap.MaintainerOptions{
+		Interval: 25 * time.Millisecond,
+		MinGap:   50 * time.Millisecond,
+		MinPages: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maintainer.Start()
+	defer maintainer.Stop()
+
+	// Drifted traffic only — the site's records collapse, the monitor
+	// trips, and from here on nobody calls any admin endpoint.
+	driftReq := serve.ExtractRequest{Site: clean.Name}
+	for i, p := range mutated.Corpus.Pages {
+		driftReq.Pages = append(driftReq.Pages, serve.PageInput{
+			ID: fmt.Sprintf("drift-%02d", i), HTML: p.HTML})
+	}
+	if code := postJSON(t, hs.URL+"/v1/extract", driftReq, nil); code != http.StatusOK {
+		t.Fatalf("drifted extract: status %d", code)
+	}
+	// The trip hook may already have repaired and re-armed the monitor by
+	// now (that is the point); the lifetime trip counter proves the trip
+	// happened.
+	if h, ok := monitor.Site(clean.Name); !ok || h.Stats().Trips < 1 {
+		t.Fatalf("drifted traffic did not trip the monitor: %v", monitor.Snapshot())
+	}
+
+	// The site must heal on its own: keep serving drifted pages until the
+	// promoted v2 answers (the trip hook + scanner own the repair).
+	var out serve.ExtractResponse
+	deadline := time.Now().Add(60 * time.Second)
+	probe := serve.ExtractRequest{Site: clean.Name,
+		Page: &serve.PageInput{ID: "probe", HTML: mutated.Corpus.Pages[0].HTML}}
+	for {
+		if code := postJSON(t, hs.URL+"/v1/extract", probe, &out); code != http.StatusOK {
+			t.Fatalf("probe extract: status %d", code)
+		}
+		if out.Version >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("site never auto-healed; still serving v%d (jobs: %+v)",
+				out.Version, srv.Jobs().List())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The healed wrapper extracts the drifted site's full gold record set.
+	if code := postJSON(t, hs.URL+"/v1/extract", driftReq, &out); code != http.StatusOK {
+		t.Fatalf("post-heal extract: status %d", code)
+	}
+	var got []string
+	for _, r := range out.Results {
+		got = append(got, r.Records...)
+	}
+	var want []string
+	mutated.Gold["name"].ForEach(func(ord int) {
+		want = append(want, strings.TrimSpace(mutated.Corpus.TextContent(ord)))
+	})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-heal extraction: %d records, want %d gold", len(got), len(want))
+	}
+
+	// The repair rode the job plane: a done auto-repair job is visible.
+	var sawRepair bool
+	for _, j := range srv.Jobs().List() {
+		if j.Kind == "repair" && j.Site == clean.Name && j.State == "done" {
+			sawRepair = true
+		}
+	}
+	if !sawRepair {
+		t.Fatalf("no done repair job in %+v", srv.Jobs().List())
+	}
+	// The monitor re-armed against the new wrapper.
+	if h, ok := monitor.Site(clean.Name); !ok || h.Tripped() {
+		t.Fatal("monitor still tripped after auto-repair")
+	}
+}
+
+// TestRepairAnswers202WhileExtractGateSaturated pins the isolation
+// acceptance criterion: POST /v1/repair returns 202 + job id immediately
+// even while the extract hot path is fully saturated — the maintenance
+// plane never queues behind (or inside) the admission gate, where the old
+// blocking repair serialized.
+func TestRepairAnswers202WhileExtractGateSaturated(t *testing.T) {
+	clean, mutated, annot := maintPair(t)
+	gate := autowrap.NewAdmissionGate(autowrap.AdmissionOptions{MaxInFlight: 1, MaxQueue: -1})
+	_, hs, _ := learnedServerFromSites(t, clean, annot, gate, 0)
+
+	// Saturate the gate: extract requests are now rejected at the door.
+	release, err := gate.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	if code := postJSON(t, hs.URL+"/v1/extract", serve.ExtractRequest{
+		Site: clean.Name,
+		Page: &serve.PageInput{HTML: clean.Corpus.Pages[0].HTML}}, nil); code != http.StatusTooManyRequests {
+		t.Fatalf("extract through saturated gate: status %d, want 429", code)
+	}
+
+	var driftHTML []string
+	for _, p := range mutated.Corpus.Pages {
+		driftHTML = append(driftHTML, p.HTML)
+	}
+	var accepted serve.JobAccepted
+	start := time.Now()
+	code := postJSON(t, hs.URL+"/v1/repair",
+		serve.RepairRequest{Site: clean.Name, Pages: driftHTML}, &accepted)
+	elapsed := time.Since(start)
+	if code != http.StatusAccepted || accepted.JobID == "" {
+		t.Fatalf("repair under extract load: status %d (%+v), want 202 + job id", code, accepted)
+	}
+	// The acceptance budget is 50ms; CI boxes wobble, so the hard test
+	// bound is looser — but nowhere near a learn's duration, proving the
+	// response did not wait for the job.
+	if elapsed > 2*time.Second {
+		t.Fatalf("repair submission took %v with the gate saturated; must not serialize", elapsed)
+	}
+	t.Logf("repair answered 202 in %v with the extract gate saturated", elapsed)
+
+	// The job itself completes fine on the background plane.
+	job := waitJob(t, hs.URL, accepted.JobID)
+	if res := repairResult(t, job); !res.Promoted {
+		t.Fatalf("background repair result = %+v, want promoted", res)
+	}
+}
+
+// TestHTTPLearnJobNewSite drives the over-the-wire learning path: a site
+// the store has never seen is submitted via POST /v1/learn, learned on
+// the job plane, promoted unconditionally (no incumbent), hot-swapped,
+// and immediately serves extractions.
+func TestHTTPLearnJobNewSite(t *testing.T) {
+	clean, _, annot := maintPair(t)
+	newSite, _, _ := maintPairSeed(t, 2002)
+	_, hs, _ := learnedServerFromSites(t, clean, annot, nil, 0)
+
+	var pages []string
+	for _, p := range newSite.Corpus.Pages {
+		pages = append(pages, p.HTML)
+	}
+	var accepted serve.JobAccepted
+	if code := postJSON(t, hs.URL+"/v1/learn",
+		serve.LearnRequest{Site: newSite.Name + "-via-http", Pages: pages}, &accepted); code != http.StatusAccepted {
+		t.Fatalf("learn: status %d (%+v), want 202", code, accepted)
+	}
+	if accepted.Kind != "learn" {
+		t.Fatalf("accepted kind = %q, want learn", accepted.Kind)
+	}
+	job := waitJob(t, hs.URL, accepted.JobID)
+	res := repairResult(t, job)
+	if !res.Promoted || res.ServingVersion != 1 {
+		t.Fatalf("learn job result = %+v, want promoted v1 (no incumbent)", res)
+	}
+
+	// The freshly learned site serves over the same server instance.
+	var out serve.ExtractResponse
+	if code := postJSON(t, hs.URL+"/v1/extract", serve.ExtractRequest{
+		Site: newSite.Name + "-via-http",
+		Page: &serve.PageInput{HTML: newSite.Corpus.Pages[0].HTML}}, &out); code != http.StatusOK {
+		t.Fatalf("extract from learned site: status %d", code)
+	}
+	if len(out.Results) != 1 || len(out.Results[0].Records) == 0 {
+		t.Fatalf("learned site extracted nothing: %+v", out)
 	}
 }
