@@ -438,6 +438,7 @@ func BenchmarkServeExtractDispatch(b *testing.B) {
 	if _, err := d.Extract(ctx, "bench", one); err != nil {
 		b.Fatal(err) // warm-up builds the runtime binding
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	start := time.Now()
 	for i := 0; i < b.N; i++ {
@@ -460,6 +461,7 @@ func BenchmarkServeExtractDispatchBatch(b *testing.B) {
 	if _, err := d.Extract(ctx, "bench", pages); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	start := time.Now()
 	for i := 0; i < b.N; i++ {
@@ -508,6 +510,7 @@ func BenchmarkServeExtractHTTP(b *testing.B) {
 	if resp.StatusCode != http.StatusOK || len(out.Results) != 1 || len(out.Results[0].Records) == 0 {
 		b.Fatalf("wire check: status %d, results %+v", resp.StatusCode, out.Results)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	start := time.Now()
 	for i := 0; i < b.N; i++ {

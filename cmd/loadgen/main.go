@@ -176,8 +176,9 @@ func (r *Report) quantile(q float64) time.Duration {
 
 func (r *Report) String() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "loadgen: %d requests in %.1fs (target %.1f req/s, achieved %.1f)\n",
-		r.Sent, r.Wall.Seconds(), r.TargetQPS, r.AchievedQPS)
+	fmt.Fprintf(&sb, "loadgen: %d requests in %.1fs (target %.1f req/s, achieved %.1f, %+.1f%%)\n",
+		r.Sent, r.Wall.Seconds(), r.TargetQPS, r.AchievedQPS,
+		(r.AchievedQPS-r.TargetQPS)*100/r.TargetQPS)
 	fmt.Fprintf(&sb, "  ok=%d rejected=%d failed=%d pages=%d records=%d\n",
 		r.OK, r.Rejected, r.Failed, r.Pages, r.Records)
 	if r.RepairsSent > 0 {

@@ -10,6 +10,7 @@
 //	wrapserved -store wrappers.json -addr :8080
 //	wrapserved -store wrappers.json -dict names.txt -kind xpath   # enables /v1/learn + /v1/repair
 //	wrapserved -store wrappers.json -dict names.txt -auto-repair  # drifted sites heal themselves
+//	wrapserved -store wrappers.json -debug-addr localhost:6060    # net/http/pprof on a side listener
 //
 // Endpoints:
 //
@@ -62,6 +63,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux for -debug-addr
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -99,6 +101,8 @@ type options struct {
 	autoRepair   bool
 	autoInterval time.Duration
 	autoGap      time.Duration
+
+	debugAddr string
 }
 
 func main() {
@@ -122,6 +126,7 @@ func main() {
 	flag.BoolVar(&o.autoRepair, "auto-repair", false, "auto-enqueue repair jobs when drift trips (needs -dict, -window > 0 and -recent-pages > 0)")
 	flag.DurationVar(&o.autoInterval, "auto-repair-interval", 2*time.Second, "scan period for tripped sites the trip hook could not enqueue")
 	flag.DurationVar(&o.autoGap, "auto-repair-gap", time.Minute, "per-site minimum time between auto-repair submissions")
+	flag.StringVar(&o.debugAddr, "debug-addr", "", "separate listen address serving net/http/pprof (e.g. localhost:6060); keep it off the public network")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "wrapserved:", err)
@@ -207,6 +212,15 @@ func run(o options) error {
 		}
 		maintainer.Start()
 		defer maintainer.Stop()
+	}
+
+	// The pprof endpoints live on their own listener: the production
+	// handler's static route table never exposes /debug/pprof/*.
+	if o.debugAddr != "" {
+		go func() {
+			logger.Printf("pprof debug server on http://%s/debug/pprof/", o.debugAddr)
+			logger.Printf("pprof server: %v", http.ListenAndServe(o.debugAddr, nil))
+		}()
 	}
 
 	hs := &http.Server{Addr: o.addr, Handler: srv.Handler()}

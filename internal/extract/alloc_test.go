@@ -1,0 +1,82 @@
+package extract_test
+
+import (
+	"strings"
+	"testing"
+
+	"autowrap/internal/dom"
+	"autowrap/internal/extract"
+	"autowrap/internal/htmlparse"
+	"autowrap/internal/xpinduct"
+)
+
+func parsePage(t *testing.T, html string) *dom.Node {
+	t.Helper()
+	return htmlparse.Parse(html)
+}
+
+// extractOneAllocBudget is the steady-state allocation ceiling of the
+// single-page fast path on allocBudgetPage. The necessary allocations are
+// the ones that leave the call — the Texts slice and its strings where
+// collapsing changed bytes — plus the xpath result slices; everything else
+// (parse tree, tokenizer scratch, eval working sets) is pooled. Raising
+// this number is a regression: docs/PERFORMANCE.md explains the budget's
+// composition before touching it.
+const extractOneAllocBudget = 8
+
+// allocBudgetPage is a fixed single-line page (pre-collapsed text, so text
+// data aliases the source instead of being re-allocated): the budget is
+// exactly the fast path's own overhead, independent of page formatting.
+var allocBudgetPage = "<html><body><table>" +
+	strings.Repeat("<tr><td class='k'>label</td><td class='v'>value text</td></tr>", 8) +
+	"</table></body></html>"
+
+// TestExtractOneAllocBudget is the CI allocation gate for the serving fast
+// path: ExtractOne on raw HTML must stay within its per-call budget after
+// the pools are warm. It fails on any steady-state heap growth regression
+// in the parse/eval/extract pipeline.
+func TestExtractOneAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector bypasses sync.Pool; budgets describe production builds")
+	}
+	p, err := xpinduct.CompileRule(`//td[@class='v']/text()`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := extract.New(p, extract.Options{})
+	pg := extract.Page{ID: "budget", HTML: allocBudgetPage}
+
+	// Warm the pools and sanity-check the extraction itself.
+	res := rt.ExtractOne(pg)
+	if res.Err != nil || len(res.Texts) != 8 || res.Texts[0] != "value text" {
+		t.Fatalf("fixture extraction = %+v", res)
+	}
+	if res.Nodes != nil {
+		t.Fatalf("pooled fast path leaked %d tree nodes", len(res.Nodes))
+	}
+
+	avg := testing.AllocsPerRun(200, func() {
+		out := rt.ExtractOne(pg)
+		if len(out.Texts) != 8 {
+			t.Fatalf("extraction changed under measurement: %d texts", len(out.Texts))
+		}
+	})
+	if avg > extractOneAllocBudget {
+		t.Fatalf("ExtractOne allocates %.1f times per call, budget is %d", avg, extractOneAllocBudget)
+	}
+}
+
+// TestExtractOnePreParsedKeepsNodes pins the other half of the Nodes
+// contract: a caller-supplied tree is never pooled, so the matched nodes
+// stay available.
+func TestExtractOnePreParsedKeepsNodes(t *testing.T) {
+	p, err := xpinduct.CompileRule(`//td[@class='v']/text()`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := extract.New(p, extract.Options{})
+	res := rt.ExtractOne(extract.Page{ID: "tree", Root: parsePage(t, allocBudgetPage)})
+	if res.Err != nil || len(res.Nodes) != 8 {
+		t.Fatalf("pre-parsed extraction = %+v", res)
+	}
+}

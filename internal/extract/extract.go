@@ -47,7 +47,13 @@ type Result struct {
 	Index int
 	// Texts are the extracted records' trimmed contents in document order.
 	Texts []string
-	// Nodes are the matched text nodes (nil when the page failed).
+	// Nodes are the matched text nodes (nil when the page failed). On the
+	// ExtractOne fast path they are also nil whenever the runtime parsed
+	// HTML itself: that parse tree comes from an internal pool and is
+	// recycled before ExtractOne returns, so only Texts — which never
+	// alias the pooled tree — survive. Callers that need the matched nodes
+	// must pass a pre-parsed Page.Root (or use Run/Stream, which always
+	// build caller-owned trees).
 	Nodes []*dom.Node
 	// Err is the page's failure, including recovered panics and — for
 	// pages never started — the run's cancellation cause.
@@ -245,8 +251,13 @@ func (r *Runtime) observe(res *Result) {
 // accounting, the OnResult tap) but skips pool dispatch and batch
 // allocation entirely, so an HTTP handler can call it per request without
 // paying the batch machinery for one page.
+//
+// When the page arrives as raw HTML (Page.Root == nil), the parse tree is
+// taken from a pool and recycled before returning: the steady-state fast
+// path allocates only the Texts it hands back (see Result.Nodes for the
+// aliasing contract). TestExtractOneAllocBudget pins that budget.
 func (r *Runtime) ExtractOne(pg Page) Result {
-	res := r.one(pg, 0)
+	res := r.one(pg, 0, true)
 	r.observe(&res)
 	return res
 }
@@ -267,7 +278,7 @@ func (r *Runtime) Run(ctx context.Context, pages []Page) (*Batch, error) {
 	start := time.Now()
 	ctxErr := par.ForContext(ctx, len(pages), r.opt.Workers, func(i int) {
 		started[i] = true
-		batch.Results[i] = r.one(pages[i], i)
+		batch.Results[i] = r.one(pages[i], i, false)
 		r.observe(&batch.Results[i])
 	})
 	batch.Stats.Wall = time.Since(start)
@@ -298,8 +309,12 @@ func (s *Stats) tally(res *Result) {
 	s.Records += len(res.Texts)
 }
 
-// one extracts a single page with panic isolation.
-func (r *Runtime) one(pg Page, idx int) (out Result) {
+// one extracts a single page with panic isolation. With pooled set, a page
+// arriving as raw HTML is parsed into a recycled workspace tree that is
+// released before returning — Result.Nodes stays nil on that path, since
+// the nodes would dangle into the pool (Texts are always safe: text Data
+// never aliases pooled storage).
+func (r *Runtime) one(pg Page, idx int, pooled bool) (out Result) {
 	out.ID, out.Index = pg.ID, idx
 	start := time.Now()
 	defer func() {
@@ -310,15 +325,25 @@ func (r *Runtime) one(pg Page, idx int) (out Result) {
 		}
 	}()
 	root := pg.Root
+	fromPool := false
 	if root == nil {
 		if pg.HTML == "" {
 			out.Err = fmt.Errorf("extract: page %q: neither Root nor HTML set", pg.ID)
 			return
 		}
-		root = htmlparse.Parse(pg.HTML)
+		if pooled {
+			t := htmlparse.AcquireTree()
+			defer t.Release()
+			root = t.Parse(pg.HTML)
+			fromPool = true
+		} else {
+			root = htmlparse.Parse(pg.HTML)
+		}
 	}
 	nodes := r.p.ApplyPage(root)
-	out.Nodes = nodes
+	if !fromPool {
+		out.Nodes = nodes
+	}
 	out.Texts = make([]string, len(nodes))
 	for i, n := range nodes {
 		out.Texts[i] = strings.TrimSpace(n.Data)
@@ -416,7 +441,7 @@ func (r *Runtime) Stream(ctx context.Context, in <-chan Page) *Stream {
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				res := r.one(j.page, j.idx)
+				res := r.one(j.page, j.idx, false)
 				r.observe(&res)
 				select {
 				case outs <- res:

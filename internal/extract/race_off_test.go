@@ -1,0 +1,7 @@
+//go:build !race
+
+package extract_test
+
+// raceEnabled gates allocation-budget assertions off under the race
+// detector; see race_on_test.go.
+const raceEnabled = false

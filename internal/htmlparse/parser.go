@@ -1,8 +1,6 @@
 package htmlparse
 
 import (
-	"strings"
-
 	"autowrap/internal/dom"
 )
 
@@ -31,27 +29,58 @@ var autoClose = map[string][]string{
 // the tree a fixed point of serialize→reparse (escaping erases the split
 // points), which stored-page extraction relies on: text-node identity must
 // not shift between the original parse and a reparse of the serialization.
+//
+// Parse allocates a fresh tree the caller owns forever. Hot paths that
+// discard the tree after use should go through AcquireTree/Tree.Parse/
+// Release instead, which recycles node and scratch storage.
 func Parse(src string) *dom.Node {
-	doc := dom.NewDocument()
-	stack := []*dom.Node{doc}
-	top := func() *dom.Node { return stack[len(stack)-1] }
+	var t Tree
+	return t.parse(src)
+}
 
-	var textBuf strings.Builder
+// parse is the one parser implementation, shared by the package-level Parse
+// (throwaway workspace) and the pooled Tree path. All nodes come from the
+// tree's arena; any tree returned by a previous parse on the same workspace
+// is invalidated.
+func (t *Tree) parse(src string) *dom.Node {
+	t.used = 0
+	t.tz = tokenizer{src: src, attrs: t.tz.attrs[:0]}
+	doc := t.newNode()
+	doc.Type = dom.DocumentNode
+	t.stack = append(t.stack[:0], doc)
+	top := func() *dom.Node { return t.stack[len(t.stack)-1] }
+
+	// Text accumulates as a single pending run in the common case; runs
+	// split by a dropped comment/doctype or a literal '<' coalesce through
+	// textBuf. flushText collapses whitespace into scratch and only
+	// allocates a fresh string when collapsing actually changed the bytes.
+	var pending string
 	flushText := func() {
-		if textBuf.Len() == 0 {
+		data := pending
+		pending = ""
+		if len(t.textBuf) > 0 {
+			data = string(t.textBuf)
+			t.textBuf = t.textBuf[:0]
+		}
+		if data == "" {
 			return
 		}
-		data := textBuf.String()
-		textBuf.Reset()
-		if strings.TrimSpace(data) == "" {
-			return
+		t.scratch = collapseAppend(t.scratch[:0], data)
+		if len(t.scratch) == 0 {
+			return // whitespace-only run
 		}
-		top().Append(dom.NewText(collapseSpace(data)))
+		text := t.newNode()
+		text.Type = dom.TextNode
+		if string(t.scratch) == data {
+			text.Data = data // already collapsed: no copy
+		} else {
+			text.Data = string(t.scratch)
+		}
+		top().Append(text)
 	}
 
-	tz := newTokenizer(src)
 	for {
-		tok, ok := tz.next()
+		tok, ok := t.tz.next()
 		if !ok {
 			break
 		}
@@ -62,20 +91,33 @@ func Parse(src string) *dom.Node {
 			// is adjacent, exactly as a reparse of the serialization sees it.
 		case tokText:
 			if top().Raw {
-				if strings.TrimSpace(tok.data) != "" {
-					top().Append(dom.NewText(tok.data))
+				if !isSpace(tok.data) {
+					raw := t.newNode()
+					raw.Type = dom.TextNode
+					raw.Data = tok.data
+					top().Append(raw)
 				}
 				continue
 			}
-			textBuf.WriteString(tok.data)
+			if pending == "" && len(t.textBuf) == 0 {
+				pending = tok.data
+			} else {
+				if len(t.textBuf) == 0 {
+					t.textBuf = append(t.textBuf, pending...)
+					pending = ""
+				}
+				t.textBuf = append(t.textBuf, tok.data...)
+			}
 		case tokStartTag, tokSelfClosing:
 			flushText()
 			for _, victim := range autoClose[tok.data] {
 				if top().IsElement(victim) {
-					stack = stack[:len(stack)-1]
+					t.stack = t.stack[:len(t.stack)-1]
 				}
 			}
-			el := &dom.Node{Type: dom.ElementNode, Tag: tok.data}
+			el := t.newNode()
+			el.Type = dom.ElementNode
+			el.Tag = tok.data
 			for _, a := range tok.attrs {
 				el.Attrs = append(el.Attrs, dom.Attr{Key: a.key, Val: a.val})
 			}
@@ -84,16 +126,16 @@ func Parse(src string) *dom.Node {
 			}
 			top().Append(el)
 			if tok.typ == tokStartTag && !dom.VoidElements[tok.data] {
-				stack = append(stack, el)
+				t.stack = append(t.stack, el)
 			}
 		case tokEndTag:
 			// Find the nearest matching open element; if none, drop the
 			// stray close tag (without splitting the surrounding text run).
 			// Everything above the match is force-closed.
-			for i := len(stack) - 1; i >= 1; i-- {
-				if stack[i].IsElement(tok.data) {
+			for i := len(t.stack) - 1; i >= 1; i-- {
+				if t.stack[i].IsElement(tok.data) {
 					flushText()
-					stack = stack[:i]
+					t.stack = t.stack[:i]
 					break
 				}
 			}
@@ -103,12 +145,11 @@ func Parse(src string) *dom.Node {
 	return doc
 }
 
-// collapseSpace normalizes runs of whitespace to single spaces, trimming the
-// ends. Script-generated pages are full of indentation noise; collapsing
-// makes text-node identity stable across serialize/reparse cycles.
-func collapseSpace(s string) string {
-	var sb strings.Builder
-	sb.Grow(len(s))
+// collapseAppend appends s to dst with runs of whitespace normalized to
+// single spaces and the ends trimmed. Script-generated pages are full of
+// indentation noise; collapsing makes text-node identity stable across
+// serialize/reparse cycles.
+func collapseAppend(dst []byte, s string) []byte {
 	space := false
 	for i := 0; i < len(s); i++ {
 		c := s[i]
@@ -116,11 +157,23 @@ func collapseSpace(s string) string {
 			space = true
 			continue
 		}
-		if space && sb.Len() > 0 {
-			sb.WriteByte(' ')
+		if space && len(dst) > 0 {
+			dst = append(dst, ' ')
 		}
 		space = false
-		sb.WriteByte(c)
+		dst = append(dst, c)
 	}
-	return sb.String()
+	return dst
+}
+
+// isSpace reports whether s is entirely HTML whitespace.
+func isSpace(s string) bool {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ' ', '\t', '\n', '\r', '\f':
+		default:
+			return false
+		}
+	}
+	return true
 }

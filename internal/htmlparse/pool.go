@@ -1,0 +1,82 @@
+package htmlparse
+
+import (
+	"sync"
+
+	"autowrap/internal/dom"
+)
+
+// Tree is a reusable parse workspace: a node arena plus tokenizer and text
+// scratch that survive across parses. In steady state a recycled Tree parses
+// a page with no node allocations at all — nodes, their Children and Attrs
+// slices, the open-element stack and the whitespace-collapse scratch are all
+// reused at their converged capacities.
+//
+// The tree returned by Parse is owned by the workspace: it is valid until
+// the next Parse on the same workspace or until Release. Callers that need
+// the tree (or any *dom.Node inside it) to outlive the workspace must use
+// the package-level Parse instead. Text-node Data strings are safe to
+// retain: they either alias the source string or are freshly allocated,
+// never the workspace's scratch.
+//
+// A Tree is not safe for concurrent use; the pool hands each goroutine its
+// own.
+type Tree struct {
+	arena []*dom.Node
+	used  int
+	stack []*dom.Node
+	// textBuf coalesces text runs split by dropped constructs; scratch
+	// holds the whitespace-collapsed form of the run being flushed.
+	textBuf []byte
+	scratch []byte
+	tz      tokenizer
+}
+
+// newNode hands out the next arena node, recycled and reset, growing the
+// arena one node at a time (each node is its own heap object, so growing
+// the index slice never invalidates pointers already woven into the tree).
+func (t *Tree) newNode() *dom.Node {
+	if t.used < len(t.arena) {
+		n := t.arena[t.used]
+		t.used++
+		n.Type = 0
+		n.Tag = ""
+		n.Data = ""
+		n.Raw = false
+		n.Parent = nil
+		n.Attrs = n.Attrs[:0]
+		n.Children = n.Children[:0]
+		return n
+	}
+	n := &dom.Node{}
+	t.arena = append(t.arena, n)
+	t.used++
+	return n
+}
+
+// maxPooledNodes bounds how large a workspace the pool will retain: a
+// pathological page must not pin megabytes of arena forever. Oversized
+// workspaces are dropped on Release and the pool refills with fresh ones.
+const maxPooledNodes = 1 << 14
+
+var treePool = sync.Pool{New: func() any { return new(Tree) }}
+
+// AcquireTree takes a parse workspace from the pool. Pair with Release.
+func AcquireTree() *Tree { return treePool.Get().(*Tree) }
+
+// Parse parses src into the workspace, recycling node and scratch storage
+// from previous parses. The returned tree is invalidated by the next Parse
+// or Release on this workspace; see the Tree doc for the ownership rules.
+func (t *Tree) Parse(src string) *dom.Node { return t.parse(src) }
+
+// Release returns the workspace to the pool. The last parsed tree must no
+// longer be referenced. Oversized workspaces are dropped instead of pooled.
+func (t *Tree) Release() {
+	if len(t.arena) > maxPooledNodes {
+		return
+	}
+	t.used = 0
+	t.stack = t.stack[:0]
+	t.textBuf = t.textBuf[:0]
+	treePool.Put(t)
+}

@@ -1,0 +1,116 @@
+package htmlparse
+
+import (
+	"strings"
+	"testing"
+
+	"autowrap/internal/dom"
+)
+
+// poolCases exercises the constructs where the pooled parser's recycled
+// state could plausibly leak between parses: attributes (tokenizer scratch),
+// split text runs (textBuf), deep nesting (stack), raw script/style, and
+// entities.
+var poolCases = []string{
+	"",
+	"plain text only",
+	"<html><body><p>hello</p></body></html>",
+	"<div class='a' id=\"b\" checked><span>x</span></div>",
+	"<table><tr><td>a<td>b<tr><td>c</table>",
+	"<p>one<!-- split -->two</p>",
+	"<p>a &amp; b &lt;c&gt; &#65;</p>",
+	"<script>if (a < b) { x() }</SCRIPT><p>after</p>",
+	"<style>td { color: red }</style>",
+	"<ul><li>1<li>2<li>3</ul>",
+	"<div>\n\t  spaced   out\n</div>",
+	"<a href='/x'>link</a> loose > bracket < not a tag",
+	strings.Repeat("<div>", 40) + "deep" + strings.Repeat("</div>", 40),
+}
+
+// TestTreeParseMatchesParse pins the pooled parser to the package-level one:
+// the same workspace reused across very different pages must serialize
+// identically to a fresh parse every time.
+func TestTreeParseMatchesParse(t *testing.T) {
+	tr := AcquireTree()
+	defer tr.Release()
+	// Two passes over the corpus so every case also runs against a
+	// workspace dirtied by every other case.
+	for pass := 0; pass < 2; pass++ {
+		for _, src := range poolCases {
+			want := dom.Serialize(Parse(src))
+			got := dom.Serialize(tr.Parse(src))
+			if got != want {
+				t.Fatalf("pass %d: pooled parse of %q:\n got %q\nwant %q", pass, src, got, want)
+			}
+		}
+	}
+}
+
+// TestTreeParseRecyclesNodes proves the arena actually recycles: after a
+// first parse warms the workspace, reparsing a page of the same shape must
+// not grow the arena.
+func TestTreeParseRecyclesNodes(t *testing.T) {
+	tr := AcquireTree()
+	defer tr.Release()
+	src := "<html><body><div class='x'><p>a</p><p>b</p></div></body></html>"
+	tr.Parse(src)
+	warm := len(tr.arena)
+	for i := 0; i < 10; i++ {
+		tr.Parse(src)
+	}
+	if len(tr.arena) != warm {
+		t.Fatalf("arena grew from %d to %d nodes on identical reparses", warm, len(tr.arena))
+	}
+}
+
+// TestTreeParseAllocs pins the steady-state allocation count of the pooled
+// fast path on a page whose text is already whitespace-collapsed: the only
+// remaining allocations should be incidental (and zero is the goal).
+func TestTreeParseAllocs(t *testing.T) {
+	tr := AcquireTree()
+	defer tr.Release()
+	src := "<html><body><table><tr><td>alpha</td><td>beta</td></tr></table></body></html>"
+	tr.Parse(src) // warm the arena
+	avg := testing.AllocsPerRun(100, func() { tr.Parse(src) })
+	if avg > 0 {
+		t.Fatalf("pooled reparse allocates %.1f times per run, want 0", avg)
+	}
+}
+
+// TestTreeReleaseDropsOversized: a pathological parse must not pin its arena
+// in the pool forever.
+func TestTreeReleaseDropsOversized(t *testing.T) {
+	tr := &Tree{}
+	var sb strings.Builder
+	for i := 0; i < maxPooledNodes+2; i++ {
+		sb.WriteString("<br>")
+	}
+	tr.Parse(sb.String())
+	if len(tr.arena) <= maxPooledNodes {
+		t.Skipf("arena only reached %d nodes", len(tr.arena))
+	}
+	tr.Release() // must not panic; the workspace is simply dropped
+}
+
+// TestTextDataDoesNotAliasScratch: text collapsed from indented source must
+// be a stable copy, not a view of the workspace scratch that the next parse
+// overwrites.
+func TestTextDataDoesNotAliasScratch(t *testing.T) {
+	tr := AcquireTree()
+	defer tr.Release()
+	root := tr.Parse("<p>\n   first   text\n</p>")
+	var got string
+	root.Walk(func(n *dom.Node) bool {
+		if n.Type == dom.TextNode {
+			got = n.Data
+		}
+		return true
+	})
+	if got != "first text" {
+		t.Fatalf("collapsed text = %q", got)
+	}
+	tr.Parse("<p>\n   SECOND   run\n</p>") // overwrite the scratch
+	if got != "first text" {
+		t.Fatalf("text data mutated by the next parse: %q", got)
+	}
+}

@@ -19,8 +19,11 @@ const (
 )
 
 type token struct {
-	typ   tokenType
-	data  string // tag name (lowercased) or text content
+	typ  tokenType
+	data string // tag name (lowercased) or text content
+	// attrs aliases the tokenizer's scratch buffer: it is valid only until
+	// the next call to next(). The parser copies it into the node
+	// immediately.
 	attrs []attr
 }
 
@@ -31,12 +34,12 @@ type attr struct{ key, val string }
 type tokenizer struct {
 	src string
 	pos int
-	// rawUntil, when set, makes the tokenizer consume everything up to the
+	// rawTag, when set, makes the tokenizer consume everything up to the
 	// matching close tag as a single text token (script/style contents).
 	rawTag string
+	// attrs is the reusable attribute scratch handed out via token.attrs.
+	attrs []attr
 }
-
-func newTokenizer(src string) *tokenizer { return &tokenizer{src: src} }
 
 // next returns the next token, or false at end of input.
 func (t *tokenizer) next() (token, bool) {
@@ -68,9 +71,11 @@ func (t *tokenizer) next() (token, bool) {
 // rawText consumes the raw content of a script/style element up to its
 // closing tag (case-insensitive), leaving the close tag for the next call.
 func (t *tokenizer) rawText() token {
-	close := "</" + t.rawTag
-	low := strings.ToLower(t.src[t.pos:])
-	idx := strings.Index(low, close)
+	close := "</script"
+	if t.rawTag == "style" {
+		close = "</style"
+	}
+	idx := foldIndex(t.src[t.pos:], close)
 	var content string
 	if idx < 0 {
 		content = t.src[t.pos:]
@@ -81,6 +86,33 @@ func (t *tokenizer) rawText() token {
 	}
 	t.rawTag = ""
 	return token{typ: tokText, data: content}
+}
+
+// foldIndex is an ASCII-case-insensitive strings.Index: the offset of the
+// first match of sub (which must be lowercase ASCII) in s, or -1. Unlike
+// strings.Index(strings.ToLower(s), sub) it allocates nothing and reports
+// byte offsets into s itself even when s contains multi-byte runes whose
+// lowercase form has a different width.
+func foldIndex(s, sub string) int {
+	if len(sub) == 0 {
+		return 0
+	}
+	for i := 0; i+len(sub) <= len(s); i++ {
+		j := 0
+		for ; j < len(sub); j++ {
+			c := s[i+j]
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			if c != sub[j] {
+				break
+			}
+		}
+		if j == len(sub) {
+			return i
+		}
+	}
+	return -1
 }
 
 // tag parses a construct starting at '<'. Returns ok=false when the bytes do
@@ -129,6 +161,7 @@ func (t *tokenizer) tag() (token, bool) {
 			return token{}, false
 		}
 		tok := token{typ: tokStartTag, data: strings.ToLower(name)}
+		t.attrs = t.attrs[:0]
 		for {
 			skipSpace(src, &q)
 			if q >= len(src) {
@@ -155,8 +188,9 @@ func (t *tokenizer) tag() (token, bool) {
 				skipSpace(src, &q)
 				a.val = scanAttrValue(src, &q)
 			}
-			tok.attrs = append(tok.attrs, a)
+			t.attrs = append(t.attrs, a)
 		}
+		tok.attrs = t.attrs
 		t.pos = q
 		if tok.data == "script" || tok.data == "style" {
 			if tok.typ == tokStartTag {

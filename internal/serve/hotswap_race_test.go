@@ -1,0 +1,210 @@
+package serve_test
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"autowrap/internal/serve"
+	"autowrap/internal/store"
+)
+
+// raceSites are the two sites hammered concurrently; distinct record
+// prefixes make any cross-site bleed self-identifying.
+var raceSites = [...]string{"shop", "news"}
+
+// racePage renders a page whose records embed the site, the worker, the
+// iteration and the page index — so a response carrying bytes from any
+// other request (a pooled-buffer or pooled-tree bleed) fails the substring
+// checks below, not just a count.
+func racePage(site string, worker, iter, page int) string {
+	tok := fmt.Sprintf("%s-w%d-i%d-p%d", site, worker, iter, page)
+	var sb strings.Builder
+	sb.WriteString("<html><body>")
+	for r := 0; r < 3; r++ {
+		fmt.Fprintf(&sb, `<div class="a">%s-a-%d</div>`, tok, r)
+		fmt.Fprintf(&sb, `<div class="b">%s-b-%d</div>`, tok, r)
+	}
+	sb.WriteString("</body></html>")
+	return sb.String()
+}
+
+// TestHotSwapNoRecordBleed hammers POST /v1/extract on two sites while an
+// admin goroutine promotes and rolls back their wrappers, asserting (a)
+// every response's records come from exactly the pages of that request and
+// a single wrapper family — pooled scratch, trees and response buffers must
+// never leak bytes across requests or sites — and (b) the /metrics ledger
+// and latency histogram stay consistent with the client-observed totals.
+// Run it under -race (CI does) to catch unsynchronized pool reuse too.
+func TestHotSwapNoRecordBleed(t *testing.T) {
+	st := store.New()
+	for _, site := range raceSites {
+		if _, err := st.Put(site, wrapperFor("a"), store.Meta{
+			Profile: &store.Profile{Pages: 4, MeanRecords: 3},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.PutCandidate(site, wrapperFor("b"), store.Meta{
+			Profile: &store.Profile{Pages: 4, MeanRecords: 3},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, hs := newTestServer(t, st, nil)
+	client := hs.Client()
+
+	const (
+		workersPerSite = 4
+		itersPerWorker = 120
+	)
+	var (
+		wg       sync.WaitGroup
+		done     atomic.Bool
+		requests [len(raceSites)]atomic.Int64
+		pages    [len(raceSites)]atomic.Int64
+		records  [len(raceSites)]atomic.Int64
+	)
+
+	// Admin churn: keep promoting the candidate and rolling back while the
+	// extraction load runs.
+	adminDone := make(chan struct{})
+	go func() {
+		defer close(adminDone)
+		for !done.Load() {
+			for _, site := range raceSites {
+				resp := postJSON(t, hs.URL+"/v1/promote", serve.AdminRequest{Site: site, Version: 2})
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("promote %s v2: status %d", site, resp.StatusCode)
+					return
+				}
+				resp.Body.Close()
+			}
+			for _, site := range raceSites {
+				resp := postJSON(t, hs.URL+"/v1/rollback", serve.AdminRequest{Site: site})
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("rollback %s: status %d", site, resp.StatusCode)
+					return
+				}
+				resp.Body.Close()
+			}
+		}
+	}()
+
+	for si, site := range raceSites {
+		for w := 0; w < workersPerSite; w++ {
+			wg.Add(1)
+			go func(si int, site string, w int) {
+				defer wg.Done()
+				for iter := 0; iter < itersPerWorker; iter++ {
+					// Alternate single-page and batch shapes: both share the
+					// pooled request path.
+					var req serve.ExtractRequest
+					req.Site = site
+					n := 1
+					if iter%2 == 1 {
+						n = 3
+						for p := 0; p < n; p++ {
+							req.Pages = append(req.Pages, serve.PageInput{
+								ID: fmt.Sprintf("p%d", p), HTML: racePage(site, w, iter, p),
+							})
+						}
+					} else {
+						req.Page = &serve.PageInput{ID: "p0", HTML: racePage(site, w, iter, 0)}
+					}
+					resp := postJSON(t, hs.URL+"/v1/extract", req)
+					if resp.StatusCode != http.StatusOK {
+						t.Errorf("extract %s: status %d", site, resp.StatusCode)
+						return
+					}
+					out := decode[serve.ExtractResponse](t, resp)
+					resp.Body.Close()
+					requests[si].Add(1)
+					pages[si].Add(int64(n))
+					if out.Site != site || len(out.Results) != n {
+						t.Errorf("response for %s/%d pages came back as %s/%d",
+							site, n, out.Site, len(out.Results))
+						return
+					}
+					family := ""
+					for p, res := range out.Results {
+						tok := fmt.Sprintf("%s-w%d-i%d-p%d", site, w, iter, p)
+						if len(res.Records) != 3 {
+							t.Errorf("%s: %d records for %s", site, len(res.Records), tok)
+							return
+						}
+						records[si].Add(int64(len(res.Records)))
+						for _, rec := range res.Records {
+							if !strings.HasPrefix(rec, tok+"-") {
+								t.Errorf("record bleed: %s got record %q", tok, rec)
+								return
+							}
+							fam := strings.TrimPrefix(rec, tok+"-")[:1]
+							if family == "" {
+								family = fam
+							} else if fam != family {
+								t.Errorf("torn response for %s: families %q and %q", tok, family, fam)
+								return
+							}
+						}
+					}
+				}
+			}(si, site, w)
+		}
+	}
+
+	// Stop the admin churn once every worker drained.
+	wg.Wait()
+	done.Store(true)
+	<-adminDone
+
+	if t.Failed() {
+		return
+	}
+
+	// The /metrics ledger must agree with what the clients observed.
+	resp, err := client.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := decode[serve.MetricsResponse](t, resp)
+	resp.Body.Close()
+	for si, site := range raceSites {
+		var ss *serve.SiteStatus
+		for i := range m.Sites {
+			if m.Sites[i].Site == site {
+				ss = &m.Sites[i]
+			}
+		}
+		if ss == nil || ss.Metrics == nil {
+			t.Fatalf("/metrics has no ledger for %s", site)
+		}
+		sm := ss.Metrics
+		if sm.Requests != requests[si].Load() || sm.Pages != pages[si].Load() ||
+			sm.Records != records[si].Load() {
+			t.Errorf("%s ledger = %d req / %d pages / %d records, clients saw %d / %d / %d",
+				site, sm.Requests, sm.Pages, sm.Records,
+				requests[si].Load(), pages[si].Load(), records[si].Load())
+		}
+		if sm.Errors != 0 || sm.PageFails != 0 {
+			t.Errorf("%s ledger counted %d request errors, %d page failures",
+				site, sm.Errors, sm.PageFails)
+		}
+		// Histogram consistency: quantiles monotone, and the p99 bucket
+		// midpoint can exceed the exact max by at most half a bucket.
+		if sm.LatencyP50Ms > sm.LatencyP90Ms || sm.LatencyP90Ms > sm.LatencyP99Ms {
+			t.Errorf("%s latency quantiles not monotone: p50=%g p90=%g p99=%g",
+				site, sm.LatencyP50Ms, sm.LatencyP90Ms, sm.LatencyP99Ms)
+		}
+		if sm.LatencyP99Ms > 1.5*sm.LatencyMaxMs+0.001 {
+			t.Errorf("%s p99 %gms exceeds its histogram bound (max %gms)",
+				site, sm.LatencyP99Ms, sm.LatencyMaxMs)
+		}
+		if sm.LatencyMeanMs > sm.LatencyMaxMs {
+			t.Errorf("%s mean latency %gms exceeds max %gms",
+				site, sm.LatencyMeanMs, sm.LatencyMaxMs)
+		}
+	}
+}

@@ -149,23 +149,6 @@ func (s *Server) Jobs() *jobs.Manager { return s.cfg.Jobs }
 // complete — the process owner decides when to stop accepting connections.
 func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
-// Handler returns the route mux.
-func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/extract", s.handleExtract)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/v1/sites", s.handleSites)
-	mux.HandleFunc("/v1/promote", s.handlePromote)
-	mux.HandleFunc("/v1/rollback", s.handleRollback)
-	mux.HandleFunc("/v1/repair", s.handleRepair)
-	mux.HandleFunc("/v1/learn", s.handleLearn)
-	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
-	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
-	return mux
-}
-
 // --- wire types ---
 
 // PageInput is one page of an extract request.
@@ -267,25 +250,40 @@ func siteStatusCode(err error) int {
 
 // --- hot path ---
 
+// handleExtract is the allocation-disciplined serving path: body bytes land
+// in a pooled buffer, the request decodes in place (see wire.go), page HTML
+// flows straight into the parser via the dispatcher, and the response is
+// appended into a pooled buffer and written with an explicit
+// Content-Length. The wire shapes are unchanged from the encoding/json
+// implementation; only the steady-state allocation profile is different.
 func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	if !requirePost(w, r) {
 		return
 	}
-	var req ExtractRequest
-	if !s.readJSON(w, r, &req) {
+	sc := acquireScratch()
+	defer releaseScratch(sc)
+	if !s.readBody(w, r, sc) {
 		return
 	}
-	if req.Site == "" {
+	if err := decodeExtractRequest(sc); err != nil {
+		if err == errTrailing {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if sc.site == "" {
 		writeError(w, http.StatusBadRequest, "site is required")
 		return
 	}
-	pages := req.Pages
-	if req.Page != nil {
+	pages := sc.pages
+	if sc.hasSingle {
 		if len(pages) > 0 {
 			writeError(w, http.StatusBadRequest, "set page or pages, not both")
 			return
 		}
-		pages = []PageInput{*req.Page}
+		pages = append(sc.pages[:0], sc.single)
 	}
 	if len(pages) == 0 {
 		writeError(w, http.StatusBadRequest, "no pages")
@@ -301,7 +299,7 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	// behind busy slots never waits longer for admission than it would for
 	// the work itself.
 	ctx, cancel := context.WithTimeout(r.Context(),
-		clampTimeout(s.cfg.RequestTimeout, req.TimeoutMS))
+		clampTimeout(s.cfg.RequestTimeout, sc.timeoutMS))
 	defer cancel()
 
 	// Admission: reject with backpressure before any extraction work.
@@ -318,41 +316,31 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	in := make([]extract.Page, len(pages))
-	for i, p := range pages {
-		id := p.ID
-		if id == "" {
-			id = fmt.Sprintf("page-%d", i)
-		}
-		in[i] = extract.Page{ID: id, HTML: p.HTML}
+	if cap(sc.in) < len(pages) {
+		sc.in = make([]extract.Page, len(pages))
+	} else {
+		sc.in = sc.in[:len(pages)]
 	}
-	ext, err := s.cfg.Dispatcher.Extract(ctx, req.Site, in)
+	for i := range pages {
+		id := pages[i].id
+		if id == "" {
+			id = defaultPageID(i)
+		}
+		sc.in[i] = extract.Page{ID: id, HTML: pages[i].html}
+	}
+	ext, err := s.cfg.Dispatcher.Extract(ctx, sc.site, sc.in)
 	if ext == nil {
 		writeError(w, siteStatusCode(err), "%v", err)
 		return
 	}
-	resp := ExtractResponse{Site: ext.Site, Version: ext.Version,
-		Results: make([]PageOutput, len(ext.Results))}
-	for i := range ext.Results {
-		res := &ext.Results[i]
-		out := PageOutput{ID: res.ID, Records: res.Texts,
-			ElapsedUS: res.Elapsed.Microseconds()}
-		if out.Records == nil {
-			out.Records = []string{}
-		}
-		if res.Err != nil {
-			out.Error = res.Err.Error()
-		}
-		resp.Results[i] = out
-	}
 	code := http.StatusOK
 	if err != nil {
 		// Partial batch (deadline/cancel mid-run): return what completed,
-		// flagged at both levels.
-		resp.Error = err.Error()
+		// flagged at both levels (the response body carries err too).
 		code = siteStatusCode(err)
 	}
-	writeJSON(w, code, resp)
+	sc.out = appendExtractResponse(sc.out[:0], ext, err)
+	writeRawJSON(w, code, sc.out)
 }
 
 // --- health + metrics ---
@@ -790,12 +778,13 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.cfg.Jobs.List())
 }
 
-func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+// handleJobGet serves GET /v1/jobs/{id}; the router extracted id.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request, id string) {
 	if s.cfg.Jobs == nil {
 		writeError(w, http.StatusNotFound, "no job manager on this server")
 		return
 	}
-	snap, err := s.cfg.Jobs.Get(r.PathValue("id"))
+	snap, err := s.cfg.Jobs.Get(id)
 	if err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
@@ -803,12 +792,13 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, snap)
 }
 
-func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+// handleJobCancel serves POST /v1/jobs/{id}/cancel; the router extracted id.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request, id string) {
 	if s.cfg.Jobs == nil {
 		writeError(w, http.StatusNotFound, "no job manager on this server")
 		return
 	}
-	snap, err := s.cfg.Jobs.Cancel(r.PathValue("id"))
+	snap, err := s.cfg.Jobs.Cancel(id)
 	switch {
 	case errors.Is(err, jobs.ErrNotFound):
 		writeError(w, http.StatusNotFound, "%v", err)

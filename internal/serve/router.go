@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"net/http"
+	"strings"
+)
+
+// Handler returns the server's route table: a precompiled static dispatch
+// over the fixed route set instead of an http.ServeMux. Every request is
+// routed with one switch on the path (plus a prefix check for the two
+// parameterized jobs routes) — no per-request pattern matching, no
+// intermediate allocations. Semantics match the previous mux wiring:
+// unknown paths 404, a known path with the wrong method 405 with an Allow
+// header, and the non-method-specific routes leave method checks to their
+// handlers.
+func (s *Server) Handler() http.Handler { return http.HandlerFunc(s.route) }
+
+// jobsPrefix is the path prefix of the two parameterized routes,
+// GET /v1/jobs/{id} and POST /v1/jobs/{id}/cancel.
+const jobsPrefix = "/v1/jobs/"
+
+func (s *Server) route(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/v1/extract":
+		s.handleExtract(w, r)
+	case "/healthz":
+		s.handleHealthz(w, r)
+	case "/metrics":
+		s.handleMetrics(w, r)
+	case "/v1/sites":
+		s.handleSites(w, r)
+	case "/v1/promote":
+		s.handlePromote(w, r)
+	case "/v1/rollback":
+		s.handleRollback(w, r)
+	case "/v1/repair":
+		s.handleRepair(w, r)
+	case "/v1/learn":
+		s.handleLearn(w, r)
+	case "/v1/jobs":
+		if !requireMethod(w, r, http.MethodGet) {
+			return
+		}
+		s.handleJobs(w, r)
+	default:
+		s.routeJob(w, r)
+	}
+}
+
+// routeJob dispatches the parameterized jobs routes: the {id} segment must
+// be non-empty and slash-free, exactly as the previous mux patterns
+// demanded.
+func (s *Server) routeJob(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Path
+	if !strings.HasPrefix(path, jobsPrefix) {
+		http.NotFound(w, r)
+		return
+	}
+	rest := path[len(jobsPrefix):]
+	if id, ok := strings.CutSuffix(rest, "/cancel"); ok && id != "" && !strings.Contains(id, "/") {
+		if !requireMethod(w, r, http.MethodPost) {
+			return
+		}
+		s.handleJobCancel(w, r, id)
+		return
+	}
+	if rest == "" || strings.Contains(rest, "/") {
+		http.NotFound(w, r)
+		return
+	}
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	s.handleJobGet(w, r, rest)
+}
+
+// requireMethod enforces a method-specific route, answering 405 with an
+// Allow header otherwise (the same contract mux method patterns gave).
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		w.Header().Set("Allow", method)
+		writeError(w, http.StatusMethodNotAllowed, "use %s", method)
+		return false
+	}
+	return true
+}

@@ -1,0 +1,724 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"unicode/utf16"
+	"unicode/utf8"
+
+	"autowrap/internal/extract"
+)
+
+// This file is the hot-path wire codec for POST /v1/extract: a pooled
+// request scratch, a specialized JSON decoder that unescapes string values
+// in place inside the body buffer, and a response encoder that appends
+// directly into a reused buffer. The wire format is exactly the
+// ExtractRequest/ExtractResponse JSON that encoding/json produced before —
+// the encoder reproduces encoding/json's escaping (including its HTML-safe
+// </>/& and the Encoder's trailing newline) byte for byte —
+// but the steady-state request path allocates only the strings that outlive
+// the request: the site name, page IDs and page HTML.
+
+// pageIn is one decoded page before it becomes an extract.Page.
+type pageIn struct{ id, html string }
+
+// extractScratch is the per-request workspace of handleExtract, recycled
+// through a sync.Pool. Every request gets exclusive ownership from
+// acquireScratch to releaseScratch; nothing handed to the dispatcher or the
+// response writer may alias the scratch after release (strings decoded from
+// the body are fresh copies precisely so extraction results and the
+// recent-page ring never point into pooled memory).
+type extractScratch struct {
+	body []byte // raw request body; string values are unescaped in place
+	out  []byte // response buffer
+
+	site      string
+	timeoutMS int
+	single    pageIn
+	hasSingle bool
+	pages     []pageIn
+	in        []extract.Page // dispatcher input, reusing the slice only
+}
+
+// maxPooledBuf bounds the buffer capacity a pooled scratch may retain: a
+// single 32 MiB batch request must not pin its buffer in the pool forever.
+const maxPooledBuf = 1 << 20
+
+var scratchPool = sync.Pool{New: func() any { return new(extractScratch) }}
+
+func acquireScratch() *extractScratch { return scratchPool.Get().(*extractScratch) }
+
+// releaseScratch resets the workspace and returns it to the pool, dropping
+// oversized buffers and every string reference (so pooled scratches never
+// pin request HTML in memory).
+func releaseScratch(sc *extractScratch) {
+	if cap(sc.body) > maxPooledBuf {
+		sc.body = nil
+	}
+	if cap(sc.out) > maxPooledBuf {
+		sc.out = nil
+	}
+	sc.body, sc.out = sc.body[:0], sc.out[:0]
+	sc.site, sc.timeoutMS = "", 0
+	sc.single, sc.hasSingle = pageIn{}, false
+	for i := range sc.pages {
+		sc.pages[i] = pageIn{}
+	}
+	sc.pages = sc.pages[:0]
+	for i := range sc.in {
+		sc.in[i] = extract.Page{}
+	}
+	sc.in = sc.in[:0]
+	scratchPool.Put(sc)
+}
+
+// readBody reads the request body into the scratch buffer, enforcing the
+// byte cap. The error is already on the wire when ok is false.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request, sc *extractScratch) bool {
+	max := s.cfg.MaxBodyBytes
+	if r.ContentLength > max {
+		writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", max)
+		return false
+	}
+	if cl := r.ContentLength; cl >= 0 {
+		if int64(cap(sc.body)) < cl {
+			sc.body = make([]byte, cl)
+		} else {
+			sc.body = sc.body[:cl]
+		}
+		if _, err := io.ReadFull(r.Body, sc.body); err != nil {
+			writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+			return false
+		}
+		return true
+	}
+	// Unknown length (chunked): grow the buffer until EOF or the cap.
+	sc.body = sc.body[:0]
+	for {
+		if len(sc.body) == cap(sc.body) {
+			sc.body = append(sc.body, 0)[:len(sc.body)]
+		}
+		n, err := r.Body.Read(sc.body[len(sc.body):cap(sc.body)])
+		sc.body = sc.body[:len(sc.body)+n]
+		if int64(len(sc.body)) > max {
+			writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", max)
+			return false
+		}
+		if err == io.EOF {
+			return true
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+			return false
+		}
+	}
+}
+
+// --- request decoder ---
+
+var errTrailing = errors.New("trailing data after JSON body")
+
+// decodeExtractRequest parses an ExtractRequest from the scratch's body
+// buffer into the scratch fields. String values are unescaped in place (a
+// JSON escape sequence never expands), then copied out as real strings —
+// the only per-page allocations of the decode. Unknown fields are skipped
+// and keys match case-insensitively, like encoding/json.
+func decodeExtractRequest(sc *extractScratch) error {
+	d := jsonCursor{b: sc.body}
+	d.ws()
+	if err := d.expect('{'); err != nil {
+		return err
+	}
+	d.ws()
+	if d.tryByte('}') {
+		return d.end()
+	}
+	for {
+		key, err := d.str()
+		if err != nil {
+			return err
+		}
+		d.ws()
+		if err := d.expect(':'); err != nil {
+			return err
+		}
+		d.ws()
+		switch {
+		case keyIs(key, "site"):
+			v, err := d.str()
+			if err != nil {
+				return err
+			}
+			sc.site = toWireString(v)
+		case keyIs(key, "timeout_ms"):
+			n, err := d.integer()
+			if err != nil {
+				return err
+			}
+			sc.timeoutMS = n
+		case keyIs(key, "page"):
+			if d.tryNull() {
+				sc.hasSingle = false
+				break
+			}
+			pg, err := d.page()
+			if err != nil {
+				return err
+			}
+			sc.single, sc.hasSingle = pg, true
+		case keyIs(key, "pages"):
+			sc.pages = sc.pages[:0]
+			if d.tryNull() {
+				break
+			}
+			if err := d.expect('['); err != nil {
+				return err
+			}
+			d.ws()
+			if d.tryByte(']') {
+				break
+			}
+			for {
+				if d.tryNull() {
+					sc.pages = append(sc.pages, pageIn{})
+				} else {
+					pg, err := d.page()
+					if err != nil {
+						return err
+					}
+					sc.pages = append(sc.pages, pg)
+				}
+				d.ws()
+				if d.tryByte(']') {
+					break
+				}
+				if err := d.expect(','); err != nil {
+					return err
+				}
+				d.ws()
+			}
+		default:
+			if err := d.skip(); err != nil {
+				return err
+			}
+		}
+		d.ws()
+		if d.tryByte('}') {
+			return d.end()
+		}
+		if err := d.expect(','); err != nil {
+			return err
+		}
+		d.ws()
+	}
+}
+
+// jsonCursor is a minimal JSON scanner over the pooled body buffer.
+type jsonCursor struct {
+	b []byte
+	i int
+}
+
+func (d *jsonCursor) ws() {
+	for d.i < len(d.b) {
+		switch d.b[d.i] {
+		case ' ', '\t', '\n', '\r':
+			d.i++
+		default:
+			return
+		}
+	}
+}
+
+func (d *jsonCursor) expect(c byte) error {
+	if d.i >= len(d.b) {
+		return fmt.Errorf("unexpected end of body, want %q", c)
+	}
+	if d.b[d.i] != c {
+		return fmt.Errorf("unexpected character %q at offset %d, want %q", d.b[d.i], d.i, c)
+	}
+	d.i++
+	return nil
+}
+
+func (d *jsonCursor) tryByte(c byte) bool {
+	if d.i < len(d.b) && d.b[d.i] == c {
+		d.i++
+		return true
+	}
+	return false
+}
+
+func (d *jsonCursor) tryNull() bool {
+	if d.i+4 <= len(d.b) && string(d.b[d.i:d.i+4]) == "null" {
+		d.i += 4
+		return true
+	}
+	return false
+}
+
+// end verifies nothing but whitespace follows the decoded value.
+func (d *jsonCursor) end() error {
+	d.ws()
+	if d.i != len(d.b) {
+		return errTrailing
+	}
+	return nil
+}
+
+// page parses one {"id": ..., "html": ...} object.
+func (d *jsonCursor) page() (pageIn, error) {
+	var pg pageIn
+	if err := d.expect('{'); err != nil {
+		return pg, err
+	}
+	d.ws()
+	if d.tryByte('}') {
+		return pg, nil
+	}
+	for {
+		key, err := d.str()
+		if err != nil {
+			return pg, err
+		}
+		d.ws()
+		if err := d.expect(':'); err != nil {
+			return pg, err
+		}
+		d.ws()
+		switch {
+		case keyIs(key, "id"):
+			v, err := d.str()
+			if err != nil {
+				return pg, err
+			}
+			pg.id = toWireString(v)
+		case keyIs(key, "html"):
+			v, err := d.str()
+			if err != nil {
+				return pg, err
+			}
+			pg.html = toWireString(v)
+		default:
+			if err := d.skip(); err != nil {
+				return pg, err
+			}
+		}
+		d.ws()
+		if d.tryByte('}') {
+			return pg, nil
+		}
+		if err := d.expect(','); err != nil {
+			return pg, err
+		}
+		d.ws()
+	}
+}
+
+// str scans a JSON string and returns its decoded bytes — a view into the
+// body buffer, valid until the buffer is recycled. Escape-free strings are
+// returned as-is; strings with escapes are unescaped in place (the decoded
+// form is never longer than the encoded one).
+func (d *jsonCursor) str() ([]byte, error) {
+	if err := d.expect('"'); err != nil {
+		return nil, err
+	}
+	start := d.i
+	for d.i < len(d.b) {
+		c := d.b[d.i]
+		if c == '"' {
+			v := d.b[start:d.i]
+			d.i++
+			return v, nil
+		}
+		if c == '\\' {
+			return d.strSlow(start)
+		}
+		if c < 0x20 {
+			return nil, fmt.Errorf("invalid control character %q in string at offset %d", c, d.i)
+		}
+		d.i++
+	}
+	return nil, errors.New("unterminated string")
+}
+
+// strSlow finishes scanning a string that contains escapes, rewriting the
+// decoded bytes over the encoded ones from the first backslash on.
+func (d *jsonCursor) strSlow(start int) ([]byte, error) {
+	w := d.i // write cursor; d.i is at the first backslash
+	for d.i < len(d.b) {
+		c := d.b[d.i]
+		switch {
+		case c == '"':
+			v := d.b[start:w]
+			d.i++
+			return v, nil
+		case c < 0x20:
+			return nil, fmt.Errorf("invalid control character %q in string at offset %d", c, d.i)
+		case c != '\\':
+			d.b[w] = c
+			w++
+			d.i++
+		default:
+			d.i++
+			if d.i >= len(d.b) {
+				return nil, errors.New("unterminated escape")
+			}
+			e := d.b[d.i]
+			d.i++
+			switch e {
+			case '"', '\\', '/':
+				d.b[w] = e
+				w++
+			case 'b':
+				d.b[w] = '\b'
+				w++
+			case 'f':
+				d.b[w] = '\f'
+				w++
+			case 'n':
+				d.b[w] = '\n'
+				w++
+			case 'r':
+				d.b[w] = '\r'
+				w++
+			case 't':
+				d.b[w] = '\t'
+				w++
+			case 'u':
+				r, err := d.u4()
+				if err != nil {
+					return nil, err
+				}
+				if utf16.IsSurrogate(r) {
+					r2 := rune(utf8.RuneError)
+					if d.i+1 < len(d.b) && d.b[d.i] == '\\' && d.b[d.i+1] == 'u' {
+						save := d.i
+						d.i += 2
+						lo, err := d.u4()
+						if err != nil {
+							return nil, err
+						}
+						if dec := utf16.DecodeRune(r, lo); dec != utf8.RuneError {
+							r2 = dec
+						} else {
+							d.i = save // lone surrogate: re-scan the second escape
+						}
+					}
+					r = r2
+				}
+				w += utf8.EncodeRune(d.b[w:w+utf8.UTFMax], r)
+			default:
+				return nil, fmt.Errorf("invalid escape character %q in string", e)
+			}
+		}
+	}
+	return nil, errors.New("unterminated string")
+}
+
+// u4 decodes the four hex digits of a \uXXXX escape (cursor past the 'u').
+func (d *jsonCursor) u4() (rune, error) {
+	if d.i+4 > len(d.b) {
+		return 0, errors.New("truncated \\u escape")
+	}
+	var r rune
+	for k := 0; k < 4; k++ {
+		c := d.b[d.i+k]
+		switch {
+		case c >= '0' && c <= '9':
+			r = r<<4 | rune(c-'0')
+		case c >= 'a' && c <= 'f':
+			r = r<<4 | rune(c-'a'+10)
+		case c >= 'A' && c <= 'F':
+			r = r<<4 | rune(c-'A'+10)
+		default:
+			return 0, fmt.Errorf("invalid \\u escape digit %q", c)
+		}
+	}
+	d.i += 4
+	return r, nil
+}
+
+// integer scans a plain integer (what a timeout_ms field may hold).
+func (d *jsonCursor) integer() (int, error) {
+	start := d.i
+	d.tryByte('-')
+	for d.i < len(d.b) && d.b[d.i] >= '0' && d.b[d.i] <= '9' {
+		d.i++
+	}
+	if d.i == start || (d.b[start] == '-' && d.i == start+1) {
+		return 0, fmt.Errorf("invalid number at offset %d", start)
+	}
+	if d.i < len(d.b) && (d.b[d.i] == '.' || d.b[d.i] == 'e' || d.b[d.i] == 'E') {
+		return 0, fmt.Errorf("cannot decode fractional number into an integer field")
+	}
+	n, err := strconv.Atoi(string(d.b[start:d.i]))
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// skip consumes one arbitrary JSON value (unknown fields).
+func (d *jsonCursor) skip() error {
+	d.ws()
+	if d.i >= len(d.b) {
+		return errors.New("unexpected end of body")
+	}
+	switch c := d.b[d.i]; {
+	case c == '"':
+		_, err := d.str()
+		return err
+	case c == '{':
+		d.i++
+		d.ws()
+		if d.tryByte('}') {
+			return nil
+		}
+		for {
+			if _, err := d.str(); err != nil {
+				return err
+			}
+			d.ws()
+			if err := d.expect(':'); err != nil {
+				return err
+			}
+			if err := d.skip(); err != nil {
+				return err
+			}
+			d.ws()
+			if d.tryByte('}') {
+				return nil
+			}
+			if err := d.expect(','); err != nil {
+				return err
+			}
+			d.ws()
+		}
+	case c == '[':
+		d.i++
+		d.ws()
+		if d.tryByte(']') {
+			return nil
+		}
+		for {
+			if err := d.skip(); err != nil {
+				return err
+			}
+			d.ws()
+			if d.tryByte(']') {
+				return nil
+			}
+			if err := d.expect(','); err != nil {
+				return err
+			}
+			d.ws()
+		}
+	case c == 't':
+		return d.lit("true")
+	case c == 'f':
+		return d.lit("false")
+	case c == 'n':
+		return d.lit("null")
+	case c == '-' || (c >= '0' && c <= '9'):
+		d.i++
+		for d.i < len(d.b) {
+			c := d.b[d.i]
+			if c >= '0' && c <= '9' || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E' {
+				d.i++
+				continue
+			}
+			break
+		}
+		return nil
+	default:
+		return fmt.Errorf("unexpected character %q at offset %d", c, d.i)
+	}
+}
+
+func (d *jsonCursor) lit(s string) error {
+	if d.i+len(s) > len(d.b) || string(d.b[d.i:d.i+len(s)]) != s {
+		return fmt.Errorf("invalid literal at offset %d", d.i)
+	}
+	d.i += len(s)
+	return nil
+}
+
+// keyIs matches an object key case-insensitively (ASCII), the same
+// tolerance encoding/json field matching has.
+func keyIs(key []byte, name string) bool {
+	if len(key) != len(name) {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != name[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// toWireString copies a decoded value out of the body buffer into a real
+// string — the allocation that lets extraction results, the recent-page
+// ring and job payloads safely outlive the pooled buffer. Invalid UTF-8 is
+// coerced to U+FFFD exactly as encoding/json's decoder did, so downstream
+// output stays byte-identical.
+func toWireString(v []byte) string {
+	if utf8.Valid(v) {
+		return string(v)
+	}
+	out := make([]byte, 0, len(v)+8)
+	for len(v) > 0 {
+		r, size := utf8.DecodeRune(v)
+		if r == utf8.RuneError && size == 1 {
+			out = append(out, "�"...)
+		} else {
+			out = append(out, v[:size]...)
+		}
+		v = v[size:]
+	}
+	return string(out)
+}
+
+// --- response encoder ---
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string, reproducing encoding/json's
+// escaping byte for byte: the HTML-unsafe <, > and & go out as <-style
+// escapes, control characters as their short or \u00xx forms, invalid UTF-8
+// as the escaped form of U+FFFD, and U+2028/U+2029 escaped for JS embedding.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if jsonSafe[b] {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				dst = append(dst, '\\', b)
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				// <, > and & for HTML safety, plus remaining control chars.
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			// encoding/json writes invalid bytes as the escaped form of U+FFFD.
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
+// jsonSafe marks the ASCII bytes that need no escaping in a JSON string
+// under encoding/json's HTML-escaping rules.
+var jsonSafe = func() (t [utf8.RuneSelf]bool) {
+	for b := 0x20; b < utf8.RuneSelf; b++ {
+		t[b] = true
+	}
+	t['"'], t['\\'], t['<'], t['>'], t['&'] = false, false, false, false, false
+	return
+}()
+
+// appendExtractResponse renders an ExtractResponse into dst, byte-identical
+// to writeJSON's encoding/json output for the same value (field order,
+// omitempty fields, records never null, trailing newline).
+func appendExtractResponse(dst []byte, ext *Extraction, reqErr error) []byte {
+	dst = append(dst, `{"site":`...)
+	dst = appendJSONString(dst, ext.Site)
+	dst = append(dst, `,"version":`...)
+	dst = strconv.AppendInt(dst, int64(ext.Version), 10)
+	dst = append(dst, `,"results":[`...)
+	for i := range ext.Results {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		res := &ext.Results[i]
+		dst = append(dst, '{')
+		if res.ID != "" {
+			dst = append(dst, `"id":`...)
+			dst = appendJSONString(dst, res.ID)
+			dst = append(dst, ',')
+		}
+		dst = append(dst, `"records":[`...)
+		for j, t := range res.Texts {
+			if j > 0 {
+				dst = append(dst, ',')
+			}
+			dst = appendJSONString(dst, t)
+		}
+		dst = append(dst, ']')
+		if res.Err != nil {
+			dst = append(dst, `,"error":`...)
+			dst = appendJSONString(dst, res.Err.Error())
+		}
+		dst = append(dst, `,"elapsed_us":`...)
+		dst = strconv.AppendInt(dst, res.Elapsed.Microseconds(), 10)
+		dst = append(dst, '}')
+	}
+	dst = append(dst, ']')
+	if reqErr != nil {
+		dst = append(dst, `,"error":`...)
+		dst = appendJSONString(dst, reqErr.Error())
+	}
+	return append(dst, '}', '\n')
+}
+
+// writeRawJSON writes a pre-encoded JSON body with an explicit
+// Content-Length, so hot-path responses go out in one write without
+// chunked framing.
+func writeRawJSON(w http.ResponseWriter, code int, body []byte) {
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(code)
+	_, _ = w.Write(body)
+}
+
+// smallPageIDs are the interned default IDs for unnamed pages — the
+// single-page fast path never allocates its "page-0".
+var smallPageIDs = [...]string{
+	"page-0", "page-1", "page-2", "page-3", "page-4", "page-5", "page-6", "page-7",
+}
+
+func defaultPageID(i int) string {
+	if i < len(smallPageIDs) {
+		return smallPageIDs[i]
+	}
+	return "page-" + strconv.Itoa(i)
+}

@@ -1,0 +1,241 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"autowrap/internal/extract"
+)
+
+// decodeRef is the reference decode: encoding/json into the wire struct,
+// with the same strictness the old readJSON had (DisallowUnknownFields was
+// never set; trailing data was rejected).
+func decodeRef(body []byte) (ExtractRequest, error) {
+	var req ExtractRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	if err := dec.Decode(&req); err != nil {
+		return req, err
+	}
+	if dec.More() {
+		return req, errors.New("trailing data after JSON body")
+	}
+	return req, nil
+}
+
+func decodeFast(t *testing.T, body []byte) (*extractScratch, error) {
+	t.Helper()
+	sc := &extractScratch{body: append([]byte(nil), body...)}
+	err := decodeExtractRequest(sc)
+	return sc, err
+}
+
+// TestDecodeExtractRequestMatchesEncodingJSON pins the hand-rolled decoder
+// to encoding/json semantics over the request shapes the service accepts:
+// same decoded fields on valid bodies, an error wherever the reference
+// errors.
+func TestDecodeExtractRequestMatchesEncodingJSON(t *testing.T) {
+	cases := []string{
+		`{"site":"shop","page":{"id":"p1","html":"<html><body>x</body></html>"}}`,
+		`{"site":"shop","pages":[{"id":"a","html":"<p>1</p>"},{"html":"<p>2</p>"}]}`,
+		`{"site":"shop","pages":[]}`,
+		`{"site":"shop","pages":null}`,
+		`{"site":"shop","page":null}`,
+		`{}`,
+		`{"site":""}`,
+		`{"site":"s","timeout_ms":250}`,
+		`{"site":"s","timeout_ms":-3}`,
+		`{"SITE":"upper","Pages":[{"ID":"x","HTML":"<i>y</i>"}]}`,
+		`{"site":"esc","page":{"id":"a\tb","html":"<p>\u0041\u00e9\u2603 \ud83d\ude00 q\\\"r</p>"}}`,
+		`{"site":"lone","page":{"html":"\ud800 tail"}}`,
+		`{"site":"ctrl","page":{"html":"line1\nline2\r\t\u0001"}}`,
+		"  {\n\t\"site\" : \"ws\" , \"pages\" : [ {\"html\":\"<p>a</p>\"} ] }  \n",
+		`{"site":"extra","unknown":{"deep":[1,2,{"x":null}],"s":"v"},"page":{"html":"h","junk":true}}`,
+		`{"site":"dupes","site":"last-wins"}`,
+		`{"site":"solidus","page":{"html":"a\/b"}}`,
+		// invalid bodies: both decoders must reject
+		``,
+		`{"site":"x"`,
+		`{"site":"x"} trailing`,
+		`{"site":"x"}{}`,
+		`["not an object"]`,
+		`{"site":42}`,
+		`{"site":"x","timeout_ms":"fast"}`,
+		`{"site":"x","timeout_ms":1.5}`,
+		`{"site":"x","pages":{"html":"h"}}`,
+		`{"site":"x","page":["h"]}`,
+		`{"site":"x","page":{"html":"unterminated}`,
+		`{"site":"bad\escape"}`,
+		`{"site":"x",}`,
+		`{"site" "x"}`,
+	}
+	for _, body := range cases {
+		ref, refErr := decodeRef([]byte(body))
+		sc, fastErr := decodeFast(t, []byte(body))
+		if (refErr == nil) != (fastErr == nil) {
+			t.Errorf("%q: error mismatch: encoding/json=%v fast=%v", body, refErr, fastErr)
+			continue
+		}
+		if refErr != nil {
+			continue
+		}
+		if sc.site != ref.Site {
+			t.Errorf("%q: site = %q, want %q", body, sc.site, ref.Site)
+		}
+		if sc.timeoutMS != ref.TimeoutMS {
+			t.Errorf("%q: timeout_ms = %d, want %d", body, sc.timeoutMS, ref.TimeoutMS)
+		}
+		if sc.hasSingle != (ref.Page != nil) {
+			t.Errorf("%q: hasSingle = %v, want %v", body, sc.hasSingle, ref.Page != nil)
+		}
+		if ref.Page != nil && (sc.single.id != ref.Page.ID || sc.single.html != ref.Page.HTML) {
+			t.Errorf("%q: page = %+v, want %+v", body, sc.single, *ref.Page)
+		}
+		if len(sc.pages) != len(ref.Pages) {
+			t.Errorf("%q: %d pages, want %d", body, len(sc.pages), len(ref.Pages))
+			continue
+		}
+		for i := range sc.pages {
+			if sc.pages[i].id != ref.Pages[i].ID || sc.pages[i].html != ref.Pages[i].HTML {
+				t.Errorf("%q: pages[%d] = %+v, want %+v", body, i, sc.pages[i], ref.Pages[i])
+			}
+		}
+	}
+}
+
+// TestDecodeInvalidUTF8MatchesEncodingJSON pins the U+FFFD coercion: raw
+// invalid UTF-8 bytes inside string values decode to the same replacement
+// characters encoding/json produces.
+func TestDecodeInvalidUTF8MatchesEncodingJSON(t *testing.T) {
+	body := []byte(`{"site":"a` + string([]byte{0xff, 0xfe}) + `b","page":{"html":"x` + string([]byte{0xC3}) + `"}}`)
+	ref, refErr := decodeRef(body)
+	sc, fastErr := decodeFast(t, body)
+	if refErr != nil || fastErr != nil {
+		t.Fatalf("decode errors: encoding/json=%v fast=%v", refErr, fastErr)
+	}
+	if sc.site != ref.Site {
+		t.Errorf("site = %q, want %q", sc.site, ref.Site)
+	}
+	if ref.Page == nil || sc.single.html != ref.Page.HTML {
+		t.Errorf("html = %q, want %+v", sc.single.html, ref.Page)
+	}
+}
+
+// TestDecodedStringsDoNotAliasBody pins the ownership contract: every
+// string handed past the handler (site, ids, HTML) must survive the body
+// buffer being recycled and scribbled over.
+func TestDecodedStringsDoNotAliasBody(t *testing.T) {
+	body := []byte(`{"site":"shop","pages":[{"id":"p-1","html":"<p>keep \u0041 this</p>"}]}`)
+	sc, err := decodeFast(t, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	site, id, html := sc.site, sc.pages[0].id, sc.pages[0].html
+	for i := range sc.body {
+		sc.body[i] = 'Z'
+	}
+	if site != "shop" || id != "p-1" || html != "<p>keep A this</p>" {
+		t.Fatalf("decoded strings changed after buffer reuse: %q %q %q", site, id, html)
+	}
+}
+
+// encodeRef is the reference encoding: what writeJSON put on the wire for
+// the response the old handler built from the same Extraction.
+func encodeRef(t *testing.T, ext *Extraction, reqErr error) []byte {
+	t.Helper()
+	resp := ExtractResponse{Site: ext.Site, Version: ext.Version,
+		Results: make([]PageOutput, len(ext.Results))}
+	for i := range ext.Results {
+		res := &ext.Results[i]
+		out := PageOutput{ID: res.ID, Records: res.Texts,
+			ElapsedUS: res.Elapsed.Microseconds()}
+		if out.Records == nil {
+			out.Records = []string{}
+		}
+		if res.Err != nil {
+			out.Error = res.Err.Error()
+		}
+		resp.Results[i] = out
+	}
+	if reqErr != nil {
+		resp.Error = reqErr.Error()
+	}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(resp); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestAppendExtractResponseByteIdentical locks the hand-rolled encoder to
+// encoding/json's exact bytes — field order, omitempty behavior, HTML-safe
+// escaping, invalid-UTF-8 replacement and the trailing newline — across
+// record contents chosen to hit every escaping branch.
+func TestAppendExtractResponseByteIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		ext  Extraction
+		err  error
+	}{
+		{name: "empty", ext: Extraction{Site: "s", Version: 1}},
+		{name: "plain", ext: Extraction{Site: "shop", Version: 3, Results: []extract.Result{
+			{ID: "p1", Texts: []string{"alpha", "beta"}, Elapsed: 1500 * time.Microsecond},
+			{Texts: []string{}, Elapsed: time.Millisecond},
+			{ID: "p3"},
+		}}},
+		{name: "escapes", ext: Extraction{Site: `si"te\`, Version: 12, Results: []extract.Result{
+			{ID: "tab\tnl\n", Texts: []string{
+				"<b>html & such</b>",
+				"quote\" back\\ slash/ solidus",
+				"ctrl\x01\x1f\r\t",
+				"unicode é ☃ 😀",
+				"ls\u2028ps\u2029end",
+				"bad utf8 \xff\xc3 tail",
+			}, Elapsed: 42 * time.Microsecond},
+		}}},
+		{name: "page error", ext: Extraction{Site: "s", Version: 2, Results: []extract.Result{
+			{ID: "a", Err: errors.New(`page failed: <nil> & "why"`)},
+		}}},
+		{name: "request error", ext: Extraction{Site: "s", Version: 2, Results: []extract.Result{
+			{ID: "a", Texts: []string{"x"}},
+		}}, err: errors.New("context deadline exceeded")},
+	}
+	for _, tc := range cases {
+		want := encodeRef(t, &tc.ext, tc.err)
+		got := appendExtractResponse(nil, &tc.ext, tc.err)
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s:\n got %q\nwant %q", tc.name, got, want)
+		}
+	}
+}
+
+// decodeAllocBudget is the per-request decode ceiling for a warm scratch on
+// a single-page request: one allocation per retained string (site, id,
+// html). See docs/PERFORMANCE.md before raising it.
+const decodeAllocBudget = 4
+
+// TestDecodeExtractRequestAllocBudget gates the decoder's steady-state
+// allocations: with a warm scratch, decoding allocates only the strings
+// that outlive the request.
+func TestDecodeExtractRequestAllocBudget(t *testing.T) {
+	body := `{"site":"shop","page":{"id":"p1","html":"<html><body>` +
+		strings.Repeat("<p>row</p>", 32) + `</body></html>"}}`
+	sc := acquireScratch()
+	defer releaseScratch(sc)
+	sc.body = append(sc.body[:0], body...)
+	avg := testing.AllocsPerRun(200, func() {
+		sc.site, sc.hasSingle, sc.single = "", false, pageIn{}
+		if err := decodeExtractRequest(sc); err != nil {
+			t.Fatal(err)
+		}
+		if !sc.hasSingle || sc.single.id != "p1" {
+			t.Fatal("decode changed under measurement")
+		}
+	})
+	if avg > decodeAllocBudget {
+		t.Fatalf("decode allocates %.1f times per call, budget is %d", avg, decodeAllocBudget)
+	}
+}

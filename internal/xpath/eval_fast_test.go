@@ -1,0 +1,76 @@
+package xpath
+
+import (
+	"testing"
+
+	"autowrap/internal/dom"
+	"autowrap/internal/htmlparse"
+)
+
+// evalCases pairs documents with expressions chosen to hit every branch of
+// the slice-based fast path: pure child chains, descendant steps from one
+// and many origins, nested matches (forcing the evalSlow fallback), empty
+// results, predicates, and text() collection.
+var evalCases = []struct {
+	name string
+	html string
+	expr string
+}{
+	{"child chain", "<html><body><table><tr><td>a</td><td>b</td></tr></table></body></html>",
+		"/html/body/table/tr/td/text()"},
+	{"descendant then child", "<div><table><tr><td>x</td></tr></table><table><tr><td>y</td></tr></table></div>",
+		"//table/tr/td/text()"},
+	{"predicate attr", "<div class='a'><p>one</p></div><div class='b'><p>two</p></div>",
+		"//div[@class='b']/p/text()"},
+	{"child index", "<table><tr><td>a</td><td>b</td><td>c</td></tr></table>",
+		"//tr/td[2]/text()"},
+	{"nested matches", "<div class='x'><p>outer</p><div class='x'><p>inner</p></div></div>",
+		"//div[@class='x']/p/text()"},
+	{"nested then descendant", "<div><span>a</span><div><span>b</span></div></div>",
+		"//div//span/text()"},
+	{"elements not text", "<ul><li>1</li><li>2</li></ul>", "//li"},
+	{"nested elements", "<div><div><div>deep</div></div></div>", "//div"},
+	{"no match", "<p>plain</p>", "//table/tr/td/text()"},
+	{"all text", "<p>a<b>b</b>c</p>", "//text()"},
+	{"star tag", "<div><p>x</p><span>y</span></div>", "/div/*/text()"},
+}
+
+// TestEvalMatchesEvalSlow pins the fast path to the map-based reference
+// implementation on every case: same nodes, same (document) order.
+func TestEvalMatchesEvalSlow(t *testing.T) {
+	for _, tc := range evalCases {
+		t.Run(tc.name, func(t *testing.T) {
+			root := htmlparse.Parse(tc.html)
+			e := MustParse(tc.expr)
+			got := e.Eval(root)
+			want := e.evalSlow(root)
+			if len(got) != len(want) {
+				t.Fatalf("Eval returned %d nodes, evalSlow %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("node %d differs: %q vs %q", i, got[i].Data, want[i].Data)
+				}
+			}
+		})
+	}
+}
+
+// TestEvalReuseIsStable: results from consecutive evaluations must not
+// share backing storage with the pooled scratch (the second Eval would
+// otherwise overwrite the first result).
+func TestEvalReuseIsStable(t *testing.T) {
+	root := htmlparse.Parse("<table><tr><td>a</td><td>b</td></tr></table>")
+	e := MustParse("//td/text()")
+	first := e.Eval(root)
+	want := make([]*dom.Node, len(first))
+	copy(want, first)
+	for i := 0; i < 5; i++ {
+		e.Eval(htmlparse.Parse("<div><span>other</span><span>doc</span></div>"))
+	}
+	for i := range first {
+		if first[i] != want[i] {
+			t.Fatalf("result %d mutated by later evaluations", i)
+		}
+	}
+}

@@ -8,6 +8,7 @@ package xpath
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"autowrap/internal/dom"
 )
@@ -234,10 +235,114 @@ func (e *Expr) String() string {
 	return sb.String()
 }
 
+// evalScratch holds the reusable node sets of the slice-based Eval fast
+// path. Pooled because a Compiled expression is evaluated concurrently from
+// many serving goroutines.
+type evalScratch struct{ cur, next []*dom.Node }
+
+var evalPool = sync.Pool{New: func() any { return new(evalScratch) }}
+
 // Eval returns the nodes selected by e from the given document root, in
 // document (preorder) order without duplicates. When e.Text is set the
 // result contains text nodes, otherwise elements.
+//
+// The implementation walks slices instead of per-step maps: as long as the
+// working set stays free of ancestor/descendant pairs, child and descendant
+// expansion of a document-ordered set yields a document-ordered, duplicate-
+// free set, so no dedup map or final reordering walk is needed. The moment
+// a descendant step produces nested matches (one selected node inside
+// another) the remaining steps fall back to evalSlow, the original
+// map-based implementation, which handles arbitrary overlap.
 func (e *Expr) Eval(root *dom.Node) []*dom.Node {
+	s := evalPool.Get().(*evalScratch)
+	cur := append(s.cur[:0], root)
+	next := s.next[:0]
+	nested := false
+	fallback := false
+	for si := range e.Steps {
+		if nested {
+			// A nested working set breaks the order/uniqueness invariants
+			// of slice expansion; redo the whole walk the slow way.
+			fallback = true
+			break
+		}
+		st := e.Steps[si]
+		next = next[:0]
+		switch st.Axis {
+		case Child:
+			for _, n := range cur {
+				for _, ch := range n.Children {
+					if matchStep(ch, st) {
+						next = append(next, ch)
+					}
+				}
+			}
+		case Descendant:
+			for _, n := range cur {
+				n.Walk(func(d *dom.Node) bool {
+					if d != n && matchStep(d, st) {
+						next = append(next, d)
+					}
+					return true
+				})
+			}
+			// Nesting can only appear on a descendant step. Detect it
+			// conservatively (only when a later step or text() will consume
+			// the set): a match with a strict ancestor that also matches
+			// the step may contain another selected node.
+			if si+1 < len(e.Steps) || e.Text {
+			detect:
+				for _, m := range next {
+					for p := m.Parent; p != nil; p = p.Parent {
+						if matchStep(p, st) {
+							nested = true
+							break detect
+						}
+					}
+				}
+			}
+		}
+		cur, next = next, cur
+		if len(cur) == 0 {
+			break
+		}
+	}
+	var out []*dom.Node
+	switch {
+	case fallback || (nested && e.Text):
+		out = e.evalSlow(root)
+	case e.Text:
+		count := 0
+		for _, n := range cur {
+			for _, ch := range n.Children {
+				if ch.Type == dom.TextNode {
+					count++
+				}
+			}
+		}
+		if count > 0 {
+			out = make([]*dom.Node, 0, count)
+			for _, n := range cur {
+				for _, ch := range n.Children {
+					if ch.Type == dom.TextNode {
+						out = append(out, ch)
+					}
+				}
+			}
+		}
+	case len(cur) > 0:
+		out = make([]*dom.Node, len(cur))
+		copy(out, cur)
+	}
+	s.cur, s.next = cur[:0], next[:0]
+	evalPool.Put(s)
+	return out
+}
+
+// evalSlow is the original map-based evaluation: correct for any step
+// sequence, including working sets where selected nodes nest inside each
+// other, at the cost of per-step map allocation and a final ordering walk.
+func (e *Expr) evalSlow(root *dom.Node) []*dom.Node {
 	cur := map[*dom.Node]bool{root: true}
 	for _, st := range e.Steps {
 		next := make(map[*dom.Node]bool)

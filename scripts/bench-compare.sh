@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # Compare benchmarks/latest.txt against benchmarks/baseline.txt and fail
 # when any benchmark's ns/op regressed by more than
-# BENCH_MAX_REGRESSION_PCT percent (default: 10).
+# BENCH_MAX_REGRESSION_PCT percent (default: 10), or when a serving
+# hot-path benchmark (ServeExtract*) grew its B/op by more than
+# BENCH_MAX_BYTES_REGRESSION_PCT percent (default: 10) — the allocation
+# discipline of the request path is gated, not just its latency. The B/op
+# gate arms only when both files carry -benchmem columns.
 #
 # Usage: bench-compare.sh [baseline] [latest]
 #
@@ -21,6 +25,7 @@ cd "$(dirname "$0")/.."
 BASELINE="${1:-benchmarks/baseline.txt}"
 LATEST="${2:-benchmarks/latest.txt}"
 MAX_PCT="${BENCH_MAX_REGRESSION_PCT:-10}"
+MAX_BYTES_PCT="${BENCH_MAX_BYTES_REGRESSION_PCT:-10}"
 
 if [ ! -f "$BASELINE" ]; then
   echo "bench-compare: no baseline at $BASELINE; nothing to compare (gate unarmed)"
@@ -41,17 +46,21 @@ if [ "$(host_of "$BASELINE")" != "$(host_of "$LATEST")" ]; then
   exit 0
 fi
 
-awk -v max="$MAX_PCT" -v basefile="$BASELINE" -v latestfile="$LATEST" '
-  # Benchmark lines look like: BenchmarkName-8  120  9876543 ns/op  ...
+awk -v max="$MAX_PCT" -v maxbytes="$MAX_BYTES_PCT" \
+    -v basefile="$BASELINE" -v latestfile="$LATEST" '
+  # Benchmark lines look like: BenchmarkName-8  120  9876543 ns/op  512 B/op  8 allocs/op
   function benchname(s) { sub(/-[0-9]+$/, "", s); return s }
   FNR == 1 { fileno++ }
   /^Benchmark/ {
+    name = benchname($1)
     for (i = 2; i < NF; i++) {
       if ($(i + 1) == "ns/op") {
-        name = benchname($1)
         if (fileno == 1) { bsum[name] += $i; bcnt[name]++ }
         else             { lsum[name] += $i; lcnt[name]++ }
-        break
+      }
+      if ($(i + 1) == "B/op" && name ~ /ServeExtract/) {
+        if (fileno == 1) { bbytes[name] += $i; bbcnt[name]++ }
+        else             { lbytes[name] += $i; lbcnt[name]++ }
       }
     }
   }
@@ -68,12 +77,24 @@ awk -v max="$MAX_PCT" -v basefile="$BASELINE" -v latestfile="$LATEST" '
       printf "%-40s base=%.0fns latest=%.0fns delta=%+.1f%% %s\n",
              name, base, latest, delta, status
     }
+    # Allocation gate on the serving hot path: B/op must not creep back up.
+    for (name in bbytes) {
+      if (!(name in lbytes)) continue
+      base = bbytes[name] / bbcnt[name]
+      latest = lbytes[name] / lbcnt[name]
+      if (base == 0) continue
+      delta = (latest - base) * 100.0 / base
+      status = "ok"
+      if (delta > maxbytes) { status = "ALLOC REGRESSION"; failed++ }
+      printf "%-40s base=%.0fB/op latest=%.0fB/op delta=%+.1f%% %s\n",
+             name, base, latest, delta, status
+    }
     if (compared == 0) {
       printf "bench-compare: no common benchmarks between %s and %s\n", basefile, latestfile > "/dev/stderr"
       exit 1
     }
     if (failed > 0) {
-      printf "bench-compare: %d benchmark(s) regressed more than %s%%\n", failed, max > "/dev/stderr"
+      printf "bench-compare: %d benchmark(s) regressed more than allowed (ns/op > %s%% or hot-path B/op > %s%%)\n", failed, max, maxbytes > "/dev/stderr"
       exit 1
     }
     printf "bench-compare: %d benchmark(s) within %s%% of baseline\n", compared, max

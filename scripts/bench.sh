@@ -20,6 +20,6 @@ TIME="${BENCH_TIME:-1s}"
 COUNT="${BENCH_COUNT:-1}"
 
 mkdir -p benchmarks
-go test -run '^$' -bench "$PATTERN" -benchtime "$TIME" -count "$COUNT" . \
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$TIME" -count "$COUNT" . \
   | tee benchmarks/latest.txt
 echo "wrote benchmarks/latest.txt (pattern=$PATTERN benchtime=$TIME count=$COUNT)"

@@ -8,6 +8,10 @@
 #      full files are wrapped (imports hoisted to a synthetic header,
 #      statements into a function body) before formatting, so examples
 #      stay copy-pasteable fragments.
+#   3. Every `autowrap.Identifier` reference inside those go blocks must
+#      name something the facade package actually declares (grep-level:
+#      top-level and grouped declarations in the root package files), so
+#      examples cannot silently outlive a facade rename.
 #
 # Use a non-go fence (```text, ```sh, ...) for prose that merely looks
 # like code; ```go means "this is checked".
@@ -111,8 +115,36 @@ for snippet in "$tmpdir"/*.snippet*; do
   fi
 done
 
+# --- 3. facade identifiers referenced by go snippets ---------------------
+
+# Exported names of the root (facade) package: top-level declarations plus
+# tab-indented members of type/const/var groups. Struct fields sneak into
+# the second pattern, which only ever widens the accepted set — the check
+# errs toward false acceptance, never false rejection.
+facade_files="$(ls ./*.go | grep -v '_test\.go$')"
+facade_idents="$tmpdir/facade-idents"
+{
+  grep -hoE '^(func|type|var|const) [A-Z][A-Za-z0-9_]*' $facade_files | awk '{print $2}'
+  grep -hoE $'^\t[A-Z][A-Za-z0-9_]*' $facade_files | tr -d '\t'
+} | sort -u > "$facade_idents"
+
+for snippet in "$tmpdir"/*.snippet*; do
+  [ -e "$snippet" ] || continue
+  case "$snippet" in *wrapped-*|*err-*) continue ;; esac
+  refs="$(grep -ohE 'autowrap\.[A-Z][A-Za-z0-9_]*' "$snippet" | sed 's/^autowrap\.//' | sort -u || true)"
+  while IFS= read -r ref; do
+    [ -z "$ref" ] && continue
+    if ! grep -qxF "$ref" "$facade_idents"; then
+      echo "check-docs: $(basename "$snippet"): references autowrap.$ref, which the facade does not export" >&2
+      fail=1
+    fi
+  done <<EOF3
+$refs
+EOF3
+done
+
 if [ "$fail" -ne 0 ]; then
   echo "check-docs: FAILED" >&2
   exit 1
 fi
-echo "check-docs: all intra-repo links resolve and all go snippets are gofmt-clean"
+echo "check-docs: all intra-repo links resolve, go snippets are gofmt-clean, and snippet identifiers exist in the facade"

@@ -126,7 +126,9 @@ curl -fsS -X POST --data-binary @"$WORK/req2.json" "http://$ADDR/v1/extract" \
 # not failures; repair 202s are accepted).
 "$WORK/loadgen" -addr "http://$ADDR" -corpus "$WORK/corpus" \
   -qps 150 -duration 3s -concurrency 8 -batch 2 \
-  -repair-every 1s -repair-pages 6
+  -repair-every 1s -repair-pages 6 | tee "$WORK/loadgen.log"
+achieved="$(grep -oE 'achieved [0-9.]+' "$WORK/loadgen.log" | head -1 | cut -d' ' -f2)"
+echo "smoke-serve: loadgen achieved-QPS = ${achieved:-unknown} (target 150)"
 
 # Clean drain with a queued job: stack two repair submissions (one runs,
 # one queues behind the single learn worker), then SIGTERM. The daemon
