@@ -58,6 +58,7 @@ import (
 	"autowrap/internal/rank"
 	"autowrap/internal/segment"
 	"autowrap/internal/serve"
+	"autowrap/internal/shard"
 	"autowrap/internal/stats"
 	"autowrap/internal/store"
 	"autowrap/internal/wrapper"
@@ -200,6 +201,16 @@ type (
 	AdmissionGate = serve.Gate
 	// AdmissionOptions sizes an AdmissionGate.
 	AdmissionOptions = serve.GateOptions
+
+	// ShardRing is the consistent-hash ring partitioning site names across
+	// a fleet of serving shards: byte-stable across restarts, minimal key
+	// movement when the shard count changes. Build one with NewShardRing.
+	ShardRing = shard.Ring
+	// ShardRouter fronts a fleet of per-shard Servers behind one handler,
+	// routing every request to the site's ring owner and aggregating
+	// /metrics across the fleet. Build one with NewShardRouter;
+	// cmd/wrapserved -shards N is the ready-made fleet daemon.
+	ShardRouter = serve.ShardRouter
 
 	// JobManager is the asynchronous maintenance plane: a bounded queue of
 	// learn/repair jobs drained by a worker pool isolated from the extract
@@ -466,6 +477,14 @@ func NewWrapperStore() *WrapperStore { return store.New() }
 // validating every stored rule eagerly.
 func LoadWrapperStore(path string) (*WrapperStore, error) { return store.Load(path) }
 
+// LoadWrapperStorePartition reads only one shard's slice of a saved
+// registry: sites the ring assigns elsewhere are skipped before any
+// validation or rule compilation, so a shard's boot cost is proportional
+// to its partition, not the whole registry.
+func LoadWrapperStorePartition(path string, ring *ShardRing, shardID int) (*WrapperStore, error) {
+	return store.LoadPartition(path, ring, shardID)
+}
+
 // StoreBatch records a LearnBatch run's winners in the store: one new
 // version per successfully learned site. It returns how many sites were
 // stored; compile failures are joined into err without blocking the rest.
@@ -502,6 +521,24 @@ func NewServer(cfg ServerConfig) (*Server, error) { return serve.NewServer(cfg) 
 // NewAdmissionGate builds the hot path's admission controller; zero
 // options select defaults (64 slots, 4x queue, 1s Retry-After).
 func NewAdmissionGate(opt AdmissionOptions) *AdmissionGate { return serve.NewGate(opt) }
+
+// NewShardRing builds the consistent-hash ring for a fleet of `shards`
+// serving shards with `vnodes` virtual nodes per shard (vnodes <= 0
+// selects the default, 128). The same (shards, vnodes) pair always
+// yields the same site assignment, across processes and restarts.
+func NewShardRing(shards, vnodes int) *ShardRing { return shard.NewRing(shards, vnodes) }
+
+// NewShardRouter builds the fleet front end over per-shard Servers. The
+// build callback is invoked once per shard, in order, and receives the
+// shard's id plus a persist function that saves the merged registry of
+// every shard's partition to storePath (wire it into the shard's
+// ServerConfig.Persist so admin mutations on any shard persist the whole
+// fleet's state, never one partition alone). Mount Handler() on an
+// http.Server; cmd/wrapserved -shards N is the ready-made fleet daemon.
+func NewShardRouter(ring *ShardRing, storePath string,
+	build func(shardID int, persist func() error) (*Server, error)) (*ShardRouter, error) {
+	return serve.NewShardRouter(ring, storePath, build)
+}
 
 // NewJobManager builds the asynchronous maintenance plane's job queue +
 // worker pool; zero options select defaults (1 worker, queue depth 16,

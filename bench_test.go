@@ -13,6 +13,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -30,6 +31,7 @@ import (
 	"autowrap/internal/lr"
 	"autowrap/internal/segment"
 	"autowrap/internal/serve"
+	"autowrap/internal/shard"
 	"autowrap/internal/stats"
 	"autowrap/internal/store"
 )
@@ -528,6 +530,93 @@ func BenchmarkServeExtractHTTP(b *testing.B) {
 	}
 	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "req/sec")
 }
+
+// shardedFixture builds the fleet's dispatch layer at benchmark scale:
+// one learned wrapper served under nSites site names, consistent-hash
+// partitioned across N dispatchers exactly the way wrapserved -shards
+// does it (store.Split over the ring, one monitored dispatcher per
+// partition). Returns each shard's dispatcher and its owned site list.
+func shardedFixture(b *testing.B, shards, nSites int) ([]*serve.Dispatcher, [][]string, []extract.Page) {
+	b.Helper()
+	p, pages := extractFixture(b)
+	full := store.New()
+	sites := make([]string, nSites)
+	for i := range sites {
+		sites[i] = fmt.Sprintf("site-%03d.example.com", i)
+		if _, err := full.Put(sites[i], p, store.Meta{
+			Profile: &store.Profile{Pages: len(pages), MeanRecords: 6},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ring := shard.NewRing(shards, 64)
+	parts := full.Split(ring, shards)
+	ds := make([]*serve.Dispatcher, shards)
+	for k := range ds {
+		ds[k] = serve.NewDispatcher(parts[k], serve.Options{
+			Monitor: drift.NewMonitor(drift.Policy{Window: 64}),
+		})
+	}
+	return ds, ring.Partition(sites), pages
+}
+
+// benchShardedDispatch drives N concurrent lanes, one per shard, each
+// cycling through its own partition's sites on its own dispatcher — the
+// fleet's dispatch plane with zero cross-shard sharing. Aggregate
+// req/sec is the headline: on a multi-core host it scales with shard
+// count because the lanes touch disjoint stores, monitors and metrics;
+// on a single core it pins that sharding adds no contention or
+// allocation over the single-dispatcher baseline (see PERFORMANCE.md
+// for measured numbers on both).
+func benchShardedDispatch(b *testing.B, shards int) {
+	ds, owned, pages := shardedFixture(b, shards, 64)
+	ctx := context.Background()
+	one := pages[:1]
+	for k, sites := range owned {
+		for _, site := range sites {
+			if _, err := ds[k].Extract(ctx, site, one); err != nil {
+				b.Fatal(err) // warm-up builds every runtime binding
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for k := 0; k < shards; k++ {
+		n := b.N / shards
+		if k < b.N%shards {
+			n++
+		}
+		if n == 0 || len(owned[k]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(k, n int) {
+			defer wg.Done()
+			d, sites := ds[k], owned[k]
+			for i := 0; i < n; i++ {
+				ext, err := d.Extract(ctx, sites[i%len(sites)], one)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if len(ext.Results) != 1 || ext.Results[0].Err != nil {
+					b.Errorf("bad extraction: %+v", ext.Results)
+					return
+				}
+			}
+		}(k, n)
+	}
+	wg.Wait()
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "req/sec")
+}
+
+func BenchmarkShardedDispatch1(b *testing.B) { benchShardedDispatch(b, 1) }
+
+func BenchmarkShardedDispatch4(b *testing.B) { benchShardedDispatch(b, 4) }
+
+func BenchmarkShardedDispatch8(b *testing.B) { benchShardedDispatch(b, 8) }
 
 // BenchmarkJobsSubmit times the maintenance plane's full job cycle for
 // trivial runners — submit, dispatch to a worker, finalize, snapshot

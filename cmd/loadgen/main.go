@@ -20,6 +20,11 @@
 // backpressure and the achieved rate drops below -qps, which the report
 // shows honestly).
 //
+// Against a sharded fleet (wrapserved -shards N) the /v1/sites probe also
+// learns which shard owns each site, and the report breaks sent/ok/
+// rejected/failed and achieved req/s down per shard alongside the merged
+// client-side latency table — the per-partition view of the same run.
+//
 // 429 responses are counted as "rejected" — that is the server's admission
 // control working, not a failure; with -respect-retry-after loadgen waits
 // out the server's Retry-After hint before the next request on that worker.
@@ -87,9 +92,12 @@ func main() {
 	}
 }
 
-// sitePages is one site's replayable page set.
+// sitePages is one site's replayable page set. shard is the serving
+// shard the daemon reported for the site (0 on an unsharded server), so
+// the report can break traffic down the way the fleet partitions it.
 type sitePages struct {
 	name  string
+	shard int
 	pages []string // raw HTML
 }
 
@@ -127,8 +135,10 @@ func loadCorpus(root string) ([]sitePages, error) {
 	return out, nil
 }
 
-// servedSites asks the daemon which sites it can serve.
-func servedSites(client *http.Client, addr string) (map[string]bool, error) {
+// servedSites asks the daemon which sites it can serve, and on which
+// shard each lives (a sharded fleet stamps SiteStatus.Shard; a single
+// server reports 0 for everything).
+func servedSites(client *http.Client, addr string) (map[string]int, error) {
 	resp, err := client.Get(addr + "/v1/sites")
 	if err != nil {
 		return nil, fmt.Errorf("fetching /v1/sites: %w", err)
@@ -141,13 +151,18 @@ func servedSites(client *http.Client, addr string) (map[string]bool, error) {
 	if err := json.NewDecoder(resp.Body).Decode(&sites); err != nil {
 		return nil, fmt.Errorf("decoding /v1/sites: %w", err)
 	}
-	out := make(map[string]bool, len(sites))
+	out := make(map[string]int, len(sites))
 	for _, s := range sites {
 		if s.ActiveVersion > 0 {
-			out[s.Site] = true
+			out[s.Site] = s.Shard
 		}
 	}
 	return out, nil
+}
+
+// shardCounts is one serving shard's slice of the run.
+type shardCounts struct {
+	Sent, OK, Rejected, Failed int
 }
 
 // Report aggregates a run.
@@ -159,8 +174,24 @@ type Report struct {
 	RepairsSent, RepairsAccepted, RepairsRefused int
 	TargetQPS, AchievedQPS                       float64
 	Wall                                         time.Duration
-	latencies                                    []time.Duration // of successful requests
-	failures                                     []string        // first few failure descriptions
+	// perShard breaks the counters down by the serving shard each site
+	// lives on; the breakdown only prints when the fleet has >1 shard.
+	perShard  map[int]*shardCounts
+	latencies []time.Duration // of successful requests, sorted post-run
+	failures  []string        // first few failure descriptions
+}
+
+// shard returns the counter slot for one shard, allocating on first use.
+func (r *Report) shard(k int) *shardCounts {
+	if r.perShard == nil {
+		r.perShard = make(map[int]*shardCounts)
+	}
+	sc := r.perShard[k]
+	if sc == nil {
+		sc = &shardCounts{}
+		r.perShard[k] = sc
+	}
+	return sc
 }
 
 func (r *Report) quantile(q float64) time.Duration {
@@ -191,9 +222,27 @@ func (r *Report) String() string {
 			sum += d
 		}
 		ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
-		fmt.Fprintf(&sb, "  latency ms: p50=%.2f p90=%.2f p99=%.2f max=%.2f mean=%.2f\n",
-			ms(r.quantile(0.50)), ms(r.quantile(0.90)), ms(r.quantile(0.99)),
+		// Client-side latency of OK requests, merged across all shards:
+		// one sorted population, so these are true fleet quantiles.
+		fmt.Fprintf(&sb, "  latency ms (merged, client-side, n=%d):\n", len(r.latencies))
+		fmt.Fprintf(&sb, "    p50=%.2f p75=%.2f p90=%.2f p95=%.2f p99=%.2f p99.9=%.2f max=%.2f mean=%.2f\n",
+			ms(r.quantile(0.50)), ms(r.quantile(0.75)), ms(r.quantile(0.90)),
+			ms(r.quantile(0.95)), ms(r.quantile(0.99)), ms(r.quantile(0.999)),
 			ms(r.latencies[len(r.latencies)-1]), ms(sum/time.Duration(len(r.latencies))))
+	}
+	if len(r.perShard) > 1 && r.Wall > 0 {
+		shards := make([]int, 0, len(r.perShard))
+		for k := range r.perShard {
+			shards = append(shards, k)
+		}
+		sort.Ints(shards)
+		fmt.Fprintf(&sb, "  per shard (achieved req/s from wall %.1fs):\n", r.Wall.Seconds())
+		for _, k := range shards {
+			sc := r.perShard[k]
+			fmt.Fprintf(&sb, "    shard %d: sent=%d ok=%d rejected=%d failed=%d achieved=%.1f req/s\n",
+				k, sc.Sent, sc.OK, sc.Rejected, sc.Failed,
+				float64(sc.Sent)/r.Wall.Seconds())
+		}
 	}
 	for _, f := range r.failures {
 		fmt.Fprintf(&sb, "  FAILED: %s\n", f)
@@ -221,7 +270,8 @@ func run(addr, corpusDir string, qps float64, duration time.Duration,
 		if onlySite != "" && sp.name != onlySite {
 			continue
 		}
-		if served[sp.name] {
+		if shard, ok := served[sp.name]; ok {
+			sp.shard = shard
 			replay = append(replay, sp)
 		}
 	}
@@ -321,14 +371,14 @@ func oneRequest(client *http.Client, addr string, sp sitePages, pageIdx []int,
 	}
 	body, err := json.Marshal(req)
 	if err != nil {
-		record(rep, mu, func(r *Report) { r.Sent++; fail(r, err.Error()) })
+		record(rep, mu, func(r *Report) { sent(r, sp.shard); failShard(r, sp.shard, err.Error()) })
 		return
 	}
 	t0 := time.Now()
 	resp, err := client.Post(addr+"/v1/extract", "application/json", bytes.NewReader(body))
 	lat := time.Since(t0)
 	if err != nil {
-		record(rep, mu, func(r *Report) { r.Sent++; fail(r, err.Error()) })
+		record(rep, mu, func(r *Report) { sent(r, sp.shard); failShard(r, sp.shard, err.Error()) })
 		return
 	}
 	defer resp.Body.Close()
@@ -336,7 +386,7 @@ func oneRequest(client *http.Client, addr string, sp sitePages, pageIdx []int,
 	case resp.StatusCode == http.StatusOK:
 		var out serve.ExtractResponse
 		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-			record(rep, mu, func(r *Report) { r.Sent++; fail(r, "bad response body: "+err.Error()) })
+			record(rep, mu, func(r *Report) { sent(r, sp.shard); failShard(r, sp.shard, "bad response body: "+err.Error()) })
 			return
 		}
 		records, pageFails := 0, 0
@@ -347,19 +397,24 @@ func oneRequest(client *http.Client, addr string, sp sitePages, pageIdx []int,
 			records += len(pr.Records)
 		}
 		record(rep, mu, func(r *Report) {
-			r.Sent++
+			sent(r, sp.shard)
 			if pageFails > 0 {
-				fail(r, fmt.Sprintf("%s: %d page(s) failed inside a 200", sp.name, pageFails))
+				failShard(r, sp.shard, fmt.Sprintf("%s: %d page(s) failed inside a 200", sp.name, pageFails))
 				return
 			}
 			r.OK++
+			r.shard(sp.shard).OK++
 			r.Pages += len(out.Results)
 			r.Records += records
 			r.latencies = append(r.latencies, lat)
 		})
 	case resp.StatusCode == http.StatusTooManyRequests:
 		io.Copy(io.Discard, resp.Body)
-		record(rep, mu, func(r *Report) { r.Sent++; r.Rejected++ })
+		record(rep, mu, func(r *Report) {
+			sent(r, sp.shard)
+			r.Rejected++
+			r.shard(sp.shard).Rejected++
+		})
 		if respect {
 			if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
 				time.Sleep(time.Duration(s) * time.Second)
@@ -368,10 +423,22 @@ func oneRequest(client *http.Client, addr string, sp sitePages, pageIdx []int,
 	default:
 		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		record(rep, mu, func(r *Report) {
-			r.Sent++
-			fail(r, fmt.Sprintf("%s: status %d: %s", sp.name, resp.StatusCode, bytes.TrimSpace(b)))
+			sent(r, sp.shard)
+			failShard(r, sp.shard, fmt.Sprintf("%s: status %d: %s", sp.name, resp.StatusCode, bytes.TrimSpace(b)))
 		})
 	}
+}
+
+// sent bumps both the run-wide and per-shard sent counters.
+func sent(r *Report, shard int) {
+	r.Sent++
+	r.shard(shard).Sent++
+}
+
+// failShard records a failure against the run and the owning shard.
+func failShard(r *Report, shard int, msg string) {
+	fail(r, msg)
+	r.shard(shard).Failed++
 }
 
 // oneRepair submits one async repair job. 202 means the maintenance

@@ -10,6 +10,7 @@
 //	wrapserved -store wrappers.json -addr :8080
 //	wrapserved -store wrappers.json -dict names.txt -kind xpath   # enables /v1/learn + /v1/repair
 //	wrapserved -store wrappers.json -dict names.txt -auto-repair  # drifted sites heal themselves
+//	wrapserved -store wrappers.json -shards 4                     # consistent-hash fleet, one per core
 //	wrapserved -store wrappers.json -debug-addr localhost:6060    # net/http/pprof on a side listener
 //
 // Endpoints:
@@ -54,6 +55,18 @@
 // drain it), finishes in-flight requests, then drains the job plane —
 // queued jobs are canceled, the running job is given the remainder of
 // -drain-timeout — and exits 0.
+//
+// With -shards N (> 1) the daemon runs a consistent-hash fleet instead of
+// a single server: N complete serving stacks — store partition, gate,
+// dispatcher, monitor, job plane, optional auto-repair — behind the one
+// listener, each shard owning the sites the ring assigns it. All endpoints
+// are unchanged; requests and lifecycle events route to the owning shard,
+// /metrics aggregates across the fleet, and admin mutations persist the
+// merged registry. -vnodes tunes the ring (must match across restarts for
+// a stable assignment); size -shards to the host's cores. SIGTERM drains
+// the fleet in order: healthz flip first, in-flight requests next, every
+// shard's job queue run dry last (queued jobs complete rather than being
+// canceled, up to -drain-timeout).
 package main
 
 import (
@@ -71,11 +84,13 @@ import (
 	"time"
 
 	"autowrap"
+	"autowrap/internal/annotate"
 	"autowrap/internal/drift"
 	"autowrap/internal/engine"
 	"autowrap/internal/experiments"
 	"autowrap/internal/jobs"
 	"autowrap/internal/serve"
+	"autowrap/internal/shard"
 	"autowrap/internal/store"
 )
 
@@ -102,6 +117,9 @@ type options struct {
 	autoInterval time.Duration
 	autoGap      time.Duration
 
+	shards int
+	vnodes int
+
 	debugAddr string
 }
 
@@ -126,6 +144,8 @@ func main() {
 	flag.BoolVar(&o.autoRepair, "auto-repair", false, "auto-enqueue repair jobs when drift trips (needs -dict, -window > 0 and -recent-pages > 0)")
 	flag.DurationVar(&o.autoInterval, "auto-repair-interval", 2*time.Second, "scan period for tripped sites the trip hook could not enqueue")
 	flag.DurationVar(&o.autoGap, "auto-repair-gap", time.Minute, "per-site minimum time between auto-repair submissions")
+	flag.IntVar(&o.shards, "shards", 1, "run a sharded fleet: N consistent-hash partitions, each with its own dispatcher, gate, monitor and job plane (1 = single unsharded server)")
+	flag.IntVar(&o.vnodes, "vnodes", shard.DefaultVNodes, "virtual nodes per shard on the routing ring (must match across restarts)")
 	flag.StringVar(&o.debugAddr, "debug-addr", "", "separate listen address serving net/http/pprof (e.g. localhost:6060); keep it off the public network")
 	flag.Parse()
 	if err := run(o); err != nil {
@@ -136,6 +156,9 @@ func main() {
 
 func run(o options) error {
 	logger := log.New(os.Stderr, "wrapserved: ", log.LstdFlags)
+	if o.shards > 1 {
+		return runFleet(o, logger)
+	}
 
 	st, err := store.Load(o.storePath)
 	if err != nil {
@@ -269,6 +292,17 @@ func run(o options) error {
 // /v1/repair and auto-repair: re-learn with a dictionary annotator over
 // the fresh pages, in the configured wrapper language.
 func newRepairer(st *store.Store, mon *drift.Monitor, dictPath, kind string) (*drift.Repairer, error) {
+	annot, err := loadAnnotator(dictPath, kind)
+	if err != nil {
+		return nil, err
+	}
+	return makeRepairer(st, mon, annot, kind), nil
+}
+
+// loadAnnotator reads the dictionary and validates the wrapper kind once
+// — a fleet builds N repairers from one annotator instead of re-reading
+// the file per shard.
+func loadAnnotator(dictPath, kind string) (annotate.Annotator, error) {
 	entries, err := experiments.ReadDictFile(dictPath)
 	if err != nil {
 		return nil, err
@@ -276,10 +310,15 @@ func newRepairer(st *store.Store, mon *drift.Monitor, dictPath, kind string) (*d
 	if len(entries) == 0 {
 		return nil, fmt.Errorf("dictionary %s is empty", dictPath)
 	}
-	annot := autowrap.DictionaryAnnotator(filepath.Base(dictPath), entries)
 	if _, err := experiments.NewInductor(kind, autowrap.ParsePages([]string{"<p>probe</p>"})); err != nil {
 		return nil, err
 	}
+	return autowrap.DictionaryAnnotator(filepath.Base(dictPath), entries), nil
+}
+
+// makeRepairer binds the shared annotator to one store + monitor pair —
+// per shard in a fleet, once for the single-server path.
+func makeRepairer(st *store.Store, mon *drift.Monitor, annot annotate.Annotator, kind string) *drift.Repairer {
 	return &drift.Repairer{
 		Store: st,
 		Spec: func(site string, c *autowrap.Corpus) (engine.SiteSpec, error) {
@@ -292,7 +331,158 @@ func newRepairer(st *store.Store, mon *drift.Monitor, dictPath, kind string) (*d
 			}, nil
 		},
 		Monitor: mon,
-	}, nil
+	}
+}
+
+// runFleet boots the sharded serving plane: a consistent-hash ring over
+// -shards partitions, each with its own store partition (loaded with
+// validation cost proportional to the partition, not the whole file),
+// dispatcher, gate, drift monitor, job plane and optional auto-repair
+// maintainer. One listener fronts them all through serve.ShardRouter;
+// admin mutations persist the merged registry back to -store.
+//
+// Per-shard capacities multiply: -max-inflight, -queue, -learn-workers
+// and -job-queue size each shard, so a 4-shard fleet admits 4x the
+// single-server traffic.
+func runFleet(o options, logger *log.Logger) error {
+	ring := shard.NewRing(o.shards, o.vnodes)
+
+	var annot annotate.Annotator
+	if o.dictPath != "" {
+		a, err := loadAnnotator(o.dictPath, o.kind)
+		if err != nil {
+			return err
+		}
+		annot = a
+	}
+	if o.autoRepair {
+		switch {
+		case annot == nil:
+			return fmt.Errorf("-auto-repair needs -dict (no annotator to re-learn with)")
+		case o.window <= 0:
+			return fmt.Errorf("-auto-repair needs drift monitoring (-window > 0)")
+		case o.recentPages <= 0:
+			return fmt.Errorf("-auto-repair needs -recent-pages > 0 (no cached pages to re-learn from)")
+		}
+	}
+	recentPages := 0
+	if o.autoRepair {
+		recentPages = o.recentPages
+	}
+
+	totalSites := 0
+	router, err := serve.NewShardRouter(ring, o.storePath, func(k int, persist func() error) (*serve.Server, error) {
+		st, err := store.LoadPartition(o.storePath, ring, k)
+		if err != nil {
+			return nil, err
+		}
+		totalSites += st.Len()
+		var mon *drift.Monitor
+		if o.window > 0 {
+			mon = drift.NewMonitor(drift.Policy{
+				Window: o.window,
+				OnTrip: func(site string, s drift.Stats) {
+					logger.Printf("DRIFT TRIPPED (shard %d): %s", k, s)
+				},
+			})
+		}
+		dispatcher := serve.NewDispatcher(st, serve.Options{
+			Workers: o.workers, Monitor: mon, RecentPages: recentPages,
+		})
+		var repairer *drift.Repairer
+		var jobsM *jobs.Manager
+		if annot != nil {
+			repairer = makeRepairer(st, mon, annot, o.kind)
+			jobsM = jobs.New(jobs.Options{
+				Workers: o.learnWorkers, QueueDepth: o.jobQueue,
+				IDPrefix: fmt.Sprintf("s%d-", k),
+			})
+		}
+		return serve.NewServer(serve.ServerConfig{
+			Dispatcher: dispatcher,
+			Gate: serve.NewGate(serve.GateOptions{
+				MaxInFlight: o.maxInflight, MaxQueue: o.queue, RetryAfter: o.retryAfter,
+			}),
+			RequestTimeout:  o.timeout,
+			MaxPages:        o.maxPages,
+			Repairer:        repairer,
+			Jobs:            jobsM,
+			LearnCorpusRoot: o.corpusRoot,
+			Persist:         persist, // merged registry, never a lone partition
+			Log:             logger,
+		})
+	})
+	if err != nil {
+		return err
+	}
+
+	var maintainers []*serve.Maintainer
+	if o.autoRepair {
+		for k := 0; k < o.shards; k++ {
+			m, err := serve.NewMaintainer(router.Shard(k), serve.MaintainerOptions{
+				Interval: o.autoInterval,
+				MinGap:   o.autoGap,
+				Log:      logger,
+			})
+			if err != nil {
+				return err
+			}
+			m.Start()
+			maintainers = append(maintainers, m)
+		}
+		defer func() {
+			for _, m := range maintainers {
+				m.Stop()
+			}
+		}()
+	}
+
+	if o.debugAddr != "" {
+		go func() {
+			logger.Printf("pprof debug server on http://%s/debug/pprof/", o.debugAddr)
+			logger.Printf("pprof server: %v", http.ListenAndServe(o.debugAddr, nil))
+		}()
+	}
+
+	hs := &http.Server{Addr: o.addr, Handler: router.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("serving %d site(s) from %s on %s across %d shards (%d vnodes each, maintenance plane %s, auto-repair %s)",
+			totalSites, o.storePath, o.addr, o.shards, ring.VNodes(),
+			enabledWord(annot != nil), enabledWord(o.autoRepair))
+		if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	// Fleet drain ordering: flip /healthz first (load balancers steer
+	// away while every shard keeps admitting), stop the auto-repair
+	// scanners, finish in-flight requests, then quiesce the job planes
+	// last — queued jobs run to completion, nothing accepted is dropped.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		logger.Printf("%s: draining %d shards (up to %v)...", sig, o.shards, o.drainT)
+		router.SetDraining(true)
+		for _, m := range maintainers {
+			m.Stop()
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), o.drainT)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		if err := router.Drain(ctx); err != nil {
+			logger.Printf("job drain: remaining jobs canceled at deadline: %v", err)
+		}
+		logger.Printf("drained cleanly")
+		return <-errc
+	}
 }
 
 func enabledWord(b bool) string {

@@ -92,6 +92,12 @@ type Options struct {
 	// finished jobs are evicted first. Live (queued/running) jobs are
 	// never evicted.
 	History int
+	// IDPrefix prefixes generated job IDs ("job-000001" becomes
+	// "s2-job-000001" with prefix "s2-"). Job sequence numbers are
+	// per-manager, so a sharded fleet gives each shard's manager a
+	// distinct prefix to keep IDs unique fleet-wide — the front-end can
+	// then resolve GET /v1/jobs/{id} by asking every shard.
+	IDPrefix string
 }
 
 func (o Options) withDefaults() Options {
@@ -259,7 +265,7 @@ func (m *Manager) Submit(kind Kind, site string, run Runner) (Snapshot, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	m.seq++
 	j := &job{
-		id:        fmt.Sprintf("job-%06d", m.seq),
+		id:        fmt.Sprintf("%sjob-%06d", m.opt.IDPrefix, m.seq),
 		kind:      kind,
 		site:      site,
 		run:       run,
@@ -479,6 +485,8 @@ func runIsolated(j *job) (res any, err error) {
 // until ctx expires — then they are canceled through their contexts and
 // waited for again so no runner outlives the call. The worker pool exits;
 // the manager stays readable (Get/List/Metrics) but accepts no more work.
+// Quiesce is the gentler shutdown that runs queued jobs to completion
+// instead of canceling them.
 func (m *Manager) Drain(ctx context.Context) error {
 	m.mu.Lock()
 	if m.draining {
@@ -529,4 +537,63 @@ func (m *Manager) idleNow() <-chan struct{} {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.idle
+}
+
+// Quiesce is the graceful sibling of Drain: new submissions are rejected
+// immediately, but jobs already accepted — queued as well as running —
+// execute to completion before the worker pool exits. This is the fleet
+// shutdown contract ("no accepted job is dropped"): a learn that was
+// 202-acknowledged finishes and persists even if SIGTERM lands while it
+// is still waiting for a worker. Only when ctx expires first does
+// Quiesce fall back to Drain semantics, canceling whatever is left. Like
+// Drain, the manager stays readable afterwards but accepts no more work.
+func (m *Manager) Quiesce(ctx context.Context) error {
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return fmt.Errorf("jobs: already drained")
+	}
+	// Flipping draining with the queue intact is the whole mechanism:
+	// claim keeps handing out pending jobs while draining and only tells
+	// workers to exit once the queue is empty, so the pool runs it dry.
+	m.draining = true
+	m.cond.Broadcast() // wake idle workers so they can exit once dry
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() { m.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+
+	// Deadline hit: cancel the remainder, Drain-style.
+	m.mu.Lock()
+	now := time.Now()
+	canceled := m.pending
+	m.pending = nil
+	for _, j := range canceled {
+		j.state = StateCanceled
+		j.finished = now
+		j.run = nil
+		m.kindLocked(j.kind).Canceled++
+		m.finished++ // eviction can wait; the plane is shutting down
+	}
+	var running []*job
+	for _, j := range m.order {
+		if j.state == StateRunning {
+			running = append(running, j)
+		}
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	for _, j := range canceled {
+		j.cancel()
+	}
+	for _, j := range running {
+		j.cancel()
+	}
+	m.wg.Wait()
+	return ctx.Err()
 }

@@ -379,3 +379,112 @@ func TestJobConcurrentSubmitCancelList(t *testing.T) {
 		t.Fatalf("drain after storm: %v", err)
 	}
 }
+
+// TestJobIDPrefix pins the fleet-uniqueness contract: managers with
+// distinct prefixes can never hand out colliding job IDs.
+func TestJobIDPrefix(t *testing.T) {
+	m := jobs.New(jobs.Options{Workers: 1, IDPrefix: "s2-"})
+	defer m.Drain(context.Background())
+	snap, err := m.Submit(jobs.KindLearn, "site-a", func(ctx context.Context, progress func(string)) (any, error) {
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.ID != "s2-job-000001" {
+		t.Fatalf("job ID = %q, want %q", snap.ID, "s2-job-000001")
+	}
+	if _, err := m.Get(snap.ID); err != nil {
+		t.Fatalf("Get by prefixed ID: %v", err)
+	}
+}
+
+// TestJobQuiesceRunsQueueDry pins the graceful-shutdown contract the
+// fleet drain depends on: with one worker busy and more jobs queued
+// behind it, Quiesce rejects new submissions immediately but every
+// already-accepted job still runs to done — nothing queued is dropped.
+func TestJobQuiesceRunsQueueDry(t *testing.T) {
+	m := jobs.New(jobs.Options{Workers: 1, QueueDepth: 8})
+	release := make(chan struct{})
+	var ran sync.WaitGroup
+	ran.Add(3)
+	slow := func(ctx context.Context, progress func(string)) (any, error) {
+		<-release // first job holds the single worker until Quiesce starts
+		ran.Done()
+		return "ok", nil
+	}
+	fast := func(ctx context.Context, progress func(string)) (any, error) {
+		ran.Done()
+		return "ok", nil
+	}
+	first, err := m.Submit(jobs.KindRepair, "site-a", slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, first.ID, jobs.StateRunning)
+	second, err := m.Submit(jobs.KindRepair, "site-b", fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	third, err := m.Submit(jobs.KindLearn, "site-c", fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(release)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := m.Quiesce(ctx); err != nil {
+		t.Fatalf("Quiesce: %v", err)
+	}
+	ran.Wait()
+
+	// New work is rejected...
+	if _, err := m.Submit(jobs.KindLearn, "site-d", fast); !errors.Is(err, jobs.ErrDraining) {
+		t.Fatalf("Submit after Quiesce: err = %v, want ErrDraining", err)
+	}
+	// ...but everything accepted before reached done, including the two
+	// jobs that were still queued when Quiesce was called.
+	for _, id := range []string{first.ID, second.ID, third.ID} {
+		s, err := m.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.State != jobs.StateDone {
+			t.Fatalf("job %s state = %s after Quiesce, want done", id, s.State)
+		}
+	}
+}
+
+// TestJobQuiesceDeadlineCancelsRemainder: when the context expires before
+// the queue runs dry, Quiesce falls back to Drain semantics.
+func TestJobQuiesceDeadlineCancelsRemainder(t *testing.T) {
+	m := jobs.New(jobs.Options{Workers: 1, QueueDepth: 8})
+	blocked := func(ctx context.Context, progress func(string)) (any, error) {
+		<-ctx.Done() // only a cancel releases this job
+		return nil, ctx.Err()
+	}
+	first, err := m.Submit(jobs.KindRepair, "site-a", blocked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, first.ID, jobs.StateRunning)
+	second, err := m.Submit(jobs.KindRepair, "site-b", blocked)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := m.Quiesce(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Quiesce err = %v, want DeadlineExceeded", err)
+	}
+	s1, _ := m.Get(first.ID)
+	s2, _ := m.Get(second.ID)
+	if s1.State != jobs.StateCanceled || s2.State != jobs.StateCanceled {
+		t.Fatalf("states after deadline = %s/%s, want canceled/canceled", s1.State, s2.State)
+	}
+}

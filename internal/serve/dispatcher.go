@@ -323,6 +323,10 @@ func (d *Dispatcher) Rollback(site string) (store.Entry, error) {
 // /metrics.
 type SiteStatus struct {
 	Site string `json:"site"`
+	// Shard is the owning shard in a sharded fleet (always 0 on a
+	// single-dispatcher server). The fleet router stamps it; clients like
+	// loadgen use it to attribute per-shard load.
+	Shard int `json:"shard"`
 	// Versions counts stored versions; ActiveVersion is the promoted one (0
 	// when only candidates exist).
 	Versions      int `json:"versions"`
@@ -374,4 +378,25 @@ func (d *Dispatcher) Status() []SiteStatus {
 		out = append(out, s)
 	}
 	return out
+}
+
+// metricsAccumNow folds every served site's live ledger into one
+// accumulator — the building block for a dispatcher-wide (and, merged
+// across shards, fleet-wide) metrics aggregate. Sites that never served
+// a request have no ledger yet and contribute nothing.
+func (d *Dispatcher) metricsAccumNow(now time.Time) metricsAccum {
+	var acc metricsAccum
+	d.sites.Range(func(_, v any) bool {
+		acc.addSite(&v.(*siteState).metrics, now)
+		return true
+	})
+	return acc
+}
+
+// AggregateMetrics merges every served site's request ledger into one
+// snapshot: summed counters and rates, and latency quantiles of the
+// merged histogram population (not averages of per-site quantiles).
+func (d *Dispatcher) AggregateMetrics() MetricsSnapshot {
+	acc := d.metricsAccumNow(time.Now())
+	return acc.snapshot()
 }

@@ -1,0 +1,441 @@
+// The sharded serving plane's front end. A ShardRouter owns N per-shard
+// Servers — each with its own partition of the store, its own dispatcher,
+// admission gate, drift monitor and job plane — and routes every request
+// to the shard the consistent-hash ring assigns the request's site.
+// Nothing on the extract hot path is shared between shards: the router's
+// only cross-shard state is the ring (immutable) and the pooled wire
+// codec (per-request scratch). Lifecycle events (promote, rollback,
+// repair, learn) route the same way, so a hot-swap bumps epochs only in
+// the owning shard; /metrics and /v1/sites are the aggregation points
+// that make the fleet look like one server to clients.
+
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autowrap/internal/jobs"
+	"autowrap/internal/shard"
+	"autowrap/internal/store"
+)
+
+// ShardRouter fronts a fleet of shard Servers behind the single-server
+// HTTP surface: same routes, same wire shapes (plus fleet-level fields
+// on /healthz and /metrics). Build one with NewShardRouter and mount
+// Handler, exactly like a Server.
+type ShardRouter struct {
+	ring      *shard.Ring
+	shards    []*Server
+	storePath string
+	started   time.Time
+	draining  atomic.Bool
+	log       *log.Logger
+
+	// persistMu serializes merged-store saves: two shards finishing
+	// mutations concurrently must not interleave their temp-file renames.
+	persistMu sync.Mutex
+}
+
+// NewShardRouter builds the fleet. build is called once per shard ID, in
+// order, and returns that shard's fully-wired Server; the persist
+// closure handed to it saves the *merged* registry (every shard's
+// partition reassembled) to storePath and must be wired into the shard's
+// ServerConfig.Persist — a shard persisting only its own partition would
+// clobber the other shards' sites on disk. Empty storePath disables
+// persistence (the closure becomes a no-op).
+func NewShardRouter(ring *shard.Ring, storePath string, build func(shardID int, persist func() error) (*Server, error)) (*ShardRouter, error) {
+	if ring == nil {
+		return nil, fmt.Errorf("serve: NewShardRouter: nil ring")
+	}
+	if build == nil {
+		return nil, fmt.Errorf("serve: NewShardRouter: nil build")
+	}
+	f := &ShardRouter{
+		ring:      ring,
+		shards:    make([]*Server, ring.Shards()),
+		storePath: storePath,
+		started:   time.Now(),
+		log:       log.Default(),
+	}
+	for k := range f.shards {
+		s, err := build(k, f.persistMerged)
+		if err != nil {
+			return nil, fmt.Errorf("serve: building shard %d: %w", k, err)
+		}
+		if s == nil {
+			return nil, fmt.Errorf("serve: building shard %d: build returned nil", k)
+		}
+		f.shards[k] = s
+	}
+	return f, nil
+}
+
+// Ring returns the fleet's routing ring.
+func (f *ShardRouter) Ring() *shard.Ring { return f.ring }
+
+// Shard returns one shard's Server (panics on an out-of-range ID, like
+// any slice index).
+func (f *ShardRouter) Shard(k int) *Server { return f.shards[k] }
+
+// persistMerged saves the merged registry — every shard's partition
+// reassembled into one store — to the router's store path. It is the
+// Persist hook every shard server runs after a successful mutation.
+func (f *ShardRouter) persistMerged() error {
+	if f.storePath == "" {
+		return nil
+	}
+	f.persistMu.Lock()
+	defer f.persistMu.Unlock()
+	parts := make([]*store.Store, len(f.shards))
+	for k, s := range f.shards {
+		parts[k] = s.Dispatcher().Store()
+	}
+	merged, err := store.Merge(parts...)
+	if err != nil {
+		return fmt.Errorf("serve: merging shard stores: %w", err)
+	}
+	return merged.Save(f.storePath)
+}
+
+// SetDraining flips readiness on the router and every shard at once:
+// /healthz answers 503 fleet-wide while every shard keeps admitting —
+// the first step of the drain ordering (steer traffic away, drop
+// nothing).
+func (f *ShardRouter) SetDraining(v bool) {
+	f.draining.Store(v)
+	for _, s := range f.shards {
+		s.SetDraining(v)
+	}
+}
+
+// Drain finishes the fleet's shutdown after the HTTP listener has
+// stopped accepting: every shard's job plane is quiesced concurrently —
+// queued jobs run to completion (jobs.Quiesce), nothing accepted is
+// dropped — falling back to cancellation only when ctx expires. The
+// ordering contract is SetDraining(true) → http.Server.Shutdown →
+// Drain: readiness flips first, in-flight extracts finish second, job
+// planes close last.
+func (f *ShardRouter) Drain(ctx context.Context) error {
+	errs := make([]error, len(f.shards))
+	var wg sync.WaitGroup
+	for k, s := range f.shards {
+		m := s.Jobs()
+		if m == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(k int, m *jobs.Manager) {
+			defer wg.Done()
+			errs[k] = m.Quiesce(ctx)
+		}(k, m)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Handler returns the fleet's route table — the same routes as a
+// single Server's Handler, served fleet-wide.
+func (f *ShardRouter) Handler() http.Handler { return http.HandlerFunc(f.route) }
+
+func (f *ShardRouter) route(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/v1/extract":
+		f.handleExtract(w, r)
+	case "/healthz":
+		f.handleHealthz(w, r)
+	case "/metrics":
+		f.handleMetrics(w, r)
+	case "/v1/sites":
+		f.handleSites(w, r)
+	case "/v1/promote":
+		f.handlePromote(w, r)
+	case "/v1/rollback":
+		f.handleRollback(w, r)
+	case "/v1/repair":
+		f.handleRepair(w, r)
+	case "/v1/learn":
+		f.handleLearn(w, r)
+	case "/v1/jobs":
+		if !requireMethod(w, r, http.MethodGet) {
+			return
+		}
+		f.handleJobs(w, r)
+	default:
+		f.routeJob(w, r)
+	}
+}
+
+// --- hot path ---
+
+// handleExtract decodes once at the front door — same pooled scratch,
+// same in-place parse as a single server — reads the site out of the
+// decoded request, and hands the scratch to the owning shard's
+// finishExtract. One parse, one ring lookup, zero extra allocations on
+// top of the single-server path.
+func (f *ShardRouter) handleExtract(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	sc := acquireScratch()
+	defer releaseScratch(sc)
+	if !f.shards[0].decodeExtract(w, r, sc) {
+		return
+	}
+	// An empty site falls through to finishExtract's own 400.
+	f.shards[f.ring.Owner(sc.site)].finishExtract(w, r, sc)
+}
+
+// --- health + metrics ---
+
+// FleetHealthzResponse is GET /healthz on a fleet.
+type FleetHealthzResponse struct {
+	Status string `json:"status"` // "ok" | "draining"
+	Shards int    `json:"shards"`
+	// Sites sums registered sites across all shard partitions.
+	Sites     int   `json:"sites"`
+	UptimeSec int64 `json:"uptime_sec"`
+}
+
+func (f *ShardRouter) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := FleetHealthzResponse{
+		Status:    "ok",
+		Shards:    len(f.shards),
+		UptimeSec: int64(time.Since(f.started).Seconds()),
+	}
+	for _, s := range f.shards {
+		resp.Sites += s.Dispatcher().Store().Len()
+	}
+	code := http.StatusOK
+	if f.draining.Load() {
+		resp.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
+}
+
+// ShardStatus is one shard's row in the fleet /metrics breakdown.
+type ShardStatus struct {
+	Shard int `json:"shard"`
+	// Sites counts the shard's partition.
+	Sites int `json:"sites"`
+	// Metrics merges the shard's per-site ledgers (bucket-summed latency,
+	// summed rates).
+	Metrics MetricsSnapshot `json:"metrics"`
+	Gate    GateSnapshot    `json:"gate"`
+	Jobs    *jobs.Metrics   `json:"jobs,omitempty"`
+}
+
+// FleetMetricsResponse is GET /metrics on a fleet: the fleet-wide merge
+// up front, the per-shard breakdown (where hot-shard skew shows), and
+// the familiar per-site list with shard ownership stamped on.
+type FleetMetricsResponse struct {
+	UptimeSec int64 `json:"uptime_sec"`
+	Shards    int   `json:"shards"`
+	VNodes    int   `json:"vnodes"`
+	// Fleet merges every site ledger across every shard. Latency
+	// quantiles come from the merged histogram population — never from
+	// averaging per-shard quantiles, which would answer a different
+	// question.
+	Fleet MetricsSnapshot `json:"fleet"`
+	// Gate sums the shard gates' counters and capacities.
+	Gate     GateSnapshot  `json:"gate"`
+	PerShard []ShardStatus `json:"per_shard"`
+	Sites    []SiteStatus  `json:"sites"`
+}
+
+func (f *ShardRouter) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	resp := FleetMetricsResponse{
+		UptimeSec: int64(time.Since(f.started).Seconds()),
+		Shards:    len(f.shards),
+		VNodes:    f.ring.VNodes(),
+		PerShard:  make([]ShardStatus, len(f.shards)),
+	}
+	var fleet metricsAccum
+	for k, s := range f.shards {
+		acc := s.Dispatcher().metricsAccumNow(now)
+		fleet.add(&acc)
+		row := ShardStatus{
+			Shard:   k,
+			Sites:   s.Dispatcher().Store().Len(),
+			Metrics: acc.snapshot(),
+			Gate:    s.Gate().Snapshot(),
+		}
+		if m := s.Jobs(); m != nil {
+			jm := m.Metrics()
+			row.Jobs = &jm
+		}
+		resp.Gate.InFlight += row.Gate.InFlight
+		resp.Gate.Waiting += row.Gate.Waiting
+		resp.Gate.Admitted += row.Gate.Admitted
+		resp.Gate.Rejected += row.Gate.Rejected
+		resp.Gate.TimedOut += row.Gate.TimedOut
+		resp.Gate.MaxInFlight += row.Gate.MaxInFlight
+		resp.Gate.MaxQueue += row.Gate.MaxQueue
+		resp.PerShard[k] = row
+	}
+	resp.Fleet = fleet.snapshot()
+	resp.Sites = f.siteStatuses()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// siteStatuses concatenates every shard's site list, stamps shard
+// ownership, and re-sorts by site name so the fleet view reads like one
+// registry.
+func (f *ShardRouter) siteStatuses() []SiteStatus {
+	var out []SiteStatus
+	for k, s := range f.shards {
+		statuses := s.Dispatcher().Status()
+		for i := range statuses {
+			statuses[i].Shard = k
+		}
+		out = append(out, statuses...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out
+}
+
+func (f *ShardRouter) handleSites(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, f.siteStatuses())
+}
+
+// --- lifecycle routing ---
+
+// handlePromote decodes at the front door and applies on the owning
+// shard: the hot-swap (store mutation, epoch bump, runtime rebuild)
+// happens only where the site lives.
+func (f *ShardRouter) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req AdminRequest
+	if !f.shards[0].readJSON(w, r, &req) {
+		return
+	}
+	f.owner(req.Site).finishPromote(w, req)
+}
+
+func (f *ShardRouter) handleRollback(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req AdminRequest
+	if !f.shards[0].readJSON(w, r, &req) {
+		return
+	}
+	f.owner(req.Site).finishRollback(w, req)
+}
+
+// handleRepair routes a drift repair to the owning shard's job plane:
+// the re-learn occupies that shard's workers and hot-swaps that shard's
+// binding, leaving every other shard untouched.
+func (f *ShardRouter) handleRepair(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req RepairRequest
+	if !f.shards[0].readJSON(w, r, &req) {
+		return
+	}
+	f.owner(req.Site).finishRepair(w, req)
+}
+
+// handleLearn routes a learn to the shard the ring assigns the new site
+// — which is exactly where extract requests for it will land once it
+// serves.
+func (f *ShardRouter) handleLearn(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req LearnRequest
+	if !f.shards[0].readJSON(w, r, &req) {
+		return
+	}
+	f.owner(req.Site).finishLearn(w, req)
+}
+
+// owner resolves a site to its shard server. The empty site maps to some
+// shard, whose finish handler answers the uniform "site is required" 400.
+func (f *ShardRouter) owner(site string) *Server {
+	return f.shards[f.ring.Owner(site)]
+}
+
+// --- jobs ---
+
+// handleJobs merges every shard's retained jobs into one list, ordered
+// by submission time (IDs tie-break: they are unique fleet-wide thanks
+// to per-shard prefixes).
+func (f *ShardRouter) handleJobs(w http.ResponseWriter, r *http.Request) {
+	out := []jobs.Snapshot{}
+	for _, s := range f.shards {
+		if m := s.Jobs(); m != nil {
+			out = append(out, m.List()...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].SubmittedAt.Equal(out[j].SubmittedAt) {
+			return out[i].SubmittedAt.Before(out[j].SubmittedAt)
+		}
+		return out[i].ID < out[j].ID
+	})
+	writeJSON(w, http.StatusOK, out)
+}
+
+// routeJob resolves the parameterized jobs routes fleet-wide: job IDs
+// are unique across shards, so the id is looked up in every shard's
+// manager and the one that knows it answers.
+func (f *ShardRouter) routeJob(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Path
+	if !strings.HasPrefix(path, jobsPrefix) {
+		http.NotFound(w, r)
+		return
+	}
+	rest := path[len(jobsPrefix):]
+	if id, ok := strings.CutSuffix(rest, "/cancel"); ok && id != "" && !strings.Contains(id, "/") {
+		if !requireMethod(w, r, http.MethodPost) {
+			return
+		}
+		if s := f.shardOfJob(id); s != nil {
+			s.handleJobCancel(w, r, id)
+			return
+		}
+		writeError(w, http.StatusNotFound, "%v: %q", jobs.ErrNotFound, id)
+		return
+	}
+	if rest == "" || strings.Contains(rest, "/") {
+		http.NotFound(w, r)
+		return
+	}
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	if s := f.shardOfJob(rest); s != nil {
+		s.handleJobGet(w, r, rest)
+		return
+	}
+	writeError(w, http.StatusNotFound, "%v: %q", jobs.ErrNotFound, rest)
+}
+
+// shardOfJob finds the shard whose job manager retains the ID, nil when
+// none does.
+func (f *ShardRouter) shardOfJob(id string) *Server {
+	for _, s := range f.shards {
+		m := s.Jobs()
+		if m == nil {
+			continue
+		}
+		if _, err := m.Get(id); err == nil {
+			return s
+		}
+	}
+	return nil
+}

@@ -57,6 +57,12 @@ type ServerConfig struct {
 	// StorePath, when set, persists the registry after every successful
 	// admin mutation (promote, rollback, repair).
 	StorePath string
+	// Persist, when set, replaces StorePath-based persistence: it runs
+	// after every successful admin mutation instead of saving this
+	// server's own store. The sharded fleet uses it to write the merged
+	// registry — a shard server's store holds only its partition, and
+	// saving that alone would clobber every other shard's sites on disk.
+	Persist func() error
 	// Log receives request-path warnings (default: log.Default()).
 	Log *log.Logger
 }
@@ -139,6 +145,9 @@ func (s *Server) Close() error {
 
 // Gate returns the server's admission gate.
 func (s *Server) Gate() *Gate { return s.cfg.Gate }
+
+// Dispatcher returns the server's dispatcher.
+func (s *Server) Dispatcher() *Dispatcher { return s.cfg.Dispatcher }
 
 // Jobs returns the server's job manager (nil when the maintenance plane
 // is disabled). The process owner drains it on shutdown.
@@ -256,23 +265,46 @@ func siteStatusCode(err error) int {
 // appended into a pooled buffer and written with an explicit
 // Content-Length. The wire shapes are unchanged from the encoding/json
 // implementation; only the steady-state allocation profile is different.
+//
+// The handler is split at the decoded-request boundary: decodeExtract
+// fills the scratch, finishExtract serves from it. The fleet's
+// ShardRouter decodes once at the front door, reads sc.site to pick the
+// owning shard, and calls that shard's finishExtract — same pooled
+// buffers, no second parse.
 func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	if !requirePost(w, r) {
 		return
 	}
 	sc := acquireScratch()
 	defer releaseScratch(sc)
-	if !s.readBody(w, r, sc) {
+	if !s.decodeExtract(w, r, sc) {
 		return
+	}
+	s.finishExtract(w, r, sc)
+}
+
+// decodeExtract reads and parses the request body into the scratch,
+// answering the error response itself when it returns false.
+func (s *Server) decodeExtract(w http.ResponseWriter, r *http.Request, sc *extractScratch) bool {
+	if !s.readBody(w, r, sc) {
+		return false
 	}
 	if err := decodeExtractRequest(sc); err != nil {
 		if err == errTrailing {
 			writeError(w, http.StatusBadRequest, "%v", err)
-			return
+			return false
 		}
 		writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
-		return
+		return false
 	}
+	return true
+}
+
+// finishExtract validates the decoded request and serves it: admission
+// through this server's gate, extraction through this server's
+// dispatcher. sc must have been filled by decodeExtract (any server's —
+// the limits are fleet-uniform).
+func (s *Server) finishExtract(w http.ResponseWriter, r *http.Request, sc *extractScratch) {
 	if sc.site == "" {
 		writeError(w, http.StatusBadRequest, "site is required")
 		return
@@ -410,6 +442,9 @@ type AdminResponse struct {
 }
 
 func (s *Server) persist() error {
+	if s.cfg.Persist != nil {
+		return s.cfg.Persist()
+	}
 	if s.cfg.StorePath == "" {
 		return nil
 	}
@@ -444,6 +479,14 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 	if !s.readJSON(w, r, &req) {
 		return
 	}
+	s.finishPromote(w, req)
+}
+
+// finishPromote applies a decoded promote against this server's
+// dispatcher — the fleet router decodes once and calls the owning
+// shard's finishPromote, so the hot-swap (and its epoch bump) happens
+// only in the shard that serves the site.
+func (s *Server) finishPromote(w http.ResponseWriter, req AdminRequest) {
 	if req.Site == "" || req.Version < 1 {
 		writeError(w, http.StatusBadRequest, "site and version >= 1 are required")
 		return
@@ -460,6 +503,11 @@ func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request) {
 	if !s.readJSON(w, r, &req) {
 		return
 	}
+	s.finishRollback(w, req)
+}
+
+// finishRollback is finishPromote's rollback twin.
+func (s *Server) finishRollback(w http.ResponseWriter, req AdminRequest) {
 	if req.Site == "" {
 		writeError(w, http.StatusBadRequest, "site is required")
 		return
@@ -638,13 +686,20 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	if !requirePost(w, r) {
 		return
 	}
+	var req RepairRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	s.finishRepair(w, req)
+}
+
+// finishRepair validates a decoded repair request and enqueues it on
+// this server's job plane. The fleet router routes by req.Site, so the
+// re-learn runs on — and hot-swaps — only the owning shard.
+func (s *Server) finishRepair(w http.ResponseWriter, req RepairRequest) {
 	if s.cfg.Repairer == nil {
 		writeError(w, http.StatusNotImplemented,
 			"repair is not configured on this server (no annotator)")
-		return
-	}
-	var req RepairRequest
-	if !s.readJSON(w, r, &req) {
 		return
 	}
 	if req.Site == "" || len(req.Pages) < 2 {
@@ -668,13 +723,20 @@ func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
 	if !requirePost(w, r) {
 		return
 	}
+	var req LearnRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	s.finishLearn(w, req)
+}
+
+// finishLearn validates a decoded learn request and enqueues it. A
+// brand-new site routed here by the fleet router lands on the shard the
+// ring assigns it, so once learned it serves from the right place.
+func (s *Server) finishLearn(w http.ResponseWriter, req LearnRequest) {
 	if s.cfg.Repairer == nil {
 		writeError(w, http.StatusNotImplemented,
 			"learn is not configured on this server (no annotator)")
-		return
-	}
-	var req LearnRequest
-	if !s.readJSON(w, r, &req) {
 		return
 	}
 	switch {

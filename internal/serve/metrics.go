@@ -58,7 +58,18 @@ func (h *latencyHist) Record(d time.Duration) {
 // bucket low exactly at small counts, where a histogram is already at its
 // coarsest.
 func (h *latencyHist) Quantile(q float64) float64 {
-	total := h.count.Load()
+	var b [histBuckets]int64
+	for i := range b {
+		b[i] = h.buckets[i].Load()
+	}
+	return bucketQuantile(&b, h.count.Load(), q, float64(h.max.Load()))
+}
+
+// bucketQuantile is the quantile estimate over a plain bucket array —
+// shared by the live per-site histogram above and the merged fleet
+// accumulator below, so single-site and aggregated quantiles can never
+// disagree on rank semantics.
+func bucketQuantile(buckets *[histBuckets]int64, total int64, q, maxUS float64) float64 {
 	if total == 0 {
 		return 0
 	}
@@ -71,7 +82,7 @@ func (h *latencyHist) Quantile(q float64) float64 {
 	}
 	var seen int64
 	for i := 0; i < histBuckets; i++ {
-		seen += h.buckets[i].Load()
+		seen += buckets[i]
 		if seen >= rank {
 			if i == 0 {
 				return 0.5
@@ -80,7 +91,7 @@ func (h *latencyHist) Quantile(q float64) float64 {
 			return lo * 1.5 // midpoint of [2^(i-1), 2^i)
 		}
 	}
-	return float64(h.max.Load())
+	return maxUS
 }
 
 // rateSlots sizes the QPS ring; rateWindow is the trailing averaging
@@ -233,6 +244,86 @@ type MetricsSnapshot struct {
 	LatencyP99Ms  float64 `json:"latency_p99_ms"`
 	LatencyMaxMs  float64 `json:"latency_max_ms"`
 	LatencyMeanMs float64 `json:"latency_mean_ms"`
+}
+
+// metricsAccum merges per-site ledgers into one aggregate. Latency is
+// merged at the bucket level — summing histograms and then taking
+// quantiles of the combined population — because quantiles themselves do
+// not compose: averaging per-site p99s answers "what is the p99 of an
+// average site", not "what is the fleet's p99". QPS rings sum (each
+// site's trailing rate is an independent share of the fleet's), counters
+// add, max is max.
+type metricsAccum struct {
+	requests  int64
+	pages     int64
+	pageFails int64
+	records   int64
+	errors    int64
+	buckets   [histBuckets]int64
+	count     int64
+	sum       int64 // microseconds
+	max       int64 // microseconds
+	qps       float64
+}
+
+// addSite folds one live site ledger into the accumulator. The reads are
+// the same unsynchronized atomic loads Snapshot does; a request landing
+// mid-fold skews one counter by one, which /metrics tolerates.
+func (a *metricsAccum) addSite(m *SiteMetrics, now time.Time) {
+	a.requests += m.requests.Load()
+	a.pages += m.pages.Load()
+	a.pageFails += m.pageFails.Load()
+	a.records += m.records.Load()
+	a.errors += m.errors.Load()
+	for i := 0; i < histBuckets; i++ {
+		a.buckets[i] += m.latency.buckets[i].Load()
+	}
+	a.count += m.latency.count.Load()
+	a.sum += m.latency.sum.Load()
+	if mx := m.latency.max.Load(); mx > a.max {
+		a.max = mx
+	}
+	a.qps += m.qps.Rate(now)
+}
+
+// add folds another accumulator in — how per-shard aggregates combine
+// into the fleet-wide one without touching the site ledgers twice.
+func (a *metricsAccum) add(b *metricsAccum) {
+	a.requests += b.requests
+	a.pages += b.pages
+	a.pageFails += b.pageFails
+	a.records += b.records
+	a.errors += b.errors
+	for i := 0; i < histBuckets; i++ {
+		a.buckets[i] += b.buckets[i]
+	}
+	a.count += b.count
+	a.sum += b.sum
+	if b.max > a.max {
+		a.max = b.max
+	}
+	a.qps += b.qps
+}
+
+// snapshot renders the accumulated population in the same wire shape as
+// a single site's snapshot.
+func (a *metricsAccum) snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		Requests:     a.requests,
+		Pages:        a.pages,
+		PageFails:    a.pageFails,
+		Records:      a.records,
+		Errors:       a.errors,
+		QPS:          a.qps,
+		LatencyP50Ms: bucketQuantile(&a.buckets, a.count, 0.50, float64(a.max)) / 1000,
+		LatencyP90Ms: bucketQuantile(&a.buckets, a.count, 0.90, float64(a.max)) / 1000,
+		LatencyP99Ms: bucketQuantile(&a.buckets, a.count, 0.99, float64(a.max)) / 1000,
+		LatencyMaxMs: float64(a.max) / 1000,
+	}
+	if a.count > 0 {
+		s.LatencyMeanMs = float64(a.sum) / float64(a.count) / 1000
+	}
+	return s
 }
 
 // Snapshot reads the ledger.

@@ -1,0 +1,35 @@
+package shard_test
+
+import (
+	"testing"
+
+	"autowrap/internal/shard"
+)
+
+// FuzzRingOwner throws arbitrary site IDs at rings of arbitrary size and
+// checks the three invariants the fleet depends on: the owner is always
+// a single shard in range, an identically-built ring agrees (restart
+// stability), and growing the fleet by one only ever relocates a site to
+// the new shard.
+func FuzzRingOwner(f *testing.F) {
+	f.Add("dealer-001", uint8(4))
+	f.Add("", uint8(1))
+	f.Add("news.example.com/listing?page=2", uint8(8))
+	f.Add("\x00\xff\xfe", uint8(3))
+	f.Add("a", uint8(16))
+	f.Fuzz(func(t *testing.T, site string, shards uint8) {
+		n := int(shards%16) + 1
+		r := shard.NewRing(n, 32)
+		got := r.Owner(site)
+		if got < 0 || got >= n {
+			t.Fatalf("Owner(%q) = %d with %d shards, out of range", site, got, n)
+		}
+		if again := shard.NewRing(n, 32).Owner(site); again != got {
+			t.Fatalf("Owner(%q) unstable across construction: %d vs %d", site, got, again)
+		}
+		grown := shard.NewRing(n+1, 32).Owner(site)
+		if grown != got && grown != n {
+			t.Fatalf("Owner(%q) moved %d->%d when growing %d->%d shards; only the new shard %d may gain keys", site, got, grown, n, n+1, n)
+		}
+	})
+}

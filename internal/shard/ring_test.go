@@ -1,0 +1,183 @@
+package shard_test
+
+import (
+	"fmt"
+	"testing"
+
+	"autowrap/internal/shard"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("site-%05d.example.com", i)
+	}
+	return out
+}
+
+func TestRingOwnerInRange(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 8, 16} {
+		r := shard.NewRing(n, 64)
+		for _, k := range keys(2000) {
+			got := r.Owner(k)
+			if got < 0 || got >= n {
+				t.Fatalf("shards=%d Owner(%q) = %d, out of range", n, k, got)
+			}
+		}
+	}
+}
+
+// TestRingStableAcrossConstruction pins that two rings built with the
+// same parameters route identically — the in-process equivalent of a
+// restart: a rebuilt router must agree with the store partitioner that
+// loaded each shard's sites before it.
+func TestRingStableAcrossConstruction(t *testing.T) {
+	a := shard.NewRing(8, 128)
+	b := shard.NewRing(8, 128)
+	for _, k := range keys(5000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("Owner(%q) differs across identically-built rings: %d vs %d", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestRingGoldenOwners pins the byte-level routing contract. If this
+// test fails, the hash or the vnode labels changed, and every deployed
+// fleet would reshard on upgrade — don't "fix" the expectations without
+// meaning exactly that.
+func TestRingGoldenOwners(t *testing.T) {
+	r := shard.NewRing(4, 128)
+	golden := []struct {
+		site string
+		want int
+	}{
+		{"dealer-001", 2},
+		{"dealer-002", 3},
+		{"dealer-003", 1},
+		{"news.example.com", 2},
+		{"shop.example.org", 1},
+		{"forum.example.net", 3},
+		{"site-000", 0},
+		{"site-001", 2},
+		{"bench", 1},
+	}
+	for _, g := range golden {
+		if got := r.Owner(g.site); got != g.want {
+			t.Errorf("Owner(%q) = %d, want %d (routing is no longer byte-stable)", g.site, got, g.want)
+		}
+	}
+}
+
+// TestRingMinimalMovement checks the consistent-hashing contract on
+// growth: resharding N -> N+1 moves roughly 1/(N+1) of keys, and every
+// key that moves lands on the new shard — existing shards never trade
+// keys among themselves.
+func TestRingMinimalMovement(t *testing.T) {
+	const total = 20000
+	ks := keys(total)
+	for _, n := range []int{2, 4, 8} {
+		old := shard.NewRing(n, 128)
+		grown := shard.NewRing(n+1, 128)
+		moved := 0
+		for _, k := range ks {
+			a, b := old.Owner(k), grown.Owner(k)
+			if a == b {
+				continue
+			}
+			moved++
+			if b != n {
+				t.Fatalf("shards %d->%d: %q moved %d->%d, but only the new shard %d may gain keys", n, n+1, k, a, b, n)
+			}
+		}
+		frac := float64(moved) / total
+		ideal := 1.0 / float64(n+1)
+		if frac > 1.5*ideal {
+			t.Errorf("shards %d->%d moved %.3f of keys, want <= 1.5x ideal %.3f", n, n+1, frac, ideal)
+		}
+		if moved == 0 {
+			t.Errorf("shards %d->%d moved no keys; the new shard owns nothing", n, n+1)
+		}
+	}
+}
+
+// TestRingBalance bounds the load skew virtual nodes are supposed to
+// buy: with the default vnode count no shard strays far from the mean.
+// The inputs are fixed, so this is deterministic, not flaky.
+func TestRingBalance(t *testing.T) {
+	const total = 20000
+	ks := keys(total)
+	for _, n := range []int{2, 4, 8} {
+		r := shard.NewRing(n, shard.DefaultVNodes)
+		counts := make([]int, n)
+		for _, k := range ks {
+			counts[r.Owner(k)]++
+		}
+		mean := float64(total) / float64(n)
+		for s, c := range counts {
+			ratio := float64(c) / mean
+			if ratio < 0.5 || ratio > 1.6 {
+				t.Errorf("shards=%d: shard %d owns %d keys (%.2fx mean), outside [0.5, 1.6]; counts=%v", n, s, c, ratio, counts)
+			}
+		}
+	}
+}
+
+func TestRingPartition(t *testing.T) {
+	r := shard.NewRing(4, 128)
+	ks := keys(1000)
+	parts := r.Partition(ks)
+	if len(parts) != 4 {
+		t.Fatalf("Partition returned %d buckets, want 4", len(parts))
+	}
+	seen := make(map[string]int)
+	for s, bucket := range parts {
+		for _, k := range bucket {
+			if prev, dup := seen[k]; dup {
+				t.Fatalf("%q appears in shards %d and %d", k, prev, s)
+			}
+			seen[k] = s
+			if r.Owner(k) != s {
+				t.Fatalf("%q in bucket %d but Owner says %d", k, s, r.Owner(k))
+			}
+		}
+	}
+	if len(seen) != len(ks) {
+		t.Fatalf("Partition covered %d of %d keys", len(seen), len(ks))
+	}
+}
+
+func TestRingClamping(t *testing.T) {
+	r := shard.NewRing(0, 0)
+	if r.Shards() != 1 {
+		t.Fatalf("Shards() = %d, want 1 after clamping", r.Shards())
+	}
+	if r.VNodes() != shard.DefaultVNodes {
+		t.Fatalf("VNodes() = %d, want DefaultVNodes %d", r.VNodes(), shard.DefaultVNodes)
+	}
+	if got := r.Owner("anything"); got != 0 {
+		t.Fatalf("one-shard ring Owner = %d, want 0", got)
+	}
+}
+
+// TestRingOwnerAllocFree pins that routing a request to its shard costs
+// zero heap allocations — Owner sits on the fleet's extract hot path.
+func TestRingOwnerAllocFree(t *testing.T) {
+	r := shard.NewRing(8, 128)
+	site := "dealer-042.example.com"
+	allocs := testing.AllocsPerRun(1000, func() {
+		_ = r.Owner(site)
+	})
+	if allocs != 0 {
+		t.Fatalf("Owner allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+func BenchmarkRingOwner(b *testing.B) {
+	r := shard.NewRing(8, 128)
+	ks := keys(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Owner(ks[i&1023])
+	}
+}

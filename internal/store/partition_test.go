@@ -1,0 +1,166 @@
+package store_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"autowrap/internal/shard"
+	"autowrap/internal/store"
+)
+
+// fillSites stores n sites with one promoted version each, plus one
+// staged candidate on every third site so partitioning has promotion
+// state worth preserving.
+func fillSites(t *testing.T, s *store.Store, n int) []string {
+	t.Helper()
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("site-%03d.example.com", i)
+		if _, err := s.Put(names[i], testPortable(), store.Meta{Score: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			if _, err := s.PutCandidate(names[i], testPortable(), store.Meta{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return names
+}
+
+func TestPartitionSplitsDisjointAndComplete(t *testing.T) {
+	full := store.New()
+	names := fillSites(t, full, 60)
+	ring := shard.NewRing(4, 64)
+
+	parts := full.Split(ring, ring.Shards())
+	if len(parts) != 4 {
+		t.Fatalf("Split returned %d parts, want 4", len(parts))
+	}
+	seen := make(map[string]int)
+	for k, p := range parts {
+		for _, site := range p.Sites() {
+			if ring.Owner(site) != k {
+				t.Fatalf("site %q in partition %d, ring says %d", site, k, ring.Owner(site))
+			}
+			if prev, dup := seen[site]; dup {
+				t.Fatalf("site %q in partitions %d and %d", site, prev, k)
+			}
+			seen[site] = k
+		}
+	}
+	if len(seen) != len(names) {
+		t.Fatalf("partitions cover %d of %d sites", len(seen), len(names))
+	}
+
+	// Promotion state survives partitioning: a candidate staged in the full
+	// registry is still a candidate in its partition, not serving.
+	for _, site := range names {
+		p := parts[ring.Owner(site)]
+		act, ok := p.Active(site)
+		if !ok {
+			t.Fatalf("site %q lost its active version in partition", site)
+		}
+		if act.Version != 1 {
+			t.Fatalf("site %q active v%d in partition, want v1", site, act.Version)
+		}
+	}
+	for i, site := range names {
+		if i%3 != 0 {
+			continue
+		}
+		p := parts[ring.Owner(site)]
+		if latest, _ := p.Latest(site); latest.Version != 2 {
+			t.Fatalf("site %q latest v%d in partition, want staged candidate v2", site, latest.Version)
+		}
+	}
+}
+
+func TestMergeRoundTripsSplit(t *testing.T) {
+	full := store.New()
+	names := fillSites(t, full, 40)
+	ring := shard.NewRing(4, 64)
+
+	merged, err := store.Merge(full.Split(ring, ring.Shards())...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Len() != full.Len() {
+		t.Fatalf("merged %d sites, want %d", merged.Len(), full.Len())
+	}
+	for _, site := range names {
+		a, aok := full.Active(site)
+		b, bok := merged.Active(site)
+		if aok != bok || a.Version != b.Version || a.Score != b.Score {
+			t.Fatalf("site %q active mismatch after split+merge: %+v/%v vs %+v/%v", site, a, aok, b, bok)
+		}
+		if len(full.History(site)) != len(merged.History(site)) {
+			t.Fatalf("site %q history length changed across split+merge", site)
+		}
+	}
+}
+
+func TestMergeRejectsOverlap(t *testing.T) {
+	a, b := store.New(), store.New()
+	if _, err := a.Put("dup.example.com", testPortable(), store.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Put("dup.example.com", testPortable(), store.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Merge(a, b); err == nil {
+		t.Fatal("Merge accepted overlapping partitions; overlap silently drops versions")
+	}
+}
+
+// TestLoadPartitionMatchesLoadThenPartition pins that the cheap path
+// (filtered load, skipped sites never compiled) and the expensive path
+// (full load, then in-memory partition) produce the same registry —
+// and that every shard's partition sees exactly the sites the ring
+// assigns it.
+func TestLoadPartitionMatchesLoadThenPartition(t *testing.T) {
+	full := store.New()
+	names := fillSites(t, full, 50)
+	path := filepath.Join(t.TempDir(), "wrappers.json")
+	if err := full.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	ring := shard.NewRing(4, 64)
+
+	loaded, err := store.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := 0
+	for k := 0; k < ring.Shards(); k++ {
+		part, err := store.LoadPartition(path, ring, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := loaded.Partition(ring, k)
+		if part.Len() != want.Len() {
+			t.Fatalf("shard %d: LoadPartition has %d sites, Partition has %d", k, part.Len(), want.Len())
+		}
+		for _, site := range part.Sites() {
+			if ring.Owner(site) != k {
+				t.Fatalf("shard %d: LoadPartition kept %q owned by shard %d", k, site, ring.Owner(site))
+			}
+			a, _ := part.Active(site)
+			b, _ := want.Active(site)
+			if a.Version != b.Version {
+				t.Fatalf("shard %d site %q: active v%d vs v%d", k, site, a.Version, b.Version)
+			}
+		}
+		covered += part.Len()
+	}
+	if covered != len(names) {
+		t.Fatalf("partitions cover %d of %d sites", covered, len(names))
+	}
+}
+
+func TestLoadPartitionNilRing(t *testing.T) {
+	if _, err := store.LoadPartition("nope.json", nil, 0); err == nil {
+		t.Fatal("LoadPartition accepted a nil partitioner")
+	}
+}

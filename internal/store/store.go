@@ -409,6 +409,15 @@ func (s *Store) Save(path string) error {
 // offending site + version named, not at serve time with a bare codec
 // error.
 func Load(path string) (*Store, error) {
+	return loadFiltered(path, nil)
+}
+
+// loadFiltered is Load with an optional site filter: when keep is
+// non-nil, sites it rejects are skipped entirely — not stored, and (the
+// point of partitioned loading) not compiled, so a shard's load cost is
+// proportional to the partition it owns, not to the whole registry.
+// Promotion logs for skipped sites are skipped with them.
+func loadFiltered(path string, keep func(site string) bool) (*Store, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("store: load: %w", err)
@@ -423,6 +432,9 @@ func Load(path string) (*Store, error) {
 	}
 	s := New()
 	for site, vs := range f.Sites {
+		if keep != nil && !keep(site) {
+			continue
+		}
 		for i := range vs {
 			e := &vs[i]
 			if e.Site != site || e.Version != i+1 {
@@ -438,6 +450,9 @@ func Load(path string) (*Store, error) {
 		s.sites[site] = vs
 	}
 	for site, log := range f.Promotions {
+		if keep != nil && !keep(site) {
+			continue
+		}
 		vs, ok := s.sites[site]
 		if !ok {
 			return nil, fmt.Errorf("store: load %s: promotion log for unknown site %q",

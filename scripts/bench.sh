@@ -15,7 +15,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PATTERN="${BENCH_PATTERN:-EngineBatch|Extract|HealthObserve|ServeExtract|JobsSubmit}"
+PATTERN="${BENCH_PATTERN:-EngineBatch|Extract|HealthObserve|ServeExtract|ShardedDispatch|JobsSubmit}"
 TIME="${BENCH_TIME:-1s}"
 COUNT="${BENCH_COUNT:-1}"
 

@@ -6,29 +6,39 @@
 # poll it to done, extract with the promoted wrapper), replay mixed
 # extract+repair load with loadgen (429 backpressure is fine, failed
 # requests are not), and verify a clean SIGTERM drain with a job still
-# queued on the maintenance plane.
+# queued on the maintenance plane. Then reboot the same store as a
+# 4-shard fleet (-shards 4) and check the sharded plane end to end:
+# extract routes to the owning shard, a learn submitted over HTTP lands
+# on the new site's owning shard (job-id prefix matches the shard stamp
+# /v1/sites reports after promotion), loadgen's per-shard breakdown
+# sees traffic, and SIGTERM drains the whole fleet cleanly.
 #
-#   SMOKE_PORT  listen port (default 8931)
+#   SMOKE_PORT  listen port (default 8931; the fleet uses port+1)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 WORK="$(mktemp -d)"
 SERVED_PID=""
+FLEET_PID=""
 cleanup() {
   if [ -n "$SERVED_PID" ]; then kill "$SERVED_PID" 2>/dev/null || true; fi
+  if [ -n "$FLEET_PID" ]; then kill "$FLEET_PID" 2>/dev/null || true; fi
   rm -rf "$WORK"
 }
 trap cleanup EXIT
 
 go build -o "$WORK" ./cmd/sitegen ./cmd/wrapserve ./cmd/wrapserved ./cmd/loadgen
 
-# A 3-site corpus; each site's gold list doubles as a clean dictionary.
+# A 4-site corpus; each site's gold list doubles as a clean dictionary.
 # Learn the first two sites ahead of time; the third stays out of the
-# store so the async /v1/learn path has a genuinely new site to learn.
-"$WORK/sitegen" -dataset dealers -sites 3 -out "$WORK/corpus" > /dev/null
+# store so the async /v1/learn path has a genuinely new site to learn,
+# and the fourth is reserved for the fleet's learn-over-HTTP check.
+"$WORK/sitegen" -dataset dealers -sites 4 -out "$WORK/corpus" > /dev/null
 site=""
 newsite=""
 newdir=""
+fleetsite=""
+fleetdir=""
 n=0
 for dir in "$WORK"/corpus/DEALERS/*/; do
   name="$(basename "$dir")"
@@ -36,6 +46,10 @@ for dir in "$WORK"/corpus/DEALERS/*/; do
   n=$((n + 1))
   if [ "$n" -eq 3 ]; then
     newsite="$name"; newdir="$dir"
+    continue
+  fi
+  if [ "$n" -eq 4 ]; then
+    fleetsite="$name"; fleetdir="$dir"
     continue
   fi
   site="$name"
@@ -150,4 +164,96 @@ SERVED_PID=""
 grep -q "drained cleanly" "$WORK/served.log" || {
   echo "smoke-serve: no clean-drain log line" >&2; cat "$WORK/served.log" >&2; exit 1;
 }
-echo "smoke-serve: OK (async learn + mixed load + clean drain with queued job)"
+echo "smoke-serve: single-server OK (async learn + mixed load + clean drain with queued job)"
+
+# --- Sharded fleet (-shards 4) over the same store ---
+# The single-server phase persisted its learned site, so the fleet boots
+# serving 3 sites partitioned across 4 shards from one registry file.
+FLEET_ADDR="127.0.0.1:$((${SMOKE_PORT:-8931} + 1))"
+"$WORK/wrapserved" -store "$WORK/wrappers.json" -addr "$FLEET_ADDR" -shards 4 \
+  -max-inflight 2 -queue 4 -dict "$WORK/dict-all.txt" \
+  -learn-workers 1 -job-queue 8 -learn-corpus-root "$WORK/corpus" &> "$WORK/fleet.log" &
+FLEET_PID=$!
+
+healthy=""
+for _ in $(seq 1 50); do
+  if curl -fsS "http://$FLEET_ADDR/healthz" > /dev/null 2>&1; then healthy=yes; break; fi
+  sleep 0.2
+done
+if [ -z "$healthy" ]; then
+  echo "smoke-serve: fleet never became healthy" >&2
+  cat "$WORK/fleet.log" >&2
+  exit 1
+fi
+curl -fsS "http://$FLEET_ADDR/healthz" \
+  | python3 -c 'import json,sys; d=json.load(sys.stdin); assert d["shards"] == 4, d; print("fleet healthz: %d shards, %d sites" % (d["shards"], d["sites"]))'
+
+# Extraction through the fleet front end must route to the owning shard
+# and still yield records.
+curl -fsS -X POST --data-binary @"$WORK/req.json" "http://$FLEET_ADDR/v1/extract" \
+  | python3 -c 'import json,sys; d=json.load(sys.stdin); r=d["results"][0]["records"]; assert r, d; print("fleet extract: %d records from v%d" % (len(r), d["version"]))'
+
+# Learn the reserved 4th site over HTTP. The fleet routes the job to the
+# site's owning shard; the job id carries that shard's s<k>- prefix.
+FLEET_JOB="$(curl -fsS -X POST -d "{\"site\":\"$fleetsite\",\"corpus_dir\":\"$fleetdir\"}" \
+  "http://$FLEET_ADDR/v1/learn" \
+  | python3 -c 'import json,sys; d=json.load(sys.stdin); assert d["state"] in ("queued","running"), d; print(d["job_id"])')"
+job_shard="${FLEET_JOB%%-*}"; job_shard="${job_shard#s}"
+echo "fleet learn job accepted: $FLEET_JOB (shard $job_shard) for $fleetsite"
+
+state=""
+for _ in $(seq 1 100); do
+  state="$(curl -fsS "http://$FLEET_ADDR/v1/jobs/$FLEET_JOB" \
+    | python3 -c 'import json,sys; print(json.load(sys.stdin)["state"])')"
+  case "$state" in
+    done) break ;;
+    failed|canceled)
+      echo "smoke-serve: fleet learn job ended $state" >&2
+      curl -fsS "http://$FLEET_ADDR/v1/jobs/$FLEET_JOB" >&2 || true
+      exit 1 ;;
+  esac
+  sleep 0.2
+done
+if [ "$state" != "done" ]; then
+  echo "smoke-serve: fleet learn job stuck in state $state" >&2
+  exit 1
+fi
+
+# The promoted site's shard stamp in /v1/sites must match the shard that
+# ran the learn — the job landed on the ring's owner, nowhere else.
+owner="$(curl -fsS "http://$FLEET_ADDR/v1/sites" \
+  | python3 -c "import json,sys; sites=json.load(sys.stdin); print([s['shard'] for s in sites if s['site'] == '$fleetsite'][0])")"
+if [ "$owner" != "$job_shard" ]; then
+  echo "smoke-serve: learn ran on shard $job_shard but ring owner is $owner" >&2
+  exit 1
+fi
+echo "fleet learn landed on owning shard $owner"
+
+# The freshly learned site extracts through the fleet.
+page="$fleetdir/page-000.html"
+python3 - "$fleetsite" "$page" > "$WORK/req3.json" <<'PY'
+import json, sys
+print(json.dumps({"site": sys.argv[1],
+                  "page": {"id": "smoke-fleet", "html": open(sys.argv[2]).read()}}))
+PY
+curl -fsS -X POST --data-binary @"$WORK/req3.json" "http://$FLEET_ADDR/v1/extract" \
+  | python3 -c 'import json,sys; d=json.load(sys.stdin); r=d["results"][0]["records"]; assert r, d; print("fleet extract from learned site: %d records from v%d" % (len(r), d["version"]))'
+
+# Mixed-site load against the fleet; the report's per-shard breakdown
+# proves traffic reached more than one partition.
+"$WORK/loadgen" -addr "http://$FLEET_ADDR" -corpus "$WORK/corpus" \
+  -qps 100 -duration 2s -concurrency 8 | tee "$WORK/loadgen-fleet.log"
+grep -q "per shard" "$WORK/loadgen-fleet.log" || {
+  echo "smoke-serve: loadgen saw no per-shard breakdown against the fleet" >&2
+  exit 1
+}
+
+# Clean fleet drain: SIGTERM must flip /healthz, finish in-flight work,
+# quiesce every shard's job plane and exit 0.
+kill -TERM "$FLEET_PID"
+wait "$FLEET_PID"
+FLEET_PID=""
+grep -q "drained cleanly" "$WORK/fleet.log" || {
+  echo "smoke-serve: no fleet clean-drain log line" >&2; cat "$WORK/fleet.log" >&2; exit 1;
+}
+echo "smoke-serve: OK (single server + 4-shard fleet: learn on owning shard, per-shard load, clean drains)"

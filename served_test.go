@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -502,5 +503,88 @@ func TestHTTPLearnJobNewSite(t *testing.T) {
 	}
 	if len(out.Results) != 1 || len(out.Results[0].Records) == 0 {
 		t.Fatalf("learned site extracted nothing: %+v", out)
+	}
+}
+
+// TestFacadeShardedFleet pins the facade's sharding surface end to end:
+// learn a small batch, save it, reload each shard's slice with
+// LoadWrapperStorePartition, front the per-shard servers with
+// NewShardRouter, and extract every site through the one fleet handler —
+// each request dispatched by the ring to the shard that owns the site.
+func TestFacadeShardedFleet(t *testing.T) {
+	ds, err := dataset.Dealers(dataset.DealersOptions{NumSites: 3, NumPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newInductor := func(c *autowrap.Corpus) (autowrap.Inductor, error) {
+		return autowrap.NewXPathInductor(c), nil
+	}
+	var sites []autowrap.BatchSite
+	for _, site := range ds.Sites {
+		sites = append(sites, autowrap.BatchSite{
+			Name: site.Name, Corpus: site.Corpus, Annotator: ds.Annotator,
+			NewInductor: newInductor,
+			Config:      autowrap.NewLearnConfig(autowrap.GenericModels(site.Corpus), autowrap.Options{}),
+		})
+	}
+	batch, err := autowrap.LearnBatch(context.Background(), sites, autowrap.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := autowrap.NewWrapperStore()
+	if n, err := autowrap.StoreBatch(st, batch); n != len(sites) || err != nil {
+		t.Fatalf("StoreBatch: n=%d err=%v", n, err)
+	}
+	path := filepath.Join(t.TempDir(), "wrappers.json")
+	if err := st.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two shards over the saved registry: each server loads only its own
+	// partition and persists through the router's merged-save hook.
+	ring := autowrap.NewShardRing(2, 64)
+	router, err := autowrap.NewShardRouter(ring, path,
+		func(k int, persist func() error) (*autowrap.Server, error) {
+			part, err := autowrap.LoadWrapperStorePartition(path, ring, k)
+			if err != nil {
+				return nil, err
+			}
+			return autowrap.NewServer(autowrap.ServerConfig{
+				Dispatcher: autowrap.NewDispatcher(part, autowrap.DispatcherOptions{}),
+				Persist:    persist,
+			})
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(router.Handler())
+	defer hs.Close()
+
+	var h serve.FleetHealthzResponse
+	resp, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&h)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Shards != 2 || h.Sites != len(ds.Sites) {
+		t.Fatalf("fleet healthz = %+v, want 2 shards serving %d sites", h, len(ds.Sites))
+	}
+
+	for _, site := range ds.Sites {
+		var out serve.ExtractResponse
+		code := postJSON(t, hs.URL+"/v1/extract", serve.ExtractRequest{
+			Site: site.Name,
+			Page: &serve.PageInput{ID: "p0", HTML: site.Corpus.Pages[0].HTML},
+		}, &out)
+		if code != http.StatusOK {
+			t.Fatalf("%s through the fleet: status %d", site.Name, code)
+		}
+		if len(out.Results) != 1 || out.Results[0].Error != "" || len(out.Results[0].Records) == 0 {
+			t.Fatalf("%s through the fleet extracted nothing: %+v", site.Name, out)
+		}
 	}
 }
