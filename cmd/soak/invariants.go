@@ -1,0 +1,402 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"autowrap/internal/chaos"
+	"autowrap/internal/jobs"
+	"autowrap/internal/serve"
+	"autowrap/internal/store"
+)
+
+// violations accumulates invariant failures instead of aborting on the
+// first: one hostile run should report everything it broke. Duplicate
+// (name, detail) pairs collapse, and per-name details are capped so a
+// high-QPS failure mode cannot flood the report.
+type violations struct {
+	mu    sync.Mutex
+	order []string
+	byKey map[string][]string
+}
+
+const maxDetailsPerInvariant = 5
+
+func (v *violations) add(name, detail string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.byKey == nil {
+		v.byKey = make(map[string][]string)
+	}
+	if _, seen := v.byKey[name]; !seen {
+		v.order = append(v.order, name)
+	}
+	ds := v.byKey[name]
+	if len(ds) >= maxDetailsPerInvariant {
+		return
+	}
+	for _, d := range ds {
+		if d == detail {
+			return
+		}
+	}
+	v.byKey[name] = append(ds, detail)
+}
+
+// report prints every violation and says whether there were any.
+func (v *violations) report(w io.Writer) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, name := range v.order {
+		for _, d := range v.byKey[name] {
+			fmt.Fprintf(w, "INVARIANT VIOLATED: %s: %s\n", name, d)
+		}
+	}
+	return len(v.order) > 0
+}
+
+// --- live monitors ---
+
+// startHeapSampler records HeapAlloc after a forced GC every 5s. The
+// heap-bounded invariant fires only on monotonic growth across every
+// sample AND a final size far past the first — bounded sawtooth churn
+// under load is healthy, a straight line up is a leak.
+func (h *harness) startHeapSampler() {
+	h.sampleHeap()
+}
+
+func (h *harness) sampleHeap() {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	h.heapMu.Lock()
+	h.heapSamples = append(h.heapSamples, ms.HeapAlloc)
+	h.heapMu.Unlock()
+}
+
+// startMonitor polls the serving plane every 2s while the run is live:
+// gate bounds and monotonicity, counter sanity against the client ledger,
+// and the job planes for anything stuck in running past its deadline.
+func (h *harness) startMonitor() {
+	go func() {
+		defer close(h.monitorDone)
+		var prev serve.GateSnapshot
+		ticks := 0
+		for {
+			select {
+			case <-h.monitorStop:
+				return
+			case <-time.After(2 * time.Second):
+			}
+			ticks++
+			if ticks%3 == 0 {
+				h.sampleHeap()
+			}
+			gate, err := h.fetchGate()
+			if err != nil {
+				continue // drain may already have closed the listener
+			}
+			if gate.InFlight < 0 || gate.InFlight > int64(gate.MaxInFlight) {
+				h.viol.add("metrics-consistent", fmt.Sprintf("gate in_flight %d outside [0,%d]", gate.InFlight, gate.MaxInFlight))
+			}
+			if gate.Waiting < 0 || gate.Waiting > int64(gate.MaxQueue) {
+				h.viol.add("metrics-consistent", fmt.Sprintf("gate waiting %d outside [0,%d]", gate.Waiting, gate.MaxQueue))
+			}
+			if gate.Admitted < prev.Admitted || gate.Rejected < prev.Rejected || gate.TimedOut < prev.TimedOut {
+				h.viol.add("metrics-consistent", fmt.Sprintf("gate counters went backwards: %+v then %+v", prev, gate))
+			}
+			prev = gate
+			h.checkNoStuckJobs(60 * time.Second)
+		}
+	}()
+}
+
+func (h *harness) stopMonitor() {
+	close(h.monitorStop)
+	<-h.monitorDone
+}
+
+// checkNoStuckJobs scans every shard's job plane for a running job older
+// than limit — with a request timeout of seconds, a job running for a
+// minute is wedged, not slow.
+func (h *harness) checkNoStuckJobs(limit time.Duration) {
+	for k, srv := range h.servers {
+		m := srv.Jobs()
+		if m == nil {
+			continue
+		}
+		for _, j := range m.List() {
+			if j.State == jobs.StateRunning && j.RunMS > limit.Milliseconds() {
+				h.viol.add("no-stuck-jobs", fmt.Sprintf("shard %d job %s (%s %s) running for %dms", k, j.ID, j.Kind, j.Site, j.RunMS))
+			}
+		}
+	}
+}
+
+// --- metrics access ---
+
+// fetchGate returns the fleet-summed gate snapshot from /metrics,
+// whichever plane shape is serving.
+func (h *harness) fetchGate() (serve.GateSnapshot, error) {
+	raw, err := h.getJSON("/metrics")
+	if err != nil {
+		return serve.GateSnapshot{}, err
+	}
+	if h.router != nil {
+		var m serve.FleetMetricsResponse
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return serve.GateSnapshot{}, err
+		}
+		return m.Gate, nil
+	}
+	var m serve.MetricsResponse
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return serve.GateSnapshot{}, err
+	}
+	return m.Gate, nil
+}
+
+func (h *harness) getJSON(path string) ([]byte, error) {
+	r, err := h.client.Get(h.baseURL + path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %d", path, r.StatusCode)
+	}
+	return io.ReadAll(r.Body)
+}
+
+// --- waits between traffic stop and drain ---
+
+// awaitHeals probes every stormed site with a drifted page until a newer
+// wrapper version answers with records — proof auto-repair promoted a
+// re-learned wrapper — or the deadline passes.
+func (h *harness) awaitHeals(deadline time.Time) {
+	for _, site := range h.sites {
+		if !site.stormed.Load() {
+			continue
+		}
+		probe, _ := json.Marshal(serve.ExtractRequest{Site: site.name,
+			Page: &serve.PageInput{ID: "heal-probe", HTML: site.drifted[0]}})
+		for {
+			_, resp, ok := h.postExtract(probe)
+			if ok && int64(resp.Version) > site.preVersion.Load() &&
+				len(resp.Results) == 1 && len(resp.Results[0].Records) > 0 {
+				site.healed.Store(true)
+				h.logf("healed: %s now serves v%d with %d records on the drifted template",
+					site.name, resp.Version, len(resp.Results[0].Records))
+				break
+			}
+			if time.Now().After(deadline) {
+				h.viol.add("drift-healed", fmt.Sprintf("%s never healed: still v%d (stormed at v%d) with no records on drifted pages",
+					site.name, resp.Version, site.preVersion.Load()))
+				break
+			}
+			time.Sleep(150 * time.Millisecond)
+		}
+	}
+}
+
+// awaitJobsIdle waits for every job plane to run dry (queued == 0,
+// running == 0) so the final ledgers compare settled state, not a race.
+func (h *harness) awaitJobsIdle(budget time.Duration) {
+	deadline := time.Now().Add(budget)
+	for {
+		idle := true
+		for _, srv := range h.servers {
+			if m := srv.Jobs(); m != nil {
+				met := m.Metrics()
+				if met.Queued > 0 || met.Running > 0 {
+					idle = false
+				}
+			}
+		}
+		if idle {
+			return
+		}
+		if time.Now().After(deadline) {
+			for k, srv := range h.servers {
+				if m := srv.Jobs(); m != nil {
+					met := m.Metrics()
+					if met.Queued > 0 || met.Running > 0 {
+						h.viol.add("no-stuck-jobs", fmt.Sprintf("shard %d jobs not idle %v after traffic stopped: %d queued, %d running",
+							k, budget, met.Queued, met.Running))
+					}
+				}
+			}
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// --- settled-state checks (traffic stopped, jobs idle, pre-drain) ---
+
+// checkGateLedger compares the client's classification of every extract
+// response against the gate's own counters. With traffic stopped the
+// identity is exact: each Acquire resolved to exactly one of
+// admitted/rejected/timed-out, and both sides counted the same events.
+func (h *harness) checkGateLedger() {
+	gate, err := h.fetchGate()
+	if err != nil {
+		h.viol.add("gate-ledger", fmt.Sprintf("cannot fetch final gate snapshot: %v", err))
+		return
+	}
+	if gate.InFlight != 0 || gate.Waiting != 0 {
+		h.viol.add("gate-ledger", fmt.Sprintf("traffic stopped but gate shows %d in flight, %d waiting", gate.InFlight, gate.Waiting))
+	}
+	if a, r, t := h.ledger.admitted.Load(), h.ledger.rejected.Load(), h.ledger.timedOut.Load(); gate.Admitted != a || gate.Rejected != r || gate.TimedOut != t {
+		h.viol.add("gate-ledger", fmt.Sprintf(
+			"server counted admitted=%d rejected=%d timed_out=%d; clients observed %d/%d/%d",
+			gate.Admitted, gate.Rejected, gate.TimedOut, a, r, t))
+	}
+}
+
+// checkMetricsConsistent asserts the fleet /metrics rollups agree with
+// themselves exactly once traffic has settled: the fleet-wide merge, the
+// per-shard sum and the per-site sum are three views of one ledger.
+func (h *harness) checkMetricsConsistent() {
+	if h.router == nil {
+		return // single server exposes no rollups to cross-check
+	}
+	raw, err := h.getJSON("/metrics")
+	if err != nil {
+		h.viol.add("metrics-consistent", fmt.Sprintf("cannot fetch final metrics: %v", err))
+		return
+	}
+	var m serve.FleetMetricsResponse
+	if err := json.Unmarshal(raw, &m); err != nil {
+		h.viol.add("metrics-consistent", fmt.Sprintf("final metrics undecodable: %v", err))
+		return
+	}
+	type sums struct{ requests, pages, records, errors int64 }
+	var shardSum, siteSum sums
+	for _, s := range m.PerShard {
+		shardSum.requests += s.Metrics.Requests
+		shardSum.pages += s.Metrics.Pages
+		shardSum.records += s.Metrics.Records
+		shardSum.errors += s.Metrics.Errors
+	}
+	for _, s := range m.Sites {
+		if s.Metrics == nil {
+			continue
+		}
+		siteSum.requests += s.Metrics.Requests
+		siteSum.pages += s.Metrics.Pages
+		siteSum.records += s.Metrics.Records
+		siteSum.errors += s.Metrics.Errors
+	}
+	fleet := sums{m.Fleet.Requests, m.Fleet.Pages, m.Fleet.Records, m.Fleet.Errors}
+	if fleet != shardSum || fleet != siteSum {
+		h.viol.add("metrics-consistent", fmt.Sprintf(
+			"fleet=%+v but Σshards=%+v and Σsites=%+v", fleet, shardSum, siteSum))
+	}
+}
+
+// checkJobsLedger verifies every shard's job accounting: per-kind
+// submitted == done + failed + canceled, everything terminal, and no job
+// canceled that the harness did not cancel itself.
+func (h *harness) checkJobsLedger() {
+	for k, srv := range h.servers {
+		m := srv.Jobs()
+		if m == nil {
+			continue
+		}
+		met := m.Metrics()
+		for kind, km := range met.Kinds {
+			if km.Submitted != km.Done+km.Failed+km.Canceled {
+				h.viol.add("jobs-ledger", fmt.Sprintf("shard %d kind %s: submitted %d != done %d + failed %d + canceled %d",
+					k, kind, km.Submitted, km.Done, km.Failed, km.Canceled))
+			}
+		}
+		for _, j := range m.List() {
+			if !j.State.Terminal() {
+				h.viol.add("jobs-ledger", fmt.Sprintf("shard %d job %s still %s after quiesce", k, j.ID, j.State))
+			}
+			if j.State == jobs.StateCanceled {
+				if _, ours := h.selfCanceled.Load(j.ID); !ours {
+					h.viol.add("jobs-ledger", fmt.Sprintf("shard %d job %s (%s %s) canceled by nobody", k, j.ID, j.Kind, j.Site))
+				}
+			}
+		}
+	}
+}
+
+// --- post-teardown checks ---
+
+// checkGoroutineBaseline verifies the whole plane — HTTP server, job
+// workers, maintainers, chaos clients — unwound back to the pre-boot
+// goroutine census.
+func (h *harness) checkGoroutineBaseline() {
+	if err := h.baseline.Verify(10 * time.Second); err != nil {
+		h.viol.add("goroutine-leak", err.Error())
+	}
+}
+
+// checkHeapBounded fires only when every consecutive GC-settled sample
+// grew AND the final heap is far beyond the first — the signature of a
+// real leak rather than load-proportional churn.
+func (h *harness) checkHeapBounded() {
+	h.sampleHeap()
+	h.heapMu.Lock()
+	samples := h.heapSamples
+	h.heapMu.Unlock()
+	if len(samples) < 4 {
+		return
+	}
+	monotonic := true
+	for i := 1; i < len(samples); i++ {
+		if samples[i] <= samples[i-1] {
+			monotonic = false
+			break
+		}
+	}
+	first, last := samples[0], samples[len(samples)-1]
+	if monotonic && last > first+first/2+32<<20 {
+		h.viol.add("heap-bounded", fmt.Sprintf(
+			"HeapAlloc grew monotonically across %d GC cycles: %d → %d bytes", len(samples), first, last))
+	}
+}
+
+// checkStoreRecovery is the end-of-run corruption drill on the registry
+// the fleet actually persisted all run: strict Load must accept the
+// settled file, refuse a poisoned one naming the damage, and
+// LoadRecovered must salvage every other site.
+func (h *harness) checkStoreRecovery(rng *rand.Rand) {
+	st, err := store.Load(h.storePath)
+	if err != nil {
+		h.viol.add("store-recovery", fmt.Sprintf("registry left corrupt after drain: %v", err))
+		return
+	}
+	before := st.Len()
+	site, version, err := chaos.CorruptStoreEntry(h.storePath, rng)
+	if err != nil {
+		h.viol.add("store-recovery", fmt.Sprintf("end-of-run corruption failed to write: %v", err))
+		return
+	}
+	if _, err := store.Load(h.storePath); err == nil {
+		h.viol.add("store-recovery", fmt.Sprintf("strict Load accepted a registry with %s v%d poisoned", site, version))
+	} else if !strings.Contains(err.Error(), site) {
+		h.viol.add("store-recovery", fmt.Sprintf("strict Load failed without naming site %s: %v", site, err))
+	}
+	rec, bad, err := store.LoadRecovered(h.storePath)
+	if err != nil {
+		h.viol.add("store-recovery", fmt.Sprintf("LoadRecovered refused the poisoned registry outright: %v", err))
+		return
+	}
+	if len(bad) != 1 || bad[0].Site != site || bad[0].Version != version {
+		h.viol.add("store-recovery", fmt.Sprintf("LoadRecovered reported %+v, want exactly %s v%d", bad, site, version))
+	}
+	if got := rec.Len(); got != before-1 {
+		h.viol.add("store-recovery", fmt.Sprintf("LoadRecovered salvaged %d sites, want %d (all but %s)", got, before-1, site))
+	}
+}

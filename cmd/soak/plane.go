@@ -1,0 +1,414 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autowrap"
+	"autowrap/internal/dataset"
+	"autowrap/internal/drift"
+	"autowrap/internal/jobs"
+	"autowrap/internal/lr"
+	"autowrap/internal/serve"
+	"autowrap/internal/shard"
+	"autowrap/internal/store"
+	"autowrap/internal/testutil/leakcheck"
+)
+
+// Serving-plane sizing. Small on purpose: a gate of 8 slots and a job
+// queue of 4 make overload and queue-full chaos reachable at smoke QPS.
+const (
+	gateInFlight   = 8
+	gateQueue      = 8
+	jobWorkers     = 1
+	jobQueueDepth  = 4
+	requestTimeout = 5 * time.Second
+	drainBudget    = 15 * time.Second
+	numFlips       = 2
+	numLearnExtras = 2
+	pagesPerSite   = 10
+)
+
+// soakSite is one learned dealer site plus its drifted twin: same record
+// data, template mutated. A drift storm flips source, after which traffic
+// serves the drifted pages and the learned wrapper collapses.
+type soakSite struct {
+	name    string
+	clean   []string
+	drifted []string
+	// source selects the pages traffic serves: 0 clean, 1 drifted.
+	source atomic.Int32
+	// preVersion is the serving version captured when the storm hit;
+	// healed means a later version answers with records on drifted pages.
+	preVersion atomic.Int64
+	stormed    atomic.Bool
+	healed     atomic.Bool
+}
+
+func (s *soakSite) pages() []string {
+	if s.source.Load() == 1 {
+		return s.drifted
+	}
+	return s.clean
+}
+
+// flipSite is a hand-built two-family site: v1 (promoted) extracts the
+// "alpha-" records, v2 (candidate) the "beta-" records. Promote/rollback
+// flips alternate between them under live traffic; family purity says no
+// response may ever mix the two or mislabel its version.
+type flipSite struct {
+	name  string
+	pages []string
+}
+
+type harness struct {
+	o       options
+	log     *log.Logger
+	viol    *violations
+	ledger  clientLedger
+	workDir string
+
+	sites  []*soakSite
+	extras []*soakSite // learned at runtime via /v1/learn
+	flips  []*flipSite
+	annot  autowrap.Annotator
+
+	storePath string
+	baseURL   string
+	addr      string
+	ln        net.Listener
+	hs        *http.Server
+	router    *serve.ShardRouter // nil when shards == 1
+	single    *serve.Server      // nil when shards > 1
+	servers   []*serve.Server
+	maints    []*serve.Maintainer
+	client    *http.Client
+	transport *http.Transport
+
+	baseline leakcheck.Snapshot
+
+	selfCanceled sync.Map // job id -> true: cancels the harness itself issued
+	learnsLeft   atomic.Int64
+
+	heapMu      sync.Mutex
+	heapSamples []uint64
+
+	monitorStop chan struct{}
+	monitorDone chan struct{}
+	serveErr    chan error
+}
+
+// newHarness generates corpora, learns the initial wrappers, records the
+// goroutine baseline, and boots the serving plane.
+func newHarness(o options) (*harness, error) {
+	h := &harness{
+		o:           o,
+		log:         log.New(os.Stderr, "soak: ", log.LstdFlags),
+		viol:        &violations{},
+		monitorStop: make(chan struct{}),
+		monitorDone: make(chan struct{}),
+		serveErr:    make(chan error, 1),
+	}
+	h.learnsLeft.Store(6)
+	if err := h.buildCorpora(); err != nil {
+		return nil, err
+	}
+	st, err := h.learnStore()
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "soak-*")
+	if err != nil {
+		return nil, err
+	}
+	h.workDir = dir
+	h.storePath = filepath.Join(dir, "wrappers.json")
+	if err := st.Save(h.storePath); err != nil {
+		return nil, err
+	}
+
+	// Baseline AFTER corpora + learning (their worker pools are ephemeral
+	// and already gone) but BEFORE the plane boots: teardown must return
+	// us exactly here.
+	time.Sleep(100 * time.Millisecond)
+	h.baseline = leakcheck.Take()
+
+	if err := h.boot(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// buildCorpora materializes the dealer sites and their drifted twins
+// in-memory (same seed, Drift 2 ⇒ same records, mutated template), plus
+// the hand-built flip sites.
+func (h *harness) buildCorpora() error {
+	opt := dataset.DealersOptions{
+		NumSites: h.o.sites + numLearnExtras,
+		NumPages: pagesPerSite,
+		Seed:     h.o.seed + 1000,
+	}
+	ds, err := dataset.Dealers(opt)
+	if err != nil {
+		return err
+	}
+	opt.Drift = 2
+	dsm, err := dataset.Dealers(opt)
+	if err != nil {
+		return err
+	}
+	h.annot = ds.Annotator
+	for i, site := range ds.Sites {
+		s := &soakSite{name: site.Name}
+		for _, p := range site.Corpus.Pages {
+			s.clean = append(s.clean, p.HTML)
+		}
+		for _, p := range dsm.Sites[i].Corpus.Pages {
+			s.drifted = append(s.drifted, p.HTML)
+		}
+		if i < h.o.sites {
+			h.sites = append(h.sites, s)
+		} else {
+			h.extras = append(h.extras, s)
+		}
+	}
+	for k := 0; k < numFlips; k++ {
+		f := &flipSite{name: fmt.Sprintf("flip-%d", k)}
+		for i := 0; i < 6; i++ {
+			f.pages = append(f.pages, flipPage(i))
+		}
+		h.flips = append(h.flips, f)
+	}
+	return nil
+}
+
+// flipPage renders one two-family page: three alpha records and three
+// beta records, so either flip wrapper extracts exactly three.
+func flipPage(i int) string {
+	var b []byte
+	b = append(b, "<html><body>"...)
+	for r := 0; r < 3; r++ {
+		b = append(b, fmt.Sprintf(`<div class="a">alpha-%d-%d</div>`, i, r)...)
+	}
+	for r := 0; r < 3; r++ {
+		b = append(b, fmt.Sprintf(`<div class="b">beta-%d-%d</div>`, i, r)...)
+	}
+	b = append(b, "</body></html>"...)
+	return string(b)
+}
+
+// learnStore learns v1 wrappers for every dealer site through the real
+// batch engine and hand-stages the flip sites (v1 alpha promoted, v2 beta
+// candidate).
+func (h *harness) learnStore() (*store.Store, error) {
+	var specs []autowrap.BatchSite
+	for _, s := range h.sites {
+		c := autowrap.ParsePages(s.clean)
+		specs = append(specs, autowrap.BatchSite{
+			Name:      s.name,
+			Corpus:    c,
+			Annotator: h.annot,
+			NewInductor: func(c *autowrap.Corpus) (autowrap.Inductor, error) {
+				return autowrap.NewXPathInductor(c), nil
+			},
+			Config: autowrap.NewLearnConfig(autowrap.GenericModels(c), autowrap.Options{}),
+		})
+	}
+	batch, err := autowrap.LearnBatch(context.Background(), specs, autowrap.BatchOptions{})
+	if err != nil {
+		return nil, err
+	}
+	st := store.New()
+	if n, err := st.PutBatch(batch); err != nil || n != len(h.sites) {
+		return nil, fmt.Errorf("learned %d/%d sites: %v", n, len(h.sites), err)
+	}
+	for _, f := range h.flips {
+		meta := store.Meta{Profile: &store.Profile{Pages: 4, MeanRecords: 3}}
+		if _, err := st.Put(f.name, &lr.Compiled{Left: `<div class="a">`, Right: "</div>"}, meta); err != nil {
+			return nil, err
+		}
+		if _, err := st.PutCandidate(f.name, &lr.Compiled{Left: `<div class="b">`, Right: "</div>"}, meta); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// boot assembles the same serving stack wrapserved does — store,
+// monitor, dispatcher, gate, repairer, job plane, maintainer — for one
+// shard or a fleet, and mounts it on a real localhost listener. Running
+// in-process keeps every internal ledger inspectable while traffic still
+// crosses a genuine TCP + HTTP boundary.
+func (h *harness) boot() error {
+	newInductor := func(c *autowrap.Corpus) (autowrap.Inductor, error) {
+		return autowrap.NewXPathInductor(c), nil
+	}
+	repairerFor := func(st *store.Store, mon *drift.Monitor) *drift.Repairer {
+		return &drift.Repairer{
+			Store: st,
+			Spec: func(site string, c *autowrap.Corpus) (autowrap.BatchSite, error) {
+				return autowrap.BatchSite{
+					Annotator:   h.annot,
+					NewInductor: newInductor,
+					Config:      autowrap.NewLearnConfig(autowrap.GenericModels(c), autowrap.Options{}),
+				}, nil
+			},
+			Monitor: mon,
+		}
+	}
+	buildShard := func(k int, st *store.Store, persist func() error, storePath string) (*serve.Server, error) {
+		mon := drift.NewMonitor(drift.Policy{Window: 8, MinPages: 4})
+		dispatcher := serve.NewDispatcher(st, serve.Options{Monitor: mon, RecentPages: 64})
+		return serve.NewServer(serve.ServerConfig{
+			Dispatcher: dispatcher,
+			Gate: serve.NewGate(serve.GateOptions{
+				MaxInFlight: gateInFlight, MaxQueue: gateQueue, RetryAfter: 50 * time.Millisecond,
+			}),
+			RequestTimeout: requestTimeout,
+			MaxPages:       64,
+			Repairer:       repairerFor(st, mon),
+			Jobs: jobs.New(jobs.Options{
+				Workers: jobWorkers, QueueDepth: jobQueueDepth,
+				IDPrefix: fmt.Sprintf("s%d-", k),
+			}),
+			StorePath: storePath,
+			Persist:   persist,
+			Log:       h.log,
+		})
+	}
+
+	if h.o.shards == 1 {
+		st, err := store.Load(h.storePath)
+		if err != nil {
+			return err
+		}
+		srv, err := buildShard(0, st, nil, h.storePath)
+		if err != nil {
+			return err
+		}
+		h.single = srv
+		h.servers = []*serve.Server{srv}
+	} else {
+		ring := shard.NewRing(h.o.shards, h.o.vnodes)
+		router, err := serve.NewShardRouter(ring, h.storePath, func(k int, persist func() error) (*serve.Server, error) {
+			st, err := store.LoadPartition(h.storePath, ring, k)
+			if err != nil {
+				return nil, err
+			}
+			return buildShard(k, st, persist, "")
+		})
+		if err != nil {
+			return err
+		}
+		h.router = router
+		for k := 0; k < h.o.shards; k++ {
+			h.servers = append(h.servers, router.Shard(k))
+		}
+	}
+
+	if h.o.breakMode != "heal" {
+		for _, srv := range h.servers {
+			m, err := serve.NewMaintainer(srv, serve.MaintainerOptions{
+				Interval: 250 * time.Millisecond,
+				MinGap:   1500 * time.Millisecond,
+				MinPages: 4,
+				Log:      h.log,
+			})
+			if err != nil {
+				return err
+			}
+			m.Start()
+			h.maints = append(h.maints, m)
+		}
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	h.ln = ln
+	h.addr = ln.Addr().String()
+	h.baseURL = "http://" + h.addr
+	var handler http.Handler
+	if h.router != nil {
+		handler = h.router.Handler()
+	} else {
+		handler = h.single.Handler()
+	}
+	h.hs = &http.Server{Handler: handler}
+	go func() {
+		if err := h.hs.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			h.serveErr <- err
+			return
+		}
+		h.serveErr <- nil
+	}()
+
+	h.transport = &http.Transport{MaxIdleConns: 64, MaxIdleConnsPerHost: 64}
+	h.client = &http.Client{Transport: h.transport, Timeout: 60 * time.Second}
+	return nil
+}
+
+func (h *harness) setDraining(v bool) {
+	if h.router != nil {
+		h.router.SetDraining(v)
+		return
+	}
+	h.single.SetDraining(v)
+}
+
+func (h *harness) stopMaintainers() {
+	for _, m := range h.maints {
+		m.Stop()
+	}
+	h.maints = nil
+}
+
+// drainAndTeardown runs the production shutdown ordering — readiness
+// flip, HTTP shutdown (in-flight requests finish), job planes closed —
+// under a watchdog: a drain that cannot finish inside its budget is
+// itself an invariant violation, and the harness moves on to the
+// post-mortem checks instead of hanging on a stuck job forever.
+func (h *harness) drainAndTeardown() {
+	h.setDraining(true)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ctx, cancel := context.WithTimeout(context.Background(), drainBudget)
+		defer cancel()
+		if err := h.hs.Shutdown(ctx); err != nil {
+			h.viol.add("clean-drain", fmt.Sprintf("http shutdown: %v", err))
+		}
+		if h.router != nil {
+			if err := h.router.Drain(ctx); err != nil {
+				h.viol.add("clean-drain", fmt.Sprintf("fleet job drain: %v", err))
+			}
+		} else if m := h.single.Jobs(); m != nil {
+			if err := m.Drain(ctx); err != nil {
+				h.viol.add("clean-drain", fmt.Sprintf("job drain: %v", err))
+			}
+		}
+		for _, srv := range h.servers {
+			srv.Close()
+		}
+	}()
+	select {
+	case <-done:
+		if err := <-h.serveErr; err != nil {
+			h.viol.add("clean-drain", fmt.Sprintf("http server: %v", err))
+		}
+	case <-time.After(drainBudget + 10*time.Second):
+		h.viol.add("clean-drain", fmt.Sprintf("drain did not complete within %v", drainBudget+10*time.Second))
+		h.viol.add("no-stuck-jobs", "drain hung: a job is ignoring cancellation")
+	}
+	h.transport.CloseIdleConnections()
+}

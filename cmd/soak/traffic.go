@@ -1,0 +1,510 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autowrap/internal/chaos"
+	"autowrap/internal/serve"
+	"autowrap/internal/store"
+)
+
+// clientLedger mirrors the gate's admission ledger from the outside:
+// every /v1/extract response is classified into exactly one bucket (or
+// preGate, for requests the gate never saw). At the end of the run the
+// three gate-facing buckets must equal the server's counters exactly —
+// that equality is the gate-ledger invariant.
+type clientLedger struct {
+	admitted atomic.Int64
+	rejected atomic.Int64
+	timedOut atomic.Int64
+	preGate  atomic.Int64
+}
+
+func (l *clientLedger) total() int64 {
+	return l.admitted.Load() + l.rejected.Load() + l.timedOut.Load() + l.preGate.Load()
+}
+
+// classifyExtract buckets one extract response the way the gate counted
+// it. Validation failures (400/405/413) never reached the gate; 429 is a
+// rejection; a 504/499 whose error says "while queued" expired waiting
+// for a slot (timed out); everything else — 200, unknown site 404, no
+// active version 409, mid-extract deadline 504/499 — was admitted first.
+func (l *clientLedger) classifyExtract(status int, errStr string) {
+	switch {
+	case status == http.StatusBadRequest,
+		status == http.StatusMethodNotAllowed,
+		status == http.StatusRequestEntityTooLarge:
+		l.preGate.Add(1)
+	case status == http.StatusTooManyRequests:
+		l.rejected.Add(1)
+	case (status == http.StatusGatewayTimeout || status == 499) &&
+		strings.Contains(errStr, "while queued"):
+		l.timedOut.Add(1)
+	default:
+		l.admitted.Add(1)
+	}
+}
+
+// extractAllowed is the closed set of statuses a hostile-but-sane client
+// may see from /v1/extract. Anything else — a 500, a 502, a torn
+// connection — means a handler blew up, which is the no-panic invariant.
+func extractAllowed(status int) bool {
+	switch status {
+	case http.StatusOK, http.StatusBadRequest, http.StatusNotFound,
+		http.StatusConflict, http.StatusRequestEntityTooLarge,
+		http.StatusMethodNotAllowed, http.StatusTooManyRequests,
+		http.StatusGatewayTimeout, 499:
+		return true
+	}
+	return false
+}
+
+// postExtract sends one body to /v1/extract, classifies it into the
+// ledger, and returns the decoded response when it was a 200.
+func (h *harness) postExtract(body []byte) (status int, resp serve.ExtractResponse, ok bool) {
+	r, err := h.client.Post(h.baseURL+"/v1/extract", "application/json", bytes.NewReader(body))
+	if err != nil {
+		h.viol.add("no-panic", fmt.Sprintf("extract transport error: %v", err))
+		return 0, resp, false
+	}
+	raw, err := io.ReadAll(r.Body)
+	r.Body.Close()
+	if err != nil {
+		h.viol.add("no-panic", fmt.Sprintf("extract response torn mid-body (status %d): %v", r.StatusCode, err))
+		return r.StatusCode, resp, false
+	}
+	_ = json.Unmarshal(raw, &resp) // best-effort: error bodies share the Error field
+	h.ledger.classifyExtract(r.StatusCode, resp.Error)
+	if !extractAllowed(r.StatusCode) {
+		h.viol.add("no-panic", fmt.Sprintf("extract answered %d: %.200s", r.StatusCode, raw))
+		return r.StatusCode, resp, false
+	}
+	return r.StatusCode, resp, r.StatusCode == http.StatusOK
+}
+
+func (h *harness) postJSON(path string, v any) (int, []byte) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		h.viol.add("no-panic", fmt.Sprintf("marshal %T: %v", v, err))
+		return 0, nil
+	}
+	r, err := h.client.Post(h.baseURL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		h.viol.add("no-panic", fmt.Sprintf("%s transport error: %v", path, err))
+		return 0, nil
+	}
+	raw, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	return r.StatusCode, raw
+}
+
+// runTraffic drives the whole mixed-load window: paced workers, overload
+// bursts, promote/rollback flips, slow and disconnecting clients, job
+// chaos, drift storms and the mid-run store corruption. It returns once
+// every generator has stopped and in-flight requests have been classified.
+func (h *harness) runTraffic(dur time.Duration) {
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Pacer: one token per request slot, so aggregate QPS tracks -qps
+	// regardless of worker count.
+	tokens := make(chan struct{}, 4*h.o.qps)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(time.Second / time.Duration(h.o.qps))
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				select {
+				case tokens <- struct{}{}:
+				default: // workers saturated; shed the token, not the run
+				}
+			}
+		}
+	}()
+
+	workers := 24
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go h.worker(w, stop, tokens, &wg)
+	}
+	wg.Add(4)
+	go h.overloadBursts(stop, &wg)
+	go h.flipper(stop, &wg)
+	go h.rudeClients(stop, &wg)
+	go h.jobBursts(stop, &wg)
+
+	wg.Add(1)
+	go h.chaosSchedule(dur, stop, &wg)
+
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+}
+
+// worker is one paced traffic generator with its own deterministic rng
+// and malformed-body stream.
+func (h *harness) worker(id int, stop <-chan struct{}, tokens <-chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	rng := rand.New(rand.NewSource(h.o.seed*1_000_003 + int64(id)))
+	bodies := chaos.NewBodies(h.o.seed*101 + int64(id))
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tokens:
+		}
+		switch p := rng.Float64(); {
+		case p < 0.60:
+			h.validExtract(rng)
+		case p < 0.75:
+			h.flipExtract(rng)
+		case p < 0.87:
+			h.postExtract(bodies.Malformed())
+		case p < 0.90:
+			h.submitRepair(rng)
+		case p < 0.92:
+			h.submitLearn(rng)
+		default:
+			h.readEndpoints(rng)
+		}
+	}
+}
+
+func (h *harness) validExtract(rng *rand.Rand) {
+	site := h.sites[rng.Intn(len(h.sites))]
+	pages := site.pages()
+	n := 1 + rng.Intn(3)
+	start := rng.Intn(len(pages))
+	req := serve.ExtractRequest{Site: site.name}
+	for i := 0; i < n; i++ {
+		req.Pages = append(req.Pages, serve.PageInput{
+			ID: fmt.Sprintf("p%d", start+i), HTML: pages[(start+i)%len(pages)],
+		})
+	}
+	if rng.Float64() < 0.10 {
+		req.TimeoutMS = 5 // deadline chaos: may expire queued or mid-extract
+	}
+	body, _ := json.Marshal(req)
+	h.postExtract(body)
+}
+
+// flipExtract drives a flip site and asserts family purity: a 200
+// response must carry records from exactly one wrapper family, and that
+// family must match the version the response claims it was served by.
+func (h *harness) flipExtract(rng *rand.Rand) {
+	f := h.flips[rng.Intn(len(h.flips))]
+	req := serve.ExtractRequest{Site: f.name}
+	for i := 0; i < 2; i++ {
+		p := rng.Intn(len(f.pages))
+		req.Pages = append(req.Pages, serve.PageInput{ID: fmt.Sprintf("f%d", p), HTML: f.pages[p]})
+	}
+	body, _ := json.Marshal(req)
+	_, resp, ok := h.postExtract(body)
+	if !ok {
+		return
+	}
+	want := ""
+	switch resp.Version {
+	case 1:
+		want = "alpha-"
+	case 2:
+		want = "beta-"
+	default:
+		h.viol.add("family-purity", fmt.Sprintf("%s served version %d, store has only v1/v2", f.name, resp.Version))
+		return
+	}
+	for _, pr := range resp.Results {
+		if len(pr.Records) != 3 {
+			h.viol.add("family-purity", fmt.Sprintf("%s v%d page %s: %d records, want 3", f.name, resp.Version, pr.ID, len(pr.Records)))
+		}
+		for _, rec := range pr.Records {
+			if !strings.HasPrefix(rec, want) {
+				h.viol.add("family-purity", fmt.Sprintf("%s answered version %d with record %q", f.name, resp.Version, rec))
+			}
+		}
+	}
+}
+
+// submitRepair enqueues a repair of a currently-clean site (drifted sites
+// are the auto-repair loop's to heal) and sometimes cancels it right away
+// — the canceled-job fault. 429 queue-full answers are expected chaos.
+func (h *harness) submitRepair(rng *rand.Rand) {
+	site := h.sites[rng.Intn(len(h.sites))]
+	if site.source.Load() == 1 {
+		return
+	}
+	start := rng.Intn(len(site.clean))
+	var pages []string
+	for i := 0; i < 4; i++ {
+		pages = append(pages, site.clean[(start+i)%len(site.clean)])
+	}
+	status, raw := h.postJSON("/v1/repair", serve.RepairRequest{Site: site.name, Pages: pages})
+	switch status {
+	case http.StatusAccepted:
+		var acc serve.JobAccepted
+		if err := json.Unmarshal(raw, &acc); err != nil || acc.JobID == "" {
+			h.viol.add("no-panic", fmt.Sprintf("202 repair with undecodable body: %.120s", raw))
+			return
+		}
+		if rng.Float64() < 0.25 {
+			h.selfCanceled.Store(acc.JobID, true)
+			if st, body := h.postJSON("/v1/jobs/"+acc.JobID+"/cancel", struct{}{}); st != http.StatusOK && st != http.StatusConflict {
+				h.viol.add("no-panic", fmt.Sprintf("cancel %s answered %d: %.120s", acc.JobID, st, body))
+			}
+		}
+	case http.StatusTooManyRequests: // queue full: the fault we wanted
+	default:
+		h.viol.add("no-panic", fmt.Sprintf("repair submit answered %d: %.120s", status, raw))
+	}
+}
+
+// submitLearn teaches the fleet a brand-new site over the wire, a bounded
+// number of times per run (every learn adds a store version and a
+// persist; unbounded it would be a write storm, not chaos).
+func (h *harness) submitLearn(rng *rand.Rand) {
+	if h.learnsLeft.Add(-1) < 0 {
+		return
+	}
+	site := h.extras[rng.Intn(len(h.extras))]
+	status, raw := h.postJSON("/v1/learn", serve.LearnRequest{Site: site.name, Pages: site.clean})
+	if status != http.StatusAccepted && status != http.StatusTooManyRequests {
+		h.viol.add("no-panic", fmt.Sprintf("learn submit answered %d: %.120s", status, raw))
+	}
+}
+
+func (h *harness) readEndpoints(rng *rand.Rand) {
+	paths := []string{"/healthz", "/metrics", "/v1/sites", "/v1/jobs"}
+	path := paths[rng.Intn(len(paths))]
+	r, err := h.client.Get(h.baseURL + path)
+	if err != nil {
+		h.viol.add("no-panic", fmt.Sprintf("GET %s transport error: %v", path, err))
+		return
+	}
+	io.Copy(io.Discard, r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		h.viol.add("no-panic", fmt.Sprintf("GET %s answered %d", path, r.StatusCode))
+	}
+}
+
+// overloadBursts slams the gate every 5s: a wave of heavy batches with a
+// 10ms budget, sized past in-flight + queue, so admissions, queue-full
+// rejections and while-queued expiries all happen in one burst.
+func (h *harness) overloadBursts(stop <-chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	site := h.sites[0]
+	for {
+		select {
+		case <-stop:
+			return
+		case <-time.After(5 * time.Second):
+		}
+		req := serve.ExtractRequest{Site: site.name, TimeoutMS: 10}
+		pages := site.pages()
+		for i := 0; i < 16; i++ {
+			req.Pages = append(req.Pages, serve.PageInput{ID: fmt.Sprintf("b%d", i), HTML: pages[i%len(pages)]})
+		}
+		body, _ := json.Marshal(req)
+		var burst sync.WaitGroup
+		for i := 0; i < 3*(gateInFlight+gateQueue); i++ {
+			burst.Add(1)
+			go func() {
+				defer burst.Done()
+				h.postExtract(body)
+			}()
+		}
+		burst.Wait()
+	}
+}
+
+// flipper alternates promote(v2)/rollback on every flip site — the
+// hot-swap flips family-purity checks race against. Each mutation also
+// persists the registry, which is what heals mid-run store corruption.
+func (h *harness) flipper(stop <-chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	promote := true
+	for {
+		select {
+		case <-stop:
+			return
+		case <-time.After(700 * time.Millisecond):
+		}
+		for _, f := range h.flips {
+			var status int
+			var raw []byte
+			if promote {
+				status, raw = h.postJSON("/v1/promote", serve.AdminRequest{Site: f.name, Version: 2})
+			} else {
+				status, raw = h.postJSON("/v1/rollback", serve.AdminRequest{Site: f.name})
+			}
+			if status != http.StatusOK {
+				h.viol.add("no-panic", fmt.Sprintf("flip %s of %s answered %d: %.120s", verb(promote), f.name, status, raw))
+			}
+		}
+		promote = !promote
+	}
+}
+
+func verb(promote bool) string {
+	if promote {
+		return "promote"
+	}
+	return "rollback"
+}
+
+// rudeClients runs the transport-level chaos: slow-loris writers that
+// stall mid-body and clients that vanish before reading their response.
+// Both use bodies that fail before the admission gate, so they abuse the
+// HTTP plane without ever touching the gate ledger.
+func (h *harness) rudeClients(stop <-chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	var inner sync.WaitGroup
+	defer inner.Wait()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-time.After(2 * time.Second):
+		}
+		inner.Add(2)
+		go func() {
+			defer inner.Done()
+			chaos.SlowClient(h.addr, []byte(`{"site":"slow","pages":[{"html":"<p>half</p>"}]}`), 300*time.Millisecond)
+		}()
+		go func() {
+			defer inner.Done()
+			chaos.Disconnector(h.addr, []byte(`{"site":"gone"}`))
+		}()
+	}
+}
+
+// jobBursts overfills the job queue every 7s: more submissions at once
+// than queue depth, so ErrQueueFull fires even when the steady drip of
+// worker repairs would not fill it.
+func (h *harness) jobBursts(stop <-chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	rng := rand.New(rand.NewSource(h.o.seed * 31))
+	for {
+		select {
+		case <-stop:
+			return
+		case <-time.After(7 * time.Second):
+		}
+		var burst sync.WaitGroup
+		for i := 0; i < 2*jobQueueDepth; i++ {
+			burst.Add(1)
+			go func() {
+				defer burst.Done()
+				h.submitRepair(rand.New(rand.NewSource(rng.Int63())))
+			}()
+		}
+		burst.Wait()
+	}
+}
+
+// chaosSchedule fires the seed-determined faults at fixed fractions of
+// the traffic window: three drift storms (25%, 45%, 65%) and one store
+// corruption (50%). The optional stuck-job sabotage rides here too.
+func (h *harness) chaosSchedule(dur time.Duration, stop <-chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	rng := rand.New(rand.NewSource(h.o.seed * 17))
+	type event struct {
+		at  time.Duration
+		run func()
+	}
+	var events []event
+	for i, frac := range []float64{0.25, 0.45, 0.65} {
+		site := h.sites[i%len(h.sites)]
+		events = append(events, event{time.Duration(float64(dur) * frac), func() { h.driftStorm(site) }})
+	}
+	events = append(events, event{time.Duration(float64(dur) * 0.50), func() { h.corruptStore(rng) }})
+	if h.o.breakMode == "stuck" {
+		events = append(events, event{time.Duration(float64(dur) * 0.30), h.sabotageStuckJob})
+	}
+	start := time.Now()
+	for _, ev := range events {
+		select {
+		case <-stop:
+			return
+		case <-time.After(time.Until(start.Add(ev.at))):
+			ev.run()
+		}
+	}
+}
+
+// driftStorm rotates one site's template out from under its wrapper:
+// capture the serving version, then swap every future page to the
+// drifted twin. From here only the auto-repair loop can make the site
+// answer with records again — that is the drift-healed invariant.
+func (h *harness) driftStorm(site *soakSite) {
+	if site.stormed.Load() {
+		return
+	}
+	probe, _ := json.Marshal(serve.ExtractRequest{Site: site.name,
+		Page: &serve.PageInput{ID: "storm-probe", HTML: site.clean[0]}})
+	_, resp, ok := h.postExtract(probe)
+	if !ok {
+		h.viol.add("drift-healed", fmt.Sprintf("%s: pre-storm probe failed; cannot capture baseline version", site.name))
+		return
+	}
+	site.preVersion.Store(int64(resp.Version))
+	site.stormed.Store(true)
+	site.source.Store(1)
+	h.logf("drift storm: %s (serving v%d) now serves its mutated template", site.name, resp.Version)
+}
+
+// corruptStore poisons one registry entry on disk mid-run, then watches
+// for the serving plane's next persist to overwrite it with clean state —
+// the fleet must never re-read (and trust) the damaged file.
+func (h *harness) corruptStore(rng *rand.Rand) {
+	site, version, err := chaos.CorruptStoreEntry(h.storePath, rng)
+	if err != nil {
+		h.viol.add("store-recovery", fmt.Sprintf("mid-run corruption failed to write: %v", err))
+		return
+	}
+	h.logf("store chaos: poisoned %s v%d in %s", site, version, h.storePath)
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := store.Load(h.storePath); err == nil {
+			return // a flip/job persist overwrote the damage
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	h.viol.add("store-recovery", fmt.Sprintf("registry still corrupt (%s v%d) 10s after poisoning: no persist overwrote it", site, version))
+}
+
+// sabotageStuckJob (-break stuck) wedges a job that ignores its context:
+// quiesce can never go idle and drain hangs, which no-stuck-jobs and
+// clean-drain must both catch.
+func (h *harness) sabotageStuckJob() {
+	h.servers[0].Jobs().Submit("repair", "sabotage", func(ctx context.Context, progress func(string)) (any, error) {
+		select {} // ignore ctx forever
+	})
+}
+
+// rawUnrecordedExtract (-break ledger) admits one valid request the
+// client ledger never counts, forcing a gate-ledger mismatch of one.
+func (h *harness) rawUnrecordedExtract() {
+	body, _ := json.Marshal(serve.ExtractRequest{Site: h.sites[0].name,
+		Page: &serve.PageInput{HTML: h.sites[0].clean[0]}})
+	r, err := h.client.Post(h.baseURL+"/v1/extract", "application/json", bytes.NewReader(body))
+	if err == nil {
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+	}
+}

@@ -1,0 +1,131 @@
+// Package chaos generates deterministic hostile inputs for the soak
+// harness (cmd/soak): malformed and truncated request bodies, mid-write
+// store corruption, and misbehaving HTTP clients. Every generator is
+// driven by a caller-seeded math/rand source, so a soak run's entire
+// fault schedule replays byte-for-byte from its -seed — a failure found
+// at seed 7 is a failure reproducible at seed 7.
+//
+// The package deliberately depends on nothing above the standard library
+// (plus encoding/json for store surgery), so the serving plane's own
+// packages can pull its corpora into their fuzz targets without an import
+// cycle.
+package chaos
+
+import (
+	"math/rand"
+)
+
+// Bodies streams malformed /v1/extract request bodies: a rotation of
+// fixed pathological shapes interleaved with seeded mutations (truncation,
+// byte flips, hostile insertions) of an otherwise valid request. Mutated
+// bodies are not guaranteed to be invalid JSON — a flipped byte can land
+// in a string — which is the point: the decoder must answer every one of
+// them with a clean verdict either way, never a panic.
+type Bodies struct {
+	rng *rand.Rand
+	n   int
+}
+
+// NewBodies returns a deterministic malformed-body stream for the seed.
+func NewBodies(seed int64) *Bodies {
+	return &Bodies{rng: rand.New(rand.NewSource(seed))}
+}
+
+// validBase is the well-formed request the mutators start from.
+const validBase = `{"site":"soak-site","timeout_ms":250,"pages":[{"id":"p0","html":"<html><body><div class=\"a\">alpha-0</div></body></html>"},{"html":"<p>two</p>"}]}`
+
+// seeds is the fixed pathological corpus: shapes that have historically
+// broken hand-rolled JSON decoders (truncation at every structural
+// boundary, type confusion, encoding garbage, scanner state abuse).
+var seeds = []string{
+	``,
+	` `,
+	`null`,
+	`true`,
+	`42`,
+	`"just a string"`,
+	`[]`,
+	`["not an object"]`,
+	`{`,
+	`}`,
+	`{}`,
+	`{{}}`,
+	`{"site"`,
+	`{"site":`,
+	`{"site":}`,
+	`{"site":"x"`,
+	`{"site":"x",}`,
+	`{"site" "x"}`,
+	`{"site":42}`,
+	`{"site":null,"pages":[{}]}`,
+	`{"site":"x"} trailing`,
+	`{"site":"x"}{}`,
+	`{"site":"x","timeout_ms":"fast"}`,
+	`{"site":"x","timeout_ms":1.5}`,
+	`{"site":"x","timeout_ms":9999999999999999999999}`,
+	`{"site":"x","timeout_ms":-0.0}`,
+	`{"site":"x","pages":{"html":"h"}}`,
+	`{"site":"x","pages":[`,
+	`{"site":"x","pages":[{"html":"h"}`,
+	`{"site":"x","pages":[{"html":"h"},]}`,
+	`{"site":"x","page":["h"]}`,
+	`{"site":"x","page":{"html":"unterminated}`,
+	`{"site":"bad\escape"}`,
+	`{"site":"trunc-esc\u00`,
+	`{"site":"lone surrogate \ud800"}`,
+	`{"site":"😀","page":{"html":"\ud83d"}}`,
+	"{\"site\":\"x\",\"page\":{\"html\":\"\x00\"}}",
+	"{\"site\":\"raw-nul\x00\"}",
+	"{\"site\":\"raw-ctrl\x01\x1f\"}",
+	"{\"site\":\"bad-utf8 \xff\xfe\xc3\"}",
+	`{"SITE":"case","PAGES":[{"HTML":"<i>y</i>"}]}`,
+	`{"site":"dupes","site":42}`,
+	`{"site":"x","unknown":{"deep":[1,2,{"x":null}],"s":"v"},"page":{"html":"h","junk":true}}`,
+	`{"site":"x","pages":[[[[[[[[[[]]]]]]]]]]}`,
+	`{"site":"x","pages":[{"id":{}}]}`,
+}
+
+// Seeds returns the fixed pathological corpus, one copy per call — safe
+// to hand to fuzz targets that scribble on their inputs.
+func Seeds() [][]byte {
+	out := make([][]byte, len(seeds))
+	for i, s := range seeds {
+		out[i] = []byte(s)
+	}
+	return out
+}
+
+// hostile is the insertion alphabet for mutations: structural JSON bytes,
+// escapes, NULs and invalid UTF-8.
+var hostile = []byte(`{}[]":, ` + "\x00\xff\xc3\x7f")
+
+// Malformed returns the next body in the stream.
+func (b *Bodies) Malformed() []byte {
+	b.n++
+	// Every third body is a fixed seed; the rest are fresh mutations.
+	if b.n%3 == 0 {
+		return []byte(seeds[b.rng.Intn(len(seeds))])
+	}
+	body := []byte(validBase)
+	switch b.rng.Intn(4) {
+	case 0: // truncate mid-structure
+		if len(body) > 1 {
+			body = body[:1+b.rng.Intn(len(body)-1)]
+		}
+	case 1: // flip 1-3 bytes
+		for k := 1 + b.rng.Intn(3); k > 0; k-- {
+			i := b.rng.Intn(len(body))
+			body[i] ^= byte(1 << b.rng.Intn(8))
+		}
+	case 2: // insert hostile bytes
+		i := b.rng.Intn(len(body))
+		ins := hostile[b.rng.Intn(len(hostile)):]
+		if len(ins) > 4 {
+			ins = ins[:4]
+		}
+		body = append(body[:i:i], append(append([]byte{}, ins...), body[i:]...)...)
+	default: // append trailing garbage
+		body = append(body, []byte{'}', ',', ' ', 'x'}[b.rng.Intn(4)])
+	}
+	return body
+}

@@ -1,0 +1,48 @@
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// SlowClient opens a raw TCP connection to addr, sends the headers of a
+// POST /v1/extract announcing a full body, dribbles out only half of it,
+// holds the connection open for holdFor, then drops it mid-body. The
+// server sees a request body that stalls and dies — it must time the read
+// out or surface a clean decode error, never hang a handler goroutine or
+// panic. Errors from the connection itself are returned only for dial
+// failures; resets during the write are the expected outcome.
+func SlowClient(addr string, body []byte, holdFor time.Duration) error {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("chaos: slow client dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	header := fmt.Sprintf("POST /v1/extract HTTP/1.1\r\nHost: soak\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n", len(body))
+	if _, err := conn.Write([]byte(header)); err != nil {
+		return nil // reset while writing is the server's prerogative
+	}
+	half := body[:len(body)/2]
+	if _, err := conn.Write(half); err != nil {
+		return nil
+	}
+	time.Sleep(holdFor)
+	// Abort without the rest of the promised body.
+	return nil
+}
+
+// Disconnector sends a complete request and closes the connection without
+// reading the response. The body should be one that fails request
+// validation before admission (e.g. `{"site":"x"}`, which has no pages) so
+// the server's gate ledger stays reconcilable: the request must cost the
+// server nothing but a 400 written to a dead socket.
+func Disconnector(addr string, body []byte) error {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("chaos: disconnector dial %s: %w", addr, err)
+	}
+	header := fmt.Sprintf("POST /v1/extract HTTP/1.1\r\nHost: soak\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n", len(body))
+	conn.Write(append([]byte(header), body...))
+	return conn.Close()
+}

@@ -1,0 +1,61 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+)
+
+// CorruptStoreEntry rewrites the wrapper registry at path with exactly one
+// site entry poisoned — its wrapper language replaced by one no codec
+// knows — and reports which site and version it hit. The write models a
+// partial/botched mid-write mutation of the store file, the failure mode
+// store.LoadRecovered exists for: a strict store.Load of the result must
+// fail naming that site and version, and LoadRecovered must load every
+// other site while reporting the poisoned one.
+//
+// The choice of victim is driven by rng, so a seeded soak run corrupts the
+// same site every time. The file is rewritten in place (not atomically) on
+// purpose: chaos does not get to use the safe path.
+func CorruptStoreEntry(path string, rng *rand.Rand) (site string, version int, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", 0, fmt.Errorf("chaos: corrupt store: %w", err)
+	}
+	// Operate on the generic JSON shape so this package does not import
+	// the store (whose tests and consumers import chaos corpora).
+	var f struct {
+		Format     int                         `json:"format"`
+		Sites      map[string][]map[string]any `json:"sites"`
+		Promotions map[string][]int            `json:"promotions"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return "", 0, fmt.Errorf("chaos: corrupt store %s: %w", path, err)
+	}
+	if len(f.Sites) == 0 {
+		return "", 0, fmt.Errorf("chaos: corrupt store %s: no sites to poison", path)
+	}
+	names := make([]string, 0, len(f.Sites))
+	for name := range f.Sites {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	site = names[rng.Intn(len(names))]
+	entries := f.Sites[site]
+	if len(entries) == 0 {
+		return "", 0, fmt.Errorf("chaos: corrupt store %s: site %q has no versions", path, site)
+	}
+	version = len(entries) // poison the newest version
+	entries[version-1]["lang"] = "chaos-corrupt"
+	entries[version-1]["rule"] = "\x00 not a rule"
+	out, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return "", 0, fmt.Errorf("chaos: corrupt store %s: %w", path, err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return "", 0, fmt.Errorf("chaos: corrupt store %s: %w", path, err)
+	}
+	return site, version, nil
+}

@@ -10,7 +10,17 @@ import (
 	"time"
 
 	"autowrap/internal/jobs"
+	"autowrap/internal/testutil/leakcheck"
 )
+
+// newManager builds a Manager with a goroutine leak check registered:
+// once the test's own drain/quiesce finishes, every worker the manager
+// started must be gone.
+func newManager(t *testing.T, opt jobs.Options) *jobs.Manager {
+	t.Helper()
+	leakcheck.Check(t)
+	return jobs.New(opt)
+}
 
 // waitState polls until the job reaches a terminal state (or the wanted
 // one) and returns its snapshot.
@@ -36,7 +46,7 @@ func waitState(t *testing.T, m *jobs.Manager, id string, want jobs.State) jobs.S
 }
 
 func TestJobLifecycleDone(t *testing.T) {
-	m := jobs.New(jobs.Options{Workers: 1})
+	m := newManager(t, jobs.Options{Workers: 1})
 	defer m.Drain(context.Background())
 	snap, err := m.Submit(jobs.KindLearn, "site-a", func(ctx context.Context, progress func(string)) (any, error) {
 		progress("learning")
@@ -59,7 +69,7 @@ func TestJobLifecycleDone(t *testing.T) {
 }
 
 func TestJobFailureAndPanicIsolation(t *testing.T) {
-	m := jobs.New(jobs.Options{Workers: 1})
+	m := newManager(t, jobs.Options{Workers: 1})
 	defer m.Drain(context.Background())
 	boom, err := m.Submit(jobs.KindRepair, "s", func(ctx context.Context, _ func(string)) (any, error) {
 		return nil, errors.New("relearn produced no wrapper")
@@ -92,7 +102,7 @@ func TestJobFailureAndPanicIsolation(t *testing.T) {
 
 func TestJobQueueFullBackpressure(t *testing.T) {
 	block := make(chan struct{})
-	m := jobs.New(jobs.Options{Workers: 1, QueueDepth: 2})
+	m := newManager(t, jobs.Options{Workers: 1, QueueDepth: 2})
 	defer func() { close(block); m.Drain(context.Background()) }()
 	blocker := func(ctx context.Context, _ func(string)) (any, error) {
 		select {
@@ -144,7 +154,7 @@ func TestJobQueueFullBackpressure(t *testing.T) {
 
 func TestJobCancelQueuedAndRunning(t *testing.T) {
 	started := make(chan struct{})
-	m := jobs.New(jobs.Options{Workers: 1})
+	m := newManager(t, jobs.Options{Workers: 1})
 	defer m.Drain(context.Background())
 	running, err := m.Submit(jobs.KindRepair, "busy", func(ctx context.Context, _ func(string)) (any, error) {
 		close(started)
@@ -188,7 +198,7 @@ func TestJobCancelQueuedAndRunning(t *testing.T) {
 // submissions are rejected.
 func TestJobDrainWithRunningJob(t *testing.T) {
 	release := make(chan struct{})
-	m := jobs.New(jobs.Options{Workers: 1})
+	m := newManager(t, jobs.Options{Workers: 1})
 	running, err := m.Submit(jobs.KindLearn, "slow", func(ctx context.Context, _ func(string)) (any, error) {
 		<-release
 		return "finished", nil
@@ -239,7 +249,7 @@ func TestJobDrainWithRunningJob(t *testing.T) {
 // TestJobDrainDeadlineCancelsRunning: a runner that never returns on its
 // own is force-canceled when the drain deadline expires.
 func TestJobDrainDeadlineCancelsRunning(t *testing.T) {
-	m := jobs.New(jobs.Options{Workers: 1})
+	m := newManager(t, jobs.Options{Workers: 1})
 	stuck, err := m.Submit(jobs.KindRepair, "stuck", func(ctx context.Context, _ func(string)) (any, error) {
 		<-ctx.Done() // only a cancel gets this job off the worker
 		return nil, ctx.Err()
@@ -259,7 +269,7 @@ func TestJobDrainDeadlineCancelsRunning(t *testing.T) {
 }
 
 func TestJobHistoryEviction(t *testing.T) {
-	m := jobs.New(jobs.Options{Workers: 2, History: 4, QueueDepth: 64})
+	m := newManager(t, jobs.Options{Workers: 2, History: 4, QueueDepth: 64})
 	defer m.Drain(context.Background())
 	var last jobs.Snapshot
 	for i := 0; i < 12; i++ {
@@ -301,7 +311,7 @@ func TestJobHistoryEviction(t *testing.T) {
 // with -race in CI; invariants: no panic, every submitted job reaches a
 // terminal state, counters add up.
 func TestJobConcurrentSubmitCancelList(t *testing.T) {
-	m := jobs.New(jobs.Options{Workers: 4, QueueDepth: 1024, History: 2048})
+	m := newManager(t, jobs.Options{Workers: 4, QueueDepth: 1024, History: 2048})
 	const submitters, perSubmitter = 8, 40
 	var wg sync.WaitGroup
 	ids := make(chan string, submitters*perSubmitter)
@@ -383,7 +393,7 @@ func TestJobConcurrentSubmitCancelList(t *testing.T) {
 // TestJobIDPrefix pins the fleet-uniqueness contract: managers with
 // distinct prefixes can never hand out colliding job IDs.
 func TestJobIDPrefix(t *testing.T) {
-	m := jobs.New(jobs.Options{Workers: 1, IDPrefix: "s2-"})
+	m := newManager(t, jobs.Options{Workers: 1, IDPrefix: "s2-"})
 	defer m.Drain(context.Background())
 	snap, err := m.Submit(jobs.KindLearn, "site-a", func(ctx context.Context, progress func(string)) (any, error) {
 		return nil, nil
@@ -404,7 +414,7 @@ func TestJobIDPrefix(t *testing.T) {
 // behind it, Quiesce rejects new submissions immediately but every
 // already-accepted job still runs to done — nothing queued is dropped.
 func TestJobQuiesceRunsQueueDry(t *testing.T) {
-	m := jobs.New(jobs.Options{Workers: 1, QueueDepth: 8})
+	m := newManager(t, jobs.Options{Workers: 1, QueueDepth: 8})
 	release := make(chan struct{})
 	var ran sync.WaitGroup
 	ran.Add(3)
@@ -462,7 +472,7 @@ func TestJobQuiesceRunsQueueDry(t *testing.T) {
 // TestJobQuiesceDeadlineCancelsRemainder: when the context expires before
 // the queue runs dry, Quiesce falls back to Drain semantics.
 func TestJobQuiesceDeadlineCancelsRemainder(t *testing.T) {
-	m := jobs.New(jobs.Options{Workers: 1, QueueDepth: 8})
+	m := newManager(t, jobs.Options{Workers: 1, QueueDepth: 8})
 	blocked := func(ctx context.Context, progress func(string)) (any, error) {
 		<-ctx.Done() // only a cancel releases this job
 		return nil, ctx.Err()

@@ -16,6 +16,7 @@ import (
 	"autowrap/internal/serve"
 	"autowrap/internal/shard"
 	"autowrap/internal/store"
+	"autowrap/internal/testutil/leakcheck"
 )
 
 // fleetFixture builds an N-shard fleet over nSites sites, each carrying
@@ -33,6 +34,7 @@ type fleetFixture struct {
 
 func newFleet(t *testing.T, shards, nSites int, storePath string, withJobs bool) *fleetFixture {
 	t.Helper()
+	leakcheck.Check(t)
 	full := store.New()
 	sites := make([]string, nSites)
 	for i := range sites {
@@ -63,6 +65,18 @@ func newFleet(t *testing.T, shards, nSites int, storePath string, withJobs bool)
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Quiesce every shard's job plane on the way out (after hs.Close, whose
+	// cleanup registers later and so runs first) — worker goroutines only
+	// exit on drain, and the leak check registered above runs last of all.
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		// Tests that exercise shutdown ordering drain the router
+		// themselves; a second pass over an already-drained fleet is fine.
+		if err := router.Drain(ctx); err != nil && !strings.Contains(err.Error(), "already drained") {
+			t.Errorf("drain fleet: %v", err)
+		}
+	})
 	hs := httptest.NewServer(router.Handler())
 	t.Cleanup(hs.Close)
 	return &fleetFixture{router: router, hs: hs, ring: ring, sites: sites}

@@ -17,10 +17,12 @@ import (
 	"autowrap/internal/jobs"
 	"autowrap/internal/serve"
 	"autowrap/internal/store"
+	"autowrap/internal/testutil/leakcheck"
 )
 
 func newTestServer(t *testing.T, st *store.Store, gate *serve.Gate) (*serve.Server, *httptest.Server) {
 	t.Helper()
+	leakcheck.Check(t)
 	d := serve.NewDispatcher(st, serve.Options{})
 	srv, err := serve.NewServer(serve.ServerConfig{Dispatcher: d, Gate: gate})
 	if err != nil {

@@ -130,6 +130,11 @@ var errTrailing = errors.New("trailing data after JSON body")
 func decodeExtractRequest(sc *extractScratch) error {
 	d := jsonCursor{b: sc.body}
 	d.ws()
+	// encoding/json treats a top-level null as a no-op decode into the
+	// struct; match it so the two decoders error on exactly the same bodies.
+	if d.tryNull() {
+		return d.end()
+	}
 	if err := d.expect('{'); err != nil {
 		return err
 	}
@@ -149,12 +154,18 @@ func decodeExtractRequest(sc *extractScratch) error {
 		d.ws()
 		switch {
 		case keyIs(key, "site"):
+			if d.tryNull() { // encoding/json: null leaves the field untouched
+				break
+			}
 			v, err := d.str()
 			if err != nil {
 				return err
 			}
 			sc.site = toWireString(v)
 		case keyIs(key, "timeout_ms"):
+			if d.tryNull() {
+				break
+			}
 			n, err := d.integer()
 			if err != nil {
 				return err
@@ -292,12 +303,18 @@ func (d *jsonCursor) page() (pageIn, error) {
 		d.ws()
 		switch {
 		case keyIs(key, "id"):
+			if d.tryNull() { // encoding/json: null leaves the field untouched
+				break
+			}
 			v, err := d.str()
 			if err != nil {
 				return pg, err
 			}
 			pg.id = toWireString(v)
 		case keyIs(key, "html"):
+			if d.tryNull() {
+				break
+			}
 			v, err := d.str()
 			if err != nil {
 				return pg, err
@@ -453,6 +470,14 @@ func (d *jsonCursor) integer() (int, error) {
 	if d.i == start || (d.b[start] == '-' && d.i == start+1) {
 		return 0, fmt.Errorf("invalid number at offset %d", start)
 	}
+	// encoding/json's scanner rejects leading zeros ("00", "-012").
+	digits := start
+	if d.b[start] == '-' {
+		digits++
+	}
+	if d.b[digits] == '0' && d.i > digits+1 {
+		return 0, fmt.Errorf("invalid number at offset %d", start)
+	}
 	if d.i < len(d.b) && (d.b[d.i] == '.' || d.b[d.i] == 'e' || d.b[d.i] == 'E') {
 		return 0, fmt.Errorf("cannot decode fractional number into an integer field")
 	}
@@ -525,19 +550,50 @@ func (d *jsonCursor) skip() error {
 	case c == 'n':
 		return d.lit("null")
 	case c == '-' || (c >= '0' && c <= '9'):
-		d.i++
-		for d.i < len(d.b) {
-			c := d.b[d.i]
-			if c >= '0' && c <= '9' || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E' {
-				d.i++
-				continue
-			}
-			break
-		}
-		return nil
+		return d.number()
 	default:
 		return fmt.Errorf("unexpected character %q at offset %d", c, d.i)
 	}
+}
+
+// number consumes one JSON number, enforcing the full RFC 8259 grammar
+// the way encoding/json's scanner does: no leading zeros, no bare '.',
+// no dangling exponent sign.
+func (d *jsonCursor) number() error {
+	start := d.i
+	d.tryByte('-')
+	switch {
+	case d.i < len(d.b) && d.b[d.i] == '0':
+		d.i++
+	case d.i < len(d.b) && d.b[d.i] >= '1' && d.b[d.i] <= '9':
+		for d.i < len(d.b) && d.b[d.i] >= '0' && d.b[d.i] <= '9' {
+			d.i++
+		}
+	default:
+		return fmt.Errorf("invalid number at offset %d", start)
+	}
+	if d.i < len(d.b) && d.b[d.i] == '.' {
+		d.i++
+		if d.i >= len(d.b) || d.b[d.i] < '0' || d.b[d.i] > '9' {
+			return fmt.Errorf("invalid number at offset %d", start)
+		}
+		for d.i < len(d.b) && d.b[d.i] >= '0' && d.b[d.i] <= '9' {
+			d.i++
+		}
+	}
+	if d.i < len(d.b) && (d.b[d.i] == 'e' || d.b[d.i] == 'E') {
+		d.i++
+		if d.i < len(d.b) && (d.b[d.i] == '+' || d.b[d.i] == '-') {
+			d.i++
+		}
+		if d.i >= len(d.b) || d.b[d.i] < '0' || d.b[d.i] > '9' {
+			return fmt.Errorf("invalid number at offset %d", start)
+		}
+		for d.i < len(d.b) && d.b[d.i] >= '0' && d.b[d.i] <= '9' {
+			d.i++
+		}
+	}
+	return nil
 }
 
 func (d *jsonCursor) lit(s string) error {

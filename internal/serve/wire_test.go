@@ -13,15 +13,21 @@ import (
 
 // decodeRef is the reference decode: encoding/json into the wire struct,
 // with the same strictness the old readJSON had (DisallowUnknownFields was
-// never set; trailing data was rejected).
+// never set; trailing data was rejected). The trailing check is
+// byte-accurate rather than dec.More() — More() never flags a stray '}'
+// or ']' after the value, and "anything but whitespace is trailing data"
+// is the contract the wire decoder actually enforces.
 func decodeRef(body []byte) (ExtractRequest, error) {
 	var req ExtractRequest
 	dec := json.NewDecoder(bytes.NewReader(body))
 	if err := dec.Decode(&req); err != nil {
 		return req, err
 	}
-	if dec.More() {
-		return req, errors.New("trailing data after JSON body")
+	rest := body[dec.InputOffset():]
+	for _, c := range rest {
+		if c != ' ' && c != '\t' && c != '\r' && c != '\n' {
+			return req, errors.New("trailing data after JSON body")
+		}
 	}
 	return req, nil
 }
@@ -56,6 +62,11 @@ func TestDecodeExtractRequestMatchesEncodingJSON(t *testing.T) {
 		`{"site":"extra","unknown":{"deep":[1,2,{"x":null}],"s":"v"},"page":{"html":"h","junk":true}}`,
 		`{"site":"dupes","site":"last-wins"}`,
 		`{"site":"solidus","page":{"html":"a\/b"}}`,
+		`{"site":"nulls","page":null,"pages":null,"timeout_ms":null}`,
+		`null`,
+		`{"site":null}`,
+		`{"num":1.25e+3,"site":"n"}`,
+		`{"num":-0,"site":"n"}`,
 		// invalid bodies: both decoders must reject
 		``,
 		`{"site":"x"`,
@@ -71,6 +82,13 @@ func TestDecodeExtractRequestMatchesEncodingJSON(t *testing.T) {
 		`{"site":"bad\escape"}`,
 		`{"site":"x",}`,
 		`{"site" "x"}`,
+		`{"":00}`,
+		`{"num":01,"site":"x"}`,
+		`{"num":1.,"site":"x"}`,
+		`{"num":1e,"site":"x"}`,
+		`{"num":1e+,"site":"x"}`,
+		`{"site":"x","timeout_ms":00}`,
+		`{"site":"x"}}`,
 	}
 	for _, body := range cases {
 		ref, refErr := decodeRef([]byte(body))

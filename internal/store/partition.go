@@ -27,7 +27,8 @@ func LoadPartition(path string, ring Partitioner, shardID int) (*Store, error) {
 	if ring == nil {
 		return nil, fmt.Errorf("store: load partition: nil partitioner")
 	}
-	return loadFiltered(path, func(site string) bool { return ring.Owner(site) == shardID })
+	s, _, err := loadFiltered(path, func(site string) bool { return ring.Owner(site) == shardID }, false)
+	return s, err
 }
 
 // Partition returns a new registry holding only the sites the

@@ -1,0 +1,147 @@
+package store_test
+
+import (
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"autowrap/internal/chaos"
+	"autowrap/internal/lr"
+	"autowrap/internal/store"
+)
+
+// threeSiteRegistry saves a registry with three healthy sites (one of
+// them two versions deep with a staged candidate) and returns its path.
+func threeSiteRegistry(t *testing.T) string {
+	t.Helper()
+	s := store.New()
+	for _, site := range []string{"alpha", "beta", "gamma"} {
+		if _, err := s.Put(site, &lr.Compiled{Left: "<b>", Right: "</b>"}, store.Meta{
+			Profile: &store.Profile{Pages: 4, MeanRecords: 2},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.PutCandidate("beta", &lr.Compiled{Left: "<i>", Right: "</i>"}, store.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "wrappers.json")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestLoadRecoveredSkipsCorruptSiteLoadsRest is the regression test the
+// chaos harness leans on: after a mid-write corruption poisons one site's
+// newest entry, strict Load must refuse the file naming site and version,
+// while LoadRecovered must report exactly that site/version and still
+// load every other site with its promotion state intact.
+func TestLoadRecoveredSkipsCorruptSiteLoadsRest(t *testing.T) {
+	path := threeSiteRegistry(t)
+	site, version, err := chaos.CorruptStoreEntry(path, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Strict load refuses the whole file and names the poison.
+	if _, err := store.Load(path); err == nil {
+		t.Fatal("strict Load accepted a corrupt registry")
+	} else if !strings.Contains(err.Error(), site) {
+		t.Fatalf("strict Load error does not name site %q: %v", site, err)
+	}
+
+	s, bad, err := store.LoadRecovered(path)
+	if err != nil {
+		t.Fatalf("LoadRecovered failed outright: %v", err)
+	}
+	if len(bad) != 1 || bad[0].Site != site || bad[0].Version != version {
+		t.Fatalf("corrupt entries = %+v, want exactly %s v%d", bad, site, version)
+	}
+	if bad[0].Err == nil || bad[0].Error() == "" {
+		t.Fatalf("corrupt entry carries no cause: %+v", bad[0])
+	}
+	if _, ok := s.Active(site); ok {
+		t.Fatalf("poisoned site %q still has an active version", site)
+	}
+	want := 2 // three sites minus the poisoned one
+	if got := s.Len(); got != want {
+		t.Fatalf("recovered %d sites, want %d (all but %s)", got, want, site)
+	}
+	for _, healthy := range s.Sites() {
+		e, ok := s.Active(healthy)
+		if !ok {
+			t.Fatalf("recovered site %q has no active version", healthy)
+		}
+		if _, err := e.Compile(); err != nil {
+			t.Fatalf("recovered site %q does not compile: %v", healthy, err)
+		}
+	}
+}
+
+// TestLoadRecoveredRejectsEnvelopeDamage pins the fatal half: truncation
+// mid-file destroys the JSON envelope, and with no trustworthy site
+// boundaries there is nothing to salvage.
+func TestLoadRecoveredRejectsEnvelopeDamage(t *testing.T) {
+	path := threeSiteRegistry(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := store.LoadRecovered(path); err == nil {
+		t.Fatal("LoadRecovered accepted a truncated registry")
+	}
+}
+
+// TestLoadRecoveredInconsistentPromotionLog covers the other corruption
+// class: a promotion log naming a version that does not exist. The site
+// is untrustworthy as a whole and must be skipped, not half-loaded.
+func TestLoadRecoveredInconsistentPromotionLog(t *testing.T) {
+	path := threeSiteRegistry(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f map[string]json.RawMessage
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	var promos map[string][]int
+	if err := json.Unmarshal(f["promotions"], &promos); err != nil {
+		t.Fatal(err)
+	}
+	promos["gamma"] = []int{1, 99}
+	f["promotions"], _ = json.Marshal(promos)
+	out, _ := json.Marshal(f)
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := store.Load(path); err == nil {
+		t.Fatal("strict Load accepted an inconsistent promotion log")
+	}
+	s, bad, err := store.LoadRecovered(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 1 || bad[0].Site != "gamma" {
+		t.Fatalf("corrupt entries = %+v, want gamma's log", bad)
+	}
+	var ce store.CorruptEntry
+	if !errors.As(error(bad[0]), &ce) {
+		t.Fatal("CorruptEntry does not satisfy errors.As")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("recovered %d sites, want 2", s.Len())
+	}
+	if _, ok := s.Active("gamma"); ok {
+		t.Fatal("site with an inconsistent log still serves")
+	}
+}

@@ -409,28 +409,64 @@ func (s *Store) Save(path string) error {
 // offending site + version named, not at serve time with a bare codec
 // error.
 func Load(path string) (*Store, error) {
-	return loadFiltered(path, nil)
+	s, _, err := loadFiltered(path, nil, false)
+	return s, err
 }
 
-// loadFiltered is Load with an optional site filter: when keep is
-// non-nil, sites it rejects are skipped entirely — not stored, and (the
-// point of partitioned loading) not compiled, so a shard's load cost is
-// proportional to the partition it owns, not to the whole registry.
-// Promotion logs for skipped sites are skipped with them.
-func loadFiltered(path string, keep func(site string) bool) (*Store, error) {
+// CorruptEntry names one site LoadRecovered skipped and why. Version is
+// the first version that failed validation (0 when the corruption is in
+// the site's promotion log rather than an entry).
+type CorruptEntry struct {
+	Site    string
+	Version int
+	Err     error
+}
+
+func (c CorruptEntry) Error() string {
+	return fmt.Sprintf("store: site %q v%d: %v", c.Site, c.Version, c.Err)
+}
+
+func (c CorruptEntry) Unwrap() error { return c.Err }
+
+// LoadRecovered reads a registry tolerating per-site corruption: a site
+// with a malformed entry (bad key, non-compiling rule) or an inconsistent
+// promotion log is skipped whole — versions are an append-only chain, so
+// one poisoned link makes the site's history untrustworthy — and reported
+// as a CorruptEntry naming the site and version, while every healthy site
+// loads normally. This is the recovery path for a registry damaged by a
+// mid-write crash or hostile mutation: strict Load refuses the whole
+// file, LoadRecovered salvages what provably still compiles.
+//
+// Envelope-level damage (unreadable file, invalid JSON, unknown format)
+// is still fatal: with no trustworthy site boundaries there is nothing to
+// salvage entry-by-entry.
+func LoadRecovered(path string) (*Store, []CorruptEntry, error) {
+	return loadFiltered(path, nil, true)
+}
+
+// loadFiltered is Load with an optional site filter and a corruption
+// policy. When keep is non-nil, sites it rejects are skipped entirely —
+// not stored, and (the point of partitioned loading) not compiled, so a
+// shard's load cost is proportional to the partition it owns, not to the
+// whole registry; promotion logs for skipped sites are skipped with them.
+// When tolerate is true, per-site corruption skips the site and records a
+// CorruptEntry instead of failing the load.
+func loadFiltered(path string, keep func(site string) bool, tolerate bool) (*Store, []CorruptEntry, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("store: load: %w", err)
+		return nil, nil, fmt.Errorf("store: load: %w", err)
 	}
 	var f storeFile
 	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("store: load %s: %w", path, err)
+		return nil, nil, fmt.Errorf("store: load %s: %w", path, err)
 	}
 	if f.Format != FormatVersion {
-		return nil, fmt.Errorf("store: load %s: unsupported format %d (want %d)",
+		return nil, nil, fmt.Errorf("store: load %s: unsupported format %d (want %d)",
 			path, f.Format, FormatVersion)
 	}
 	s := New()
+	var bad []CorruptEntry
+sites:
 	for site, vs := range f.Sites {
 		if keep != nil && !keep(site) {
 			continue
@@ -438,12 +474,21 @@ func loadFiltered(path string, keep func(site string) bool) (*Store, error) {
 		for i := range vs {
 			e := &vs[i]
 			if e.Site != site || e.Version != i+1 {
-				return nil, fmt.Errorf("store: load %s: site %q v%d: entry carries key %q v%d",
+				if tolerate {
+					bad = append(bad, CorruptEntry{Site: site, Version: i + 1,
+						Err: fmt.Errorf("entry carries key %q v%d", e.Site, e.Version)})
+					continue sites
+				}
+				return nil, nil, fmt.Errorf("store: load %s: site %q v%d: entry carries key %q v%d",
 					path, site, i+1, e.Site, e.Version)
 			}
 			w := wireWrapper{Format: FormatVersion, Lang: e.Lang, Rule: e.Rule, LR: e.LR}
 			if _, err := w.compile(); err != nil {
-				return nil, fmt.Errorf("store: load %s: site %q v%d (%s rule %q): %w",
+				if tolerate {
+					bad = append(bad, CorruptEntry{Site: site, Version: e.Version, Err: err})
+					continue sites
+				}
+				return nil, nil, fmt.Errorf("store: load %s: site %q v%d (%s rule %q): %w",
 					path, site, e.Version, e.Lang, e.Rule, err)
 			}
 		}
@@ -455,16 +500,33 @@ func loadFiltered(path string, keep func(site string) bool) (*Store, error) {
 		}
 		vs, ok := s.sites[site]
 		if !ok {
-			return nil, fmt.Errorf("store: load %s: promotion log for unknown site %q",
+			if tolerate {
+				if !skippedSite(bad, site) {
+					bad = append(bad, CorruptEntry{Site: site,
+						Err: fmt.Errorf("promotion log for unknown site")})
+				}
+				continue
+			}
+			return nil, nil, fmt.Errorf("store: load %s: promotion log for unknown site %q",
 				path, site)
 		}
+		logOK := true
 		for _, v := range log {
 			if v < 1 || v > len(vs) {
-				return nil, fmt.Errorf("store: load %s: site %q: promotion log names v%d, have %d version(s)",
+				if tolerate {
+					// The log and the version chain disagree; neither half
+					// of the site can be trusted.
+					delete(s.sites, site)
+					bad = append(bad, CorruptEntry{Site: site,
+						Err: fmt.Errorf("promotion log names v%d, have %d version(s)", v, len(vs))})
+					logOK = false
+					break
+				}
+				return nil, nil, fmt.Errorf("store: load %s: site %q: promotion log names v%d, have %d version(s)",
 					path, site, v, len(vs))
 			}
 		}
-		if len(log) > 0 {
+		if logOK && len(log) > 0 {
 			s.promotion[site] = log
 		}
 	}
@@ -479,5 +541,15 @@ func loadFiltered(path string, keep func(site string) bool) (*Store, error) {
 			}
 		}
 	}
-	return s, nil
+	return s, bad, nil
+}
+
+// skippedSite reports whether the site was already recorded as corrupt.
+func skippedSite(bad []CorruptEntry, site string) bool {
+	for _, c := range bad {
+		if c.Site == site {
+			return true
+		}
+	}
+	return false
 }

@@ -1,0 +1,162 @@
+// Package leakcheck asserts that a stretch of work leaves no goroutines
+// behind: snapshot the goroutines alive at a baseline, run the work, then
+// verify — with a grace period, because teardown is asynchronous — that
+// everything started since has exited. It backs both the package tests of
+// the concurrent planes (serve, jobs) and the soak harness's
+// goroutine-baseline invariant, which is why the core works on plain
+// values instead of *testing.T.
+//
+// Goroutines are identified by where they were created plus their topmost
+// frame, with addresses stripped, so two runs of the same code produce the
+// same identities. The baseline is a multiset: a leak is any identity with
+// more live goroutines at verify time than at snapshot time, which keeps a
+// pre-existing worker pool from masking a newly leaked worker of the same
+// shape.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// DefaultGrace is how long Verify retries before declaring a leak. Closed
+// listeners, canceled workers and expiring timers all need a few scheduler
+// rounds to unwind; two seconds is far beyond any of them and still cheap
+// on the passing path (Verify polls, it does not sleep the full grace).
+const DefaultGrace = 2 * time.Second
+
+// Snapshot is a multiset of goroutine identities at one point in time.
+type Snapshot map[string]int
+
+// TB is the fragment of testing.TB that Check needs, kept narrow so the
+// package imports no testing machinery and stays usable from cmd/soak.
+type TB interface {
+	Helper()
+	Cleanup(func())
+	Errorf(format string, args ...any)
+}
+
+// Take snapshots the goroutines alive right now.
+func Take() Snapshot {
+	s := make(Snapshot)
+	for _, id := range identities() {
+		s[id]++
+	}
+	return s
+}
+
+// ignored reports goroutines that are not ours to account for: runtime
+// helpers (GC workers, finalizers), the testing framework's runners, and
+// the signal-delivery goroutine, all of which come and go on their own
+// schedule.
+func ignored(id string) bool {
+	for _, prefix := range []string{
+		"runtime.",
+		"testing.",
+		"os/signal.",
+	} {
+		if strings.HasPrefix(id, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// identities parses the full goroutine dump into one identity string per
+// goroutine: "created-by ← top-frame", with argument lists and addresses
+// stripped so identities are stable across runs.
+func identities() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var out []string
+	for _, block := range strings.Split(string(buf), "\n\n") {
+		lines := strings.Split(strings.TrimSpace(block), "\n")
+		if len(lines) < 2 || !strings.HasPrefix(lines[0], "goroutine ") {
+			continue
+		}
+		top := funcName(lines[1])
+		created := ""
+		for _, ln := range lines {
+			if rest, ok := strings.CutPrefix(ln, "created by "); ok {
+				created, _, _ = strings.Cut(rest, " in goroutine")
+				break
+			}
+		}
+		id := top
+		if created != "" {
+			id = created + " ← " + top
+		}
+		if !ignored(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// funcName strips the argument list from a stack frame's function line.
+func funcName(line string) string {
+	line = strings.TrimSpace(line)
+	if i := strings.LastIndexByte(line, '('); i > 0 {
+		return line[:i]
+	}
+	return line
+}
+
+// Verify returns nil once every goroutine started since the baseline has
+// exited, polling until the grace period runs out; after that it reports
+// the leaked identities and their counts. grace <= 0 selects DefaultGrace.
+func (base Snapshot) Verify(grace time.Duration) error {
+	if grace <= 0 {
+		grace = DefaultGrace
+	}
+	deadline := time.Now().Add(grace)
+	for {
+		leaked := base.leakedNow()
+		if len(leaked) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("leakcheck: %d goroutine(s) leaked:\n\t%s",
+				len(leaked), strings.Join(leaked, "\n\t"))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// leakedNow lists identities with more live goroutines than the baseline,
+// one element per excess goroutine, sorted for stable error output.
+func (base Snapshot) leakedNow() []string {
+	now := Take()
+	var leaked []string
+	for id, n := range now {
+		for extra := n - base[id]; extra > 0; extra-- {
+			leaked = append(leaked, id)
+		}
+	}
+	sort.Strings(leaked)
+	return leaked
+}
+
+// Check snapshots the current goroutines and registers a cleanup that
+// fails the test if any goroutine started during the test is still running
+// once the grace period expires. Call it first in the test so the cleanup
+// runs after every other cleanup (servers closed, managers drained).
+func Check(t TB) {
+	t.Helper()
+	base := Take()
+	t.Cleanup(func() {
+		if err := base.Verify(DefaultGrace); err != nil {
+			t.Errorf("%v", err)
+		}
+	})
+}

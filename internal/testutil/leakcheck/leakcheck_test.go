@@ -1,0 +1,76 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestVerifyPassesWhenNothingLeaks(t *testing.T) {
+	base := Take()
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	if err := base.Verify(time.Second); err != nil {
+		t.Fatalf("clean run reported a leak: %v", err)
+	}
+}
+
+func TestVerifyCatchesABlockedGoroutine(t *testing.T) {
+	base := Take()
+	block := make(chan struct{})
+	go func() { <-block }()
+	err := base.Verify(150 * time.Millisecond)
+	if err == nil {
+		close(block)
+		t.Fatal("blocked goroutine not reported as a leak")
+	}
+	if !strings.Contains(err.Error(), "TestVerifyCatchesABlockedGoroutine") {
+		t.Fatalf("leak report does not name the creator: %v", err)
+	}
+	// Unblocking clears the leak within the grace period.
+	close(block)
+	if err := base.Verify(time.Second); err != nil {
+		t.Fatalf("leak reported after the goroutine exited: %v", err)
+	}
+}
+
+func TestVerifyToleratesSlowTeardown(t *testing.T) {
+	base := Take()
+	go func() { time.Sleep(100 * time.Millisecond) }()
+	// The goroutine is still alive when Verify starts; the grace period
+	// must absorb it.
+	if err := base.Verify(2 * time.Second); err != nil {
+		t.Fatalf("slow-exiting goroutine reported as a leak: %v", err)
+	}
+}
+
+// fakeTB records Errorf calls and runs cleanups, standing in for *testing.T
+// so Check's failure path is testable.
+type fakeTB struct {
+	cleanups []func()
+	failed   bool
+}
+
+func (f *fakeTB) Helper()                           {}
+func (f *fakeTB) Cleanup(fn func())                 { f.cleanups = append(f.cleanups, fn) }
+func (f *fakeTB) Errorf(format string, args ...any) { f.failed = true }
+func (f *fakeTB) runCleanups() {
+	for i := len(f.cleanups) - 1; i >= 0; i-- {
+		f.cleanups[i]()
+	}
+}
+
+func TestCheckFailsTheTestOnLeak(t *testing.T) {
+	ft := &fakeTB{}
+	Check(ft)
+	block := make(chan struct{})
+	go func() { <-block }()
+	defer close(block)
+	// Shrink the wait by verifying through the recorded cleanup directly;
+	// DefaultGrace applies, so this costs ~2s only on this failure path.
+	ft.runCleanups()
+	if !ft.failed {
+		t.Fatal("Check did not fail the test for a leaked goroutine")
+	}
+}

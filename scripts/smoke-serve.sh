@@ -144,6 +144,39 @@ curl -fsS -X POST --data-binary @"$WORK/req2.json" "http://$ADDR/v1/extract" \
 achieved="$(grep -oE 'achieved [0-9.]+' "$WORK/loadgen.log" | head -1 | cut -d' ' -f2)"
 echo "smoke-serve: loadgen achieved-QPS = ${achieved:-unknown} (target 150)"
 
+# --- Malformed-body chaos storm ---
+# Every hostile body must die at the front door with a 4xx: never a
+# connection reset (000), never a 5xx, and the daemon must stay healthy
+# and keep a parseable /metrics afterwards.
+malformed=(
+  ''
+  '{'
+  '{"site":"x"'
+  '{"site":42}'
+  '{"site":"x","timeout_ms":"fast"}'
+  '{"site":"x","pages":{"html":"h"}}'
+  '{"site":"x"} trailing'
+  '{"num":01,"site":"x"}'
+  '["not an object"]'
+  'null null'
+  '{"site":"bad\escape"}'
+  "$(printf '{"site":"\x01\xff"}')"
+)
+for body in "${malformed[@]}"; do
+  code="$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+    --data-binary "$body" "http://$ADDR/v1/extract")"
+  case "$code" in
+    4??) ;;
+    *)
+      echo "smoke-serve: malformed body $(printf '%q' "$body") answered $code, want 4xx" >&2
+      exit 1 ;;
+  esac
+done
+curl -fsS "http://$ADDR/healthz" > /dev/null
+curl -fsS "http://$ADDR/metrics" \
+  | python3 -c 'import json,sys; d=json.load(sys.stdin); assert d["gate"]["in_flight"] == 0, d'
+echo "smoke-serve: malformed-body storm all 4xx, daemon healthy"
+
 # Clean drain with a queued job: stack two repair submissions (one runs,
 # one queues behind the single learn worker), then SIGTERM. The daemon
 # must cancel the queued job, wait out the running one, and exit 0.
