@@ -44,6 +44,7 @@ import (
 	"os"
 
 	"autowrap/internal/annotate"
+	"autowrap/internal/audit"
 	"autowrap/internal/bitset"
 	"autowrap/internal/core"
 	"autowrap/internal/corpus"
@@ -61,6 +62,8 @@ import (
 	"autowrap/internal/shard"
 	"autowrap/internal/stats"
 	"autowrap/internal/store"
+	"autowrap/internal/store/filestore"
+	"autowrap/internal/store/logstore"
 	"autowrap/internal/wrapper"
 	"autowrap/internal/xpinduct"
 )
@@ -231,6 +234,35 @@ type (
 	// MaintainerOptions tunes the loop (scan interval, per-site rate
 	// limit, minimum cached pages).
 	MaintainerOptions = serve.MaintainerOptions
+
+	// StoreBackend is the pluggable durability seam under the registry:
+	// lifecycle events in, reproduced registries out. FileStoreBackend
+	// (OpenFileStore) keeps the original atomic-JSON-file format;
+	// LogStoreBackend (OpenLogStore) appends one fsync'd record per
+	// event to a segmented, CRC-framed, crash-recovering log.
+	StoreBackend = store.Backend
+	// StoreOp names one lifecycle mutation on the backend wire
+	// (put/candidate/promote/rollback).
+	StoreOp = store.Op
+	// FileStoreBackend is the atomic-JSON-file StoreBackend.
+	FileStoreBackend = filestore.Backend
+	// LogStoreBackend is the append-only segmented-log StoreBackend.
+	LogStoreBackend = logstore.Backend
+	// LogStoreOptions tunes a LogStoreBackend (segment size, fsync).
+	LogStoreOptions = logstore.Options
+	// AuditLedger is the tamper-evident lifecycle ledger: a hash-chained
+	// JSON-lines file with periodic Merkle checkpoints recording every
+	// learn/candidate/promote/rollback/drift-trip/auto-repair fleet-wide.
+	// Open one with OpenAuditLedger; verify with VerifyAuditLedger.
+	AuditLedger = audit.Ledger
+	// AuditLedgerOptions tunes an AuditLedger (checkpoint cadence, ring).
+	AuditLedgerOptions = audit.Options
+	// AuditRecord is one chained ledger entry.
+	AuditRecord = audit.Record
+	// AuditReport summarizes a verified ledger walk.
+	AuditReport = audit.Report
+	// AuditStats are the ledger's live counters (under /metrics).
+	AuditStats = audit.Stats
 )
 
 // Ranking variants (the paper's Sec. 7.3 ablations).
@@ -529,16 +561,42 @@ func NewAdmissionGate(opt AdmissionOptions) *AdmissionGate { return serve.NewGat
 func NewShardRing(shards, vnodes int) *ShardRing { return shard.NewRing(shards, vnodes) }
 
 // NewShardRouter builds the fleet front end over per-shard Servers. The
-// build callback is invoked once per shard, in order, and receives the
-// shard's id plus a persist function that saves the merged registry of
-// every shard's partition to storePath (wire it into the shard's
-// ServerConfig.Persist so admin mutations on any shard persist the whole
-// fleet's state, never one partition alone). Mount Handler() on an
+// build callback is invoked once per shard, in order, and returns that
+// shard's fully-wired Server. Persistence is the store backend's job:
+// wire one shared StoreBackend into every shard's ServerConfig (with
+// ServerConfig.Shard set) and each lifecycle event is persisted by —
+// and costs — only the mutating shard. Mount Handler() on an
 // http.Server; cmd/wrapserved -shards N is the ready-made fleet daemon.
-func NewShardRouter(ring *ShardRing, storePath string,
-	build func(shardID int, persist func() error) (*Server, error)) (*ShardRouter, error) {
-	return serve.NewShardRouter(ring, storePath, build)
+func NewShardRouter(ring *ShardRing, build func(shardID int) (*Server, error)) (*ShardRouter, error) {
+	return serve.NewShardRouter(ring, build)
 }
+
+// OpenFileStore opens the atomic-JSON-file store backend over path —
+// the original on-disk registry format, byte-for-byte. The file need
+// not exist yet; Load on a missing file yields an empty registry.
+func OpenFileStore(path string) (*FileStoreBackend, error) { return filestore.Open(path) }
+
+// OpenLogStore opens (creating if needed) the append-only segmented-log
+// store backend at dir and replays it: every lifecycle event is one
+// CRC-framed, fsync'd record, rotation writes a snapshot and compacts,
+// and a torn tail from a crash is truncated instead of failing the
+// boot. Zero options select defaults (1 MiB segments, fsync on).
+func OpenLogStore(dir string, opt LogStoreOptions) (*LogStoreBackend, error) {
+	return logstore.Open(dir, opt)
+}
+
+// OpenAuditLedger opens (creating if needed) the hash-chained lifecycle
+// audit ledger at path, verifying the existing chain as it replays.
+// Zero options select defaults (Merkle checkpoint every 64 events).
+func OpenAuditLedger(path string, opt AuditLedgerOptions) (*AuditLedger, error) {
+	return audit.Open(path, opt)
+}
+
+// VerifyAuditLedger walks the ledger at path from genesis and pinpoints
+// the first broken link: any flipped byte, dropped line or reordered
+// record surfaces as an *audit.TamperError naming the offending
+// sequence number.
+func VerifyAuditLedger(path string) (AuditReport, error) { return audit.VerifyFile(path) }
 
 // NewJobManager builds the asynchronous maintenance plane's job queue +
 // worker pool; zero options select defaults (1 worker, queue depth 16,

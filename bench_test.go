@@ -17,6 +17,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"testing"
@@ -34,6 +35,7 @@ import (
 	"autowrap/internal/shard"
 	"autowrap/internal/stats"
 	"autowrap/internal/store"
+	"autowrap/internal/store/logstore"
 )
 
 // learnWith runs NTW with an explicit enumeration algorithm (the
@@ -644,6 +646,65 @@ func BenchmarkJobsSubmit(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "jobs/sec")
+}
+
+// BenchmarkLogAppend times one lifecycle event through the segmented-log
+// backend's hot path — frame encode, CRC, shadow-registry apply — with
+// fsync off, so the number is the framing cost the log adds per event,
+// not the disk's. Tracked by the bench gate: persistence must stay
+// O(event), and cheap.
+func BenchmarkLogAppend(b *testing.B) {
+	seed := store.New()
+	if _, err := seed.Put("bench.example.com",
+		&lr.Compiled{Left: `<div class="a">`, Right: `</div>`}, store.Meta{}); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := seed.PutCandidate("bench.example.com",
+		&lr.Compiled{Left: `<div class="b">`, Right: `</div>`}, store.Meta{}); err != nil {
+		b.Fatal(err)
+	}
+	lb, err := logstore.Open(b.TempDir(), logstore.Options{NoSync: true, SegmentBytes: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lb.Close()
+	if err := lb.SeedFrom(seed); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Promote/rollback alternation: every iteration is one valid,
+		// constant-size promotion record.
+		if i%2 == 0 {
+			err = lb.AppendPromotion(0, "bench.example.com", store.OpPromote, 2)
+		} else {
+			err = lb.AppendPromotion(0, "bench.example.com", store.OpRollback, 0)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAuditAppend times one event through the audit ledger's hot
+// path — canonical JSON encode, sha256 chain link, ring update, and the
+// amortized Merkle checkpoint every 64 events — with fsync off. Tracked
+// by the bench gate: the tamper-evidence tax per lifecycle event.
+func BenchmarkAuditAppend(b *testing.B) {
+	led, err := autowrap.OpenAuditLedger(
+		filepath.Join(b.TempDir(), "audit.jsonl"), autowrap.AuditLedgerOptions{NoSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer led.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := led.Append(i%8, "promote", "bench.example.com", 2, "bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // --- Figure 2(a): # of wrapper calls for LR ---

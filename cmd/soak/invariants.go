@@ -1,20 +1,27 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
+	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"autowrap/internal/audit"
 	"autowrap/internal/chaos"
 	"autowrap/internal/jobs"
 	"autowrap/internal/serve"
 	"autowrap/internal/store"
+	"autowrap/internal/store/logstore"
 )
 
 // violations accumulates invariant failures instead of aborting on the
@@ -399,4 +406,174 @@ func (h *harness) checkStoreRecovery(rng *rand.Rand) {
 	if got := rec.Len(); got != before-1 {
 		h.viol.add("store-recovery", fmt.Sprintf("LoadRecovered salvaged %d sites, want %d (all but %s)", got, before-1, site))
 	}
+}
+
+// newestSegment returns the highest-numbered segment file in a log dir.
+func newestSegment(dir string) (string, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil {
+		return "", err
+	}
+	if len(names) == 0 {
+		return "", fmt.Errorf("no segments in %s", dir)
+	}
+	sort.Strings(names) // zero-padded indices sort lexically
+	return names[len(names)-1], nil
+}
+
+// checkLogRecovery is the log backend's end-of-run kill-and-reopen drill.
+// The process "died" at teardown (the backend was closed; from the log's
+// point of view a close and a crash look the same modulo the torn tail);
+// now the log must reopen to a consistent registry: (1) the mid-run torn
+// frame — if compaction did not already delete its segment — is reported
+// and truncated, (2) a second open finds a clean log and reproduces
+// byte-for-byte the same registry, and (3) fresh tail garbage injected
+// post-mortem recovers to that same registry again.
+func (h *harness) checkLogRecovery(rng *rand.Rand) {
+	open := func(stage string) (*logstore.Backend, *store.Store, []byte) {
+		lb, err := logstore.Open(h.logDir, logstore.Options{})
+		if err != nil {
+			h.viol.add("store-recovery", fmt.Sprintf("%s: log failed to reopen: %v", stage, err))
+			return nil, nil, nil
+		}
+		st, err := lb.Load()
+		if err != nil {
+			lb.Close()
+			h.viol.add("store-recovery", fmt.Sprintf("%s: reopened log cannot reproduce a registry: %v", stage, err))
+			return nil, nil, nil
+		}
+		enc, err := st.Encode()
+		if err != nil {
+			lb.Close()
+			h.viol.add("store-recovery", fmt.Sprintf("%s: reopened registry does not encode: %v", stage, err))
+			return nil, nil, nil
+		}
+		return lb, st, enc
+	}
+
+	// Drill 1: reopen the log the run actually wrote, torn frame and all.
+	lb, st, first := open("first reopen")
+	if lb == nil {
+		return
+	}
+	if h.garbageSeg != "" {
+		if _, statErr := os.Stat(h.garbageSeg); statErr == nil {
+			if lb.Recovered() == nil {
+				h.viol.add("store-recovery", fmt.Sprintf("mid-run torn frame in %s survived reopen unreported", h.garbageSeg))
+			}
+		}
+		// A rotation after the fault compacted the poisoned segment away;
+		// a clean reopen is then the correct outcome.
+	} else if rec := lb.Recovered(); rec != nil {
+		h.viol.add("store-recovery", fmt.Sprintf("uncorrupted log reopened with recovery: dropped %d bytes of %s (%s)", rec.Dropped, rec.Segment, rec.Reason))
+	}
+	// The seeded population — dealer sites and flip sites — predates every
+	// fault, so no consistent prefix may lose any of them.
+	for _, s := range h.sites {
+		if _, ok := st.Active(s.name); !ok {
+			h.viol.add("store-recovery", fmt.Sprintf("reopened log lost seeded site %s", s.name))
+		}
+	}
+	for _, f := range h.flips {
+		if act, ok := st.Active(f.name); !ok || (act.Version != 1 && act.Version != 2) {
+			h.viol.add("store-recovery", fmt.Sprintf("reopened log serves %s at v%d/%v, want v1 or v2", f.name, act.Version, ok))
+		}
+	}
+	lb.Close()
+
+	// Drill 2: recovery is idempotent — the first reopen repaired the
+	// file, so a second finds nothing to recover and the same registry.
+	lb2, _, second := open("second reopen")
+	if lb2 == nil {
+		return
+	}
+	if rec := lb2.Recovered(); rec != nil {
+		h.viol.add("store-recovery", fmt.Sprintf("second reopen found damage the first left behind: %s@%d", rec.Segment, rec.Offset))
+	}
+	if !bytes.Equal(first, second) {
+		h.viol.add("store-recovery", "second reopen reproduced a different registry than the first")
+	}
+	lb2.Close()
+
+	// Drill 3: fresh tail garbage — the crash-mid-append shape — must be
+	// reported, truncated, and must not move the registry.
+	seg, err := newestSegment(h.logDir)
+	if err != nil {
+		h.viol.add("store-recovery", fmt.Sprintf("post-mortem tear: %v", err))
+		return
+	}
+	if err := chaos.AppendTornFrame(seg, rng); err != nil {
+		h.viol.add("store-recovery", fmt.Sprintf("post-mortem tear failed to write: %v", err))
+		return
+	}
+	lb3, _, third := open("post-tear reopen")
+	if lb3 == nil {
+		return
+	}
+	if lb3.Recovered() == nil {
+		h.viol.add("store-recovery", fmt.Sprintf("injected tail tear in %s went unreported on reopen", filepath.Base(seg)))
+	}
+	if !bytes.Equal(first, third) {
+		h.viol.add("store-recovery", "tail tear changed the recovered registry (truncation ate or invented records)")
+	}
+	lb3.Close()
+}
+
+// checkAuditChain verifies the ledger the run wrote, end to end from
+// genesis: every hash link and every Merkle checkpoint must hold, and the
+// run's lifecycle — at minimum the flipper's promotes and rollbacks —
+// must actually be in it. Any tampering (see -break audit) must surface
+// as a *TamperError naming the first damaged sequence number.
+func (h *harness) checkAuditChain() {
+	rep, err := audit.VerifyFile(h.auditPath)
+	if err != nil {
+		var te *audit.TamperError
+		if errors.As(err, &te) {
+			h.viol.add("audit-chain-intact", fmt.Sprintf("ledger tampered at seq %d (line %d): %s", te.Seq, te.Line, te.Reason))
+		} else {
+			h.viol.add("audit-chain-intact", fmt.Sprintf("ledger unverifiable: %v", err))
+		}
+		return
+	}
+	if rep.Records == 0 {
+		h.viol.add("audit-chain-intact", "run produced no audit records (lifecycle events not reaching the ledger)")
+		return
+	}
+	if rep.LastSeq != rep.Records {
+		h.viol.add("audit-chain-intact", fmt.Sprintf("ledger seq %d != %d records: the chain skipped numbers", rep.LastSeq, rep.Records))
+	}
+	// The flipper promoted/rolled back every 700ms all run; a verified
+	// ledger with no promote events means auditing is disconnected.
+	hasPromote := false
+	for _, rec := range tailRecords(h.auditPath, 4096) {
+		if rec.Event == audit.EventPromote {
+			hasPromote = true
+			break
+		}
+	}
+	if !hasPromote {
+		h.viol.add("audit-chain-intact", "verified ledger holds no promote events despite the flipper running all run")
+	}
+	h.logf("audit ledger verified: %d records, %d events, %d checkpoints", rep.Records, rep.Events, rep.Checkpoints)
+}
+
+// tailRecords best-effort decodes up to n newest records of a ledger the
+// chain walk already verified.
+func tailRecords(path string, n int) []audit.Record {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	lines := bytes.Split(bytes.TrimSuffix(data, []byte("\n")), []byte("\n"))
+	if len(lines) > n {
+		lines = lines[len(lines)-n:]
+	}
+	out := make([]audit.Record, 0, len(lines))
+	for _, ln := range lines {
+		var rec audit.Record
+		if json.Unmarshal(ln, &rec) == nil {
+			out = append(out, rec)
+		}
+	}
+	return out
 }

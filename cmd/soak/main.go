@@ -13,6 +13,7 @@
 //
 //	soak -duration 45s -seed 1 -shards 4        # the CI smoke run
 //	soak -duration 15m -shards 4 -qps 200       # the nightly long mode
+//	soak -duration 45s -store-backend log       # segmented-log durability under chaos
 //	soak -duration 5s -break leak               # prove the harness bites
 //
 // Invariants (the names a violation is reported under):
@@ -29,9 +30,18 @@
 //	drift-healed       auto-repair heals every injected drift within the run
 //	clean-drain        SetDraining → Shutdown → Drain completes in budget
 //	no-panic           no 5xx surprises, no dead connections on sane requests
-//	store-recovery     a corrupt registry entry is overwritten by the next
-//	                   persist mid-run; at end, strict Load refuses a poisoned
-//	                   file naming the site while LoadRecovered salvages the rest
+//	store-recovery     with -store-backend file: a corrupt registry entry is
+//	                   overwritten by the next persist mid-run; at end, strict
+//	                   Load refuses a poisoned file naming the site while
+//	                   LoadRecovered salvages the rest. With -store-backend
+//	                   log: a torn frame injected into the live segment
+//	                   mid-run never disturbs serving, and the end-of-run
+//	                   kill-and-reopen drill recovers the log to a consistent
+//	                   registry — reported, idempotent, and again after fresh
+//	                   tail garbage
+//	audit-chain-intact the audit ledger the run wrote verifies from genesis:
+//	                   every hash link and Merkle checkpoint holds, and the
+//	                   run's lifecycle events (promotes at minimum) are there
 //
 // Determinism: every fault schedule — storm times and victims, malformed
 // body streams, the corrupt-entry victim, burst timing — is derived from
@@ -39,8 +49,10 @@
 // interleaving is the operating system's; the faults are ours.)
 //
 // -break deliberately sabotages one invariant (leak | stuck | heal |
-// ledger) to prove the harness fails loudly rather than vacuously; CI runs
-// one sabotaged mode and requires a non-zero exit.
+// ledger | audit) to prove the harness fails loudly rather than vacuously;
+// CI runs one sabotaged mode and requires a non-zero exit. -break audit
+// flips one byte of the closed ledger before verification, which
+// audit-chain-intact must catch naming the damaged sequence number.
 package main
 
 import (
@@ -50,18 +62,20 @@ import (
 	"os"
 	"time"
 
+	"autowrap/internal/chaos"
 	"autowrap/internal/shard"
 )
 
 type options struct {
-	duration  time.Duration
-	seed      int64
-	shards    int
-	qps       int
-	sites     int
-	vnodes    int
-	breakMode string
-	verbose   bool
+	duration     time.Duration
+	seed         int64
+	shards       int
+	qps          int
+	sites        int
+	vnodes       int
+	storeBackend string
+	breakMode    string
+	verbose      bool
 }
 
 func main() {
@@ -72,14 +86,19 @@ func main() {
 	flag.IntVar(&o.qps, "qps", 120, "target request rate across all traffic workers")
 	flag.IntVar(&o.sites, "sites", 4, "learned dealer sites serving extract traffic")
 	flag.IntVar(&o.vnodes, "vnodes", shard.DefaultVNodes, "virtual nodes per shard on the routing ring")
-	flag.StringVar(&o.breakMode, "break", "", "deliberately violate one invariant to prove the harness catches it: leak | stuck | heal | ledger")
+	flag.StringVar(&o.storeBackend, "store-backend", "file", "durability backend under chaos: file (atomic JSON registry) | log (append-only segmented log)")
+	flag.StringVar(&o.breakMode, "break", "", "deliberately violate one invariant to prove the harness catches it: leak | stuck | heal | ledger | audit")
 	flag.BoolVar(&o.verbose, "v", false, "log every fault injection and invariant checkpoint")
 	flag.Parse()
 
 	switch o.breakMode {
-	case "", "leak", "stuck", "heal", "ledger":
+	case "", "leak", "stuck", "heal", "ledger", "audit":
 	default:
 		fmt.Fprintf(os.Stderr, "soak: unknown -break mode %q\n", o.breakMode)
+		os.Exit(2)
+	}
+	if o.storeBackend != "file" && o.storeBackend != "log" {
+		fmt.Fprintf(os.Stderr, "soak: unknown -store-backend %q (want file or log)\n", o.storeBackend)
 		os.Exit(2)
 	}
 	if o.shards < 1 || o.sites < 1 || o.qps < 1 || o.duration < 5*time.Second {
@@ -137,7 +156,22 @@ func (h *harness) run() {
 	h.stopMonitor()
 	h.checkGoroutineBaseline()
 	h.checkHeapBounded()
-	h.checkStoreRecovery(rand.New(rand.NewSource(h.o.seed + 7)))
+	rng := rand.New(rand.NewSource(h.o.seed + 7))
+	if h.o.storeBackend == "log" {
+		h.checkLogRecovery(rng)
+	} else {
+		h.checkStoreRecovery(rng)
+	}
+	if h.o.breakMode == "audit" {
+		// Silent at-rest tampering of the closed ledger: one flipped bit,
+		// which the chain walk must pin to a sequence number.
+		if off, err := chaos.FlipByte(h.auditPath, rng); err != nil {
+			h.log.Printf("break audit: %v", err)
+		} else {
+			h.logf("break audit: flipped a bit at byte %d of %s", off, h.auditPath)
+		}
+	}
+	h.checkAuditChain()
 }
 
 func (h *harness) logf(format string, args ...any) {

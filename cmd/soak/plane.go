@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"autowrap"
+	"autowrap/internal/audit"
 	"autowrap/internal/dataset"
 	"autowrap/internal/drift"
 	"autowrap/internal/jobs"
@@ -21,6 +22,8 @@ import (
 	"autowrap/internal/serve"
 	"autowrap/internal/shard"
 	"autowrap/internal/store"
+	"autowrap/internal/store/filestore"
+	"autowrap/internal/store/logstore"
 	"autowrap/internal/testutil/leakcheck"
 )
 
@@ -83,6 +86,15 @@ type harness struct {
 	annot  autowrap.Annotator
 
 	storePath string
+	logDir    string // segment dir when -store-backend=log
+	auditPath string
+	backend   store.Backend
+	aud       *audit.Ledger
+	// garbageSeg is the segment a mid-run torn frame was injected into
+	// ("" until that fault fires). Written by the chaos scheduler, read by
+	// the post-teardown drill; runTraffic's WaitGroup orders the two.
+	garbageSeg string
+
 	baseURL   string
 	addr      string
 	ln        net.Listener
@@ -132,6 +144,8 @@ func newHarness(o options) (*harness, error) {
 	}
 	h.workDir = dir
 	h.storePath = filepath.Join(dir, "wrappers.json")
+	h.logDir = filepath.Join(dir, "wrappers.log")
+	h.auditPath = filepath.Join(dir, "audit.jsonl")
 	if err := st.Save(h.storePath); err != nil {
 		return nil, err
 	}
@@ -265,7 +279,36 @@ func (h *harness) boot() error {
 			Monitor: mon,
 		}
 	}
-	buildShard := func(k int, st *store.Store, persist func() error, storePath string) (*serve.Server, error) {
+	// The durability plane under test: the whole fleet shares one backend
+	// and one audit ledger, exactly as wrapserved wires them.
+	switch h.o.storeBackend {
+	case "file":
+		fb, err := filestore.Open(h.storePath)
+		if err != nil {
+			return err
+		}
+		h.backend = fb
+	case "log":
+		lb, err := logstore.Open(h.logDir, logstore.Options{})
+		if err != nil {
+			return err
+		}
+		seed, err := store.Load(h.storePath)
+		if err != nil {
+			return err
+		}
+		if err := lb.SeedFrom(seed); err != nil {
+			return err
+		}
+		h.backend = lb
+	}
+	aud, err := audit.Open(h.auditPath, audit.Options{})
+	if err != nil {
+		return err
+	}
+	h.aud = aud
+
+	buildShard := func(k int, st *store.Store) (*serve.Server, error) {
 		mon := drift.NewMonitor(drift.Policy{Window: 8, MinPages: 4})
 		dispatcher := serve.NewDispatcher(st, serve.Options{Monitor: mon, RecentPages: 64})
 		return serve.NewServer(serve.ServerConfig{
@@ -280,18 +323,19 @@ func (h *harness) boot() error {
 				Workers: jobWorkers, QueueDepth: jobQueueDepth,
 				IDPrefix: fmt.Sprintf("s%d-", k),
 			}),
-			StorePath: storePath,
-			Persist:   persist,
-			Log:       h.log,
+			Backend: h.backend,
+			Shard:   k,
+			Audit:   h.aud,
+			Log:     h.log,
 		})
 	}
 
 	if h.o.shards == 1 {
-		st, err := store.Load(h.storePath)
+		st, err := h.backend.Load()
 		if err != nil {
 			return err
 		}
-		srv, err := buildShard(0, st, nil, h.storePath)
+		srv, err := buildShard(0, st)
 		if err != nil {
 			return err
 		}
@@ -299,12 +343,12 @@ func (h *harness) boot() error {
 		h.servers = []*serve.Server{srv}
 	} else {
 		ring := shard.NewRing(h.o.shards, h.o.vnodes)
-		router, err := serve.NewShardRouter(ring, h.storePath, func(k int, persist func() error) (*serve.Server, error) {
-			st, err := store.LoadPartition(h.storePath, ring, k)
+		router, err := serve.NewShardRouter(ring, func(k int) (*serve.Server, error) {
+			st, err := h.backend.LoadPartition(ring, k)
 			if err != nil {
 				return nil, err
 			}
-			return buildShard(k, st, persist, "")
+			return buildShard(k, st)
 		})
 		if err != nil {
 			return err
@@ -399,6 +443,12 @@ func (h *harness) drainAndTeardown() {
 		}
 		for _, srv := range h.servers {
 			srv.Close()
+		}
+		if err := h.backend.Close(); err != nil {
+			h.viol.add("clean-drain", fmt.Sprintf("store backend close: %v", err))
+		}
+		if err := h.aud.Close(); err != nil {
+			h.viol.add("clean-drain", fmt.Sprintf("audit ledger close: %v", err))
 		}
 	}()
 	select {

@@ -432,7 +432,7 @@ func (h *harness) chaosSchedule(dur time.Duration, stop <-chan struct{}, wg *syn
 		site := h.sites[i%len(h.sites)]
 		events = append(events, event{time.Duration(float64(dur) * frac), func() { h.driftStorm(site) }})
 	}
-	events = append(events, event{time.Duration(float64(dur) * 0.50), func() { h.corruptStore(rng) }})
+	events = append(events, event{time.Duration(float64(dur) * 0.50), func() { h.storeChaos(rng) }})
 	if h.o.breakMode == "stuck" {
 		events = append(events, event{time.Duration(float64(dur) * 0.30), h.sabotageStuckJob})
 	}
@@ -466,6 +466,36 @@ func (h *harness) driftStorm(site *soakSite) {
 	site.stormed.Store(true)
 	site.source.Store(1)
 	h.logf("drift storm: %s (serving v%d) now serves its mutated template", site.name, resp.Version)
+}
+
+// storeChaos is the mid-run durability fault, shaped to the backend
+// under test: registry-entry poisoning for the file backend, a torn
+// frame in the live segment for the log backend.
+func (h *harness) storeChaos(rng *rand.Rand) {
+	if h.o.storeBackend == "log" {
+		h.corruptLogSegment(rng)
+		return
+	}
+	h.corruptStore(rng)
+}
+
+// corruptLogSegment appends a torn frame to the log's active segment
+// while the fleet keeps appending live records after it — the on-disk
+// shape a crash mid-append leaves behind. Serving must not notice (the
+// registry is in memory; the log is only read at open), and the
+// end-of-run kill-and-reopen drill must recover to a consistent prefix.
+func (h *harness) corruptLogSegment(rng *rand.Rand) {
+	seg, err := newestSegment(h.logDir)
+	if err != nil {
+		h.viol.add("store-recovery", fmt.Sprintf("mid-run log corruption: %v", err))
+		return
+	}
+	if err := chaos.AppendTornFrame(seg, rng); err != nil {
+		h.viol.add("store-recovery", fmt.Sprintf("mid-run log corruption failed to write: %v", err))
+		return
+	}
+	h.garbageSeg = seg
+	h.logf("store chaos: tore a frame into %s", seg)
 }
 
 // corruptStore poisons one registry entry on disk mid-run, then watches

@@ -11,6 +11,8 @@
 //	wrapserved -store wrappers.json -dict names.txt -kind xpath   # enables /v1/learn + /v1/repair
 //	wrapserved -store wrappers.json -dict names.txt -auto-repair  # drifted sites heal themselves
 //	wrapserved -store wrappers.json -shards 4                     # consistent-hash fleet, one per core
+//	wrapserved -store wrappers.json -store-backend log            # append-only segmented-log durability
+//	wrapserved -store wrappers.json -audit-log audit.jsonl        # tamper-evident lifecycle ledger
 //	wrapserved -store wrappers.json -debug-addr localhost:6060    # net/http/pprof on a side listener
 //
 // Endpoints:
@@ -28,6 +30,19 @@
 //	POST /v1/repair    {"site":"s","pages":["<html>...",...]} → 202 {"job_id":...}
 //	GET  /v1/jobs      every retained job; GET /v1/jobs/{id} one job
 //	POST /v1/jobs/{id}/cancel
+//	GET  /v1/audit     the lifecycle audit ledger's counters + newest records
+//
+// Durability is pluggable (-store-backend). The default, file, keeps the
+// original format: one atomic JSON registry at -store, rewritten in full
+// after every lifecycle mutation. With -store-backend=log the daemon
+// appends one CRC-framed, fsync'd record per lifecycle event to a
+// segmented log directory (-store-log-dir, default <store>.log) with
+// snapshot rotation + compaction and torn-tail crash recovery; an empty
+// log seeds itself from the JSON registry at -store once, so switching
+// backends is one flag. With -audit-log PATH every lifecycle event
+// (learn, candidate, promote, rollback, drift trip, auto-repair) is also
+// recorded in a hash-chained, Merkle-checkpointed audit ledger whose
+// integrity is verifiable offline (see GET /v1/audit).
 //
 // The hot path is admission-controlled: at most -max-inflight requests
 // extract concurrently, at most -queue more wait, and everything beyond
@@ -85,6 +100,7 @@ import (
 
 	"autowrap"
 	"autowrap/internal/annotate"
+	"autowrap/internal/audit"
 	"autowrap/internal/drift"
 	"autowrap/internal/engine"
 	"autowrap/internal/experiments"
@@ -92,11 +108,17 @@ import (
 	"autowrap/internal/serve"
 	"autowrap/internal/shard"
 	"autowrap/internal/store"
+	"autowrap/internal/store/filestore"
+	"autowrap/internal/store/logstore"
 )
 
 // options carries the parsed flag set.
 type options struct {
-	storePath   string
+	storePath    string
+	storeBackend string
+	storeLogDir  string
+	auditLog     string
+
 	addr        string
 	workers     int
 	maxInflight int
@@ -126,6 +148,9 @@ type options struct {
 func main() {
 	var o options
 	flag.StringVar(&o.storePath, "store", "wrappers.json", "wrapper store path (required; must exist)")
+	flag.StringVar(&o.storeBackend, "store-backend", "file", "durable store backend: file (atomic JSON registry) | log (append-only segmented log, O(event) persists)")
+	flag.StringVar(&o.storeLogDir, "store-log-dir", "", "segment directory for -store-backend=log (default <store>.log; an empty log seeds itself from -store)")
+	flag.StringVar(&o.auditLog, "audit-log", "", "append lifecycle events to a hash-chained audit ledger at this path (empty disables)")
 	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
 	flag.IntVar(&o.workers, "workers", 0, "extraction workers per batch request (0 = GOMAXPROCS)")
 	flag.IntVar(&o.maxInflight, "max-inflight", 64, "max concurrently executing extract requests")
@@ -154,13 +179,85 @@ func main() {
 	}
 }
 
+// openBackend opens the durable store backend the flags select. The
+// file backend keeps the original single-JSON-registry behaviour (and
+// the original "store must exist" contract); the log backend opens (or
+// creates) the segment directory, recovering a torn tail, and seeds an
+// empty log from the JSON registry at -store when one exists.
+func openBackend(o options, logger *log.Logger) (store.Backend, error) {
+	switch o.storeBackend {
+	case "file":
+		if _, err := os.Stat(o.storePath); err != nil {
+			return nil, fmt.Errorf("store %s: %w", o.storePath, err)
+		}
+		return filestore.Open(o.storePath)
+	case "log":
+		dir := o.storeLogDir
+		if dir == "" {
+			dir = o.storePath + ".log"
+		}
+		be, err := logstore.Open(dir, logstore.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if rec := be.Recovered(); rec != nil {
+			logger.Printf("store log %s: recovered torn tail (%s: %d byte(s) dropped at offset %d: %s)",
+				dir, rec.Segment, rec.Dropped, rec.Offset, rec.Reason)
+		}
+		if be.Empty() {
+			if _, err := os.Stat(o.storePath); err == nil {
+				st, err := store.Load(o.storePath)
+				if err != nil {
+					be.Close()
+					return nil, err
+				}
+				if err := be.SeedFrom(st); err != nil {
+					be.Close()
+					return nil, err
+				}
+				logger.Printf("store log %s: seeded from %s (%d site(s))", dir, o.storePath, st.Len())
+			}
+		}
+		return be, nil
+	default:
+		return nil, fmt.Errorf("-store-backend %q: want file or log", o.storeBackend)
+	}
+}
+
+// openLedger opens the audit ledger when -audit-log is set (nil ledger
+// = auditing off; every ledger method is nil-safe).
+func openLedger(o options, logger *log.Logger) (*audit.Ledger, error) {
+	if o.auditLog == "" {
+		return nil, nil
+	}
+	led, err := audit.Open(o.auditLog, audit.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if n := led.RecoveredBytes(); n > 0 {
+		logger.Printf("audit ledger %s: truncated %d torn byte(s) from the tail", o.auditLog, n)
+	}
+	return led, nil
+}
+
 func run(o options) error {
 	logger := log.New(os.Stderr, "wrapserved: ", log.LstdFlags)
 	if o.shards > 1 {
 		return runFleet(o, logger)
 	}
 
-	st, err := store.Load(o.storePath)
+	be, err := openBackend(o, logger)
+	if err != nil {
+		return err
+	}
+	defer be.Close()
+	led, err := openLedger(o, logger)
+	if err != nil {
+		return err
+	}
+	defer led.Close()
+
+	st, err := be.Load()
 	if err != nil {
 		return err
 	}
@@ -170,6 +267,9 @@ func run(o options) error {
 			Window: o.window,
 			OnTrip: func(site string, s drift.Stats) {
 				logger.Printf("DRIFT TRIPPED: %s", s)
+				if err := led.Append(0, audit.EventDriftTrip, site, 0, s.String()); err != nil {
+					logger.Printf("audit drift trip %s: %v", site, err)
+				}
 			},
 		})
 	}
@@ -216,7 +316,8 @@ func run(o options) error {
 		Repairer:        repairer,
 		Jobs:            jobsM,
 		LearnCorpusRoot: o.corpusRoot,
-		StorePath:       o.storePath,
+		Backend:         be,
+		Audit:           led,
 		Log:             logger,
 	})
 	if err != nil {
@@ -347,6 +448,17 @@ func makeRepairer(st *store.Store, mon *drift.Monitor, annot annotate.Annotator,
 func runFleet(o options, logger *log.Logger) error {
 	ring := shard.NewRing(o.shards, o.vnodes)
 
+	be, err := openBackend(o, logger)
+	if err != nil {
+		return err
+	}
+	defer be.Close()
+	led, err := openLedger(o, logger)
+	if err != nil {
+		return err
+	}
+	defer led.Close()
+
 	var annot annotate.Annotator
 	if o.dictPath != "" {
 		a, err := loadAnnotator(o.dictPath, o.kind)
@@ -371,8 +483,8 @@ func runFleet(o options, logger *log.Logger) error {
 	}
 
 	totalSites := 0
-	router, err := serve.NewShardRouter(ring, o.storePath, func(k int, persist func() error) (*serve.Server, error) {
-		st, err := store.LoadPartition(o.storePath, ring, k)
+	router, err := serve.NewShardRouter(ring, func(k int) (*serve.Server, error) {
+		st, err := be.LoadPartition(ring, k)
 		if err != nil {
 			return nil, err
 		}
@@ -383,6 +495,9 @@ func runFleet(o options, logger *log.Logger) error {
 				Window: o.window,
 				OnTrip: func(site string, s drift.Stats) {
 					logger.Printf("DRIFT TRIPPED (shard %d): %s", k, s)
+					if err := led.Append(k, audit.EventDriftTrip, site, 0, s.String()); err != nil {
+						logger.Printf("audit drift trip %s: %v", site, err)
+					}
 				},
 			})
 		}
@@ -408,7 +523,9 @@ func runFleet(o options, logger *log.Logger) error {
 			Repairer:        repairer,
 			Jobs:            jobsM,
 			LearnCorpusRoot: o.corpusRoot,
-			Persist:         persist, // merged registry, never a lone partition
+			Backend:         be, // shared; each shard reports only its own events
+			Shard:           k,
+			Audit:           led,
 			Log:             logger,
 		})
 	})

@@ -1,0 +1,74 @@
+package audit_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"autowrap/internal/audit"
+	"autowrap/internal/chaos"
+)
+
+// FuzzAuditChain throws arbitrary bytes at the chain walker: whatever is
+// on disk, Open must never panic, must answer either a working ledger
+// (torn tails truncated) or a typed *TamperError, and a ledger it does
+// return must keep the chain verifiable after further appends.
+func FuzzAuditChain(f *testing.F) {
+	// Seeds: a genuinely valid ledger, its truncations and mutations, and
+	// the chaos corpus of historically decoder-breaking shapes.
+	path := filepath.Join(f.TempDir(), "audit.jsonl")
+	l, err := audit.Open(path, audit.Options{CheckpointEvery: 3, NoSync: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if err := l.Append(i%2, audit.EventPromote, "seed.example.com", i+1, ""); err != nil {
+			f.Fatal(err)
+		}
+	}
+	l.Close()
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte{})
+	mutated := append([]byte(nil), valid...)
+	mutated[len(mutated)/3] ^= 0x01
+	f.Add(mutated)
+	for _, seed := range chaos.Seeds() {
+		f.Add(seed)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "audit.jsonl")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := audit.Open(path, audit.Options{NoSync: true})
+		if err != nil {
+			var te *audit.TamperError
+			if !errors.As(err, &te) {
+				t.Fatalf("Open failed without a typed error: %v", err)
+			}
+			return
+		}
+		defer l.Close()
+		// A ledger Open accepted must continue its chain: append on top of
+		// whatever survived and the whole file must still verify.
+		if err := l.Append(0, audit.EventLearn, "fuzz.example.com", 1, "post-open"); err != nil {
+			t.Fatalf("opened ledger refused an append: %v", err)
+		}
+		l.Close()
+		rep, verr := audit.VerifyFile(path)
+		if verr != nil {
+			t.Fatalf("chain broken after append on opened ledger: %v", verr)
+		}
+		if rep.LastSeq == 0 {
+			t.Fatal("verified ledger claims no records despite an append")
+		}
+	})
+}

@@ -1,0 +1,63 @@
+package chaos
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"os"
+)
+
+// FlipByte flips one random bit of one rng-chosen byte in the file at
+// path and reports the offset it hit. It models silent at-rest
+// corruption — a disk, a copy, an editor — of exactly the kind a
+// hash-chained ledger or a CRC-framed log must detect rather than
+// serve. Newline bytes are skipped so the damage lands inside a record,
+// not on the line structure (both are detectable; the in-record flip is
+// the subtler case worth pinning).
+func FlipByte(path string, rng *rand.Rand) (offset int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("chaos: flip byte: %w", err)
+	}
+	if len(data) == 0 {
+		return 0, fmt.Errorf("chaos: flip byte: %s is empty", path)
+	}
+	for tries := 0; tries < 64; tries++ {
+		i := rng.Intn(len(data))
+		if data[i] == '\n' {
+			continue
+		}
+		data[i] ^= byte(1 << rng.Intn(8))
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return 0, fmt.Errorf("chaos: flip byte: %w", err)
+		}
+		return int64(i), nil
+	}
+	return 0, fmt.Errorf("chaos: flip byte: %s is all newlines", path)
+}
+
+// AppendTornFrame appends the wreckage of an interrupted log append to
+// the segment at path: a frame header whose length field promises more
+// payload than follows, then an rng-sized run of junk bytes. A
+// crash-consistent reopen must truncate the segment back to the last
+// whole record instead of refusing to boot — and must never trust
+// whatever valid-looking bytes land after the tear.
+func AppendTornFrame(path string, rng *rand.Rand) error {
+	junk := make([]byte, 3+rng.Intn(29))
+	rng.Read(junk)
+	frame := make([]byte, 8+len(junk))
+	// Promise a payload far longer than the junk that follows, with a
+	// checksum that cannot match it.
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(junk))+512)
+	binary.LittleEndian.PutUint32(frame[4:8], rng.Uint32())
+	copy(frame[8:], junk)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("chaos: torn frame: %w", err)
+	}
+	if _, err := f.Write(frame); err != nil {
+		f.Close()
+		return fmt.Errorf("chaos: torn frame: %w", err)
+	}
+	return f.Close()
+}

@@ -23,9 +23,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"autowrap/internal/audit"
 	"autowrap/internal/jobs"
 	"autowrap/internal/shard"
-	"autowrap/internal/store"
 )
 
 // ShardRouter fronts a fleet of shard Servers behind the single-server
@@ -33,26 +33,22 @@ import (
 // on /healthz and /metrics). Build one with NewShardRouter and mount
 // Handler, exactly like a Server.
 type ShardRouter struct {
-	ring      *shard.Ring
-	shards    []*Server
-	storePath string
-	started   time.Time
-	draining  atomic.Bool
-	log       *log.Logger
-
-	// persistMu serializes merged-store saves: two shards finishing
-	// mutations concurrently must not interleave their temp-file renames.
-	persistMu sync.Mutex
+	ring     *shard.Ring
+	shards   []*Server
+	started  time.Time
+	draining atomic.Bool
+	log      *log.Logger
 }
 
 // NewShardRouter builds the fleet. build is called once per shard ID, in
-// order, and returns that shard's fully-wired Server; the persist
-// closure handed to it saves the *merged* registry (every shard's
-// partition reassembled) to storePath and must be wired into the shard's
-// ServerConfig.Persist — a shard persisting only its own partition would
-// clobber the other shards' sites on disk. Empty storePath disables
-// persistence (the closure becomes a no-op).
-func NewShardRouter(ring *shard.Ring, storePath string, build func(shardID int, persist func() error) (*Server, error)) (*ShardRouter, error) {
+// order, and returns that shard's fully-wired Server. Persistence is the
+// store backend's job now: wire one shared store.Backend into every
+// shard's ServerConfig (with ServerConfig.Shard set to the shard's id)
+// and each lifecycle event is reported by — and costs — only the
+// mutating shard. The old merged-registry persist hook, which held one
+// router-wide mutex across a Merge of every shard's partition plus a
+// full Save per event, is gone with it.
+func NewShardRouter(ring *shard.Ring, build func(shardID int) (*Server, error)) (*ShardRouter, error) {
 	if ring == nil {
 		return nil, fmt.Errorf("serve: NewShardRouter: nil ring")
 	}
@@ -60,14 +56,13 @@ func NewShardRouter(ring *shard.Ring, storePath string, build func(shardID int, 
 		return nil, fmt.Errorf("serve: NewShardRouter: nil build")
 	}
 	f := &ShardRouter{
-		ring:      ring,
-		shards:    make([]*Server, ring.Shards()),
-		storePath: storePath,
-		started:   time.Now(),
-		log:       log.Default(),
+		ring:    ring,
+		shards:  make([]*Server, ring.Shards()),
+		started: time.Now(),
+		log:     log.Default(),
 	}
 	for k := range f.shards {
-		s, err := build(k, f.persistMerged)
+		s, err := build(k)
 		if err != nil {
 			return nil, fmt.Errorf("serve: building shard %d: %w", k, err)
 		}
@@ -85,26 +80,6 @@ func (f *ShardRouter) Ring() *shard.Ring { return f.ring }
 // Shard returns one shard's Server (panics on an out-of-range ID, like
 // any slice index).
 func (f *ShardRouter) Shard(k int) *Server { return f.shards[k] }
-
-// persistMerged saves the merged registry — every shard's partition
-// reassembled into one store — to the router's store path. It is the
-// Persist hook every shard server runs after a successful mutation.
-func (f *ShardRouter) persistMerged() error {
-	if f.storePath == "" {
-		return nil
-	}
-	f.persistMu.Lock()
-	defer f.persistMu.Unlock()
-	parts := make([]*store.Store, len(f.shards))
-	for k, s := range f.shards {
-		parts[k] = s.Dispatcher().Store()
-	}
-	merged, err := store.Merge(parts...)
-	if err != nil {
-		return fmt.Errorf("serve: merging shard stores: %w", err)
-	}
-	return merged.Save(f.storePath)
-}
 
 // SetDraining flips readiness on the router and every shard at once:
 // /healthz answers 503 fleet-wide while every shard keeps admitting —
@@ -164,6 +139,11 @@ func (f *ShardRouter) route(w http.ResponseWriter, r *http.Request) {
 		f.handleRepair(w, r)
 	case "/v1/learn":
 		f.handleLearn(w, r)
+	case "/v1/audit":
+		if !requireMethod(w, r, http.MethodGet) {
+			return
+		}
+		f.handleAudit(w, r)
 	case "/v1/jobs":
 		if !requireMethod(w, r, http.MethodGet) {
 			return
@@ -247,7 +227,10 @@ type FleetMetricsResponse struct {
 	// question.
 	Fleet MetricsSnapshot `json:"fleet"`
 	// Gate sums the shard gates' counters and capacities.
-	Gate     GateSnapshot  `json:"gate"`
+	Gate GateSnapshot `json:"gate"`
+	// Audit is the shared lifecycle ledger's counters (absent when
+	// auditing is off).
+	Audit    *audit.Stats  `json:"audit,omitempty"`
 	PerShard []ShardStatus `json:"per_shard"`
 	Sites    []SiteStatus  `json:"sites"`
 }
@@ -285,7 +268,35 @@ func (f *ShardRouter) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.Fleet = fleet.snapshot()
 	resp.Sites = f.siteStatuses()
+	if led := f.auditLedger(); led != nil {
+		a := led.Stats()
+		resp.Audit = &a
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// auditLedger returns the fleet's shared ledger: the shards are built
+// over one Ledger instance, so the first shard that has one speaks for
+// the fleet.
+func (f *ShardRouter) auditLedger() *audit.Ledger {
+	for _, s := range f.shards {
+		if led := s.Audit(); led != nil {
+			return led
+		}
+	}
+	return nil
+}
+
+// handleAudit serves the fleet's shared audit ledger — one chain for
+// every shard's lifecycle events, answered from any shard's view.
+func (f *ShardRouter) handleAudit(w http.ResponseWriter, r *http.Request) {
+	for _, s := range f.shards {
+		if s.Audit() != nil {
+			s.handleAudit(w, r)
+			return
+		}
+	}
+	f.shards[0].handleAudit(w, r)
 }
 
 // siteStatuses concatenates every shard's site list, stamps shard

@@ -16,6 +16,7 @@ import (
 	"autowrap/internal/serve"
 	"autowrap/internal/shard"
 	"autowrap/internal/store"
+	"autowrap/internal/store/filestore"
 	"autowrap/internal/testutil/leakcheck"
 )
 
@@ -51,10 +52,19 @@ func newFleet(t *testing.T, shards, nSites int, storePath string, withJobs bool)
 		}
 	}
 	ring := shard.NewRing(shards, 64)
-	router, err := serve.NewShardRouter(ring, storePath, func(k int, persist func() error) (*serve.Server, error) {
+	var be store.Backend
+	if storePath != "" {
+		fb, err := filestore.Open(storePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		be = fb
+	}
+	router, err := serve.NewShardRouter(ring, func(k int) (*serve.Server, error) {
 		cfg := serve.ServerConfig{
 			Dispatcher: serve.NewDispatcher(full.Partition(ring, k), serve.Options{}),
-			Persist:    persist,
+			Backend:    be,
+			Shard:      k,
 		}
 		if withJobs {
 			cfg.Jobs = jobs.New(jobs.Options{Workers: 1, QueueDepth: 8, IDPrefix: fmt.Sprintf("s%d-", k)})

@@ -12,13 +12,16 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"autowrap/internal/audit"
 	"autowrap/internal/drift"
 	"autowrap/internal/extract"
 	"autowrap/internal/jobs"
 	"autowrap/internal/store"
+	"autowrap/internal/store/filestore"
 )
 
 // ServerConfig wires a Server. Dispatcher is required; everything else has
@@ -54,15 +57,23 @@ type ServerConfig struct {
 	// an HTTP endpoint must not get to point the daemon at arbitrary
 	// server-side paths.
 	LearnCorpusRoot string
-	// StorePath, when set, persists the registry after every successful
-	// admin mutation (promote, rollback, repair).
+	// StorePath, when set (and Backend is not), persists the registry
+	// after every successful admin mutation by wrapping the path in a
+	// filestore backend — the pre-backend behaviour, same bytes on disk.
 	StorePath string
-	// Persist, when set, replaces StorePath-based persistence: it runs
-	// after every successful admin mutation instead of saving this
-	// server's own store. The sharded fleet uses it to write the merged
-	// registry — a shard server's store holds only its partition, and
-	// saving that alone would clobber every other shard's sites on disk.
-	Persist func() error
+	// Backend, when set, receives every lifecycle event (new version,
+	// promote, rollback) after it succeeds in memory. NewServer attaches
+	// the dispatcher's store to it under Shard, so a fleet's shards share
+	// one backend and each reports only its own partition's events —
+	// an event on shard k never rewrites shard j's data.
+	Backend store.Backend
+	// Shard is this server's shard id in a fleet (0 standalone); it tags
+	// backend appends and audit records.
+	Shard int
+	// Audit, when set, records every lifecycle event (learn, candidate,
+	// promote, rollback, drift trip, auto-repair) in the hash-chained
+	// ledger. Nil disables auditing; a fleet's shards share one ledger.
+	Audit *audit.Ledger
 	// Log receives request-path warnings (default: log.Default()).
 	Log *log.Logger
 }
@@ -118,12 +129,27 @@ type Server struct {
 	draining atomic.Bool
 	ownJobs  bool // the manager was created by withDefaults, not the caller
 	closed   atomic.Bool
+	// lifecycleMu serializes {in-memory mutation, backend append} pairs
+	// so the event order a log backend replays matches the order the
+	// registry actually mutated. Lifecycle events are rare (admin calls,
+	// repair completions); this never touches the extract hot path.
+	lifecycleMu sync.Mutex
 }
 
 // NewServer builds the HTTP layer over a dispatcher.
 func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Dispatcher == nil {
 		return nil, fmt.Errorf("serve: ServerConfig.Dispatcher is required")
+	}
+	if cfg.Backend == nil && cfg.StorePath != "" {
+		be, err := filestore.Open(cfg.StorePath)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		cfg.Backend = be
+	}
+	if cfg.Backend != nil {
+		cfg.Backend.Attach(cfg.Shard, cfg.Dispatcher.Store())
 	}
 	ownJobs := cfg.Jobs == nil && cfg.Repairer != nil
 	return &Server{cfg: cfg.withDefaults(), started: time.Now(), ownJobs: ownJobs}, nil
@@ -404,8 +430,10 @@ type MetricsResponse struct {
 	UptimeSec int64        `json:"uptime_sec"`
 	Gate      GateSnapshot `json:"gate"`
 	// Jobs is the maintenance plane's ledger (absent when disabled).
-	Jobs  *jobs.Metrics `json:"jobs,omitempty"`
-	Sites []SiteStatus  `json:"sites"`
+	Jobs *jobs.Metrics `json:"jobs,omitempty"`
+	// Audit is the lifecycle ledger's counters (absent when disabled).
+	Audit *audit.Stats `json:"audit,omitempty"`
+	Sites []SiteStatus `json:"sites"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -417,6 +445,39 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Jobs != nil {
 		m := s.cfg.Jobs.Metrics()
 		resp.Jobs = &m
+	}
+	if s.cfg.Audit != nil {
+		a := s.cfg.Audit.Stats()
+		resp.Audit = &a
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// AuditResponse is the GET /v1/audit body: the ledger's counters plus
+// its newest records, oldest first. ?n= caps the record count (default
+// 100).
+type AuditResponse struct {
+	Enabled bool           `json:"enabled"`
+	Path    string         `json:"path,omitempty"`
+	Stats   audit.Stats    `json:"stats"`
+	Records []audit.Record `json:"records"`
+}
+
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	resp := AuditResponse{Records: []audit.Record{}}
+	if s.cfg.Audit != nil {
+		n := 100
+		if q := r.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil && v > 0 {
+				n = v
+			}
+		}
+		resp.Enabled = true
+		resp.Path = s.cfg.Audit.Path()
+		resp.Stats = s.cfg.Audit.Stats()
+		if recs := s.cfg.Audit.Recent(n); recs != nil {
+			resp.Records = recs
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -441,17 +502,37 @@ type AdminResponse struct {
 	Rule           string `json:"rule"`
 }
 
-func (s *Server) persist() error {
-	if s.cfg.Persist != nil {
-		return s.cfg.Persist()
-	}
-	if s.cfg.StorePath == "" {
+// persistEntry reports a new stored version to the backend (no-op when
+// none is configured).
+func (s *Server) persistEntry(e store.Entry, promote bool) error {
+	if s.cfg.Backend == nil {
 		return nil
 	}
-	return s.cfg.Dispatcher.Store().Save(s.cfg.StorePath)
+	return s.cfg.Backend.AppendEntry(s.cfg.Shard, e, promote)
 }
 
-func (s *Server) finishAdmin(w http.ResponseWriter, entry store.Entry, err error) {
+// persistPromotion reports a serving-decision event to the backend.
+func (s *Server) persistPromotion(site string, op store.Op, version int) error {
+	if s.cfg.Backend == nil {
+		return nil
+	}
+	return s.cfg.Backend.AppendPromotion(s.cfg.Shard, site, op, version)
+}
+
+// audit records a lifecycle event in the ledger. Ledger trouble is
+// logged, never bounced to the client — the mutation itself is already
+// durable through the backend, and the ledger's own chain makes a gap
+// visible to Verify-driven monitoring.
+func (s *Server) audit(event, site string, version int, detail string) {
+	if err := s.cfg.Audit.Append(s.cfg.Shard, event, site, version, detail); err != nil {
+		s.cfg.Log.Printf("serve: audit %s %s: %v", event, site, err)
+	}
+}
+
+// Audit returns the server's audit ledger (nil when auditing is off).
+func (s *Server) Audit() *audit.Ledger { return s.cfg.Audit }
+
+func (s *Server) finishAdmin(w http.ResponseWriter, entry store.Entry, err, persistErr error) {
 	if err != nil {
 		code := http.StatusConflict
 		if errors.Is(err, ErrUnknownSite) {
@@ -460,9 +541,9 @@ func (s *Server) finishAdmin(w http.ResponseWriter, entry store.Entry, err error
 		writeError(w, code, "%v", err)
 		return
 	}
-	if err := s.persist(); err != nil {
-		s.cfg.Log.Printf("serve: persisting store after admin mutation: %v", err)
-		writeError(w, http.StatusInternalServerError, "mutation applied but not persisted: %v", err)
+	if persistErr != nil {
+		s.cfg.Log.Printf("serve: persisting store after admin mutation: %v", persistErr)
+		writeError(w, http.StatusInternalServerError, "mutation applied but not persisted: %v", persistErr)
 		return
 	}
 	writeJSON(w, http.StatusOK, AdminResponse{
@@ -491,8 +572,17 @@ func (s *Server) finishPromote(w http.ResponseWriter, req AdminRequest) {
 		writeError(w, http.StatusBadRequest, "site and version >= 1 are required")
 		return
 	}
+	s.lifecycleMu.Lock()
 	entry, err := s.cfg.Dispatcher.Promote(req.Site, req.Version)
-	s.finishAdmin(w, entry, err)
+	var perr error
+	if err == nil {
+		perr = s.persistPromotion(req.Site, store.OpPromote, entry.Version)
+	}
+	s.lifecycleMu.Unlock()
+	if err == nil && perr == nil {
+		s.audit(audit.EventPromote, req.Site, entry.Version, "admin promote")
+	}
+	s.finishAdmin(w, entry, err, perr)
 }
 
 func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request) {
@@ -512,8 +602,17 @@ func (s *Server) finishRollback(w http.ResponseWriter, req AdminRequest) {
 		writeError(w, http.StatusBadRequest, "site is required")
 		return
 	}
+	s.lifecycleMu.Lock()
 	entry, err := s.cfg.Dispatcher.Rollback(req.Site)
-	s.finishAdmin(w, entry, err)
+	var perr error
+	if err == nil {
+		perr = s.persistPromotion(req.Site, store.OpRollback, entry.Version)
+	}
+	s.lifecycleMu.Unlock()
+	if err == nil && perr == nil {
+		s.audit(audit.EventRollback, req.Site, entry.Version, "admin rollback")
+	}
+	s.finishAdmin(w, entry, err, perr)
 }
 
 // --- maintenance plane: async learn + repair jobs ---
@@ -614,13 +713,29 @@ func (s *Server) RunMaintenance(ctx context.Context, site string, pages []string
 	if err != nil {
 		return nil, fmt.Errorf("stored but refresh failed: %w", err)
 	}
-	if err := s.persist(); err != nil {
-		s.cfg.Log.Printf("serve: persisting store after %s job: %v", site, err)
-		return nil, fmt.Errorf("applied but not persisted: %w", err)
+	// The repairer staged report.Candidate (and possibly promoted it)
+	// in the in-memory registry; report the same events to the backend.
+	s.lifecycleMu.Lock()
+	perr := s.persistEntry(report.Candidate, false)
+	if perr == nil && report.Promoted {
+		perr = s.persistPromotion(site, store.OpPromote, report.Candidate.Version)
+	}
+	s.lifecycleMu.Unlock()
+	if perr != nil {
+		s.cfg.Log.Printf("serve: persisting store after %s job: %v", site, perr)
+		return nil, fmt.Errorf("applied but not persisted: %w", perr)
 	}
 	verdict := "rejected: incumbent keeps serving"
 	if report.Promoted {
 		verdict = "promoted"
+	}
+	event, detail := audit.EventCandidate, "repair staged v"+strconv.Itoa(report.Candidate.Version)
+	if prev == 0 {
+		event, detail = audit.EventLearn, "learned new site"
+	}
+	s.audit(event, site, report.Candidate.Version, detail)
+	if report.Promoted {
+		s.audit(audit.EventPromote, site, report.Candidate.Version, "validated: "+verdict)
 	}
 	return &RepairResponse{
 		Site:               site,

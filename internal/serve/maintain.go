@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"autowrap/internal/audit"
 	"autowrap/internal/drift"
 	"autowrap/internal/jobs"
 )
@@ -111,6 +112,7 @@ func (m *Maintainer) Start() {
 	m.mu.Unlock()
 	m.server.cfg.Dispatcher.Monitor().SetOnTrip(func(site string, s drift.Stats) {
 		m.opt.Log.Printf("serve: DRIFT TRIPPED: %s", s)
+		m.server.audit(audit.EventDriftTrip, site, 0, s.String())
 		m.Kick(site)
 	})
 	go m.loop(stop, done)
@@ -213,6 +215,8 @@ func (m *Maintainer) submit(site string, now time.Time) bool {
 		m.opt.Log.Printf("serve: auto-repair %s not enqueued: %v", site, err)
 		return false
 	}
+	m.server.audit(audit.EventAutoRepair, site, 0,
+		fmt.Sprintf("job %s: re-learning from %d recent pages", snap.ID, len(pages)))
 	m.mu.Lock()
 	// The runner may already have finished and cleared the slot; only an
 	// occupied slot gets the real job id.

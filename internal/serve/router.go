@@ -37,6 +37,11 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 		s.handleRepair(w, r)
 	case "/v1/learn":
 		s.handleLearn(w, r)
+	case "/v1/audit":
+		if !requireMethod(w, r, http.MethodGet) {
+			return
+		}
+		s.handleAudit(w, r)
 	case "/v1/jobs":
 		if !requireMethod(w, r, http.MethodGet) {
 			return

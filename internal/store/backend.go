@@ -1,0 +1,158 @@
+// Pluggable durability: the Backend interface is the seam between the
+// in-memory registry and whatever medium makes it survive a restart. The
+// original single-JSON-file codec lives on as internal/store/filestore
+// (same bytes, same Load semantics); internal/store/logstore replaces the
+// O(registry) rewrite-per-event with an O(event) append to a segmented
+// log. Both speak in lifecycle events — the four mutations a registry
+// can undergo — replayed through Store.Apply, which enforces the same
+// invariants Load does (version continuity, promotion-log consistency,
+// rules that compile).
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Op names one lifecycle mutation of the registry. These are the wire
+// identities of the four Store mutators; a Backend persists them, and
+// Apply replays them.
+type Op string
+
+const (
+	// OpPut appends a new version and promotes it (Store.Put).
+	OpPut Op = "put"
+	// OpCandidate appends a new version without promoting (Store.PutCandidate).
+	OpCandidate Op = "candidate"
+	// OpPromote makes an existing version the serving one (Store.Promote).
+	OpPromote Op = "promote"
+	// OpRollback reverts to the previously promoted version (Store.Rollback).
+	OpRollback Op = "rollback"
+)
+
+// Backend is a durable home for the wrapper registry. Implementations
+// persist lifecycle events (AppendEntry, AppendPromotion) and reproduce
+// the registry they imply (Load, LoadPartition).
+//
+// The contract mirrors how the serving plane mutates state: a shard
+// mutates its in-memory partition first, then reports the event to the
+// backend. Attach hands the backend a live reference to each shard's
+// partition so snapshot-style implementations (filestore) can render the
+// full registry on demand; event-log implementations ignore it and track
+// state from the events alone.
+//
+// Appends for a given site must be serialized by the caller in the order
+// the in-memory mutations happened — the serving layer guarantees this
+// (admin handlers and the job plane hold a lifecycle lock across
+// mutate+append). Appends for different sites may race freely.
+type Backend interface {
+	// Load reproduces the full registry. A fresh backend yields an empty
+	// registry, never an error.
+	Load() (*Store, error)
+	// LoadPartition reproduces only the sites the partitioner assigns to
+	// shardID, with the same eager validation as Load.
+	LoadPartition(ring Partitioner, shardID int) (*Store, error)
+	// Attach registers a shard's live partition. Snapshot-style backends
+	// read attached partitions when persisting; log backends ignore them.
+	Attach(shardID int, part *Store)
+	// AppendEntry persists a new stored version (promote true = OpPut,
+	// false = OpCandidate) that the caller already applied in memory.
+	AppendEntry(shardID int, e Entry, promote bool) error
+	// AppendPromotion persists a serving-decision event (OpPromote or
+	// OpRollback) the caller already applied in memory. version is the
+	// promoted version for OpPromote and ignored for OpRollback.
+	AppendPromotion(shardID int, site string, op Op, version int) error
+	// Snapshot forces a full-image persist (compaction point for log
+	// backends, a plain save for snapshot backends).
+	Snapshot() error
+	// Close flushes and releases the backend. The backend must not be
+	// used afterwards.
+	Close() error
+}
+
+// Apply replays one lifecycle event onto the registry, enforcing the
+// same invariants Load checks: version continuity (an entry's Version
+// must be exactly one past the site's history), entries that compile,
+// promotions of versions that exist, rollbacks with somewhere to go.
+// This is the replay half of the event-sourced backends — a log of
+// events Apply accepts reproduces exactly the registry that emitted
+// them.
+func (s *Store) Apply(op Op, site string, version int, e *Entry) error {
+	switch op {
+	case OpPut, OpCandidate:
+		if e == nil {
+			return fmt.Errorf("store: apply %s %q: no entry", op, site)
+		}
+		if e.Site != site {
+			return fmt.Errorf("store: apply %s %q: entry carries site %q", op, site, e.Site)
+		}
+		w := wireWrapper{Format: FormatVersion, Lang: e.Lang, Rule: e.Rule, LR: e.LR}
+		if _, err := w.compile(); err != nil {
+			return fmt.Errorf("store: apply %s %q v%d: %w", op, site, e.Version, err)
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if want := len(s.sites[site]) + 1; e.Version != want {
+			return fmt.Errorf("store: apply %s %q: entry v%d, want v%d", op, site, e.Version, want)
+		}
+		s.sites[site] = append(s.sites[site], *e)
+		if op == OpPut {
+			s.promotion[site] = append(s.promotion[site], e.Version)
+		}
+		s.bump(site)
+		return nil
+	case OpPromote:
+		_, err := s.Promote(site, version)
+		return err
+	case OpRollback:
+		_, err := s.Rollback(site)
+		return err
+	default:
+		return fmt.Errorf("store: apply: unknown op %q", op)
+	}
+}
+
+// Clone returns a deep copy of the registry's durable state (versions
+// and promotion logs). Epochs in the copy start at zero, exactly as
+// after a Load — a clone is a fresh registry, not a live view.
+func (s *Store) Clone() *Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := New()
+	for site, vs := range s.sites {
+		out.sites[site] = append([]Entry(nil), vs...)
+		if log := s.promotion[site]; len(log) > 0 {
+			out.promotion[site] = append([]int(nil), log...)
+		}
+	}
+	return out
+}
+
+// Encode renders the registry in the versioned wire form Save writes
+// (indented JSON envelope, trailing newline) — the exact bytes of the
+// on-disk format, exposed so backends can embed full-registry snapshots.
+func (s *Store) Encode() ([]byte, error) {
+	s.mu.RLock()
+	f := storeFile{Format: FormatVersion, Sites: s.sites, Promotions: s.promotion}
+	data, err := json.MarshalIndent(f, "", "  ")
+	s.mu.RUnlock()
+	if err != nil {
+		return nil, fmt.Errorf("store: encode: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Decode reads a registry from the wire form Encode/Save produce, with
+// the same eager validation as Load. source names the origin in errors
+// (a file path, a segment name).
+func Decode(data []byte, source string) (*Store, error) {
+	s, _, err := decodeFiltered(data, source, nil, false)
+	return s, err
+}
+
+// DecodeFiltered is Decode keeping only the sites keep accepts; skipped
+// sites are not validated or compiled (the partitioned-load fast path).
+func DecodeFiltered(data []byte, source string, keep func(site string) bool) (*Store, error) {
+	s, _, err := decodeFiltered(data, source, keep, false)
+	return s, err
+}

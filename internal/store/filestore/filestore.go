@@ -1,0 +1,117 @@
+// Package filestore is the original durability story behind the
+// store.Backend seam: one atomic JSON file holding the whole registry,
+// rewritten in full on every lifecycle event. Load and LoadPartition
+// delegate to store.Load/store.LoadPartition, and persists go through
+// store.Save, so the on-disk format and its validation semantics are
+// byte-for-byte the pre-backend ones — a registry written by an old
+// build loads here and vice versa.
+//
+// Persistence is snapshot-style: the backend holds live references to
+// the partitions Attach registers (a single server attaches its one
+// store at shard 0; a fleet attaches every shard's partition) and, on
+// any append, merges them and saves the result. That makes an append
+// O(registry) — the cost profile logstore exists to fix — but only the
+// mutating event's shard triggers it, and the merge+save runs under the
+// backend's own mutex, never a serving lock.
+package filestore
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"autowrap/internal/store"
+)
+
+// Backend persists the registry as one atomic JSON file at Path.
+type Backend struct {
+	path string
+
+	mu    sync.Mutex
+	parts map[int]*store.Store
+}
+
+// Open returns a file backend over path. The file need not exist yet;
+// Load on a missing file yields an empty registry, and the first append
+// creates it.
+func Open(path string) (*Backend, error) {
+	if path == "" {
+		return nil, fmt.Errorf("filestore: empty path")
+	}
+	return &Backend{path: path, parts: make(map[int]*store.Store)}, nil
+}
+
+// Path returns the registry file's path.
+func (b *Backend) Path() string { return b.path }
+
+// Load reads the full registry with store.Load's eager validation. A
+// missing file is an empty registry, not an error.
+func (b *Backend) Load() (*store.Store, error) {
+	if _, err := os.Stat(b.path); os.IsNotExist(err) {
+		return store.New(), nil
+	}
+	return store.Load(b.path)
+}
+
+// LoadPartition reads one shard's slice of the registry via
+// store.LoadPartition (skipped sites are never compiled).
+func (b *Backend) LoadPartition(ring store.Partitioner, shardID int) (*store.Store, error) {
+	if _, err := os.Stat(b.path); os.IsNotExist(err) {
+		return store.New(), nil
+	}
+	return store.LoadPartition(b.path, ring, shardID)
+}
+
+// Attach registers a shard's live partition; subsequent appends render
+// the merged registry from every attached partition.
+func (b *Backend) Attach(shardID int, part *store.Store) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.parts[shardID] = part
+}
+
+// AppendEntry persists a new stored version by saving the full merged
+// registry (the event itself is implied by the attached state).
+func (b *Backend) AppendEntry(shardID int, e store.Entry, promote bool) error {
+	return b.save()
+}
+
+// AppendPromotion persists a serving-decision event by saving the full
+// merged registry.
+func (b *Backend) AppendPromotion(shardID int, site string, op store.Op, version int) error {
+	return b.save()
+}
+
+// Snapshot saves the full merged registry.
+func (b *Backend) Snapshot() error { return b.save() }
+
+// Close releases the backend. The file is already durable after every
+// append; Close only drops the partition references.
+func (b *Backend) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.parts = nil
+	return nil
+}
+
+func (b *Backend) save() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.parts == nil {
+		return fmt.Errorf("filestore: backend closed")
+	}
+	if len(b.parts) == 0 {
+		return fmt.Errorf("filestore: no partitions attached")
+	}
+	parts := make([]*store.Store, 0, len(b.parts))
+	for _, p := range b.parts {
+		parts = append(parts, p)
+	}
+	merged, err := store.Merge(parts...)
+	if err != nil {
+		return fmt.Errorf("filestore: %w", err)
+	}
+	return merged.Save(b.path)
+}
+
+var _ store.Backend = (*Backend)(nil)

@@ -1,0 +1,122 @@
+package filestore_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"autowrap/internal/lr"
+	"autowrap/internal/shard"
+	"autowrap/internal/store"
+	"autowrap/internal/store/filestore"
+)
+
+func put(t *testing.T, s *store.Store, site string) store.Entry {
+	t.Helper()
+	e, err := s.Put(site, &lr.Compiled{Left: "<b>", Right: "</b>"}, store.Meta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestFileBackendWritesSaveBytes pins the compatibility contract: an
+// append through the backend leaves on disk exactly the bytes
+// Store.Save would have written for the attached state.
+func TestFileBackendWritesSaveBytes(t *testing.T) {
+	dir := t.TempDir()
+	be, err := filestore.Open(filepath.Join(dir, "wrappers.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.New()
+	be.Attach(0, st)
+	e := put(t, st, "a.example.com")
+	if err := be.AppendEntry(0, e, true); err != nil {
+		t.Fatal(err)
+	}
+	viaBackend, err := os.ReadFile(be.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := filepath.Join(dir, "direct.json")
+	if err := st.Save(direct); err != nil {
+		t.Fatal(err)
+	}
+	viaSave, err := os.ReadFile(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(viaBackend, viaSave) {
+		t.Fatalf("backend bytes diverge from Save:\n%s\n--- vs ---\n%s", viaBackend, viaSave)
+	}
+	// And the old loader reads it back unchanged.
+	loaded, err := store.Load(be.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act, ok := loaded.Active("a.example.com"); !ok || act.Version != 1 {
+		t.Fatalf("round-trip lost the active version: %+v %v", act, ok)
+	}
+}
+
+// TestFileBackendMissingFile pins that a fresh backend over a missing
+// file is an empty registry, for both full and partitioned loads.
+func TestFileBackendMissingFile(t *testing.T) {
+	be, err := filestore.Open(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := be.Load()
+	if err != nil || st.Len() != 0 {
+		t.Fatalf("Load of missing file: %d sites, err %v", st.Len(), err)
+	}
+	part, err := be.LoadPartition(shard.NewRing(2, 16), 1)
+	if err != nil || part.Len() != 0 {
+		t.Fatalf("LoadPartition of missing file: %d sites, err %v", part.Len(), err)
+	}
+}
+
+// TestFileBackendMergesAllPartitions pins fleet persistence: an append
+// on one shard saves the merged registry across every attached
+// partition, never a lone slice.
+func TestFileBackendMergesAllPartitions(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wrappers.json")
+	be, err := filestore.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, p1 := store.New(), store.New()
+	be.Attach(0, p0)
+	be.Attach(1, p1)
+	put(t, p0, "zero.example.com")
+	e := put(t, p1, "one.example.com")
+	if err := be.AppendEntry(1, e, true); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := store.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onDisk.Len() != 2 {
+		t.Fatalf("persisted %d sites, want the merged 2: %v", onDisk.Len(), onDisk.Sites())
+	}
+}
+
+// TestFileBackendClosed pins that appends after Close fail loudly
+// instead of silently dropping durability.
+func TestFileBackendClosed(t *testing.T) {
+	be, err := filestore.Open(filepath.Join(t.TempDir(), "wrappers.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	be.Attach(0, store.New())
+	if err := be.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := be.Snapshot(); err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Fatalf("append on closed backend: %v", err)
+	}
+}

@@ -1,0 +1,87 @@
+package logstore_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"autowrap/internal/chaos"
+	"autowrap/internal/lr"
+	"autowrap/internal/store"
+	"autowrap/internal/store/logstore"
+)
+
+// FuzzLogRecord throws arbitrary bytes at the segment reader: whatever
+// is on disk, Open must never panic, must answer either a working
+// backend (torn tails truncated) or a typed *CorruptError, and a backend
+// it does return must load and accept appends.
+func FuzzLogRecord(f *testing.F) {
+	// Seeds: a genuinely valid segment, its truncations and mutations,
+	// and the chaos corpus of historically decoder-breaking shapes.
+	dir := f.TempDir()
+	b, err := logstore.Open(dir, logstore.Options{NoSync: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	st := store.New()
+	e, err := st.Put("fuzz.example.com", &lr.Compiled{Left: "<b>", Right: "</b>"}, store.Meta{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := b.AppendEntry(0, e, true); err != nil {
+		f.Fatal(err)
+	}
+	if err := b.AppendPromotion(0, "fuzz.example.com", store.OpPromote, 1); err != nil {
+		f.Fatal(err)
+	}
+	b.Close()
+	valid, err := os.ReadFile(filepath.Join(dir, "seg-000001.log"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	mutated := append([]byte(nil), valid...)
+	mutated[9] ^= 0x01 // first payload byte: CRC breaks
+	f.Add(mutated)
+	for _, seed := range chaos.Seeds() {
+		f.Add(seed)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "seg-000001.log"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		b, err := logstore.Open(dir, logstore.Options{NoSync: true})
+		if err != nil {
+			var ce *logstore.CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("Open failed without a typed error: %v", err)
+			}
+			return
+		}
+		defer b.Close()
+		st, err := b.Load()
+		if err != nil {
+			t.Fatalf("opened backend cannot Load: %v", err)
+		}
+		// The recovered backend must still be appendable: the log's own
+		// state decides the next valid version.
+		next := len(st.History("fuzz.example.com")) + 1
+		scratch := store.New()
+		var e store.Entry
+		for v := 1; v <= next; v++ {
+			var perr error
+			e, perr = scratch.Put("fuzz.example.com", &lr.Compiled{Left: "<b>", Right: "</b>"}, store.Meta{})
+			if perr != nil {
+				t.Fatal(perr)
+			}
+		}
+		if err := b.AppendEntry(0, e, false); err != nil {
+			t.Fatalf("recovered backend refused a valid append: %v", err)
+		}
+	})
+}

@@ -1,0 +1,508 @@
+// Package logstore is the O(event) durability backend behind the
+// store.Backend seam: an embedded, stdlib-only, append-only segmented
+// log. Where filestore rewrites the whole registry on every lifecycle
+// event, logstore appends exactly one framed record per mutation — put,
+// candidate, promote, rollback — so persisting an event costs the event,
+// not the registry.
+//
+// On disk a log is a directory of segments (seg-000001.log, ...), each a
+// sequence of frames:
+//
+//	| length  uint32 LE | crc     uint32 LE | payload (JSON record)     |
+//	|  4 bytes          |  4 bytes          |  length bytes             |
+//
+// The CRC is CRC-32C (Castagnoli) over the payload; a frame whose length
+// or checksum does not hold is not trusted. Records carry a monotonic
+// sequence number, which makes replay idempotent: a duplicated segment
+// (a crash between copy and remove during compaction) replays as
+// already-seen records and is skipped.
+//
+// Appends are fsync'd by default. When the active segment outgrows
+// Options.SegmentBytes the log rotates: a new segment opens with a full
+// registry snapshot record (the exact storeFile wire form filestore
+// writes, embedded as one payload) and every older segment is deleted —
+// rotation is compaction, and recovery cost stays bounded by one
+// segment's worth of events.
+//
+// Crash recovery is deliberately asymmetric. A torn tail — a partial or
+// corrupt frame in the final segment, the only place an interrupted
+// append can leave one — is truncated and boot proceeds from the last
+// consistent record (Recovered reports what was dropped). The same
+// damage in an earlier segment, or a CRC-valid record that fails
+// validation, cannot be a crash artifact and fails Open with a
+// *CorruptError naming the segment, offset and sequence number.
+package logstore
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"autowrap/internal/store"
+)
+
+// frame layout: 4-byte little-endian payload length, 4-byte
+// little-endian CRC-32C of the payload, then the payload.
+const frameHeader = 8
+
+// maxPayload bounds a single record; anything larger is corruption, not
+// a registry (a full snapshot of a huge registry still sits far below).
+const maxPayload = 64 << 20
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// opSnapshot marks a full-registry snapshot record; the other ops are
+// the store.Op lifecycle events.
+const opSnapshot = "snapshot"
+
+// record is one logged event in its JSON payload form.
+type record struct {
+	Seq     uint64          `json:"seq"`
+	Op      string          `json:"op"`
+	Site    string          `json:"site,omitempty"`
+	Version int             `json:"version,omitempty"`
+	Entry   *store.Entry    `json:"entry,omitempty"`
+	Snap    json.RawMessage `json:"snap,omitempty"`
+}
+
+// Options tune a log backend; the zero value selects defaults.
+type Options struct {
+	// SegmentBytes is the rotation threshold: once the active segment
+	// reaches it, the next append rotates (snapshot + compaction).
+	// Default 1 MiB.
+	SegmentBytes int64
+	// NoSync skips the fsync after each append. Only for tests and
+	// benchmarks that measure framing cost, never for serving.
+	NoSync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 1 << 20
+	}
+	return o
+}
+
+// Recovery describes a torn tail Open truncated away.
+type Recovery struct {
+	Segment string // segment file name
+	Offset  int64  // size the segment was truncated to
+	Dropped int64  // bytes discarded
+	Reason  string // why the first dropped frame was rejected
+}
+
+// CorruptError reports log damage recovery must not paper over: a bad
+// frame anywhere but the final segment's tail, or a CRC-valid record
+// that fails validation (wrong sequence, non-compiling entry, an event
+// the registry state cannot accept).
+type CorruptError struct {
+	Segment string // segment file name
+	Offset  int64  // byte offset of the offending frame
+	Seq     uint64 // record sequence, 0 when the frame never decoded
+	Reason  string
+	Err     error // underlying cause, when any
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("logstore: %s@%d (seq %d): %s", e.Segment, e.Offset, e.Seq, e.Reason)
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// Backend is an append-only segmented-log registry store. Open it with
+// Open; it satisfies store.Backend.
+type Backend struct {
+	dir string
+	opt Options
+
+	mu        sync.Mutex
+	shadow    *store.Store // registry state implied by the log
+	seq       uint64       // last sequence number written
+	f         *os.File     // active segment, opened for append
+	segIndex  int
+	size      int64
+	recovered *Recovery
+}
+
+var _ store.Backend = (*Backend)(nil)
+
+func segName(index int) string { return fmt.Sprintf("seg-%06d.log", index) }
+
+// Open opens (creating if needed) the log at dir and replays it. Every
+// replayed entry is validated exactly as store.Load validates a file —
+// version continuity, promotion-log consistency, rules that compile. A
+// torn tail in the final segment is truncated (see Recovered); any other
+// damage fails with a *CorruptError.
+func Open(dir string, opt Options) (*Backend, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("logstore: empty dir")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("logstore: %w", err)
+	}
+	b := &Backend{dir: dir, opt: opt.withDefaults(), shadow: store.New()}
+
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil {
+		return nil, fmt.Errorf("logstore: %w", err)
+	}
+	type seg struct {
+		path  string
+		index int
+	}
+	var segs []seg
+	for _, p := range names {
+		var idx int
+		if _, err := fmt.Sscanf(filepath.Base(p), "seg-%d.log", &idx); err != nil {
+			continue // not ours
+		}
+		segs = append(segs, seg{path: p, index: idx})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].index < segs[j].index })
+
+	if len(segs) == 0 {
+		b.segIndex = 1
+		f, err := os.OpenFile(filepath.Join(dir, segName(1)),
+			os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("logstore: %w", err)
+		}
+		b.f = f
+		return b, b.syncDir()
+	}
+
+	for i, sg := range segs {
+		final := i == len(segs)-1
+		size, err := b.replaySegment(sg.path, final)
+		if err != nil {
+			return nil, err
+		}
+		if final {
+			b.segIndex = sg.index
+			b.size = size
+		}
+	}
+	f, err := os.OpenFile(segs[len(segs)-1].path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("logstore: %w", err)
+	}
+	b.f = f
+	return b, nil
+}
+
+// replaySegment applies one segment's records to the shadow registry and
+// returns the segment's trusted size (post-truncation for a torn final
+// tail).
+func (b *Backend) replaySegment(path string, final bool) (int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("logstore: %w", err)
+	}
+	name := filepath.Base(path)
+	off := int64(0)
+	for int(off) < len(data) {
+		payload, n, ferr := parseFrame(data[off:])
+		if ferr != nil {
+			if final {
+				return b.truncateTail(path, off, int64(len(data)), ferr.Error())
+			}
+			return 0, &CorruptError{Segment: name, Offset: off, Reason: ferr.Error(), Err: ferr}
+		}
+		var rec record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			if final {
+				return b.truncateTail(path, off, int64(len(data)), "payload not a record: "+err.Error())
+			}
+			return 0, &CorruptError{Segment: name, Offset: off,
+				Reason: "payload not a record", Err: err}
+		}
+		if rec.Seq <= b.seq {
+			// Already applied — a duplicated segment left by a crash
+			// mid-compaction. Skip, don't re-apply.
+			off += int64(n)
+			continue
+		}
+		if err := b.applyRecord(rec); err != nil {
+			return 0, &CorruptError{Segment: name, Offset: off, Seq: rec.Seq,
+				Reason: "invalid record", Err: err}
+		}
+		b.seq = rec.Seq
+		off += int64(n)
+	}
+	return int64(len(data)), nil
+}
+
+// truncateTail drops the final segment's unreadable tail starting at off
+// and records what happened.
+func (b *Backend) truncateTail(path string, off, size int64, reason string) (int64, error) {
+	if err := os.Truncate(path, off); err != nil {
+		return 0, fmt.Errorf("logstore: truncate torn tail of %s: %w", path, err)
+	}
+	b.recovered = &Recovery{
+		Segment: filepath.Base(path),
+		Offset:  off,
+		Dropped: size - off,
+		Reason:  reason,
+	}
+	return off, nil
+}
+
+func (b *Backend) applyRecord(rec record) error {
+	if rec.Op == opSnapshot {
+		s, err := store.Decode(rec.Snap, "snapshot")
+		if err != nil {
+			return err
+		}
+		b.shadow = s
+		return nil
+	}
+	return b.shadow.Apply(store.Op(rec.Op), rec.Site, rec.Version, rec.Entry)
+}
+
+// parseFrame decodes one frame from the head of buf, returning the
+// payload and the total frame size consumed.
+func parseFrame(buf []byte) (payload []byte, n int, err error) {
+	if len(buf) < frameHeader {
+		return nil, 0, fmt.Errorf("short frame header (%d bytes)", len(buf))
+	}
+	length := binary.LittleEndian.Uint32(buf[0:4])
+	sum := binary.LittleEndian.Uint32(buf[4:8])
+	if length == 0 || length > maxPayload {
+		return nil, 0, fmt.Errorf("implausible payload length %d", length)
+	}
+	if uint64(len(buf)-frameHeader) < uint64(length) {
+		return nil, 0, fmt.Errorf("truncated payload (want %d, have %d)", length, len(buf)-frameHeader)
+	}
+	payload = buf[frameHeader : frameHeader+int(length)]
+	if got := crc32.Checksum(payload, castagnoli); got != sum {
+		return nil, 0, fmt.Errorf("crc mismatch (stored %08x, computed %08x)", sum, got)
+	}
+	return payload, frameHeader + int(length), nil
+}
+
+// encodeFrame renders payload as one wire frame.
+func encodeFrame(payload []byte) []byte {
+	out := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:8], crc32.Checksum(payload, castagnoli))
+	copy(out[frameHeader:], payload)
+	return out
+}
+
+// Recovered reports the torn tail Open truncated, or nil when the log
+// replayed clean.
+func (b *Backend) Recovered() *Recovery {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.recovered
+}
+
+// Empty reports whether the log holds no records yet (the seed-migration
+// check wrapserved uses before importing a JSON registry).
+func (b *Backend) Empty() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.seq == 0
+}
+
+// Load reproduces the full registry the log implies.
+func (b *Backend) Load() (*store.Store, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.shadow.Clone(), nil
+}
+
+// LoadPartition reproduces one shard's slice of the registry.
+func (b *Backend) LoadPartition(ring store.Partitioner, shardID int) (*store.Store, error) {
+	if ring == nil {
+		return nil, fmt.Errorf("logstore: load partition: nil partitioner")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.shadow.Partition(ring, shardID), nil
+}
+
+// Attach is a no-op: a log backend tracks registry state from the events
+// themselves, never by reading live partitions.
+func (b *Backend) Attach(shardID int, part *store.Store) {}
+
+// AppendEntry logs a new stored version (promote selects put vs
+// candidate) as one fsync'd record.
+func (b *Backend) AppendEntry(shardID int, e store.Entry, promote bool) error {
+	op := store.OpCandidate
+	if promote {
+		op = store.OpPut
+	}
+	return b.append(record{Op: string(op), Site: e.Site, Version: e.Version, Entry: &e})
+}
+
+// AppendPromotion logs a serving-decision event as one fsync'd record.
+func (b *Backend) AppendPromotion(shardID int, site string, op store.Op, version int) error {
+	if op != store.OpPromote && op != store.OpRollback {
+		return fmt.Errorf("logstore: append promotion: bad op %q", op)
+	}
+	return b.append(record{Op: string(op), Site: site, Version: version})
+}
+
+func (b *Backend) append(rec record) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.f == nil {
+		return fmt.Errorf("logstore: backend closed")
+	}
+	// Rotate before applying: the rotation snapshot must capture the
+	// state BEFORE this event, because the event's own record lands after
+	// the snapshot and replays on top of it.
+	if b.size >= b.opt.SegmentBytes {
+		if err := b.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	// Apply to the shadow before writing: if the event does not follow
+	// from the log's own state, the caller's registry and this log have
+	// diverged, and recording the event would poison replay.
+	var entry *store.Entry
+	if rec.Entry != nil {
+		e := *rec.Entry
+		entry = &e
+	}
+	if err := b.shadow.Apply(store.Op(rec.Op), rec.Site, rec.Version, entry); err != nil {
+		return fmt.Errorf("logstore: append diverges from log state: %w", err)
+	}
+	b.seq++
+	rec.Seq = b.seq
+	return b.writeLocked(rec)
+}
+
+func (b *Backend) writeLocked(rec record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("logstore: %w", err)
+	}
+	frame := encodeFrame(payload)
+	if _, err := b.f.Write(frame); err != nil {
+		return fmt.Errorf("logstore: append: %w", err)
+	}
+	if !b.opt.NoSync {
+		if err := b.f.Sync(); err != nil {
+			return fmt.Errorf("logstore: sync: %w", err)
+		}
+	}
+	b.size += int64(len(frame))
+	return nil
+}
+
+// rotateLocked opens the next segment with a full-registry snapshot
+// record, then deletes every older segment — rotation is compaction.
+// A crash between the snapshot landing and the old segments going away
+// leaves duplicates, which replay skips by sequence number.
+func (b *Backend) rotateLocked() error {
+	snap, err := b.shadow.Encode()
+	if err != nil {
+		return fmt.Errorf("logstore: rotate: %w", err)
+	}
+	next := b.segIndex + 1
+	f, err := os.OpenFile(filepath.Join(b.dir, segName(next)),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("logstore: rotate: %w", err)
+	}
+	old, oldIndex := b.f, b.segIndex
+	b.f, b.segIndex, b.size = f, next, 0
+	b.seq++
+	if err := b.writeLocked(record{Seq: b.seq, Op: opSnapshot, Snap: snap}); err != nil {
+		// Fall back to the old segment; the half-born one is deleted so
+		// it can never shadow future appends.
+		b.f.Close()
+		os.Remove(filepath.Join(b.dir, segName(next)))
+		b.f, b.segIndex = old, oldIndex
+		b.seq--
+		return err
+	}
+	if err := b.syncDir(); err != nil {
+		return err
+	}
+	old.Close()
+	for i := 1; i <= oldIndex; i++ {
+		os.Remove(filepath.Join(b.dir, segName(i)))
+	}
+	return b.syncDir()
+}
+
+// writeSnapshotLocked is the shared body of Snapshot and SeedFrom.
+func (b *Backend) writeSnapshotLocked() error {
+	if b.f == nil {
+		return fmt.Errorf("logstore: backend closed")
+	}
+	if b.size == 0 && b.segIndex == 1 && b.seq == 0 {
+		// Empty virgin log: write the snapshot straight into segment 1.
+		snap, err := b.shadow.Encode()
+		if err != nil {
+			return fmt.Errorf("logstore: snapshot: %w", err)
+		}
+		b.seq++
+		return b.writeLocked(record{Seq: b.seq, Op: opSnapshot, Snap: snap})
+	}
+	return b.rotateLocked()
+}
+
+// Snapshot writes a full-registry snapshot and compacts older segments.
+func (b *Backend) Snapshot() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.writeSnapshotLocked()
+}
+
+// SeedFrom initializes an empty log with a snapshot of src — the
+// one-time migration path from a JSON registry to a log-backed one. It
+// refuses to seed a log that already holds records.
+func (b *Backend) SeedFrom(src *store.Store) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.seq != 0 {
+		return fmt.Errorf("logstore: seed into non-empty log (seq %d)", b.seq)
+	}
+	b.shadow = src.Clone()
+	return b.writeSnapshotLocked()
+}
+
+// Close syncs and closes the active segment.
+func (b *Backend) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.f == nil {
+		return nil
+	}
+	var err error
+	if !b.opt.NoSync {
+		err = b.f.Sync()
+	}
+	if cerr := b.f.Close(); err == nil {
+		err = cerr
+	}
+	b.f = nil
+	return err
+}
+
+// syncDir fsyncs the log directory so segment creation/removal is
+// durable, not just the data inside the files.
+func (b *Backend) syncDir() error {
+	d, err := os.Open(b.dir)
+	if err != nil {
+		return fmt.Errorf("logstore: %w", err)
+	}
+	defer d.Close()
+	if b.opt.NoSync {
+		return nil
+	}
+	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
+		return fmt.Errorf("logstore: sync dir: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,518 @@
+package logstore_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"autowrap/internal/lr"
+	"autowrap/internal/shard"
+	"autowrap/internal/store"
+	"autowrap/internal/store/filestore"
+	"autowrap/internal/store/logstore"
+)
+
+func openLog(t *testing.T, dir string, opt logstore.Options) *logstore.Backend {
+	t.Helper()
+	b, err := logstore.Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func entryFor(t *testing.T, prior *store.Store, site string) store.Entry {
+	t.Helper()
+	version := len(prior.History(site)) + 1
+	scratch := store.New()
+	for v := 1; v < version; v++ {
+		if _, err := scratch.Put(site, &lr.Compiled{Left: "<b>", Right: "</b>"}, store.Meta{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, err := scratch.Put(site, &lr.Compiled{Left: "<b>", Right: "</b>"}, store.Meta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func encode(t *testing.T, s *store.Store) []byte {
+	t.Helper()
+	b, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// driveLifecycle pushes one full lifecycle through a backend while
+// mirroring it on a reference registry, exactly as the serving plane
+// does (mutate in memory, then append the event).
+func driveLifecycle(t *testing.T, be store.Backend, ref *store.Store) {
+	t.Helper()
+	step := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		site := fmt.Sprintf("site-%d.example.com", i)
+		e, err := ref.Put(site, &lr.Compiled{Left: "<b>", Right: "</b>"}, store.Meta{Score: float64(i)})
+		step(err)
+		step(be.AppendEntry(0, e, true))
+		c, err := ref.PutCandidate(site, &lr.Compiled{Left: "<i>", Right: "</i>"}, store.Meta{})
+		step(err)
+		step(be.AppendEntry(0, c, false))
+	}
+	_, err := ref.Promote("site-1.example.com", 2)
+	step(err)
+	step(be.AppendPromotion(0, "site-1.example.com", store.OpPromote, 2))
+	_, err = ref.Rollback("site-1.example.com")
+	step(err)
+	step(be.AppendPromotion(0, "site-1.example.com", store.OpRollback, 0))
+}
+
+// TestLogRoundTrip pins the core contract: a log fed a lifecycle
+// reproduces the same registry, both live and after reopen.
+func TestLogRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	b := openLog(t, dir, logstore.Options{})
+	ref := store.New()
+	driveLifecycle(t, b, ref)
+
+	live, err := b.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encode(t, live), encode(t, ref)) {
+		t.Fatal("live Load diverges from the registry that emitted the events")
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	b2 := openLog(t, dir, logstore.Options{})
+	defer b2.Close()
+	if rec := b2.Recovered(); rec != nil {
+		t.Fatalf("clean log reopened with recovery: %+v", rec)
+	}
+	replayed, err := b2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encode(t, replayed), encode(t, ref)) {
+		t.Fatal("replayed registry diverges from the one that emitted the events")
+	}
+	if got := replayed.Promotions("site-1.example.com"); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("promotion log after replay: %v, want [1]", got)
+	}
+}
+
+// TestLogBackendMatchesFileBackend drives the identical lifecycle script
+// through both backends and compares the registries they reproduce —
+// the backends must be interchangeable, not merely individually sane.
+func TestLogBackendMatchesFileBackend(t *testing.T) {
+	dir := t.TempDir()
+	lb := openLog(t, filepath.Join(dir, "log"), logstore.Options{})
+	defer lb.Close()
+	fb, err := filestore.Open(filepath.Join(dir, "wrappers.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb.Close()
+
+	logRef, fileRef := store.New(), store.New()
+	fb.Attach(0, fileRef)
+	driveLifecycle(t, lb, logRef)
+	driveLifecycle(t, fb, fileRef)
+
+	fromLog, err := lb.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := fb.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encode(t, fromLog), encode(t, fromFile)) {
+		t.Fatalf("backends reproduce different registries:\n%s\n--- vs ---\n%s",
+			encode(t, fromLog), encode(t, fromFile))
+	}
+}
+
+// TestLogLoadPartition pins partitioned reproduction: each shard's slice
+// holds exactly its ring-owned sites and the slices cover the registry.
+func TestLogLoadPartition(t *testing.T) {
+	b := openLog(t, t.TempDir(), logstore.Options{})
+	defer b.Close()
+	ref := store.New()
+	for i := 0; i < 12; i++ {
+		site := fmt.Sprintf("part-%02d.example.com", i)
+		e, err := ref.Put(site, &lr.Compiled{Left: "<b>", Right: "</b>"}, store.Meta{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AppendEntry(0, e, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ring := shard.NewRing(3, 32)
+	total := 0
+	for k := 0; k < 3; k++ {
+		part, err := b.LoadPartition(ring, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, site := range part.Sites() {
+			if ring.Owner(site) != k {
+				t.Fatalf("site %s in partition %d, ring says %d", site, k, ring.Owner(site))
+			}
+		}
+		total += part.Len()
+	}
+	if total != ref.Len() {
+		t.Fatalf("partitions cover %d sites, registry has %d", total, ref.Len())
+	}
+	if _, err := b.LoadPartition(nil, 0); err == nil {
+		t.Fatal("LoadPartition accepted a nil partitioner")
+	}
+}
+
+// TestLogRotationCompacts pins rotation: crossing SegmentBytes opens a
+// new snapshot-led segment and deletes every older one, and the
+// compacted log still replays to the same registry.
+func TestLogRotationCompacts(t *testing.T) {
+	dir := t.TempDir()
+	b := openLog(t, dir, logstore.Options{SegmentBytes: 1024})
+	ref := store.New()
+	site := "rotate.example.com"
+	for v := 1; v <= 40; v++ {
+		var e store.Entry
+		var err error
+		if v == 1 {
+			e, err = ref.Put(site, &lr.Compiled{Left: "<b>", Right: "</b>"}, store.Meta{})
+		} else {
+			e, err = ref.PutCandidate(site, &lr.Compiled{Left: "<b>", Right: "</b>"}, store.Meta{})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AppendEntry(0, e, v == 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("compaction left %d segments: %v", len(segs), segs)
+	}
+	if filepath.Base(segs[0]) == "seg-000001.log" {
+		t.Fatal("40 appends at 1KiB segments never rotated")
+	}
+	b2 := openLog(t, dir, logstore.Options{})
+	defer b2.Close()
+	replayed, err := b2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encode(t, replayed), encode(t, ref)) {
+		t.Fatal("compacted log replays to a different registry")
+	}
+}
+
+// TestLogSnapshotAndSeed pins the migration path: SeedFrom imports a
+// JSON-era registry into a virgin log (and refuses a non-empty one), and
+// Snapshot compacts on demand.
+func TestLogSnapshotAndSeed(t *testing.T) {
+	src := store.New()
+	if _, err := src.Put("seeded.example.com", &lr.Compiled{Left: "<b>", Right: "</b>"}, store.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	b := openLog(t, dir, logstore.Options{})
+	if !b.Empty() {
+		t.Fatal("virgin log not Empty")
+	}
+	if err := b.SeedFrom(src); err != nil {
+		t.Fatal(err)
+	}
+	if b.Empty() {
+		t.Fatal("seeded log still Empty")
+	}
+	if err := b.SeedFrom(src); err == nil {
+		t.Fatal("SeedFrom accepted a non-empty log")
+	}
+	if err := b.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b2 := openLog(t, dir, logstore.Options{})
+	defer b2.Close()
+	got, err := b2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encode(t, got), encode(t, src)) {
+		t.Fatal("seed+snapshot+reopen lost the imported registry")
+	}
+}
+
+// TestLogAppendDivergence pins the self-check: an event that does not
+// follow from the log's own replayed state is refused, because logging
+// it would poison every future replay.
+func TestLogAppendDivergence(t *testing.T) {
+	b := openLog(t, t.TempDir(), logstore.Options{})
+	defer b.Close()
+	e := entryFor(t, store.New(), "x.example.com")
+	e.Version = 7 // the log has never seen v1..v6
+	if err := b.AppendEntry(0, e, true); err == nil {
+		t.Fatal("append of a version gap accepted")
+	}
+	if err := b.AppendPromotion(0, "x.example.com", store.OpPromote, 3); err == nil {
+		t.Fatal("promotion of an unknown site accepted")
+	}
+	if err := b.AppendPromotion(0, "x.example.com", store.Op("put"), 1); err == nil {
+		t.Fatal("AppendPromotion accepted a non-promotion op")
+	}
+}
+
+// --- crash-recovery matrix ---
+
+// seedLog writes a small lifecycle and returns the dir, the final
+// segment path and the reference registry.
+func seedLog(t *testing.T, opt logstore.Options) (string, string, *store.Store) {
+	t.Helper()
+	dir := t.TempDir()
+	b := openLog(t, dir, opt)
+	ref := store.New()
+	driveLifecycle(t, b, ref)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	return dir, segs[len(segs)-1], ref
+}
+
+func TestLogRecoveryTruncatedTail(t *testing.T) {
+	for _, cut := range []int{1, 3, 9} {
+		t.Run(fmt.Sprintf("cut-%d", cut), func(t *testing.T) {
+			dir, seg, ref := seedLog(t, logstore.Options{})
+			data, err := os.ReadFile(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(seg, int64(len(data)-cut)); err != nil {
+				t.Fatal(err)
+			}
+			b := openLog(t, dir, logstore.Options{})
+			defer b.Close()
+			rec := b.Recovered()
+			if rec == nil {
+				t.Fatal("torn tail went unreported")
+			}
+			if rec.Dropped <= 0 || rec.Segment != filepath.Base(seg) {
+				t.Fatalf("recovery misreported: %+v", rec)
+			}
+			got, err := b.Load()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The tear ate the final record (the rollback); everything
+			// before it must survive intact.
+			if got.Len() != ref.Len() {
+				t.Fatalf("recovered %d sites, want %d", got.Len(), ref.Len())
+			}
+		})
+	}
+}
+
+func TestLogRecoveryBitFlippedCRCFinalSegment(t *testing.T) {
+	dir, seg, _ := seedLog(t, logstore.Options{})
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte of the final frame: its CRC no longer holds,
+	// and recovery must truncate exactly that frame, keeping the rest.
+	data[len(data)-1] ^= 0x40
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b := openLog(t, dir, logstore.Options{})
+	defer b.Close()
+	rec := b.Recovered()
+	if rec == nil {
+		t.Fatal("bit-flipped final frame went unreported")
+	}
+	if want := "crc mismatch"; rec.Reason == "" || !bytes.Contains([]byte(rec.Reason), []byte(want)) {
+		t.Fatalf("recovery reason %q does not name the %s", rec.Reason, want)
+	}
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != rec.Offset || fi.Size() >= int64(len(data)) {
+		t.Fatalf("segment not truncated to the last good frame: size %d, recovery %+v", fi.Size(), rec)
+	}
+}
+
+func TestLogRecoveryBitFlippedCRCEarlierSegment(t *testing.T) {
+	// Two segments: corrupt the FIRST, which no crash can explain —
+	// recovery must refuse with a typed error, not truncate silently.
+	dir := t.TempDir()
+	b := openLog(t, dir, logstore.Options{})
+	ref := store.New()
+	driveLifecycle(t, b, ref)
+	// Rotate by hand so two segments exist, then append one more event.
+	if err := b.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	e, err := ref.PutCandidate("site-0.example.com", &lr.Compiled{Left: "<u>", Right: "</u>"}, store.Meta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AppendEntry(0, e, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if len(segs) < 2 {
+		// Snapshot compacts older segments away; recreate the two-segment
+		// shape by copying the survivor forward.
+		data, err := os.ReadFile(segs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		next := filepath.Join(dir, "seg-999999.log")
+		if err := os.WriteFile(next, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		segs = append(segs, next)
+	}
+	first := segs[0]
+	data, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x40
+	if err := os.WriteFile(first, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = logstore.Open(dir, logstore.Options{})
+	var ce *logstore.CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("corrupt non-final segment: got %v, want *CorruptError", err)
+	}
+	if ce.Segment != filepath.Base(first) {
+		t.Fatalf("CorruptError names %s, want %s", ce.Segment, filepath.Base(first))
+	}
+}
+
+func TestLogRecoveryDuplicatedSegment(t *testing.T) {
+	// A crash between compaction's copy and remove leaves the same
+	// records in two segments; replay must skip the already-seen half.
+	dir, seg, ref := seedLog(t, logstore.Options{})
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := filepath.Join(dir, "seg-000002.log")
+	if err := os.WriteFile(dup, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b := openLog(t, dir, logstore.Options{})
+	defer b.Close()
+	if rec := b.Recovered(); rec != nil {
+		t.Fatalf("duplicated segment reported as damage: %+v", rec)
+	}
+	got, err := b.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encode(t, got), encode(t, ref)) {
+		t.Fatal("duplicated segment replayed into a different registry (records applied twice?)")
+	}
+}
+
+func TestLogRecoveryEmptyFinalSegment(t *testing.T) {
+	// A crash right after rotation's create can leave an empty final
+	// segment; boot must continue from the earlier segments' state.
+	dir, _, ref := seedLog(t, logstore.Options{})
+	if err := os.WriteFile(filepath.Join(dir, "seg-000007.log"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b := openLog(t, dir, logstore.Options{})
+	defer b.Close()
+	got, err := b.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encode(t, got), encode(t, ref)) {
+		t.Fatal("empty final segment changed the replayed registry")
+	}
+}
+
+func TestLogRecoveryEmptyLog(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "seg-000001.log"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b := openLog(t, dir, logstore.Options{})
+	defer b.Close()
+	if !b.Empty() {
+		t.Fatal("empty segment file did not open as an empty log")
+	}
+	st, err := b.Load()
+	if err != nil || st.Len() != 0 {
+		t.Fatalf("empty log loads %d sites, err %v", st.Len(), err)
+	}
+}
+
+// TestLogRecoveryValidFrameInvalidRecord pins the other asymmetry: a
+// CRC-valid record the registry cannot accept is corruption (or a bug),
+// never silently truncated — even in the final segment it fails Open.
+func TestLogRecoveryValidFrameInvalidRecord(t *testing.T) {
+	dir, seg, _ := seedLog(t, logstore.Options{})
+	// Append a well-framed record whose seq continues the chain but whose
+	// event cannot apply (promote of a version that does not exist).
+	payload := []byte(`{"seq":999,"op":"promote","site":"site-0.example.com","version":42}`)
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli)))
+	copy(frame[8:], payload)
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	_, err = logstore.Open(dir, logstore.Options{})
+	var ce *logstore.CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("invalid-but-framed record: got %v, want *CorruptError", err)
+	}
+	if ce.Seq != 999 {
+		t.Fatalf("CorruptError seq %d, want 999", ce.Seq)
+	}
+}

@@ -372,14 +372,10 @@ type storeFile struct {
 // the same directory, then rename over the target, so a crash mid-write
 // can never leave a truncated registry where a good one was.
 func (s *Store) Save(path string) error {
-	s.mu.RLock()
-	f := storeFile{Format: FormatVersion, Sites: s.sites, Promotions: s.promotion}
-	data, err := json.MarshalIndent(f, "", "  ")
-	s.mu.RUnlock()
+	data, err := s.Encode()
 	if err != nil {
 		return fmt.Errorf("store: save: %w", err)
 	}
-	data = append(data, '\n')
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".wrapstore-*.json")
 	if err != nil {
@@ -456,13 +452,19 @@ func loadFiltered(path string, keep func(site string) bool, tolerate bool) (*Sto
 	if err != nil {
 		return nil, nil, fmt.Errorf("store: load: %w", err)
 	}
+	return decodeFiltered(data, path, keep, tolerate)
+}
+
+// decodeFiltered decodes the storeFile wire form with loadFiltered's
+// filter and corruption policy; source names the origin in errors.
+func decodeFiltered(data []byte, source string, keep func(site string) bool, tolerate bool) (*Store, []CorruptEntry, error) {
 	var f storeFile
 	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, nil, fmt.Errorf("store: load %s: %w", path, err)
+		return nil, nil, fmt.Errorf("store: load %s: %w", source, err)
 	}
 	if f.Format != FormatVersion {
 		return nil, nil, fmt.Errorf("store: load %s: unsupported format %d (want %d)",
-			path, f.Format, FormatVersion)
+			source, f.Format, FormatVersion)
 	}
 	s := New()
 	var bad []CorruptEntry
@@ -480,7 +482,7 @@ sites:
 					continue sites
 				}
 				return nil, nil, fmt.Errorf("store: load %s: site %q v%d: entry carries key %q v%d",
-					path, site, i+1, e.Site, e.Version)
+					source, site, i+1, e.Site, e.Version)
 			}
 			w := wireWrapper{Format: FormatVersion, Lang: e.Lang, Rule: e.Rule, LR: e.LR}
 			if _, err := w.compile(); err != nil {
@@ -489,7 +491,7 @@ sites:
 					continue sites
 				}
 				return nil, nil, fmt.Errorf("store: load %s: site %q v%d (%s rule %q): %w",
-					path, site, e.Version, e.Lang, e.Rule, err)
+					source, site, e.Version, e.Lang, e.Rule, err)
 			}
 		}
 		s.sites[site] = vs
@@ -508,7 +510,7 @@ sites:
 				continue
 			}
 			return nil, nil, fmt.Errorf("store: load %s: promotion log for unknown site %q",
-				path, site)
+				source, site)
 		}
 		logOK := true
 		for _, v := range log {
@@ -523,7 +525,7 @@ sites:
 					break
 				}
 				return nil, nil, fmt.Errorf("store: load %s: site %q: promotion log names v%d, have %d version(s)",
-					path, site, v, len(vs))
+					source, site, v, len(vs))
 			}
 		}
 		if logOK && len(log) > 0 {

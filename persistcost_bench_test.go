@@ -1,0 +1,88 @@
+// Persist-cost-per-lifecycle-event at increasing registry sizes, fsync
+// included — the measurement behind the durable-backend section of
+// docs/PERFORMANCE.md. The file backend rewrites the merged registry per
+// event (O(registry)); the segmented log appends one framed record
+// (O(event)), so its cost is flat in the number of sites. Not part of
+// the tracked bench gate (disk-bound): run with
+// go test -run '^$' -bench PersistEvent -benchmem .
+package autowrap_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"autowrap/internal/lr"
+	"autowrap/internal/store"
+	"autowrap/internal/store/filestore"
+	"autowrap/internal/store/logstore"
+)
+
+func seedN(b *testing.B, n int) *store.Store {
+	st := store.New()
+	for i := 0; i < n; i++ {
+		site := fmt.Sprintf("site-%04d.example.com", i)
+		if _, err := st.Put(site, &lr.Compiled{Left: `<div class="a">`, Right: `</div>`}, store.Meta{}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := st.PutCandidate(site, &lr.Compiled{Left: `<div class="b">`, Right: `</div>`}, store.Meta{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return st
+}
+
+func BenchmarkFilePersistEvent(b *testing.B) {
+	for _, n := range []int{8, 64, 256} {
+		b.Run(fmt.Sprintf("sites=%d", n), func(b *testing.B) {
+			st := seedN(b, n)
+			fb, err := filestore.Open(filepath.Join(b.TempDir(), "wrappers.json"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			fb.Attach(0, st)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				if i%2 == 0 {
+					err = fb.AppendPromotion(0, "site-0000.example.com", store.OpPromote, 2)
+				} else {
+					err = fb.AppendPromotion(0, "site-0000.example.com", store.OpRollback, 0)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkLogPersistEvent(b *testing.B) {
+	for _, n := range []int{8, 64, 256} {
+		b.Run(fmt.Sprintf("sites=%d", n), func(b *testing.B) {
+			st := seedN(b, n)
+			lb, err := logstore.Open(b.TempDir(), logstore.Options{SegmentBytes: 1 << 30})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer lb.Close()
+			if err := lb.SeedFrom(st); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				if i%2 == 0 {
+					err = lb.AppendPromotion(0, "site-0000.example.com", store.OpPromote, 2)
+				} else {
+					err = lb.AppendPromotion(0, "site-0000.example.com", store.OpRollback, 0)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -2,7 +2,8 @@
 # Compare benchmarks/latest.txt against benchmarks/baseline.txt and fail
 # when any benchmark's ns/op regressed by more than
 # BENCH_MAX_REGRESSION_PCT percent (default: 10), or when a serving
-# hot-path benchmark (ServeExtract*, ShardedDispatch*) grew its B/op by more than
+# hot-path benchmark (ServeExtract*, ShardedDispatch*,
+# LogAppend, AuditAppend) grew its B/op by more than
 # BENCH_MAX_BYTES_REGRESSION_PCT percent (default: 10) — the allocation
 # discipline of the request path is gated, not just its latency. The B/op
 # gate arms only when both files carry -benchmem columns.
@@ -58,7 +59,7 @@ awk -v max="$MAX_PCT" -v maxbytes="$MAX_BYTES_PCT" \
         if (fileno == 1) { bsum[name] += $i; bcnt[name]++ }
         else             { lsum[name] += $i; lcnt[name]++ }
       }
-      if ($(i + 1) == "B/op" && name ~ /ServeExtract|ShardedDispatch/) {
+      if ($(i + 1) == "B/op" && name ~ /ServeExtract|ShardedDispatch|LogAppend|AuditAppend/) {
         if (fileno == 1) { bbytes[name] += $i; bbcnt[name]++ }
         else             { lbytes[name] += $i; lbcnt[name]++ }
       }

@@ -3,7 +3,8 @@
 #
 #   BENCH_PATTERN  regexp of benchmarks to run (default: the
 #                  regression-tracked set — engine batch learning, the
-#                  extraction runtime and the serving daemon; use '.' for
+#                  extraction runtime, the serving daemon and the durable
+#                  store/audit append paths; use '.' for
 #                  the full paper suite)
 #   BENCH_TIME     -benchtime per benchmark (default: 1s)
 #   BENCH_COUNT    -count repetitions (default: 1; use >= 3 before
@@ -15,7 +16,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PATTERN="${BENCH_PATTERN:-EngineBatch|Extract|HealthObserve|ServeExtract|ShardedDispatch|JobsSubmit}"
+PATTERN="${BENCH_PATTERN:-EngineBatch|Extract|HealthObserve|ServeExtract|ShardedDispatch|JobsSubmit|LogAppend|AuditAppend}"
 TIME="${BENCH_TIME:-1s}"
 COUNT="${BENCH_COUNT:-1}"
 

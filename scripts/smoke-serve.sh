@@ -289,4 +289,82 @@ FLEET_PID=""
 grep -q "drained cleanly" "$WORK/fleet.log" || {
   echo "smoke-serve: no fleet clean-drain log line" >&2; cat "$WORK/fleet.log" >&2; exit 1;
 }
-echo "smoke-serve: OK (single server + 4-shard fleet: learn on owning shard, per-shard load, clean drains)"
+echo "smoke-serve: fleet OK (learn on owning shard, per-shard load, clean drain)"
+
+# --- Segmented-log backend + audit ledger ---
+# Boot the same registry on the append-only log backend (auto-seeded from
+# the JSON store) with the lifecycle audit ledger on. A learn for an
+# already-served site appends v2 to the LOG ONLY; a reboot must replay it,
+# proving durability now lives in the log, and /v1/audit must expose the
+# chained learn/promote events.
+LOG_ADDR="127.0.0.1:$((${SMOKE_PORT:-8931} + 2))"
+boot_log_backend() {
+  "$WORK/wrapserved" -store "$WORK/wrappers.json" -addr "$LOG_ADDR" \
+    -store-backend log -store-log-dir "$WORK/wrappers.log" \
+    -audit-log "$WORK/audit.jsonl" \
+    -max-inflight 2 -queue 4 -dict "$WORK/dict-all.txt" \
+    -learn-workers 1 -job-queue 8 -learn-corpus-root "$WORK/corpus" &>> "$WORK/logback.log" &
+  SERVED_PID=$!
+  healthy=""
+  for _ in $(seq 1 50); do
+    if curl -fsS "http://$LOG_ADDR/healthz" > /dev/null 2>&1; then healthy=yes; break; fi
+    sleep 0.2
+  done
+  if [ -z "$healthy" ]; then
+    echo "smoke-serve: log-backend wrapserved never became healthy" >&2
+    cat "$WORK/logback.log" >&2
+    exit 1
+  fi
+}
+boot_log_backend
+
+LOG_JOB="$(curl -fsS -X POST -d "{\"site\":\"$site\",\"corpus_dir\":\"$WORK/corpus/DEALERS/$site\"}" \
+  "http://$LOG_ADDR/v1/learn" \
+  | python3 -c 'import json,sys; d=json.load(sys.stdin); assert d["state"] in ("queued","running"), d; print(d["job_id"])')"
+state=""
+for _ in $(seq 1 100); do
+  state="$(curl -fsS "http://$LOG_ADDR/v1/jobs/$LOG_JOB" \
+    | python3 -c 'import json,sys; print(json.load(sys.stdin)["state"])')"
+  [ "$state" = "done" ] && break
+  case "$state" in failed|canceled)
+    echo "smoke-serve: log-backend learn job ended $state" >&2; exit 1 ;; esac
+  sleep 0.2
+done
+if [ "$state" != "done" ]; then
+  echo "smoke-serve: log-backend learn job stuck in state $state" >&2
+  exit 1
+fi
+
+# Relearning an existing site stages a candidate; promote it explicitly —
+# the admin promote persists through the log backend and hits the ledger.
+curl -fsS -X POST -d "{\"site\":\"$site\",\"version\":2}" "http://$LOG_ADDR/v1/promote" \
+  | python3 -c 'import json,sys; d=json.load(sys.stdin); assert d["serving_version"] == 2, d; print("promoted %s to v2 on the log backend" % d["site"])'
+
+# The ledger saw the lifecycle and /metrics carries its counters.
+curl -fsS "http://$LOG_ADDR/v1/audit" \
+  | python3 -c 'import json,sys; d=json.load(sys.stdin); assert d["enabled"], d; ev={r["event"] for r in d["records"]}; assert "promote" in ev, ev; print("audit: %d chained events (%s)" % (d["stats"]["events"], ", ".join(sorted(ev))))'
+curl -fsS "http://$LOG_ADDR/metrics" \
+  | python3 -c 'import json,sys; d=json.load(sys.stdin); assert d["audit"]["events"] >= 1, d'
+
+kill -TERM "$SERVED_PID"; wait "$SERVED_PID"; SERVED_PID=""
+
+# Reboot: the learned v2 exists only in the segmented log; replay must
+# serve it, and the audit chain must pick up where it left off.
+boot_log_backend
+curl -fsS "http://$LOG_ADDR/v1/sites" \
+  | python3 -c "
+import json, sys
+sites = json.load(sys.stdin)
+v = [s['active_version'] for s in sites if s['site'] == '$site'][0]
+assert v >= 2, 'log replay lost the learned version: v%d' % v
+print('log replay serves $site at v%d' % v)"
+curl -fsS -X POST --data-binary @"$WORK/req.json" "http://$LOG_ADDR/v1/extract" \
+  | python3 -c 'import json,sys; d=json.load(sys.stdin); r=d["results"][0]["records"]; assert r, d; print("log-backend extract after reboot: %d records from v%d" % (len(r), d["version"]))'
+curl -fsS "http://$LOG_ADDR/v1/audit" \
+  | python3 -c 'import json,sys; d=json.load(sys.stdin); assert d["enabled"] and d["stats"]["last_seq"] >= 1, d'
+kill -TERM "$SERVED_PID"; wait "$SERVED_PID"; SERVED_PID=""
+grep -q "drained cleanly" "$WORK/logback.log" || {
+  echo "smoke-serve: no log-backend clean-drain log line" >&2; cat "$WORK/logback.log" >&2; exit 1;
+}
+
+echo "smoke-serve: OK (single server + 4-shard fleet + log backend with audit: learn, replay-on-reboot, chained ledger, clean drains)"

@@ -541,17 +541,22 @@ func TestFacadeShardedFleet(t *testing.T) {
 	}
 
 	// Two shards over the saved registry: each server loads only its own
-	// partition and persists through the router's merged-save hook.
+	// partition from the shared file backend and persists through it.
 	ring := autowrap.NewShardRing(2, 64)
-	router, err := autowrap.NewShardRouter(ring, path,
-		func(k int, persist func() error) (*autowrap.Server, error) {
-			part, err := autowrap.LoadWrapperStorePartition(path, ring, k)
+	be, err := autowrap.OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := autowrap.NewShardRouter(ring,
+		func(k int) (*autowrap.Server, error) {
+			part, err := be.LoadPartition(ring, k)
 			if err != nil {
 				return nil, err
 			}
 			return autowrap.NewServer(autowrap.ServerConfig{
 				Dispatcher: autowrap.NewDispatcher(part, autowrap.DispatcherOptions{}),
-				Persist:    persist,
+				Backend:    be,
+				Shard:      k,
 			})
 		})
 	if err != nil {
