@@ -214,6 +214,10 @@ type (
 	// /metrics across the fleet. Build one with NewShardRouter;
 	// cmd/wrapserved -shards N is the ready-made fleet daemon.
 	ShardRouter = serve.ShardRouter
+	// ForwardOptions tunes a forwarding front end built with
+	// NewForwardRouter: per-request timeout, body cap, boot-handshake
+	// behavior.
+	ForwardOptions = serve.ForwardOptions
 
 	// JobManager is the asynchronous maintenance plane: a bounded queue of
 	// learn/repair jobs drained by a worker pool isolated from the extract
@@ -569,6 +573,18 @@ func NewShardRing(shards, vnodes int) *ShardRing { return shard.NewRing(shards, 
 // http.Server; cmd/wrapserved -shards N is the ready-made fleet daemon.
 func NewShardRouter(ring *ShardRing, build func(shardID int) (*Server, error)) (*ShardRouter, error) {
 	return serve.NewShardRouter(ring, build)
+}
+
+// NewForwardRouter builds the multi-process fleet front end: the same
+// router surface as NewShardRouter, but each partition is a shard
+// PROCESS at peers[k] ("host:port") reached over persistent
+// connections, with the ring topology pinned per request via the
+// X-Ring-Hash header. At boot it handshakes every reachable peer's
+// ring fingerprint (a mismatch fails the boot; an unreachable peer only
+// degrades its partition). cmd/wrapserved -role front is the
+// ready-made daemon; -role shard boots the matching peer process.
+func NewForwardRouter(ring *ShardRing, peers []string, opt ForwardOptions) (*ShardRouter, error) {
+	return serve.NewForwardRouter(ring, peers, opt)
 }
 
 // OpenFileStore opens the atomic-JSON-file store backend over path —

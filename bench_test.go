@@ -19,6 +19,7 @@ import (
 	"net/http/httptest"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -533,6 +534,92 @@ func BenchmarkServeExtractHTTP(b *testing.B) {
 	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "req/sec")
 }
 
+// forwardFixture boots a one-shard serving fleet twice over: a local
+// front (the in-process ShardRouter calling the shard directly) and a
+// forwarding front (NewForwardRouter proxying to the same server shape
+// over HTTP). Both fronts serve the identical request, so the timing
+// difference between the two benchmarks below is exactly the transport
+// seam's forwarding hop.
+func forwardFixture(b *testing.B) (localURL, fwdURL string, body []byte) {
+	b.Helper()
+	d, pages := serveFixture(b)
+	ring := shard.NewRing(1, 64)
+
+	local, err := serve.NewShardRouter(ring, func(int) (*serve.Server, error) {
+		return serve.NewServer(serve.ServerConfig{Dispatcher: d, Ring: ring})
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	localFront := httptest.NewServer(local.Handler())
+	b.Cleanup(localFront.Close)
+
+	shardSrv, err := serve.NewServer(serve.ServerConfig{Dispatcher: d, Shard: 0, Ring: ring})
+	if err != nil {
+		b.Fatal(err)
+	}
+	shardHS := httptest.NewServer(shardSrv.Handler())
+	b.Cleanup(shardHS.Close)
+	fwd, err := serve.NewForwardRouter(ring,
+		[]string{strings.TrimPrefix(shardHS.URL, "http://")}, serve.ForwardOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fwdFront := httptest.NewServer(fwd.Handler())
+	b.Cleanup(fwdFront.Close)
+
+	body, err = json.Marshal(serve.ExtractRequest{
+		Site: "bench",
+		Page: &serve.PageInput{ID: pages[0].ID, HTML: pages[0].HTML},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return localFront.URL, fwdFront.URL, body
+}
+
+func benchForwardExtract(b *testing.B, pickFwd bool) {
+	localURL, fwdURL, body := forwardFixture(b)
+	url := localURL
+	if pickFwd {
+		url = fwdURL
+	}
+	client := &http.Client{}
+	post := func() {
+		resp, err := client.Post(url+"/v1/extract", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	post() // warm-up: runtime binding, connection pool, handshake cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		post()
+	}
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "req/sec")
+}
+
+// BenchmarkForwardExtractLocal is the client-observed request cost
+// against the in-process fleet front: one HTTP hop, direct ShardClient
+// dispatch behind it. The baseline for the forwarding-cost row in
+// PERFORMANCE.md.
+func BenchmarkForwardExtractLocal(b *testing.B) { benchForwardExtract(b, false) }
+
+// BenchmarkForwardExtractForwarded is the same request through a
+// forwarding front proxying to a shard process shape over a persistent
+// connection — two HTTP hops. The delta against ForwardExtractLocal is
+// the per-request price of splitting the fleet into processes.
+func BenchmarkForwardExtractForwarded(b *testing.B) { benchForwardExtract(b, true) }
+
 // shardedFixture builds the fleet's dispatch layer at benchmark scale:
 // one learned wrapper served under nSites site names, consistent-hash
 // partitioned across N dispatchers exactly the way wrapserved -shards
@@ -676,6 +763,46 @@ func BenchmarkLogAppend(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		// Promote/rollback alternation: every iteration is one valid,
 		// constant-size promotion record.
+		if i%2 == 0 {
+			err = lb.AppendPromotion(0, "bench.example.com", store.OpPromote, 2)
+		} else {
+			err = lb.AppendPromotion(0, "bench.example.com", store.OpRollback, 0)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLogAppendGroup is BenchmarkLogAppend with group commit on and
+// REAL fsync: appends mark the segment dirty and a background flusher
+// syncs once per interval, so the per-append cost is framing plus a
+// dirty bit — the fsync is amortized across the batch. Compare against
+// a NoSync:false run of the backend to see what the group buys; tracked
+// by the bench gate so the group-commit path stays O(event).
+func BenchmarkLogAppendGroup(b *testing.B) {
+	seed := store.New()
+	if _, err := seed.Put("bench.example.com",
+		&lr.Compiled{Left: `<div class="a">`, Right: `</div>`}, store.Meta{}); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := seed.PutCandidate("bench.example.com",
+		&lr.Compiled{Left: `<div class="b">`, Right: `</div>`}, store.Meta{}); err != nil {
+		b.Fatal(err)
+	}
+	lb, err := logstore.Open(b.TempDir(), logstore.Options{
+		SyncInterval: 20 * time.Millisecond, SegmentBytes: 1 << 30,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lb.Close()
+	if err := lb.SeedFrom(seed); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
 		if i%2 == 0 {
 			err = lb.AppendPromotion(0, "bench.example.com", store.OpPromote, 2)
 		} else {

@@ -24,6 +24,10 @@
 // learns which shard owns each site, and the report breaks sent/ok/
 // rejected/failed and achieved req/s down per shard alongside the merged
 // client-side latency table — the per-partition view of the same run.
+// Against a forwarding front (wrapserved -role front) the /healthz probe
+// additionally maps each shard to its peer process's address, and the
+// per-shard rows carry it — the row that degrades is the process to look
+// at.
 //
 // 429 responses are counted as "rejected" — that is the server's admission
 // control working, not a failure; with -respect-retry-after loadgen waits
@@ -160,6 +164,27 @@ func servedSites(client *http.Client, addr string) (map[string]int, error) {
 	return out, nil
 }
 
+// peerAddrs asks /healthz whether the target is a forwarding front and,
+// when it is, maps each shard to the peer process serving it. Best
+// effort: a single server or in-process fleet reports no peers, and any
+// probe failure just leaves the per-shard rows unlabeled.
+func peerAddrs(client *http.Client, addr string) map[int]string {
+	resp, err := client.Get(addr + "/healthz")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var h serve.FleetHealthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil || len(h.Peers) == 0 {
+		return nil
+	}
+	out := make(map[int]string, len(h.Peers))
+	for _, p := range h.Peers {
+		out[p.Shard] = p.Addr
+	}
+	return out
+}
+
 // shardCounts is one serving shard's slice of the run.
 type shardCounts struct {
 	Sent, OK, Rejected, Failed int
@@ -176,7 +201,10 @@ type Report struct {
 	Wall                                         time.Duration
 	// perShard breaks the counters down by the serving shard each site
 	// lives on; the breakdown only prints when the fleet has >1 shard.
-	perShard  map[int]*shardCounts
+	perShard map[int]*shardCounts
+	// peerAddr maps shard -> peer process address when the target is a
+	// forwarding front (empty otherwise); it labels the per-shard rows.
+	peerAddr  map[int]string
 	latencies []time.Duration // of successful requests, sorted post-run
 	failures  []string        // first few failure descriptions
 }
@@ -239,8 +267,12 @@ func (r *Report) String() string {
 		fmt.Fprintf(&sb, "  per shard (achieved req/s from wall %.1fs):\n", r.Wall.Seconds())
 		for _, k := range shards {
 			sc := r.perShard[k]
-			fmt.Fprintf(&sb, "    shard %d: sent=%d ok=%d rejected=%d failed=%d achieved=%.1f req/s\n",
-				k, sc.Sent, sc.OK, sc.Rejected, sc.Failed,
+			label := fmt.Sprintf("shard %d", k)
+			if addr := r.peerAddr[k]; addr != "" {
+				label = fmt.Sprintf("shard %d (%s)", k, addr)
+			}
+			fmt.Fprintf(&sb, "    %s: sent=%d ok=%d rejected=%d failed=%d achieved=%.1f req/s\n",
+				label, sc.Sent, sc.OK, sc.Rejected, sc.Failed,
 				float64(sc.Sent)/r.Wall.Seconds())
 		}
 	}
@@ -265,6 +297,7 @@ func run(addr, corpusDir string, qps float64, duration time.Duration,
 	if err != nil {
 		return nil, err
 	}
+	peers := peerAddrs(client, addr)
 	var replay []sitePages
 	for _, sp := range corpus {
 		if onlySite != "" && sp.name != onlySite {
@@ -282,7 +315,7 @@ func run(addr, corpusDir string, qps float64, duration time.Duration,
 	fmt.Fprintf(os.Stderr, "loadgen: replaying %d site(s) at %.1f req/s for %v (batch %d)\n",
 		len(replay), qps, duration, batch)
 
-	rep := &Report{TargetQPS: qps}
+	rep := &Report{TargetQPS: qps, peerAddr: peers}
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, conc)

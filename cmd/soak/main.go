@@ -14,6 +14,7 @@
 //	soak -duration 45s -seed 1 -shards 4        # the CI smoke run
 //	soak -duration 15m -shards 4 -qps 200       # the nightly long mode
 //	soak -duration 45s -store-backend log       # segmented-log durability under chaos
+//	soak -duration 15s -shards 2 -multiproc     # real shard processes + front; kill one mid-run
 //	soak -duration 5s -break leak               # prove the harness bites
 //
 // Invariants (the names a violation is reported under):
@@ -75,6 +76,7 @@ type options struct {
 	vnodes       int
 	storeBackend string
 	breakMode    string
+	multiproc    bool
 	verbose      bool
 }
 
@@ -88,8 +90,17 @@ func main() {
 	flag.IntVar(&o.vnodes, "vnodes", shard.DefaultVNodes, "virtual nodes per shard on the routing ring")
 	flag.StringVar(&o.storeBackend, "store-backend", "file", "durability backend under chaos: file (atomic JSON registry) | log (append-only segmented log)")
 	flag.StringVar(&o.breakMode, "break", "", "deliberately violate one invariant to prove the harness catches it: leak | stuck | heal | ledger | audit")
+	flag.BoolVar(&o.multiproc, "multiproc", false, "spawn real wrapserved shard processes behind a forwarding front, kill one mid-run, and assert partial availability + ordered drain")
 	flag.BoolVar(&o.verbose, "v", false, "log every fault injection and invariant checkpoint")
 	flag.Parse()
+
+	if o.multiproc {
+		if o.breakMode != "" {
+			fmt.Fprintln(os.Stderr, "soak: -break is not supported with -multiproc")
+			os.Exit(2)
+		}
+		os.Exit(runMultiproc(o))
+	}
 
 	switch o.breakMode {
 	case "", "leak", "stuck", "heal", "ledger", "audit":

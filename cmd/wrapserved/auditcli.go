@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"autowrap/internal/audit"
+)
+
+// Exit codes for the offline audit verbs. Tampering gets its own code so
+// scripts and CI can tell "the ledger is broken" (act!) apart from "the
+// file is missing or unreadable" (probably your path).
+const (
+	exitOK     = 0
+	exitError  = 1
+	exitTamper = 4
+)
+
+// runAuditVerb dispatches -audit-verify / -audit-export: offline,
+// daemon-free integrity checks over a hash-chained audit ledger file.
+// Both walk the full chain from genesis — every record's hash link and
+// every Merkle checkpoint root must hold.
+func runAuditVerb(o options, stdout, stderr io.Writer) int {
+	if o.auditVerify != "" && o.auditExport != "" {
+		fmt.Fprintln(stderr, "wrapserved: use -audit-verify or -audit-export, not both")
+		return exitError
+	}
+	path, export := o.auditVerify, false
+	if o.auditExport != "" {
+		path, export = o.auditExport, true
+	}
+	rep, err := audit.VerifyFile(path)
+	if err != nil {
+		var tamper *audit.TamperError
+		if errors.As(err, &tamper) {
+			fmt.Fprintf(stderr, "wrapserved: TAMPERED: %v\n", err)
+			return exitTamper
+		}
+		fmt.Fprintf(stderr, "wrapserved: %v\n", err)
+		return exitError
+	}
+	if !export {
+		fmt.Fprintf(stdout, "ok: %d record(s), %d event(s), %d checkpoint(s), last seq %d, last hash %s\n",
+			rep.Records, rep.Events, rep.Checkpoints, rep.LastSeq, rep.LastHash)
+		return exitOK
+	}
+	if err := exportCheckpoints(path, stdout); err != nil {
+		fmt.Fprintf(stderr, "wrapserved: %v\n", err)
+		return exitError
+	}
+	return exitOK
+}
+
+// checkpointRoot is one exported checkpoint: the sequence number the
+// checkpoint record carries and the Merkle root over its batch (the
+// record's Detail field).
+type checkpointRoot struct {
+	Seq    uint64 `json:"seq"`
+	Shard  int    `json:"shard"`
+	TimeMS int64  `json:"time_ms"`
+	Root   string `json:"root"`
+}
+
+// exportCheckpoints re-reads the (already verified) ledger and dumps one
+// JSON line per checkpoint record — the anchors an external system needs
+// to countersign the ledger's history.
+func exportCheckpoints(path string, w io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	enc := json.NewEncoder(w)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec audit.Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return fmt.Errorf("audit export: %w", err)
+		}
+		if rec.Event != audit.EventCheckpoint {
+			continue
+		}
+		if err := enc.Encode(checkpointRoot{
+			Seq: rec.Seq, Shard: rec.Shard, TimeMS: rec.TimeMS, Root: rec.Detail,
+		}); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}

@@ -15,6 +15,17 @@
 //	wrapserved -store wrappers.json -audit-log audit.jsonl        # tamper-evident lifecycle ledger
 //	wrapserved -store wrappers.json -debug-addr localhost:6060    # net/http/pprof on a side listener
 //
+// Multi-process fleet (one shard per process, a forwarding front end):
+//
+//	wrapserved -role shard -shard-index 0 -shards 2 -store s0.json -addr :8081
+//	wrapserved -role shard -shard-index 1 -shards 2 -store s1.json -addr :8082
+//	wrapserved -role front -peers localhost:8081,localhost:8082 -addr :8080
+//
+// Offline audit verbs (no daemon; exit 0 intact, 4 tampered, 1 other):
+//
+//	wrapserved -audit-verify audit.jsonl
+//	wrapserved -audit-export audit.jsonl   # verify + dump checkpoint roots
+//
 // Endpoints:
 //
 //	POST /v1/extract   {"site":"s","page":{"html":"..."}} or {"site":"s","pages":[...]}
@@ -142,6 +153,15 @@ type options struct {
 	shards int
 	vnodes int
 
+	role       string
+	shardIndex int
+	peers      string
+
+	logSyncInterval time.Duration
+
+	auditVerify string
+	auditExport string
+
 	debugAddr string
 }
 
@@ -171,8 +191,17 @@ func main() {
 	flag.DurationVar(&o.autoGap, "auto-repair-gap", time.Minute, "per-site minimum time between auto-repair submissions")
 	flag.IntVar(&o.shards, "shards", 1, "run a sharded fleet: N consistent-hash partitions, each with its own dispatcher, gate, monitor and job plane (1 = single unsharded server)")
 	flag.IntVar(&o.vnodes, "vnodes", shard.DefaultVNodes, "virtual nodes per shard on the routing ring (must match across restarts)")
+	flag.StringVar(&o.role, "role", "", "fleet role: empty (single process, optionally in-process sharded via -shards), shard (boot exactly partition -shard-index of an N=-shards ring) or front (forward to -peers, no local store)")
+	flag.IntVar(&o.shardIndex, "shard-index", 0, "which ring partition this process owns (-role shard; 0 <= k < -shards)")
+	flag.StringVar(&o.peers, "peers", "", "comma-separated host:port shard addresses, ring order (-role front; ring size = number of peers)")
+	flag.DurationVar(&o.logSyncInterval, "store-log-sync-interval", 0, "group-commit fsync interval for -store-backend=log (0 = fsync every append; >0 trades a bounded loss window for throughput)")
+	flag.StringVar(&o.auditVerify, "audit-verify", "", "verify the hash-chained audit ledger at this path and exit (0 intact, 4 tampered, 1 other)")
+	flag.StringVar(&o.auditExport, "audit-export", "", "verify the ledger at this path, dump its Merkle checkpoint roots as JSON lines, and exit (same exit codes as -audit-verify)")
 	flag.StringVar(&o.debugAddr, "debug-addr", "", "separate listen address serving net/http/pprof (e.g. localhost:6060); keep it off the public network")
 	flag.Parse()
+	if o.auditVerify != "" || o.auditExport != "" {
+		os.Exit(runAuditVerb(o, os.Stdout, os.Stderr))
+	}
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "wrapserved:", err)
 		os.Exit(1)
@@ -196,7 +225,7 @@ func openBackend(o options, logger *log.Logger) (store.Backend, error) {
 		if dir == "" {
 			dir = o.storePath + ".log"
 		}
-		be, err := logstore.Open(dir, logstore.Options{})
+		be, err := logstore.Open(dir, logstore.Options{SyncInterval: o.logSyncInterval})
 		if err != nil {
 			return nil, err
 		}
@@ -242,6 +271,16 @@ func openLedger(o options, logger *log.Logger) (*audit.Ledger, error) {
 
 func run(o options) error {
 	logger := log.New(os.Stderr, "wrapserved: ", log.LstdFlags)
+	switch o.role {
+	case "":
+		// Single process: standalone, or the whole fleet in-process.
+	case "shard":
+		return runShard(o, logger)
+	case "front":
+		return runFront(o, logger)
+	default:
+		return fmt.Errorf("-role %q: want shard, front or empty", o.role)
+	}
 	if o.shards > 1 {
 		return runFleet(o, logger)
 	}

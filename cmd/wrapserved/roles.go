@@ -1,0 +1,262 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"autowrap/internal/audit"
+	"autowrap/internal/drift"
+	"autowrap/internal/jobs"
+	"autowrap/internal/serve"
+	"autowrap/internal/shard"
+)
+
+// runShard boots exactly one ring partition as an independent process:
+// the full single-server stack — gate, dispatcher, monitor, job plane,
+// optional auto-repair — over the slice of the registry the ring assigns
+// to -shard-index, from this process's own store and log directory. The
+// server refuses what is not its to serve: sites another shard owns
+// answer 421, and requests pinned to a different ring (X-Ring-Hash)
+// answer 503 — a front end and its peers can never silently disagree on
+// topology. SIGTERM drains exactly like the single server; a front end
+// can also drain it remotely via POST /v1/drain.
+func runShard(o options, logger *log.Logger) error {
+	if o.shards < 1 {
+		return fmt.Errorf("-role shard needs -shards >= 1 (the ring size)")
+	}
+	if o.shardIndex < 0 || o.shardIndex >= o.shards {
+		return fmt.Errorf("-shard-index %d out of range [0, %d)", o.shardIndex, o.shards)
+	}
+	ring := shard.NewRing(o.shards, o.vnodes)
+	k := o.shardIndex
+
+	be, err := openBackend(o, logger)
+	if err != nil {
+		return err
+	}
+	defer be.Close()
+	led, err := openLedger(o, logger)
+	if err != nil {
+		return err
+	}
+	defer led.Close()
+
+	// Boot from the owned partition only: a shard process may be handed
+	// the full registry (every shard sharing one seed file) or a
+	// pre-split one — either way it loads and serves just its slice.
+	st, err := be.LoadPartition(ring, k)
+	if err != nil {
+		return err
+	}
+	var mon *drift.Monitor
+	if o.window > 0 {
+		mon = drift.NewMonitor(drift.Policy{
+			Window: o.window,
+			OnTrip: func(site string, s drift.Stats) {
+				logger.Printf("DRIFT TRIPPED (shard %d): %s", k, s)
+				if err := led.Append(k, audit.EventDriftTrip, site, 0, s.String()); err != nil {
+					logger.Printf("audit drift trip %s: %v", site, err)
+				}
+			},
+		})
+	}
+	recentPages := 0
+	if o.autoRepair {
+		recentPages = o.recentPages
+	}
+	dispatcher := serve.NewDispatcher(st, serve.Options{
+		Workers: o.workers, Monitor: mon, RecentPages: recentPages,
+	})
+
+	var repairer *drift.Repairer
+	if o.dictPath != "" {
+		rep, err := newRepairer(st, mon, o.dictPath, o.kind)
+		if err != nil {
+			return err
+		}
+		repairer = rep
+	}
+	if o.autoRepair {
+		switch {
+		case repairer == nil:
+			return fmt.Errorf("-auto-repair needs -dict (no annotator to re-learn with)")
+		case mon == nil:
+			return fmt.Errorf("-auto-repair needs drift monitoring (-window > 0)")
+		case o.recentPages <= 0:
+			return fmt.Errorf("-auto-repair needs -recent-pages > 0 (no cached pages to re-learn from)")
+		}
+	}
+
+	var jobsM *jobs.Manager
+	if repairer != nil {
+		// The same s<k>- job-ID prefix the in-process fleet uses, so a
+		// front end routes job lookups straight to this process.
+		jobsM = jobs.New(jobs.Options{
+			Workers: o.learnWorkers, QueueDepth: o.jobQueue,
+			IDPrefix: fmt.Sprintf("s%d-", k),
+		})
+	}
+	srv, err := serve.NewServer(serve.ServerConfig{
+		Dispatcher: dispatcher,
+		Gate: serve.NewGate(serve.GateOptions{
+			MaxInFlight: o.maxInflight, MaxQueue: o.queue, RetryAfter: o.retryAfter,
+		}),
+		RequestTimeout:  o.timeout,
+		MaxPages:        o.maxPages,
+		Repairer:        repairer,
+		Jobs:            jobsM,
+		LearnCorpusRoot: o.corpusRoot,
+		Backend:         be,
+		Shard:           k,
+		Ring:            ring,
+		Audit:           led,
+		Log:             logger,
+	})
+	if err != nil {
+		return err
+	}
+
+	var maintainer *serve.Maintainer
+	if o.autoRepair {
+		maintainer, err = serve.NewMaintainer(srv, serve.MaintainerOptions{
+			Interval: o.autoInterval,
+			MinGap:   o.autoGap,
+			Log:      logger,
+		})
+		if err != nil {
+			return err
+		}
+		maintainer.Start()
+		defer maintainer.Stop()
+	}
+
+	if o.debugAddr != "" {
+		go func() {
+			logger.Printf("pprof debug server on http://%s/debug/pprof/", o.debugAddr)
+			logger.Printf("pprof server: %v", http.ListenAndServe(o.debugAddr, nil))
+		}()
+	}
+
+	hs := &http.Server{Addr: o.addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("shard %d/%d on %s: %d site(s) from %s (ring %s, maintenance plane %s, auto-repair %s)",
+			k, o.shards, o.addr, st.Len(), o.storePath, ring.Fingerprint(),
+			enabledWord(repairer != nil), enabledWord(o.autoRepair))
+		if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	// Shard drain mirrors the single server, but the job quiesce is
+	// one-shot shared with POST /v1/drain — when a front end already
+	// drained this process remotely, SIGTERM just finishes the listener.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		logger.Printf("%s: draining shard %d (up to %v)...", sig, k, o.drainT)
+		srv.SetDraining(true)
+		if maintainer != nil {
+			maintainer.Stop()
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), o.drainT)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		if err := srv.QuiesceJobs(ctx); err != nil {
+			logger.Printf("job drain: remaining jobs canceled at deadline: %v", err)
+		}
+		logger.Printf("drained cleanly")
+		return <-errc
+	}
+}
+
+// runFront boots the forwarding front end: it owns the ring (size =
+// number of -peers, in ring order), holds no store, dispatcher or job
+// plane of its own, and forwards every request to the owning shard over
+// per-peer persistent connection pools. At boot it handshakes with each
+// peer — ring fingerprint and shard index must agree; an unreachable
+// peer degrades that partition instead of failing the boot. SIGTERM
+// drains the fleet in order: the front stops admitting first, in-flight
+// forwards finish, then every peer's job plane is drained remotely.
+func runFront(o options, logger *log.Logger) error {
+	peers := splitPeers(o.peers)
+	if len(peers) == 0 {
+		return fmt.Errorf("-role front needs -peers host:port,...")
+	}
+	if o.shards > 1 && o.shards != len(peers) {
+		return fmt.Errorf("-shards %d disagrees with %d peer(s); the front sizes the ring from -peers", o.shards, len(peers))
+	}
+	ring := shard.NewRing(len(peers), o.vnodes)
+	router, err := serve.NewForwardRouter(ring, peers, serve.ForwardOptions{
+		RequestTimeout: o.timeout,
+		Log:            logger,
+	})
+	if err != nil {
+		return err
+	}
+
+	if o.debugAddr != "" {
+		go func() {
+			logger.Printf("pprof debug server on http://%s/debug/pprof/", o.debugAddr)
+			logger.Printf("pprof server: %v", http.ListenAndServe(o.debugAddr, nil))
+		}()
+	}
+
+	hs := &http.Server{Addr: o.addr, Handler: router.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("front on %s: forwarding to %d shard(s) %v (ring %s)",
+			o.addr, len(peers), peers, ring.Fingerprint())
+		if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		logger.Printf("%s: draining front + %d peer(s) (up to %v)...", sig, len(peers), o.drainT)
+		router.SetDraining(true)
+		ctx, cancel := context.WithTimeout(context.Background(), o.drainT)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		if err := router.Drain(ctx); err != nil {
+			logger.Printf("peer drain: %v", err)
+		}
+		logger.Printf("drained cleanly")
+		return <-errc
+	}
+}
+
+// splitPeers parses the -peers list, dropping empty elements so a
+// trailing comma is harmless.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -20,6 +20,7 @@ import (
 	"autowrap/internal/drift"
 	"autowrap/internal/extract"
 	"autowrap/internal/jobs"
+	"autowrap/internal/shard"
 	"autowrap/internal/store"
 	"autowrap/internal/store/filestore"
 )
@@ -70,6 +71,17 @@ type ServerConfig struct {
 	// Shard is this server's shard id in a fleet (0 standalone); it tags
 	// backend appends and audit records.
 	Shard int
+	// Ring, when set, puts the server in shard role: it is one
+	// independently booted partition (index Shard) of a fleet routed by
+	// this ring. A shard-role server (a) refuses requests whose
+	// RingHashHeader disagrees with the ring's fingerprint (503,
+	// ErrRingMismatch), (b) refuses lifecycle and extract requests for
+	// sites the ring assigns elsewhere (421, ErrNotOwner), (c) reports
+	// its RingInfo on /healthz and its bucket-level accumulator on
+	// /metrics for the front end's merges, and (d) serves POST /v1/drain.
+	// Nil (the default) is the standalone server, wire-identical to
+	// before the fleet transport existed.
+	Ring *shard.Ring
 	// Audit, when set, records every lifecycle event (learn, candidate,
 	// promote, rollback, drift trip, auto-repair) in the hash-chained
 	// ledger. Nil disables auditing; a fleet's shards share one ledger.
@@ -129,6 +141,9 @@ type Server struct {
 	draining atomic.Bool
 	ownJobs  bool // the manager was created by withDefaults, not the caller
 	closed   atomic.Bool
+	// drainedJobs makes the job plane's quiesce one-shot: /v1/drain and
+	// the process's own shutdown may both ask, the first one does the work.
+	drainedJobs atomic.Bool
 	// lifecycleMu serializes {in-memory mutation, backend append} pairs
 	// so the event order a log backend replays matches the order the
 	// registry actually mutated. Lifecycle events are rare (admin calls,
@@ -183,6 +198,49 @@ func (s *Server) Jobs() *jobs.Manager { return s.cfg.Jobs }
 // traffic steers away) but in-flight and newly arriving extractions still
 // complete — the process owner decides when to stop accepting connections.
 func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// QuiesceJobs runs the job plane dry exactly once: new submissions are
+// already rejected (the caller flipped draining), queued jobs execute to
+// completion bounded by ctx, then the workers exit. Both POST /v1/drain
+// and the process's own shutdown path may call it; only the first does
+// the work, so an HTTP-initiated fleet drain followed by SIGTERM cannot
+// double-drain the manager. Nil manager or a repeat call is a no-op.
+func (s *Server) QuiesceJobs(ctx context.Context) error {
+	m := s.cfg.Jobs
+	if m == nil || !s.drainedJobs.CompareAndSwap(false, true) {
+		return nil
+	}
+	return m.Quiesce(ctx)
+}
+
+// handleDrain serves POST /v1/drain on shard-role servers: the front
+// end's half of the ordered fleet drain (front stops admitting first,
+// then asks each shard to run its job plane dry). The shard flips its
+// readiness and quiesces jobs but keeps its listener up — in-flight and
+// stray direct requests still complete; stopping the process belongs to
+// whoever started it. Standalone servers don't expose the route (404).
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Ring == nil {
+		http.NotFound(w, r)
+		return
+	}
+	if !requirePost(w, r) {
+		return
+	}
+	var req DrainRequest
+	if r.ContentLength != 0 && !s.readJSON(w, r, &req) {
+		return
+	}
+	s.SetDraining(true)
+	ctx, cancel := context.WithTimeout(r.Context(), clampTimeout(s.cfg.JobTimeout, req.TimeoutMS))
+	defer cancel()
+	resp := DrainResponse{Status: "draining", JobsQuiesced: true}
+	if err := s.QuiesceJobs(ctx); err != nil {
+		resp.JobsQuiesced = false
+		resp.Error = err.Error()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
 
 // --- wire types ---
 
@@ -239,7 +297,14 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 
 // readJSON decodes a bounded JSON body, rejecting trailing garbage.
 func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	return readJSONLimited(w, r, v, s.cfg.MaxBodyBytes)
+}
+
+// readJSONLimited is readJSON with an explicit byte cap — the fleet
+// router decodes at the front door with its own limit, servers with
+// theirs, through the same code.
+func readJSONLimited(w http.ResponseWriter, r *http.Request, v any, max int64) bool {
+	body := http.MaxBytesReader(w, r.Body, max)
 	dec := json.NewDecoder(body)
 	if err := dec.Decode(v); err != nil {
 		var tooBig *http.MaxBytesError
@@ -265,6 +330,42 @@ func requirePost(w http.ResponseWriter, r *http.Request) bool {
 		return false
 	}
 	return true
+}
+
+// refuseNotOwned is the shard-role ownership check: a shard booted for
+// partition k must never serve — let alone mutate — a site the ring
+// assigns elsewhere, whether it got here through a misconfigured front
+// or a direct hit. 421 Misdirected Request with the named error; the
+// response is already written when it returns true. Standalone servers
+// (no Ring) own everything.
+func (s *Server) refuseNotOwned(w http.ResponseWriter, site string) bool {
+	if s.cfg.Ring == nil || site == "" {
+		return false
+	}
+	if k := s.cfg.Ring.Owner(site); k != s.cfg.Shard {
+		writeError(w, http.StatusMisdirectedRequest,
+			"%v: site %q belongs to shard %d, this is shard %d", ErrNotOwner, site, k, s.cfg.Shard)
+		return true
+	}
+	return false
+}
+
+// checkRingHash enforces per-request ring agreement on a shard-role
+// server: a request pinned (via RingHashHeader) to a different ring
+// fingerprint is refused with 503 and the named mismatch error before it
+// can touch the wrong partition. Requests without the header — direct
+// operator calls — pass; ownership is still checked per site.
+func (s *Server) checkRingHash(w http.ResponseWriter, r *http.Request) bool {
+	if s.cfg.Ring == nil {
+		return true
+	}
+	h := r.Header.Get(RingHashHeader)
+	if h == "" || h == s.cfg.Ring.Fingerprint() {
+		return true
+	}
+	writeError(w, http.StatusServiceUnavailable,
+		"%v: request pinned to ring %s, shard %d built ring %s", ErrRingMismatch, h, s.cfg.Shard, s.cfg.Ring.Fingerprint())
+	return false
 }
 
 // siteStatusCode maps dispatcher site-level errors to HTTP statuses.
@@ -333,6 +434,9 @@ func (s *Server) decodeExtract(w http.ResponseWriter, r *http.Request, sc *extra
 func (s *Server) finishExtract(w http.ResponseWriter, r *http.Request, sc *extractScratch) {
 	if sc.site == "" {
 		writeError(w, http.StatusBadRequest, "site is required")
+		return
+	}
+	if s.refuseNotOwned(w, sc.site) {
 		return
 	}
 	pages := sc.pages
@@ -409,6 +513,9 @@ type HealthzResponse struct {
 	Sites  int    `json:"sites"`
 	// UptimeSec is the server's age.
 	UptimeSec int64 `json:"uptime_sec"`
+	// Ring is the shard-role server's half of the ring-agreement
+	// handshake (absent on standalone servers).
+	Ring *RingInfo `json:"ring,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -416,6 +523,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status:    "ok",
 		Sites:     s.cfg.Dispatcher.Store().Len(),
 		UptimeSec: int64(time.Since(s.started).Seconds()),
+	}
+	if ring := s.cfg.Ring; ring != nil {
+		resp.Ring = &RingInfo{
+			Hash:   ring.Fingerprint(),
+			Shards: ring.Shards(),
+			VNodes: ring.VNodes(),
+			Shard:  s.cfg.Shard,
+		}
 	}
 	code := http.StatusOK
 	if s.draining.Load() {
@@ -433,6 +548,10 @@ type MetricsResponse struct {
 	Jobs *jobs.Metrics `json:"jobs,omitempty"`
 	// Audit is the lifecycle ledger's counters (absent when disabled).
 	Audit *audit.Stats `json:"audit,omitempty"`
+	// Accum is the shard-role server's bucket-level accumulator — what a
+	// forwarding front end merges so fleet latency quantiles come from
+	// the combined histogram population (absent on standalone servers).
+	Accum *WireAccum   `json:"accum,omitempty"`
 	Sites []SiteStatus `json:"sites"`
 }
 
@@ -445,6 +564,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Jobs != nil {
 		m := s.cfg.Jobs.Metrics()
 		resp.Jobs = &m
+	}
+	if s.cfg.Ring != nil {
+		acc := s.cfg.Dispatcher.metricsAccumNow(time.Now())
+		resp.Accum = wireAccumFrom(&acc)
 	}
 	if s.cfg.Audit != nil {
 		a := s.cfg.Audit.Stats()
@@ -464,14 +587,21 @@ type AuditResponse struct {
 }
 
 func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	n := 100
+	if q := r.URL.Query().Get("n"); q != "" {
+		if v, err := strconv.Atoi(q); err == nil && v > 0 {
+			n = v
+		}
+	}
+	writeJSON(w, http.StatusOK, s.auditResponse(n))
+}
+
+// auditResponse builds the ledger view handleAudit serves — shared with
+// the fleet transport so a local shard and a forwarded shard report the
+// same shape.
+func (s *Server) auditResponse(n int) AuditResponse {
 	resp := AuditResponse{Records: []audit.Record{}}
 	if s.cfg.Audit != nil {
-		n := 100
-		if q := r.URL.Query().Get("n"); q != "" {
-			if v, err := strconv.Atoi(q); err == nil && v > 0 {
-				n = v
-			}
-		}
 		resp.Enabled = true
 		resp.Path = s.cfg.Audit.Path()
 		resp.Stats = s.cfg.Audit.Stats()
@@ -479,7 +609,7 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 			resp.Records = recs
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
 }
 
 func (s *Server) handleSites(w http.ResponseWriter, r *http.Request) {
@@ -572,6 +702,9 @@ func (s *Server) finishPromote(w http.ResponseWriter, req AdminRequest) {
 		writeError(w, http.StatusBadRequest, "site and version >= 1 are required")
 		return
 	}
+	if s.refuseNotOwned(w, req.Site) {
+		return
+	}
 	s.lifecycleMu.Lock()
 	entry, err := s.cfg.Dispatcher.Promote(req.Site, req.Version)
 	var perr error
@@ -600,6 +733,9 @@ func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request) {
 func (s *Server) finishRollback(w http.ResponseWriter, req AdminRequest) {
 	if req.Site == "" {
 		writeError(w, http.StatusBadRequest, "site is required")
+		return
+	}
+	if s.refuseNotOwned(w, req.Site) {
 		return
 	}
 	s.lifecycleMu.Lock()
@@ -821,6 +957,9 @@ func (s *Server) finishRepair(w http.ResponseWriter, req RepairRequest) {
 		writeError(w, http.StatusBadRequest, "site and at least 2 pages are required")
 		return
 	}
+	if s.refuseNotOwned(w, req.Site) {
+		return
+	}
 	if len(req.Pages) > s.cfg.MaxPages {
 		writeError(w, http.StatusRequestEntityTooLarge,
 			"%d pages exceeds the per-request cap of %d", len(req.Pages), s.cfg.MaxPages)
@@ -852,6 +991,9 @@ func (s *Server) finishLearn(w http.ResponseWriter, req LearnRequest) {
 	if s.cfg.Repairer == nil {
 		writeError(w, http.StatusNotImplemented,
 			"learn is not configured on this server (no annotator)")
+		return
+	}
+	if s.refuseNotOwned(w, req.Site) {
 		return
 	}
 	switch {

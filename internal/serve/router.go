@@ -20,6 +20,11 @@ func (s *Server) Handler() http.Handler { return http.HandlerFunc(s.route) }
 const jobsPrefix = "/v1/jobs/"
 
 func (s *Server) route(w http.ResponseWriter, r *http.Request) {
+	// Shard role: ring agreement is checked once, ahead of every route —
+	// a request pinned to a different ring must not reach any handler.
+	if !s.checkRingHash(w, r) {
+		return
+	}
 	switch r.URL.Path {
 	case "/v1/extract":
 		s.handleExtract(w, r)
@@ -47,6 +52,8 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.handleJobs(w, r)
+	case "/v1/drain":
+		s.handleDrain(w, r)
 	default:
 		s.routeJob(w, r)
 	}

@@ -1,0 +1,322 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"autowrap/internal/jobs"
+	"autowrap/internal/store"
+)
+
+// httpShard is the forwarding ShardClient: the shard is an independently
+// booted wrapserved process, reached over a per-shard pool of persistent
+// connections. Every request carries the front end's ring fingerprint
+// (RingHashHeader) so the peer can refuse a topology mismatch, and the
+// front's request deadline propagates as the forwarded request's context
+// (plus the body's own timeout_ms, which the shard clamps again).
+// Write-path calls are passthrough — the shard's status, backpressure
+// headers (Retry-After, Location) and error bodies reach the client
+// unchanged; 429 and 503 in particular are the shard's own words.
+// Read-path calls retry once on transport errors; write paths never
+// retry (an extract, promote or learn may have been applied even when
+// the response was lost).
+type httpShard struct {
+	shard    int
+	addr     string // host:port
+	base     string // http://host:port
+	ringHash string
+	client   *http.Client
+	// timeout bounds any single forwarded call when the incoming request
+	// carries no tighter deadline.
+	timeout time.Duration
+	log     *log.Logger
+}
+
+// newHTTPShard builds the client for one peer with its own persistent
+// connection pool (connections to a dead peer must not poison another
+// peer's pool).
+func newHTTPShard(shardID int, addr, ringHash string, timeout time.Duration, lg *log.Logger) *httpShard {
+	tr := &http.Transport{
+		DialContext: (&net.Dialer{
+			Timeout:   2 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		MaxIdleConns:        32,
+		MaxIdleConnsPerHost: 32,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	return &httpShard{
+		shard:    shardID,
+		addr:     addr,
+		base:     "http://" + addr,
+		ringHash: ringHash,
+		client:   &http.Client{Transport: tr},
+		timeout:  timeout,
+		log:      lg,
+	}
+}
+
+// unavailable answers for a peer the front could not reach: 503 with the
+// named per-shard error, so a dead process degrades the fleet to partial
+// availability instead of a global failure.
+func (c *httpShard) unavailable(w http.ResponseWriter, what string, err error) {
+	writeError(w, http.StatusServiceUnavailable,
+		"%v: shard %d (%s): %s: %v", ErrShardUnavailable, c.shard, c.addr, what, err)
+}
+
+// relay copies a peer's response to the client: status, content headers,
+// the backpressure and job-location headers, then the body.
+func relay(w http.ResponseWriter, resp *http.Response) {
+	h := w.Header()
+	for _, k := range [...]string{"Content-Type", "Content-Length", "Retry-After", "Allow", "Location"} {
+		if v := resp.Header.Get(k); v != "" {
+			h.Set(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// do sends one forwarded request. Idempotent GETs retry once on a
+// transport error — the only failure mode where retrying cannot double-
+// apply anything; everything else fails to the caller immediately.
+func (c *httpShard) do(req *http.Request, idempotent bool) (*http.Response, error) {
+	resp, err := c.client.Do(req)
+	if err != nil && idempotent && req.Context().Err() == nil {
+		resp, err = c.client.Do(req)
+	}
+	return resp, err
+}
+
+// get builds an idempotent read against the peer, bounded by the
+// client's call budget when ctx has no tighter deadline.
+func (c *httpShard) get(ctx context.Context, path string) (*http.Response, context.CancelFunc, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		cancel()
+		return nil, nil, err
+	}
+	req.Header.Set(RingHashHeader, c.ringHash)
+	resp, err := c.do(req, true)
+	if err != nil {
+		cancel()
+		return nil, nil, err
+	}
+	return resp, cancel, nil
+}
+
+// getJSON performs an idempotent read and decodes the 200 body into v.
+func (c *httpShard) getJSON(ctx context.Context, path string, v any) error {
+	resp, cancel, err := c.get(ctx, path)
+	if err != nil {
+		return err
+	}
+	defer cancel()
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("shard %d (%s): GET %s: %s: %s",
+			c.shard, c.addr, path, resp.Status, strings.TrimSpace(string(b)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// forwardJSON re-encodes a decoded admin/maintenance request and relays
+// the peer's answer. These paths are rare (operator calls, repair
+// completions); encoding/json is fine here.
+func (c *httpShard) forwardJSON(w http.ResponseWriter, ctx context.Context, path string, body any, timeoutMS int) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding forwarded request: %v", err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(ctx, clampTimeout(c.timeout, timeoutMS))
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(buf))
+	if err != nil {
+		c.unavailable(w, path, err)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(RingHashHeader, c.ringHash)
+	resp, err := c.do(req, false)
+	if err != nil {
+		c.unavailable(w, path, err)
+		return
+	}
+	defer resp.Body.Close()
+	relay(w, resp)
+}
+
+// Extract forwards the still-encoded request body (sc.raw — the decode
+// unescapes sc.body in place, so the raw copy is the forwardable one).
+// The shard re-decodes with the same codec; deadline propagation is the
+// context here plus the timeout_ms already inside the body.
+func (c *httpShard) Extract(w http.ResponseWriter, r *http.Request, sc *extractScratch) {
+	ctx, cancel := context.WithTimeout(r.Context(), clampTimeout(c.timeout, sc.timeoutMS))
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/extract", bytes.NewReader(sc.raw))
+	if err != nil {
+		c.unavailable(w, "extract", err)
+		return
+	}
+	req.ContentLength = int64(len(sc.raw))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(RingHashHeader, c.ringHash)
+	resp, err := c.do(req, false)
+	if err != nil {
+		c.unavailable(w, "extract", err)
+		return
+	}
+	defer resp.Body.Close()
+	relay(w, resp)
+}
+
+func (c *httpShard) Lifecycle(w http.ResponseWriter, op store.Op, req AdminRequest) {
+	path := "/v1/promote"
+	if op == store.OpRollback {
+		path = "/v1/rollback"
+	}
+	c.forwardJSON(w, context.Background(), path, req, 0)
+}
+
+func (c *httpShard) Learn(w http.ResponseWriter, req LearnRequest) {
+	c.forwardJSON(w, context.Background(), "/v1/learn", req, req.TimeoutMS)
+}
+
+func (c *httpShard) Repair(w http.ResponseWriter, req RepairRequest) {
+	c.forwardJSON(w, context.Background(), "/v1/repair", req, req.TimeoutMS)
+}
+
+func (c *httpShard) Jobs(ctx context.Context) ([]jobs.Snapshot, error) {
+	var out []jobs.Snapshot
+	if err := c.getJSON(ctx, "/v1/jobs", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// jobPassthrough relays GET /v1/jobs/{id} or POST .../cancel. A peer 404
+// reports false so the router can keep looking; a transport failure is
+// answered here (the job, if it exists, lives on an unreachable shard).
+func (c *httpShard) jobPassthrough(w http.ResponseWriter, r *http.Request, path string, post bool) bool {
+	ctx, cancel := context.WithTimeout(r.Context(), c.timeout)
+	defer cancel()
+	method := http.MethodGet
+	if post {
+		method = http.MethodPost
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, nil)
+	if err != nil {
+		c.unavailable(w, path, err)
+		return true
+	}
+	req.Header.Set(RingHashHeader, c.ringHash)
+	resp, err := c.do(req, !post)
+	if err != nil {
+		c.unavailable(w, path, err)
+		return true
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return false
+	}
+	relay(w, resp)
+	return true
+}
+
+func (c *httpShard) JobGet(w http.ResponseWriter, r *http.Request, id string) bool {
+	return c.jobPassthrough(w, r, jobsPrefix+id, false)
+}
+
+func (c *httpShard) JobCancel(w http.ResponseWriter, r *http.Request, id string) bool {
+	return c.jobPassthrough(w, r, jobsPrefix+id+"/cancel", true)
+}
+
+func (c *httpShard) Metrics(ctx context.Context, now time.Time) (ShardReport, error) {
+	var m MetricsResponse
+	if err := c.getJSON(ctx, "/metrics", &m); err != nil {
+		return ShardReport{}, err
+	}
+	rep := ShardReport{
+		Gate:       m.Gate,
+		Jobs:       m.Jobs,
+		Sites:      m.Sites,
+		AuditStats: m.Audit,
+	}
+	if m.Accum != nil {
+		rep.accum = m.Accum.toAccum()
+	}
+	return rep, nil
+}
+
+func (c *httpShard) Healthz(ctx context.Context) (HealthzResponse, error) {
+	resp, cancel, err := c.get(ctx, "/healthz")
+	if err != nil {
+		return HealthzResponse{}, err
+	}
+	defer cancel()
+	defer resp.Body.Close()
+	// A draining shard answers 503 with the same body shape; both are a
+	// reachable peer's truthful view.
+	var h HealthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return HealthzResponse{}, fmt.Errorf("shard %d (%s): healthz: %v", c.shard, c.addr, err)
+	}
+	return h, nil
+}
+
+func (c *httpShard) AuditView(ctx context.Context, n int) (AuditResponse, error) {
+	var a AuditResponse
+	if err := c.getJSON(ctx, fmt.Sprintf("/v1/audit?n=%d", n), &a); err != nil {
+		return AuditResponse{}, err
+	}
+	return a, nil
+}
+
+// SetDraining is a no-op over HTTP: a remote shard's readiness belongs
+// to its own process; the front steers traffic away by flipping itself.
+func (c *httpShard) SetDraining(bool) {}
+
+// Drain asks the peer to run its job plane dry (POST /v1/drain). The
+// front calls this after its own listener stopped accepting — the
+// ordered fleet drain: front first, then shards.
+func (c *httpShard) Drain(ctx context.Context) error {
+	ms := 0
+	if dl, ok := ctx.Deadline(); ok {
+		ms = int(time.Until(dl) / time.Millisecond)
+	}
+	buf, _ := json.Marshal(DrainRequest{TimeoutMS: ms})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/drain", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(RingHashHeader, c.ringHash)
+	resp, err := c.do(req, false)
+	if err != nil {
+		return fmt.Errorf("%w: shard %d (%s): drain: %v", ErrShardUnavailable, c.shard, c.addr, err)
+	}
+	defer resp.Body.Close()
+	var dr DrainResponse
+	if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
+		return fmt.Errorf("shard %d (%s): drain: %v", c.shard, c.addr, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("shard %d (%s): drain: %s: %s", c.shard, c.addr, resp.Status, dr.Error)
+	}
+	if dr.Error != "" {
+		return fmt.Errorf("shard %d (%s): drain: %s", c.shard, c.addr, dr.Error)
+	}
+	return nil
+}

@@ -35,6 +35,12 @@ type pageIn struct{ id, html string }
 type extractScratch struct {
 	body []byte // raw request body; string values are unescaped in place
 	out  []byte // response buffer
+	// raw is a copy of the body taken before the in-place decode —
+	// decoding destroys the encoded form, and a forwarding front end needs
+	// the original bytes to relay to the owning shard. Only fleets with
+	// remote peers pay for the copy (and the buffer is pooled, so steady
+	// state is still allocation-free); local fleets leave it empty.
+	raw []byte
 
 	site      string
 	timeoutMS int
@@ -62,7 +68,10 @@ func releaseScratch(sc *extractScratch) {
 	if cap(sc.out) > maxPooledBuf {
 		sc.out = nil
 	}
-	sc.body, sc.out = sc.body[:0], sc.out[:0]
+	if cap(sc.raw) > maxPooledBuf {
+		sc.raw = nil
+	}
+	sc.body, sc.out, sc.raw = sc.body[:0], sc.out[:0], sc.raw[:0]
 	sc.site, sc.timeoutMS = "", 0
 	sc.single, sc.hasSingle = pageIn{}, false
 	for i := range sc.pages {
@@ -79,7 +88,12 @@ func releaseScratch(sc *extractScratch) {
 // readBody reads the request body into the scratch buffer, enforcing the
 // byte cap. The error is already on the wire when ok is false.
 func (s *Server) readBody(w http.ResponseWriter, r *http.Request, sc *extractScratch) bool {
-	max := s.cfg.MaxBodyBytes
+	return readBodyInto(w, r, sc, s.cfg.MaxBodyBytes)
+}
+
+// readBodyInto is readBody with an explicit cap, shared with the fleet
+// router's front-door decode.
+func readBodyInto(w http.ResponseWriter, r *http.Request, sc *extractScratch, max int64) bool {
 	if r.ContentLength > max {
 		writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", max)
 		return false

@@ -11,6 +11,7 @@
 package shard
 
 import (
+	"fmt"
 	"sort"
 	"strconv"
 )
@@ -61,6 +62,10 @@ type Ring struct {
 	// search walking one contiguous uint64 array.
 	hash  []uint64
 	owner []int32
+	// fingerprint condenses the whole assignment function — shard count,
+	// vnode count and every ring point — into one comparable string; see
+	// Fingerprint.
+	fingerprint string
 }
 
 // NewRing builds the ring for a fleet of the given size. shards < 1 is
@@ -107,8 +112,39 @@ func NewRing(shards, vnodes int) *Ring {
 		r.hash = append(r.hash, p.h)
 		r.owner = append(r.owner, p.shard)
 	}
+	// Fold every sorted ring point (position and owner) into one 64-bit
+	// digest with the same FNV-1a/avalanche mix used for placement. Two
+	// rings agree on this digest iff they agree on the entire assignment
+	// function, so it can stand in for "same topology" on the wire.
+	d := uint64(fnvOffset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			d ^= (v >> (8 * i)) & 0xff
+			d *= fnvPrime64
+		}
+	}
+	mix(uint64(shards))
+	mix(uint64(vnodes))
+	for i := range r.hash {
+		mix(r.hash[i])
+		mix(uint64(r.owner[i]))
+	}
+	d ^= d >> 33
+	d *= 0xff51afd7ed558ccd
+	d ^= d >> 33
+	r.fingerprint = fmt.Sprintf("n%d-v%d-%016x", shards, vnodes, d)
 	return r
 }
+
+// Fingerprint identifies the ring's complete assignment function — shard
+// count, vnode count and every ring point — as one short string, e.g.
+// "n4-v128-9f2a...". Two processes whose rings print the same fingerprint
+// route every site identically; any difference in parameters (or in the
+// label contract baked into NewRing) changes it. The fleet front end pins
+// this value on every forwarded request (X-Ring-Hash) and shard processes
+// refuse requests carrying a different one, so a misconfigured peer can
+// never silently serve the wrong partition.
+func (r *Ring) Fingerprint() string { return r.fingerprint }
 
 // Shards is the fleet size the ring was built for.
 func (r *Ring) Shards() int { return r.shards }

@@ -181,3 +181,24 @@ func BenchmarkRingOwner(b *testing.B) {
 		_ = r.Owner(ks[i&1023])
 	}
 }
+
+// TestRingFingerprint pins the fingerprint's two contractual properties:
+// equal parameters agree (across independently built rings), and any
+// parameter change — shard count or vnode count — disagrees. The fleet
+// ring-agreement handshake rides entirely on this.
+func TestRingFingerprint(t *testing.T) {
+	a := shard.NewRing(4, 64)
+	b := shard.NewRing(4, 64)
+	if a.Fingerprint() == "" {
+		t.Fatal("Fingerprint() is empty")
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("equal rings disagree: %q vs %q", a.Fingerprint(), b.Fingerprint())
+	}
+	if got := shard.NewRing(3, 64).Fingerprint(); got == a.Fingerprint() {
+		t.Fatalf("3-shard ring shares fingerprint with 4-shard ring: %q", got)
+	}
+	if got := shard.NewRing(4, 128).Fingerprint(); got == a.Fingerprint() {
+		t.Fatalf("vnodes=128 ring shares fingerprint with vnodes=64 ring: %q", got)
+	}
+}

@@ -17,7 +17,10 @@
 // (a crash between copy and remove during compaction) replays as
 // already-seen records and is skipped.
 //
-// Appends are fsync'd by default. When the active segment outgrows
+// Appends are fsync'd by default; Options.SyncInterval opts into group
+// commit instead (appends batch in the page cache, a background flusher
+// syncs at most once per interval — a bounded, explicitly chosen loss
+// window). When the active segment outgrows
 // Options.SegmentBytes the log rotates: a new segment opens with a full
 // registry snapshot record (the exact storeFile wire form filestore
 // writes, embedded as one payload) and every older segment is deleted —
@@ -43,6 +46,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"autowrap/internal/store"
 )
@@ -80,6 +84,17 @@ type Options struct {
 	// NoSync skips the fsync after each append. Only for tests and
 	// benchmarks that measure framing cost, never for serving.
 	NoSync bool
+	// SyncInterval enables group commit: appends land in the OS page
+	// cache without an inline fsync, and a background flusher syncs the
+	// active segment at most once per interval (and only when new data
+	// arrived). Rotation and Close still sync inline, so segment
+	// boundaries and shutdown are always durable. The trade is explicit:
+	// a crash can lose up to the last interval's worth of acknowledged
+	// appends — but never the log's consistency, because CRC framing and
+	// torn-tail recovery treat the unsynced tail exactly like any other
+	// interrupted write. Zero keeps the per-append fsync; ignored when
+	// NoSync is set.
+	SyncInterval time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -128,6 +143,16 @@ type Backend struct {
 	segIndex  int
 	size      int64
 	recovered *Recovery
+
+	// Group commit (Options.SyncInterval > 0): dirty marks unsynced
+	// appends, the flusher goroutine syncs them, and a failed background
+	// sync sticks in syncErr so the next append reports it instead of
+	// silently acknowledging writes that may never become durable.
+	dirty     bool
+	syncErr   error
+	flushStop chan struct{}
+	flushDone chan struct{}
+	flushOnce sync.Once
 }
 
 var _ store.Backend = (*Backend)(nil)
@@ -174,6 +199,7 @@ func Open(dir string, opt Options) (*Backend, error) {
 			return nil, fmt.Errorf("logstore: %w", err)
 		}
 		b.f = f
+		b.startFlusher()
 		return b, b.syncDir()
 	}
 
@@ -193,7 +219,64 @@ func Open(dir string, opt Options) (*Backend, error) {
 		return nil, fmt.Errorf("logstore: %w", err)
 	}
 	b.f = f
+	b.startFlusher()
 	return b, nil
+}
+
+// startFlusher launches the group-commit flusher when the options ask
+// for one (SyncInterval > 0 and syncing at all).
+func (b *Backend) startFlusher() {
+	if b.opt.SyncInterval <= 0 || b.opt.NoSync {
+		return
+	}
+	b.flushStop = make(chan struct{})
+	b.flushDone = make(chan struct{})
+	go b.flushLoop(b.opt.SyncInterval)
+}
+
+// flushLoop is the group-commit heartbeat: at most one fsync per
+// interval, and none at all while the log is idle.
+func (b *Backend) flushLoop(interval time.Duration) {
+	defer close(b.flushDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-b.flushStop:
+			return
+		case <-t.C:
+			b.mu.Lock()
+			b.flushLocked()
+			b.mu.Unlock()
+		}
+	}
+}
+
+// flushLocked syncs the active segment when appends are pending. A
+// failed sync sticks: the data's durability is unknown, so every later
+// append refuses until the operator intervenes.
+func (b *Backend) flushLocked() {
+	if !b.dirty || b.f == nil {
+		return
+	}
+	if err := b.f.Sync(); err != nil {
+		if b.syncErr == nil {
+			b.syncErr = fmt.Errorf("logstore: group sync: %w", err)
+		}
+		return
+	}
+	b.dirty = false
+}
+
+// stopFlusher shuts the group-commit goroutine down exactly once.
+func (b *Backend) stopFlusher() {
+	if b.flushStop == nil {
+		return
+	}
+	b.flushOnce.Do(func() {
+		close(b.flushStop)
+		<-b.flushDone
+	})
 }
 
 // replaySegment applies one segment's records to the shadow registry and
@@ -356,6 +439,9 @@ func (b *Backend) append(rec record) error {
 	if b.f == nil {
 		return fmt.Errorf("logstore: backend closed")
 	}
+	if b.syncErr != nil {
+		return b.syncErr
+	}
 	// Rotate before applying: the rotation snapshot must capture the
 	// state BEFORE this event, because the event's own record lands after
 	// the snapshot and replays on top of it.
@@ -390,7 +476,10 @@ func (b *Backend) writeLocked(rec record) error {
 		return fmt.Errorf("logstore: append: %w", err)
 	}
 	if !b.opt.NoSync {
-		if err := b.f.Sync(); err != nil {
+		if b.opt.SyncInterval > 0 {
+			// Group commit: the flusher syncs within one interval.
+			b.dirty = true
+		} else if err := b.f.Sync(); err != nil {
 			return fmt.Errorf("logstore: sync: %w", err)
 		}
 	}
@@ -424,6 +513,18 @@ func (b *Backend) rotateLocked() error {
 		b.f, b.segIndex = old, oldIndex
 		b.seq--
 		return err
+	}
+	// Rotation is durable inline even under group commit: the snapshot
+	// on the new segment and the old segment's unsynced tail both hit
+	// disk before any older segment is deleted.
+	if !b.opt.NoSync && b.opt.SyncInterval > 0 {
+		if err := b.f.Sync(); err != nil {
+			return fmt.Errorf("logstore: rotate sync: %w", err)
+		}
+		if err := old.Sync(); err != nil {
+			return fmt.Errorf("logstore: rotate sync: %w", err)
+		}
+		b.dirty = false
 	}
 	if err := b.syncDir(); err != nil {
 		return err
@@ -472,8 +573,11 @@ func (b *Backend) SeedFrom(src *store.Store) error {
 	return b.writeSnapshotLocked()
 }
 
-// Close syncs and closes the active segment.
+// Close syncs and closes the active segment. Under group commit the
+// flusher stops first, then the final sync makes every acknowledged
+// append durable — a clean shutdown never loses the loss window.
 func (b *Backend) Close() error {
+	b.stopFlusher()
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.f == nil {

@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"autowrap/internal/lr"
 	"autowrap/internal/shard"
@@ -514,5 +515,73 @@ func TestLogRecoveryValidFrameInvalidRecord(t *testing.T) {
 	}
 	if ce.Seq != 999 {
 		t.Fatalf("CorruptError seq %d, want 999", ce.Seq)
+	}
+}
+
+// TestLogGroupCommit pins the group-commit contract: with a sync
+// interval set, appends still replay identically after a clean Close
+// (which force-syncs the loss window), rotation stays durable inline,
+// and the background flusher syncs an idle-then-dirty log on its own.
+func TestLogGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	opt := logstore.Options{SyncInterval: 5 * time.Millisecond}
+	b := openLog(t, dir, opt)
+	ref := store.New()
+	driveLifecycle(t, b, ref)
+
+	// Give the flusher at least one tick with data pending, then keep
+	// appending — the deferred syncs must never corrupt the frames.
+	time.Sleep(20 * time.Millisecond)
+	e, err := ref.Put("late.example.com", &lr.Compiled{Left: "<b>", Right: "</b>"}, store.Meta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AppendEntry(0, e, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	b2 := openLog(t, dir, logstore.Options{})
+	defer b2.Close()
+	if rec := b2.Recovered(); rec != nil {
+		t.Fatalf("group-commit log reopened with recovery: %+v", rec)
+	}
+	replayed, err := b2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encode(t, replayed), encode(t, ref)) {
+		t.Fatal("group-commit replay diverges from the registry that emitted the events")
+	}
+}
+
+// TestLogGroupCommitRotation forces rotation under group commit: the
+// snapshot segment and compaction must behave exactly as in per-append
+// sync mode.
+func TestLogGroupCommitRotation(t *testing.T) {
+	dir := t.TempDir()
+	b := openLog(t, dir, logstore.Options{SegmentBytes: 1, SyncInterval: time.Hour})
+	ref := store.New()
+	driveLifecycle(t, b, ref) // every append rotates (threshold 1 byte)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 {
+		t.Fatalf("rotation under group commit left %d segments, want 1 (compaction)", len(names))
+	}
+	b2 := openLog(t, dir, logstore.Options{})
+	defer b2.Close()
+	replayed, err := b2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encode(t, replayed), encode(t, ref)) {
+		t.Fatal("rotated group-commit replay diverges")
 	}
 }
